@@ -1,0 +1,94 @@
+//! Fleet-simulator benchmarks: catalog generation, workload generation,
+//! queue-wait sampling, congestion evolution, and whole-run throughput
+//! (spans per second of wall time).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rpclens_cluster::mgk::QueueModel;
+use rpclens_fleet::catalog::{Catalog, CatalogConfig};
+use rpclens_fleet::driver::{run_fleet, FleetConfig, SimScale};
+use rpclens_fleet::workload::Workload;
+use rpclens_netsim::congestion::{CongestionParams, CongestionProcess};
+use rpclens_netsim::topology::Topology;
+use rpclens_simcore::prelude::*;
+
+fn bench_catalog(c: &mut Criterion) {
+    let topo = Topology::default_world(1);
+    let mut g = c.benchmark_group("catalog");
+    g.sample_size(20);
+    g.bench_function("generate_2000_methods", |b| {
+        b.iter(|| {
+            black_box(Catalog::generate(
+                &CatalogConfig {
+                    total_methods: 2_000,
+                    seed: 1,
+                },
+                &topo,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_workload(c: &mut Criterion) {
+    let topo = Topology::default_world(2);
+    let catalog = Catalog::generate(
+        &CatalogConfig {
+            total_methods: 400,
+            seed: 2,
+        },
+        &topo,
+    );
+    let mut g = c.benchmark_group("workload");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("generate_10k_roots", |b| {
+        let mut w = Workload::new(&catalog, &topo, SimDuration::from_hours(24), 3);
+        b.iter(|| black_box(w.generate(10_000)))
+    });
+    g.finish();
+}
+
+fn bench_queue_and_congestion(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrates");
+    g.throughput(Throughput::Elements(1));
+    let q = QueueModel::new(16, SimDuration::from_micros(500), 4.0);
+    let mut rng = Prng::seed_from(4);
+    g.bench_function("mgk_sample_wait", |b| {
+        b.iter(|| black_box(q.sample_wait(0.8, &mut rng)))
+    });
+    let mut proc = CongestionProcess::new(CongestionParams::wan(), Prng::seed_from(5));
+    let mut t = 0u64;
+    g.bench_function("congestion_delay", |b| {
+        b.iter(|| {
+            t += 1_000_000;
+            black_box(proc.queueing_delay(SimTime::from_nanos(t)))
+        })
+    });
+    g.finish();
+}
+
+fn bench_full_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fleet_run");
+    g.sample_size(10);
+    let scale = SimScale {
+        name: "bench",
+        total_methods: 320,
+        roots: 2_000,
+        duration: SimDuration::from_hours(24),
+        trace_sample_rate: 1,
+        seed: 6,
+    };
+    g.throughput(Throughput::Elements(scale.roots));
+    g.bench_function("2k_roots_end_to_end", |b| {
+        b.iter(|| black_box(run_fleet(FleetConfig::at_scale(scale.clone()))))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_catalog,
+    bench_workload,
+    bench_queue_and_congestion,
+    bench_full_run
+);
+criterion_main!(benches);

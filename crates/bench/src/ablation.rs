@@ -1,0 +1,275 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+//!
+//! Each ablation runs the fleet twice — mechanism on vs off — at the same
+//! seed and compares the metric that mechanism exists to move:
+//!
+//! - **hedging**: the tail (P99) latency of hedged storage methods. The
+//!   paper attributes the Cancelled error class to hedging (§4.4); the
+//!   ablation shows what that wasted work buys.
+//! - **congestion**: the P99 of the network-wire components. The paper
+//!   finds congestion still bites the WAN tail (§5.1).
+//! - **reserved cores**: KV-Store's latency coupling to machine
+//!   utilization (§3.3.4: reserved cores sever the coupling).
+
+use rpclens_fleet::driver::{run_fleet, FleetConfig, FleetRun, SimScale};
+use rpclens_rpcstack::component::LatencyComponent;
+use rpclens_simcore::stats::{percentile, sorted_finite};
+use rpclens_trace::query::MethodQuery;
+use rpclens_trace::span::MethodId;
+
+/// The available ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ablation {
+    /// Request hedging on/off.
+    Hedging,
+    /// Network congestion on/off.
+    Congestion,
+    /// Reserved-core isolation on/off.
+    ReservedCores,
+}
+
+impl Ablation {
+    /// All ablations.
+    pub const ALL: [Ablation; 3] = [
+        Ablation::Hedging,
+        Ablation::Congestion,
+        Ablation::ReservedCores,
+    ];
+
+    /// CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Ablation::Hedging => "hedging",
+            Ablation::Congestion => "congestion",
+            Ablation::ReservedCores => "reserved-cores",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn parse(name: &str) -> Option<Ablation> {
+        Ablation::ALL
+            .iter()
+            .copied()
+            .find(|a| a.name() == name.to_lowercase())
+    }
+}
+
+/// Result of one ablation: the metric with the mechanism on and off, and
+/// a human description.
+#[derive(Debug, Clone)]
+pub struct AblationResult {
+    /// Which ablation ran.
+    pub ablation: Ablation,
+    /// Metric description (what the numbers are).
+    pub metric: &'static str,
+    /// Metric with the mechanism enabled.
+    pub with_mechanism: f64,
+    /// Metric with the mechanism disabled.
+    pub without_mechanism: f64,
+}
+
+impl AblationResult {
+    /// Ratio without/with: > 1 means the mechanism was helping.
+    pub fn improvement(&self) -> f64 {
+        self.without_mechanism / self.with_mechanism.max(1e-12)
+    }
+}
+
+fn config(scale: &SimScale) -> FleetConfig {
+    FleetConfig::at_scale(scale.clone())
+}
+
+/// Hedged storage methods' P99 latency, seconds.
+fn hedged_tail(run: &FleetRun) -> f64 {
+    let query = MethodQuery::default();
+    let mut samples = Vec::new();
+    for m in run.catalog.methods() {
+        if !m.hedge.enabled {
+            continue;
+        }
+        if let Some(mut s) = query.latency_samples(&run.store, m.id) {
+            samples.append(&mut s);
+        }
+    }
+    let sorted = sorted_finite(samples);
+    percentile(&sorted, 0.99).unwrap_or(f64::NAN)
+}
+
+/// P99 of the summed network-wire components over *same-cluster* spans,
+/// seconds. Restricting to same-cluster paths isolates congestion: their
+/// propagation floor is microseconds, so any millisecond tail is pure
+/// in-network queueing.
+fn network_tail(run: &FleetRun) -> f64 {
+    let mut samples = Vec::new();
+    for trace in run.store.traces() {
+        for span in &trace.spans {
+            if span.is_ok() && span.client_cluster == span.server_cluster {
+                samples.push(
+                    span.component(LatencyComponent::RequestNetworkWire)
+                        .as_secs_f64()
+                        + span
+                            .component(LatencyComponent::ResponseNetworkWire)
+                            .as_secs_f64(),
+                );
+            }
+        }
+    }
+    let sorted = sorted_finite(samples);
+    percentile(&sorted, 0.99).unwrap_or(f64::NAN)
+}
+
+/// KV-Store's server-side latency rise from the coolest to the hottest
+/// utilization quartile: mean(server latency | util in top quartile) over
+/// mean(server latency | util in bottom quartile), minus one. Server-side
+/// components only, so the co-located callers' diurnal client queues do
+/// not confound the measurement (same isolation as Fig. 17's panels).
+fn kv_util_coupling(run: &FleetRun) -> f64 {
+    let kv = match run.catalog.service_by_name("KVStore") {
+        Some(s) => s.id,
+        None => return f64::NAN,
+    };
+    let methods: Vec<MethodId> = run
+        .catalog
+        .methods()
+        .iter()
+        .filter(|m| m.service == kv)
+        .map(|m| m.id)
+        .collect();
+    let mut pairs: Vec<(f64, f64)> = Vec::new();
+    for m in methods {
+        run.store.for_each_span(m, |trace, span| {
+            if !span.is_ok() {
+                return;
+            }
+            if let Some(site) = run.site(kv, span.server_cluster) {
+                let at = trace.root_start + span.start_offset();
+                let server_side = [
+                    LatencyComponent::ServerRecvQueue,
+                    LatencyComponent::ServerApplication,
+                    LatencyComponent::ServerSendQueue,
+                    LatencyComponent::ResponseProcessing,
+                ]
+                .iter()
+                .map(|&c| span.component(c).as_secs_f64())
+                .sum::<f64>();
+                pairs.push((site.load.sample(at).cpu_util, server_side));
+            }
+        });
+    }
+    if pairs.len() < 200 {
+        return f64::NAN;
+    }
+    let utils = sorted_finite(pairs.iter().map(|p| p.0).collect());
+    let q1 = percentile(&utils, 0.25).unwrap_or(f64::NAN);
+    let q3 = percentile(&utils, 0.75).unwrap_or(f64::NAN);
+    let mean_of = |pred: &dyn Fn(f64) -> bool| -> f64 {
+        let v: Vec<f64> = pairs
+            .iter()
+            .filter(|(u, _)| pred(*u))
+            .map(|(_, l)| *l)
+            .collect();
+        v.iter().sum::<f64>() / v.len().max(1) as f64
+    };
+    let cool = mean_of(&|u| u <= q1);
+    let hot = mean_of(&|u| u >= q3);
+    (hot / cool.max(1e-12) - 1.0).abs()
+}
+
+/// Runs one ablation at the given scale.
+pub fn run_ablation(ablation: Ablation, scale: &SimScale) -> AblationResult {
+    match ablation {
+        Ablation::Hedging => {
+            let on = run_fleet(config(scale));
+            let mut cfg = config(scale);
+            cfg.hedging_enabled = false;
+            let off = run_fleet(cfg);
+            AblationResult {
+                ablation,
+                metric: "P99 latency of hedged storage methods (s)",
+                with_mechanism: hedged_tail(&on),
+                without_mechanism: hedged_tail(&off),
+            }
+        }
+        Ablation::Congestion => {
+            let on = run_fleet(config(scale));
+            let mut cfg = config(scale);
+            cfg.net.congestion_enabled = false;
+            let off = run_fleet(cfg);
+            // Here the "mechanism" is congestion itself: with it on, the
+            // tail is worse, so improvement() < 1 documents its cost.
+            AblationResult {
+                ablation,
+                metric: "fleet P99 network-wire latency (s)",
+                with_mechanism: network_tail(&on),
+                without_mechanism: network_tail(&off),
+            }
+        }
+        Ablation::ReservedCores => {
+            let on = run_fleet(config(scale));
+            let mut cfg = config(scale);
+            cfg.reserved_cores_enabled = false;
+            let off = run_fleet(cfg);
+            AblationResult {
+                ablation,
+                metric: "KV-Store server-side latency rise, hot vs cool utilization quartile",
+                with_mechanism: kv_util_coupling(&on),
+                without_mechanism: kv_util_coupling(&off),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpclens_simcore::time::SimDuration;
+
+    fn scale() -> SimScale {
+        SimScale {
+            name: "ablation-test",
+            total_methods: 400,
+            roots: 15_000,
+            duration: SimDuration::from_hours(24),
+            trace_sample_rate: 1,
+            seed: 21,
+        }
+    }
+
+    #[test]
+    fn hedging_reduces_hedged_method_tail() {
+        let r = run_ablation(Ablation::Hedging, &scale());
+        assert!(r.with_mechanism.is_finite() && r.without_mechanism.is_finite());
+        // Turning hedging off must not make the tail better; it usually
+        // makes it noticeably worse.
+        assert!(
+            r.improvement() > 1.02,
+            "hedging off/on tail ratio {:.3} (with {:.4}s, without {:.4}s)",
+            r.improvement(),
+            r.with_mechanism,
+            r.without_mechanism
+        );
+    }
+
+    #[test]
+    fn congestion_inflates_the_network_tail() {
+        let r = run_ablation(Ablation::Congestion, &scale());
+        // Without congestion, the network P99 collapses toward wire
+        // latency.
+        assert!(
+            r.improvement() < 0.9,
+            "congestion off/on tail ratio {:.3}",
+            r.improvement()
+        );
+    }
+
+    #[test]
+    fn reserved_cores_decouple_kv_from_utilization() {
+        let r = run_ablation(Ablation::ReservedCores, &scale());
+        assert!(
+            r.without_mechanism > r.with_mechanism,
+            "coupling with reservation {:.3} vs without {:.3}",
+            r.with_mechanism,
+            r.without_mechanism
+        );
+    }
+}

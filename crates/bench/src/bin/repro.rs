@@ -1,0 +1,127 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro all [--scale smoke|default|paper] [--seed N] [--out DIR]
+//! repro fig12 fig13 table1 ...
+//! repro list
+//! ```
+//!
+//! With `--out DIR`, each artifact's rendered text is also written to
+//! `DIR/<artifact>.txt`.
+//!
+//! Each artifact prints its rendered data followed by the
+//! paper-vs-measured expectation checks. The process exits non-zero if
+//! any check misses, so CI can gate on shape fidelity.
+
+use rpclens_bench::{produce, run_at, scale_by_name, Artifact};
+use rpclens_fleet::driver::SimScale;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <artifact>... | all | list  [--scale smoke|default|paper] [--seed N]\n\
+         artifacts: {}",
+        Artifact::ALL
+            .iter()
+            .map(|a| a.name())
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut scale = SimScale::default_scale();
+    let mut out_dir: Option<std::path::PathBuf> = None;
+    let mut artifacts: Vec<Artifact> = Vec::new();
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let Some(name) = iter.next() else { usage() };
+                let Some(s) = scale_by_name(name) else {
+                    eprintln!("unknown scale {name}");
+                    usage();
+                };
+                scale = s;
+            }
+            "--seed" => {
+                let Some(seed) = iter.next().and_then(|s| s.parse().ok()) else {
+                    usage()
+                };
+                scale.seed = seed;
+            }
+            "--out" => {
+                let Some(dir) = iter.next() else { usage() };
+                out_dir = Some(std::path::PathBuf::from(dir));
+            }
+            "all" => artifacts.extend(Artifact::ALL),
+            "list" => {
+                for a in Artifact::ALL {
+                    println!("{}", a.name());
+                }
+                return;
+            }
+            name => match Artifact::parse(name) {
+                Some(a) => artifacts.push(a),
+                None => {
+                    eprintln!("unknown artifact {name}");
+                    usage();
+                }
+            },
+        }
+    }
+    if artifacts.is_empty() {
+        usage();
+    }
+
+    let needs_run = artifacts.iter().any(|a| a.needs_run());
+    let run = if needs_run {
+        eprintln!(
+            "running fleet simulation: scale={} methods={} roots={} seed={}",
+            scale.name, scale.total_methods, scale.roots, scale.seed
+        );
+        let t0 = std::time::Instant::now();
+        let run = run_at(scale);
+        eprintln!(
+            "simulated {} spans in {} traces ({:.1}s)",
+            run.total_spans,
+            run.store.len(),
+            t0.elapsed().as_secs_f64()
+        );
+        Some(run)
+    } else {
+        None
+    };
+
+    let mut total = 0;
+    let mut passed = 0;
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    for artifact in artifacts {
+        let (text, checks) = produce(artifact, run.as_ref());
+        if let Some(dir) = &out_dir {
+            let path = dir.join(format!("{}.txt", artifact.name()));
+            std::fs::write(&path, format!("{text}
+{checks}
+"))
+                .expect("write artifact file");
+        }
+        println!("{}", "=".repeat(72));
+        println!("{text}");
+        if !checks.items.is_empty() {
+            println!("{checks}");
+        }
+        total += checks.items.len();
+        passed += checks.passed();
+    }
+    println!("{}", "=".repeat(72));
+    println!("TOTAL: {passed}/{total} paper-shape checks passed");
+    if passed != total {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,307 @@
+//! The exogenous machine-state variables of Table 2.
+//!
+//! | Variable          | Description                                        |
+//! |-------------------|----------------------------------------------------|
+//! | CPU util          | % CPU utilized                                     |
+//! | Memory BW         | total memory bandwidth utilized (GB/s)             |
+//! | Long wakeup rate  | fraction of scheduling events longer than 50 µs    |
+//! | Cycles per Inst.  | CPU's cycles per instruction                       |
+//!
+//! Each profile is a *pure function of time and seed*: a diurnal sinusoid
+//! plus band-limited noise (linear interpolation between per-bucket hash
+//! noise), so any component can query machine state at any instant without
+//! shared mutable state, and a 24-hour query sweep (Fig. 18) is exactly
+//! reproducible.
+
+use rpclens_simcore::rng::SplitMix64;
+use rpclens_simcore::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A snapshot of the four exogenous variables at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExogenousVars {
+    /// CPU utilization in `[0, 1]`.
+    pub cpu_util: f64,
+    /// Memory bandwidth utilized, GB/s.
+    pub mem_bw_gbps: f64,
+    /// Fraction of scheduling events taking longer than 50 µs.
+    pub long_wakeup_rate: f64,
+    /// Cycles per instruction.
+    pub cpi: f64,
+}
+
+/// Generator parameters for one machine's (or cluster's) exogenous state.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ExogenousProfile {
+    /// Mean CPU utilization (the diurnal curve oscillates around this).
+    pub base_util: f64,
+    /// Peak-to-mean amplitude of the diurnal utilization swing.
+    pub diurnal_amp: f64,
+    /// Hour of day (0-24) at which utilization peaks.
+    pub peak_hour: f64,
+    /// Std-dev of the band-limited utilization noise.
+    pub noise: f64,
+    /// Peak machine memory bandwidth, GB/s, reached at 100% utilization.
+    pub mem_bw_peak_gbps: f64,
+    /// Seed for this profile's noise stream.
+    pub seed: u64,
+}
+
+/// Noise bucket width: one value per 5 simulated minutes, interpolated.
+const NOISE_BUCKET: SimDuration = SimDuration::from_mins(5);
+
+impl ExogenousProfile {
+    /// A typical shared-machine profile with moderate load.
+    pub fn shared(seed: u64) -> Self {
+        ExogenousProfile {
+            base_util: 0.45,
+            diurnal_amp: 0.18,
+            peak_hour: 14.0,
+            noise: 0.06,
+            mem_bw_peak_gbps: 120.0,
+            seed,
+        }
+    }
+
+    /// A heavily loaded profile (the paper's "slow cluster").
+    pub fn busy(seed: u64) -> Self {
+        ExogenousProfile {
+            base_util: 0.62,
+            diurnal_amp: 0.2,
+            peak_hour: 14.0,
+            noise: 0.07,
+            mem_bw_peak_gbps: 120.0,
+            seed,
+        }
+    }
+
+    /// A lightly loaded profile (the paper's "fast cluster").
+    pub fn light(seed: u64) -> Self {
+        ExogenousProfile {
+            base_util: 0.3,
+            diurnal_amp: 0.12,
+            peak_hour: 14.0,
+            noise: 0.05,
+            mem_bw_peak_gbps: 120.0,
+            seed,
+        }
+    }
+
+    /// Band-limited noise in `[-1, 1]`: hash noise per bucket, linearly
+    /// interpolated between bucket centers.
+    fn noise_at(&self, t: SimTime, stream: u64) -> f64 {
+        let bucket = t.as_nanos() / NOISE_BUCKET.as_nanos();
+        let frac =
+            (t.as_nanos() % NOISE_BUCKET.as_nanos()) as f64 / NOISE_BUCKET.as_nanos() as f64;
+        let a = bucket_noise(self.seed, stream, bucket);
+        let b = bucket_noise(self.seed, stream, bucket + 1);
+        a + (b - a) * frac
+    }
+
+    /// Samples the exogenous variables at instant `t`.
+    pub fn sample(&self, t: SimTime) -> ExogenousVars {
+        let hour = (t.as_secs_f64() / 3600.0) % 24.0;
+        let diurnal =
+            (std::f64::consts::TAU * (hour - self.peak_hour + 6.0) / 24.0).sin();
+        let cpu_util = (self.base_util
+            + self.diurnal_amp * diurnal
+            + self.noise * self.noise_at(t, 1))
+        .clamp(0.02, 0.98);
+
+        // Memory bandwidth tracks utilization sublinearly with its own
+        // noise component.
+        let mem_frac = (0.25 + 0.75 * cpu_util.powf(0.8)
+            + 0.08 * self.noise_at(t, 2))
+        .clamp(0.05, 1.0);
+        let mem_bw_gbps = self.mem_bw_peak_gbps * mem_frac;
+
+        // Long scheduler wakeups grow superlinearly with utilization: a
+        // nearly idle machine rarely preempts, a saturated one often does.
+        let long_wakeup_rate = (0.001
+            + 0.02 * cpu_util.powi(3)
+            + 0.002 * self.noise_at(t, 3).abs())
+        .clamp(0.0, 0.15);
+
+        // CPI degrades with memory pressure and sharing (cache/BW
+        // contention), per the coupling observed in Fig. 17.
+        let cpi = (0.85 + 0.35 * cpu_util + 0.25 * mem_frac
+            + 0.04 * self.noise_at(t, 4))
+        .max(0.7);
+
+        ExogenousVars {
+            cpu_util,
+            mem_bw_gbps,
+            long_wakeup_rate,
+            cpi,
+        }
+    }
+
+    /// Averages the variables over a window (samples every minute), as the
+    /// monitoring pipeline does when correlating with latency (Fig. 17
+    /// aggregates over 30 minutes).
+    pub fn window_average(&self, start: SimTime, window: SimDuration) -> ExogenousVars {
+        let step = SimDuration::from_mins(1);
+        let steps = (window.as_nanos() / step.as_nanos()).max(1);
+        let mut acc = ExogenousVars {
+            cpu_util: 0.0,
+            mem_bw_gbps: 0.0,
+            long_wakeup_rate: 0.0,
+            cpi: 0.0,
+        };
+        for i in 0..steps {
+            let v = self.sample(start + SimDuration::from_nanos(i * step.as_nanos()));
+            acc.cpu_util += v.cpu_util;
+            acc.mem_bw_gbps += v.mem_bw_gbps;
+            acc.long_wakeup_rate += v.long_wakeup_rate;
+            acc.cpi += v.cpi;
+        }
+        let n = steps as f64;
+        ExogenousVars {
+            cpu_util: acc.cpu_util / n,
+            mem_bw_gbps: acc.mem_bw_gbps / n,
+            long_wakeup_rate: acc.long_wakeup_rate / n,
+            cpi: acc.cpi / n,
+        }
+    }
+}
+
+/// Standard-normal-ish noise for a bucket: average of four uniforms,
+/// rescaled — cheap, deterministic, and bounded in roughly `[-1.7, 1.7]`.
+fn bucket_noise(seed: u64, stream: u64, bucket: u64) -> f64 {
+    let mut sm = SplitMix64::new(
+        seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ bucket.wrapping_mul(0xD134_2543_DE82_EF95),
+    );
+    let mut acc = 0.0;
+    for _ in 0..4 {
+        acc += (sm.next_u64() >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+    }
+    acc * 1.7 // Variance of the sum of 4 uniforms is 1/3; scale up.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_are_deterministic() {
+        let p = ExogenousProfile::shared(42);
+        let t = SimTime::from_nanos(12_345_678_901);
+        assert_eq!(p.sample(t), p.sample(t));
+    }
+
+    #[test]
+    fn different_seeds_decorrelate_noise() {
+        let a = ExogenousProfile::shared(1);
+        let b = ExogenousProfile::shared(2);
+        let mut diffs = 0;
+        for i in 0..100 {
+            let t = SimTime::from_nanos(i * 60_000_000_000);
+            if (a.sample(t).cpu_util - b.sample(t).cpu_util).abs() > 1e-6 {
+                diffs += 1;
+            }
+        }
+        assert!(diffs > 90, "only {diffs} samples differ");
+    }
+
+    #[test]
+    fn variables_stay_in_physical_ranges() {
+        let p = ExogenousProfile::busy(7);
+        for i in 0..2000 {
+            let v = p.sample(SimTime::from_nanos(i * 43_000_000_000));
+            assert!((0.0..=1.0).contains(&v.cpu_util), "{v:?}");
+            assert!(v.mem_bw_gbps > 0.0 && v.mem_bw_gbps <= 120.0, "{v:?}");
+            assert!((0.0..=0.15).contains(&v.long_wakeup_rate), "{v:?}");
+            assert!(v.cpi >= 0.7 && v.cpi < 2.5, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn diurnal_peak_is_near_configured_hour() {
+        let p = ExogenousProfile {
+            noise: 0.0,
+            ..ExogenousProfile::shared(3)
+        };
+        let mut peak_hour = 0.0;
+        let mut peak = 0.0;
+        for h in 0..96 {
+            let t = SimTime::from_nanos(h * 900_000_000_000); // 15-min steps.
+            let u = p.sample(t).cpu_util;
+            if u > peak {
+                peak = u;
+                peak_hour = (h as f64 * 0.25) % 24.0;
+            }
+        }
+        assert!(
+            (peak_hour - p.peak_hour).abs() < 1.5,
+            "peak at {peak_hour}, expected ~{}",
+            p.peak_hour
+        );
+    }
+
+    #[test]
+    fn busy_profile_is_busier_than_light() {
+        let busy = ExogenousProfile::busy(4);
+        let light = ExogenousProfile::light(4);
+        let day = SimDuration::from_hours(24);
+        let b = busy.window_average(SimTime::ZERO, day);
+        let l = light.window_average(SimTime::ZERO, day);
+        assert!(b.cpu_util > l.cpu_util + 0.2);
+        assert!(b.long_wakeup_rate > l.long_wakeup_rate);
+        assert!(b.cpi > l.cpi);
+    }
+
+    #[test]
+    fn utilization_couples_to_wakeups_and_cpi() {
+        // Across a day, high-utilization samples should show higher wakeup
+        // rates and CPI than low-utilization samples.
+        let p = ExogenousProfile::shared(5);
+        let mut lo = Vec::new();
+        let mut hi = Vec::new();
+        for i in 0..1440 {
+            let v = p.sample(SimTime::from_nanos(i * 60_000_000_000));
+            if v.cpu_util < 0.4 {
+                lo.push(v);
+            } else if v.cpu_util > 0.55 {
+                hi.push(v);
+            }
+        }
+        assert!(!lo.is_empty() && !hi.is_empty());
+        let avg = |vs: &[ExogenousVars], f: fn(&ExogenousVars) -> f64| {
+            vs.iter().map(f).sum::<f64>() / vs.len() as f64
+        };
+        assert!(avg(&hi, |v| v.long_wakeup_rate) > avg(&lo, |v| v.long_wakeup_rate));
+        assert!(avg(&hi, |v| v.cpi) > avg(&lo, |v| v.cpi));
+        assert!(avg(&hi, |v| v.mem_bw_gbps) > avg(&lo, |v| v.mem_bw_gbps));
+    }
+
+    #[test]
+    fn noise_is_continuous_across_bucket_boundaries() {
+        let p = ExogenousProfile::shared(6);
+        let bucket_ns = 5 * 60 * 1_000_000_000u64;
+        for k in 1..20u64 {
+            let before = p.sample(SimTime::from_nanos(k * bucket_ns - 1_000_000));
+            let after = p.sample(SimTime::from_nanos(k * bucket_ns + 1_000_000));
+            assert!(
+                (before.cpu_util - after.cpu_util).abs() < 0.02,
+                "jump at bucket {k}: {} -> {}",
+                before.cpu_util,
+                after.cpu_util
+            );
+        }
+    }
+
+    #[test]
+    fn window_average_is_between_min_and_max() {
+        let p = ExogenousProfile::shared(8);
+        let w = SimDuration::from_mins(30);
+        let avg = p.window_average(SimTime::ZERO, w);
+        let mut min = f64::MAX;
+        let mut max = f64::MIN;
+        for i in 0..30 {
+            let v = p.sample(SimTime::ZERO + SimDuration::from_mins(i));
+            min = min.min(v.cpu_util);
+            max = max.max(v.cpu_util);
+        }
+        assert!(avg.cpu_util >= min && avg.cpu_util <= max);
+    }
+}

@@ -1,0 +1,33 @@
+//! Cluster and machine model for the fleet simulator.
+//!
+//! RPC servers in the study run as replicated tasks on shared machines, and
+//! the paper shows (Figs. 17–18, Table 2) that *exogenous* machine state —
+//! CPU utilization, memory bandwidth, long scheduler wakeups, and cycles
+//! per instruction — drives much of the latency variation between and
+//! within clusters. This crate models:
+//!
+//! - [`exogenous`]: deterministic diurnal processes for the four exogenous
+//!   variables of Table 2, queryable at any simulated instant.
+//! - [`machine`]: a machine whose execution speed and scheduler wakeup
+//!   latency are coupled to its exogenous state.
+//! - [`pool`]: an exact FIFO M/G/k worker pool producing server queueing
+//!   delay.
+//! - [`accounting`]: windowed CPU usage accounting for the load-balancing
+//!   analysis (Fig. 22).
+
+pub mod accounting;
+pub mod exogenous;
+pub mod machine;
+pub mod mgk;
+pub mod pool;
+
+/// Convenience re-exports of the most commonly used cluster types.
+pub mod prelude {
+    pub use crate::{
+        accounting::UsageAccumulator,
+        exogenous::{ExogenousProfile, ExogenousVars},
+        machine::{Machine, MachineConfig, MachineId},
+        mgk::{erlang_c, QueueModel},
+        pool::WorkerPool,
+    };
+}

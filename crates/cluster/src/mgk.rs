@@ -1,0 +1,220 @@
+//! Analytic M/G/k queue-wait sampling.
+//!
+//! The fleet driver simulates a *sampled* slice of production traffic: the
+//! traced RPCs are a tiny fraction of the load a real server pool carries,
+//! so their queueing delay is dominated by the background traffic captured
+//! in the machine's utilization. This module samples the waiting time a
+//! request experiences at a pool running at utilization `rho`, using the
+//! Erlang-C waiting probability and the standard exponential approximation
+//! of the conditional wait (Allen-Cunneen), with a heavy-tailed correction
+//! for service-time variability.
+
+use rpclens_simcore::rng::Prng;
+use rpclens_simcore::time::SimDuration;
+
+/// Erlang-C: probability an arrival must wait in an M/M/k system with
+/// `k` servers at offered utilization `rho` (per-server, in `[0, 1)`).
+///
+/// Returns 1.0 as `rho -> 1` and 0.0 for `rho <= 0`.
+pub fn erlang_c(k: u32, rho: f64) -> f64 {
+    if rho <= 0.0 {
+        return 0.0;
+    }
+    if rho >= 1.0 {
+        return 1.0;
+    }
+    let k = k.max(1);
+    let a = rho * k as f64; // Offered load in Erlangs.
+    // Compute the Erlang-C formula in a numerically stable way via the
+    // iterative Erlang-B recursion: B(0) = 1, B(j) = a*B(j-1)/(j + a*B(j-1)).
+    let mut b = 1.0;
+    for j in 1..=k {
+        b = a * b / (j as f64 + a * b);
+    }
+    // C = B / (1 - rho*(1 - B)).
+    b / (1.0 - rho * (1.0 - b))
+}
+
+/// Parameters of the queue-delay model for one server pool.
+#[derive(Debug, Clone, Copy)]
+pub struct QueueModel {
+    /// Number of workers in the pool.
+    pub workers: u32,
+    /// Mean service time of the background traffic.
+    pub mean_service: SimDuration,
+    /// Squared coefficient of variation of service times (1 =
+    /// exponential; production RPC service times are much burstier).
+    pub scv: f64,
+}
+
+impl QueueModel {
+    /// Creates a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero, the mean service time is zero, or the
+    /// SCV is negative or non-finite.
+    pub fn new(workers: u32, mean_service: SimDuration, scv: f64) -> Self {
+        assert!(workers > 0, "queue model needs at least one worker");
+        assert!(
+            mean_service.as_nanos() > 0,
+            "mean service time must be positive"
+        );
+        assert!(scv.is_finite() && scv >= 0.0, "SCV must be non-negative");
+        QueueModel {
+            workers,
+            mean_service,
+            scv,
+        }
+    }
+
+    /// The mean waiting time at utilization `rho` (Allen-Cunneen
+    /// approximation for M/G/k).
+    pub fn mean_wait(&self, rho: f64) -> SimDuration {
+        let rho = rho.clamp(0.0, 0.98);
+        if rho == 0.0 {
+            return SimDuration::ZERO;
+        }
+        let pw = erlang_c(self.workers, rho);
+        let mm_k_wait = pw * self.mean_service.as_secs_f64()
+            / (self.workers as f64 * (1.0 - rho));
+        // The (1 + SCV)/2 factor extends M/M/k to M/G/k.
+        SimDuration::from_secs_f64(mm_k_wait * (1.0 + self.scv) / 2.0)
+    }
+
+    /// Samples one request's waiting time at utilization `rho`.
+    ///
+    /// With probability Erlang-C the request waits; the conditional wait
+    /// is exponential with the M/G/k conditional mean. Bursty service
+    /// (SCV > 1) mixes in a longer-tailed component, reproducing the
+    /// "tail queueing far above median queueing" effect of Fig. 13.
+    pub fn sample_wait(&self, rho: f64, rng: &mut Prng) -> SimDuration {
+        let rho = rho.clamp(0.0, 0.93);
+        let pw = erlang_c(self.workers, rho);
+        if !rng.chance(pw) {
+            return SimDuration::ZERO;
+        }
+        // Conditional mean wait given waiting.
+        let cond_mean = self.mean_service.as_secs_f64()
+            / (self.workers as f64 * (1.0 - rho))
+            * (1.0 + self.scv)
+            / 2.0;
+        let u = -rng.next_f64_open().ln();
+        // With bursty service times, a minority of waits land behind an
+        // in-progress elephant: stretch those by the burstiness factor.
+        let stretch = if self.scv > 1.0 && rng.chance(0.1) {
+            self.scv
+        } else {
+            1.0
+        };
+        SimDuration::from_secs_f64(u * cond_mean * stretch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpclens_simcore::stats::{percentile, sorted_finite};
+
+    #[test]
+    fn erlang_c_known_values() {
+        // Single server: C = rho.
+        for rho in [0.1, 0.5, 0.9] {
+            assert!((erlang_c(1, rho) - rho).abs() < 1e-12, "rho {rho}");
+        }
+        // Limits.
+        assert_eq!(erlang_c(4, 0.0), 0.0);
+        assert_eq!(erlang_c(4, 1.0), 1.0);
+        // M/M/2 at rho=0.5 (a=1): B(1)=1/2, B(2)=(1*0.5)/(2+0.5)=0.2,
+        // C = 0.2/(1-0.5*0.8) = 1/3.
+        assert!((erlang_c(2, 0.5) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn erlang_c_monotone_in_rho_and_decreasing_in_k() {
+        for k in [1u32, 2, 8, 64] {
+            let mut prev = 0.0;
+            for i in 1..20 {
+                let c = erlang_c(k, i as f64 * 0.05);
+                assert!(c >= prev, "k={k} not monotone");
+                prev = c;
+            }
+        }
+        // More servers at equal utilization wait less (economy of scale).
+        assert!(erlang_c(16, 0.7) < erlang_c(2, 0.7));
+    }
+
+    #[test]
+    fn mean_wait_matches_mm1_theory() {
+        // M/M/1 (SCV=1): W = rho/(mu(1-rho)) with E[S]=1ms, rho=0.7:
+        // W = 0.7/(1000*0.3) s = 2.333 ms.
+        let m = QueueModel::new(1, SimDuration::from_millis(1), 1.0);
+        let w = m.mean_wait(0.7).as_secs_f64();
+        assert!((w - 0.7 / (1000.0 * 0.3)).abs() < 1e-9, "wait {w}");
+    }
+
+    #[test]
+    fn sampled_mean_converges_to_analytic_mean() {
+        let m = QueueModel::new(4, SimDuration::from_millis(2), 1.0);
+        let mut rng = Prng::seed_from(1);
+        let n = 300_000;
+        let mean: f64 = (0..n)
+            .map(|_| m.sample_wait(0.75, &mut rng).as_secs_f64())
+            .sum::<f64>()
+            / n as f64;
+        let analytic = m.mean_wait(0.75).as_secs_f64();
+        assert!(
+            (mean - analytic).abs() / analytic < 0.05,
+            "sampled {mean}, analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn wait_grows_steeply_with_utilization() {
+        let m = QueueModel::new(8, SimDuration::from_millis(1), 2.0);
+        let w30 = m.mean_wait(0.3).as_secs_f64();
+        let w90 = m.mean_wait(0.9).as_secs_f64();
+        assert!(w90 > w30 * 30.0, "w30 {w30}, w90 {w90}");
+    }
+
+    #[test]
+    fn bursty_service_has_heavier_tail() {
+        let smooth = QueueModel::new(4, SimDuration::from_millis(1), 1.0);
+        let bursty = QueueModel::new(4, SimDuration::from_millis(1), 25.0);
+        let mut rng = Prng::seed_from(2);
+        let collect = |m: &QueueModel, rng: &mut Prng| {
+            sorted_finite(
+                (0..100_000)
+                    .map(|_| m.sample_wait(0.6, rng).as_secs_f64())
+                    .collect(),
+            )
+        };
+        let s = collect(&smooth, &mut rng);
+        let b = collect(&bursty, &mut rng);
+        let p99_s = percentile(&s, 0.99).unwrap();
+        let p99_b = percentile(&b, 0.99).unwrap();
+        assert!(p99_b > p99_s * 5.0, "smooth {p99_s}, bursty {p99_b}");
+    }
+
+    #[test]
+    fn idle_pool_never_waits() {
+        let m = QueueModel::new(4, SimDuration::from_millis(1), 1.0);
+        let mut rng = Prng::seed_from(3);
+        for _ in 0..1000 {
+            assert_eq!(m.sample_wait(0.0, &mut rng), SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn overload_is_clamped_not_infinite() {
+        let m = QueueModel::new(2, SimDuration::from_millis(1), 1.0);
+        let w = m.mean_wait(1.5);
+        assert!(w < SimDuration::from_secs(1), "clamped wait {w}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let _ = QueueModel::new(0, SimDuration::from_millis(1), 1.0);
+    }
+}

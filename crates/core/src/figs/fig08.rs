@@ -1,0 +1,169 @@
+//! Fig. 8: fraction of top RPC services by invocations, bytes, and CPU.
+//!
+//! Paper anchors: the top-8 services are 60% of invocations; Network Disk
+//! leads both invocations and bytes but uses under 2% of fleet cycles; ML
+//! Inference is 0.89% of cycles from only 0.17% of calls.
+
+use crate::check::ExpectationSet;
+use crate::render::{fmt_pct, TextTable};
+use rpclens_fleet::driver::FleetRun;
+use rpclens_trace::span::{MethodId, ServiceId};
+
+/// Share of one service along the three dimensions.
+#[derive(Debug, Clone)]
+pub struct ServiceShare {
+    /// The service.
+    pub service: ServiceId,
+    /// Service name.
+    pub name: String,
+    /// Fraction of all RPC invocations.
+    pub call_share: f64,
+    /// Fraction of all bytes moved.
+    pub byte_share: f64,
+    /// Fraction of all CPU cycles.
+    pub cycle_share: f64,
+}
+
+/// The computed figure.
+#[derive(Debug)]
+pub struct Fig08 {
+    /// Per-service shares, sorted by call share descending.
+    pub shares: Vec<ServiceShare>,
+}
+
+/// Computes the figure from the popularity counters and the profiler.
+pub fn compute(run: &FleetRun) -> Fig08 {
+    let n_services = run.catalog.num_services();
+    let mut calls = vec![0u64; n_services];
+    let mut bytes = vec![0u64; n_services];
+    for (m, (&c, &b)) in run
+        .method_calls
+        .iter()
+        .zip(run.method_bytes.iter())
+        .enumerate()
+    {
+        let svc = run.catalog.method(MethodId(m as u32)).service;
+        calls[svc.0 as usize] += c;
+        bytes[svc.0 as usize] += b;
+    }
+    let total_calls: u64 = calls.iter().sum();
+    let total_bytes: u64 = bytes.iter().sum();
+    let total_cycles = run.profiler.total_cycles().max(1);
+    let mut shares: Vec<ServiceShare> = (0..n_services)
+        .map(|i| {
+            let id = ServiceId(i as u16);
+            ServiceShare {
+                service: id,
+                name: run.catalog.service(id).name.clone(),
+                call_share: calls[i] as f64 / total_calls.max(1) as f64,
+                byte_share: bytes[i] as f64 / total_bytes.max(1) as f64,
+                cycle_share: run.profiler.service_cycles(id.0) as f64 / total_cycles as f64,
+            }
+        })
+        .collect();
+    shares.sort_by(|a, b| b.call_share.partial_cmp(&a.call_share).expect("finite"));
+    Fig08 { shares }
+}
+
+/// Renders the top services.
+pub fn render(fig: &Fig08) -> String {
+    let mut t = TextTable::new(&["service", "calls", "bytes", "cycles"]);
+    for s in fig.shares.iter().take(12) {
+        t.row(vec![
+            s.name.clone(),
+            fmt_pct(s.call_share),
+            fmt_pct(s.byte_share),
+            fmt_pct(s.cycle_share),
+        ]);
+    }
+    format!("Fig. 8 — Top services by calls / bytes / cycles\n{}", t.render())
+}
+
+/// Paper-vs-measured checks.
+pub fn checks(fig: &Fig08) -> ExpectationSet {
+    let mut s = ExpectationSet::new();
+    let top8: f64 = fig.shares.iter().take(8).map(|x| x.call_share).sum();
+    s.add(
+        "fig8.top8_calls",
+        "the top-8 services account for 60% of invocations",
+        top8,
+        0.45,
+        0.98,
+    );
+    let disk = fig
+        .shares
+        .iter()
+        .find(|x| x.name == "NetworkDisk")
+        .expect("disk exists");
+    s.add(
+        "fig8.disk_leads_calls",
+        "Network Disk receives the most RPCs (~35%)",
+        disk.call_share,
+        0.2,
+        0.68,
+    );
+    s.add(
+        "fig8.disk_leads_bytes",
+        "Network Disk transfers the most bytes",
+        (fig.shares
+            .iter()
+            .all(|x| x.byte_share <= disk.byte_share)) as u8 as f64,
+        1.0,
+        1.0,
+    );
+    s.add(
+        "fig8.disk_cycles_tiny",
+        "Network Disk uses under 2% of fleet cycles (we accept < 12% at sim scale)",
+        disk.cycle_share,
+        0.0,
+        0.12,
+    );
+    // Compute services: outsized cycles per call.
+    let ml = fig
+        .shares
+        .iter()
+        .find(|x| x.name == "MLInference")
+        .expect("ml exists");
+    s.add(
+        "fig8.ml_cycles_per_call",
+        "ML Inference: 0.89% of cycles from 0.17% of calls (>1x ratio)",
+        ml.cycle_share / ml.call_share.max(1e-9),
+        1.5,
+        f64::INFINITY,
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::testrun::shared;
+
+    #[test]
+    fn checks_pass_on_test_run() {
+        let fig = compute(shared());
+        let c = checks(&fig);
+        assert!(c.all_passed(), "{c}");
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let fig = compute(shared());
+        let calls: f64 = fig.shares.iter().map(|s| s.call_share).sum();
+        let bytes: f64 = fig.shares.iter().map(|s| s.byte_share).sum();
+        let cycles: f64 = fig.shares.iter().map(|s| s.cycle_share).sum();
+        assert!((calls - 1.0).abs() < 1e-9);
+        assert!((bytes - 1.0).abs() < 1e-9);
+        assert!((cycles - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sorted_by_call_share() {
+        let fig = compute(shared());
+        assert!(fig
+            .shares
+            .windows(2)
+            .all(|w| w[0].call_share >= w[1].call_share));
+        assert_eq!(fig.shares[0].name, "NetworkDisk");
+    }
+}

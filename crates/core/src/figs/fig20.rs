@@ -1,0 +1,126 @@
+//! Fig. 20: the RPC cycle tax.
+//!
+//! Paper anchors: 7.1% of all fleet CPU cycles are RPC tax; the breakdown
+//! is compression 3.1%, networking 1.7%, serialization 1.2%, RPC library
+//! 1.1% (plus smaller categories).
+
+use crate::check::ExpectationSet;
+use crate::render::{fmt_pct, TextTable};
+use rpclens_fleet::driver::FleetRun;
+use rpclens_rpcstack::cost::CycleCategory;
+
+/// The computed figure.
+#[derive(Debug)]
+pub struct Fig20 {
+    /// Total tax fraction of all cycles.
+    pub tax_fraction: f64,
+    /// Per-category fraction of all cycles (tax categories).
+    pub categories: Vec<(CycleCategory, f64)>,
+}
+
+/// Computes the figure from the profiler.
+pub fn compute(run: &FleetRun) -> Fig20 {
+    let categories = CycleCategory::ALL
+        .iter()
+        .filter(|c| c.is_tax())
+        .map(|&c| (c, run.profiler.category_fraction(c)))
+        .collect();
+    Fig20 {
+        tax_fraction: run.profiler.tax_fraction(),
+        categories,
+    }
+}
+
+/// Renders the figure.
+pub fn render(fig: &Fig20) -> String {
+    let mut t = TextTable::new(&["category", "share of all cycles"]);
+    for (c, f) in &fig.categories {
+        t.row(vec![c.label().to_string(), fmt_pct(*f)]);
+    }
+    format!(
+        "Fig. 20 — RPC cycle tax: {} of all fleet cycles\n{}",
+        fmt_pct(fig.tax_fraction),
+        t.render()
+    )
+}
+
+/// Paper-vs-measured checks.
+pub fn checks(fig: &Fig20) -> ExpectationSet {
+    let mut s = ExpectationSet::new();
+    let get = |cat: CycleCategory| {
+        fig.categories
+            .iter()
+            .find(|(c, _)| *c == cat)
+            .map(|(_, f)| *f)
+            .unwrap_or(0.0)
+    };
+    s.add(
+        "fig20.tax_total",
+        "the RPC cycle tax is 7.1% of all cycles",
+        fig.tax_fraction,
+        0.04,
+        0.11,
+    );
+    s.add(
+        "fig20.compression",
+        "compression is the largest tax component (3.1%)",
+        get(CycleCategory::Compression),
+        0.015,
+        0.05,
+    );
+    s.add(
+        "fig20.networking",
+        "networking is 1.7% of all cycles",
+        get(CycleCategory::Networking),
+        0.008,
+        0.03,
+    );
+    s.add(
+        "fig20.serialization",
+        "serialization is 1.2% of all cycles",
+        get(CycleCategory::Serialization),
+        0.006,
+        0.025,
+    );
+    s.add(
+        "fig20.library",
+        "the RPC library itself is only ~1.1% of all cycles",
+        get(CycleCategory::RpcLibrary),
+        0.004,
+        0.022,
+    );
+    // Ordering: compression leads.
+    let max = fig
+        .categories
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .map(|(c, _)| *c);
+    s.add(
+        "fig20.compression_leads",
+        "compression is the single biggest consumer",
+        (max == Some(CycleCategory::Compression)) as u8 as f64,
+        1.0,
+        1.0,
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::testrun::shared;
+
+    #[test]
+    fn checks_pass_on_test_run() {
+        let fig = compute(shared());
+        let c = checks(&fig);
+        assert!(c.all_passed(), "{c}");
+    }
+
+    #[test]
+    fn category_fractions_sum_to_tax() {
+        let fig = compute(shared());
+        let sum: f64 = fig.categories.iter().map(|(_, f)| f).sum();
+        assert!((sum - fig.tax_fraction).abs() < 1e-9);
+    }
+}

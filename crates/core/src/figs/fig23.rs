@@ -1,0 +1,134 @@
+//! Fig. 23: relative percentage of RPC error types.
+//!
+//! Paper anchors: 1.9% of all RPCs error. "Cancelled" (mostly hedging) is
+//! 45% of errors by count but 55% of wasted cycles; "entity not found"
+//! is ~20% of both; the remainder spreads over resource, permission,
+//! deadline, and availability classes.
+
+use crate::check::ExpectationSet;
+use crate::render::{fmt_pct, TextTable};
+use rpclens_fleet::driver::FleetRun;
+use rpclens_rpcstack::error::ErrorKind;
+
+/// The computed figure.
+#[derive(Debug)]
+pub struct Fig23 {
+    /// Fleet error rate.
+    pub error_rate: f64,
+    /// `(kind, count share, cycle share)` sorted by count share.
+    pub kinds: Vec<(ErrorKind, f64, f64)>,
+}
+
+/// Computes the figure from the error accounting.
+pub fn compute(run: &FleetRun) -> Fig23 {
+    let kinds = run
+        .errors
+        .kinds_by_count()
+        .into_iter()
+        .map(|(k, _)| (k, run.errors.count_share(k), run.errors.cycle_share(k)))
+        .collect();
+    Fig23 {
+        error_rate: run.errors.error_rate(),
+        kinds,
+    }
+}
+
+/// Renders the figure.
+pub fn render(fig: &Fig23) -> String {
+    let mut t = TextTable::new(&["error", "count share", "wasted-cycle share"]);
+    for (k, c, cy) in &fig.kinds {
+        t.row(vec![k.label().to_string(), fmt_pct(*c), fmt_pct(*cy)]);
+    }
+    format!(
+        "Fig. 23 — RPC error types (fleet error rate {})\n{}",
+        fmt_pct(fig.error_rate),
+        t.render()
+    )
+}
+
+/// Paper-vs-measured checks.
+pub fn checks(fig: &Fig23) -> ExpectationSet {
+    let mut s = ExpectationSet::new();
+    s.add(
+        "fig23.error_rate",
+        "1.9% of all RPCs result in errors",
+        fig.error_rate,
+        0.008,
+        0.035,
+    );
+    let share = |kind: ErrorKind| {
+        fig.kinds
+            .iter()
+            .find(|(k, _, _)| *k == kind)
+            .map(|(_, c, cy)| (*c, *cy))
+            .unwrap_or((0.0, 0.0))
+    };
+    let (cancel_count, cancel_cycles) = share(ErrorKind::Cancelled);
+    s.add(
+        "fig23.cancelled_count",
+        "Cancelled is 45% of errors by count",
+        cancel_count,
+        0.3,
+        0.6,
+    );
+    s.add(
+        "fig23.cancelled_cycles",
+        "Cancelled is 55% of wasted cycles (out-sized cost)",
+        cancel_cycles,
+        0.35,
+        0.8,
+    );
+    s.add(
+        "fig23.cancelled_outsized",
+        "cancellations cost more cycles per error than average",
+        cancel_cycles / cancel_count.max(1e-9),
+        1.0,
+        f64::INFINITY,
+    );
+    let (nf_count, _) = share(ErrorKind::EntityNotFound);
+    s.add(
+        "fig23.entity_not_found",
+        "entity-not-found is ~20% of errors",
+        nf_count,
+        0.1,
+        0.35,
+    );
+    // Cancelled is the most common class.
+    s.add(
+        "fig23.cancelled_leads",
+        "Cancelled is the most common error type",
+        (fig.kinds.first().map(|(k, _, _)| *k) == Some(ErrorKind::Cancelled)) as u8 as f64,
+        1.0,
+        1.0,
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::testrun::shared;
+
+    #[test]
+    fn checks_pass_on_test_run() {
+        let fig = compute(shared());
+        let c = checks(&fig);
+        assert!(c.all_passed(), "{c}");
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let fig = compute(shared());
+        let counts: f64 = fig.kinds.iter().map(|(_, c, _)| c).sum();
+        let cycles: f64 = fig.kinds.iter().map(|(_, _, cy)| cy).sum();
+        assert!((counts - 1.0).abs() < 1e-9, "count shares sum {counts}");
+        assert!((cycles - 1.0).abs() < 1e-9, "cycle shares sum {cycles}");
+    }
+
+    #[test]
+    fn all_injected_kinds_appear() {
+        let fig = compute(shared());
+        // All eight error kinds should occur at fleet scale.
+        assert!(fig.kinds.len() >= 7, "{} kinds", fig.kinds.len());
+    }
+}

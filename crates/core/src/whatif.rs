@@ -1,0 +1,180 @@
+//! The what-if tail engine behind Fig. 15.
+//!
+//! The paper asks, for each service and each latency component: if this
+//! component of every P95-tail RPC were replaced by the *method median*
+//! value of that component, what percentage of those tail RPCs would drop
+//! below the original P95 threshold (i.e. become non-tail)?
+
+use rpclens_rpcstack::component::{LatencyBreakdown, LatencyComponent};
+use rpclens_simcore::stats::{percentile, sorted_finite};
+use rpclens_simcore::time::SimDuration;
+
+/// Result of a what-if analysis over one span population.
+#[derive(Debug, Clone)]
+pub struct WhatIfResult {
+    /// The original P95 latency threshold, seconds.
+    pub p95_secs: f64,
+    /// Number of tail spans analysed.
+    pub tail_count: usize,
+    /// Per component: fraction of tail spans cured (in lifecycle order).
+    pub cured_fraction: [f64; 9],
+}
+
+impl WhatIfResult {
+    /// The cured fraction for one component.
+    pub fn cured(&self, c: LatencyComponent) -> f64 {
+        let idx = LatencyComponent::ALL
+            .iter()
+            .position(|&x| x == c)
+            .expect("component in ALL");
+        self.cured_fraction[idx]
+    }
+
+    /// The component whose median-substitution cures the most tail RPCs.
+    pub fn dominant(&self) -> LatencyComponent {
+        let mut best = 0;
+        for i in 1..9 {
+            if self.cured_fraction[i] > self.cured_fraction[best] {
+                best = i;
+            }
+        }
+        LatencyComponent::ALL[best]
+    }
+}
+
+/// Runs the what-if analysis on a set of per-span breakdowns.
+///
+/// Returns `None` if there are too few spans for a stable P95 (< 100).
+pub fn what_if_p95(breakdowns: &[LatencyBreakdown]) -> Option<WhatIfResult> {
+    if breakdowns.len() < 100 {
+        return None;
+    }
+    let totals = sorted_finite(
+        breakdowns
+            .iter()
+            .map(|b| b.total().as_secs_f64())
+            .collect(),
+    );
+    let p95 = percentile(&totals, 0.95)?;
+
+    // Component medians over the whole population.
+    let mut medians = [0.0f64; 9];
+    for (i, &c) in LatencyComponent::ALL.iter().enumerate() {
+        let vals = sorted_finite(
+            breakdowns
+                .iter()
+                .map(|b| b.get(c).as_secs_f64())
+                .collect(),
+        );
+        medians[i] = percentile(&vals, 0.5)?;
+    }
+
+    // For each tail span, test each single-component substitution.
+    let tail: Vec<&LatencyBreakdown> = breakdowns
+        .iter()
+        .filter(|b| b.total().as_secs_f64() > p95)
+        .collect();
+    if tail.is_empty() {
+        return None;
+    }
+    let mut cured = [0usize; 9];
+    for b in &tail {
+        for (i, &c) in LatencyComponent::ALL.iter().enumerate() {
+            let substituted =
+                b.with_component(c, SimDuration::from_secs_f64(medians[i]));
+            if substituted.total().as_secs_f64() <= p95 {
+                cured[i] += 1;
+            }
+        }
+    }
+    let mut cured_fraction = [0.0f64; 9];
+    for i in 0..9 {
+        cured_fraction[i] = cured[i] as f64 / tail.len() as f64;
+    }
+    Some(WhatIfResult {
+        p95_secs: p95,
+        tail_count: tail.len(),
+        cured_fraction,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpclens_simcore::rng::Prng;
+
+    fn breakdown(app_us: f64, queue_us: f64) -> LatencyBreakdown {
+        let mut b = LatencyBreakdown::new();
+        b.set(
+            LatencyComponent::ServerApplication,
+            SimDuration::from_micros_f64(app_us),
+        );
+        b.set(
+            LatencyComponent::ServerRecvQueue,
+            SimDuration::from_micros_f64(queue_us),
+        );
+        b
+    }
+
+    #[test]
+    fn too_few_spans_yield_none() {
+        let pop: Vec<LatencyBreakdown> = (0..50).map(|_| breakdown(100.0, 1.0)).collect();
+        assert!(what_if_p95(&pop).is_none());
+    }
+
+    #[test]
+    fn queue_dominated_tail_is_cured_by_queue_substitution() {
+        // 95% of spans: 1 ms app, tiny queue. 5%: same app, huge queue.
+        let mut rng = Prng::seed_from(1);
+        let pop: Vec<LatencyBreakdown> = (0..2000)
+            .map(|i| {
+                let queue = if i % 20 == 0 { 50_000.0 } else { 10.0 };
+                let app = 1000.0 + rng.next_f64() * 100.0;
+                breakdown(app, queue)
+            })
+            .collect();
+        let r = what_if_p95(&pop).unwrap();
+        assert_eq!(r.dominant(), LatencyComponent::ServerRecvQueue);
+        assert!(r.cured(LatencyComponent::ServerRecvQueue) > 0.9);
+        assert!(r.cured(LatencyComponent::ServerApplication) < 0.2);
+    }
+
+    #[test]
+    fn app_dominated_tail_is_cured_by_app_substitution() {
+        let mut rng = Prng::seed_from(2);
+        let pop: Vec<LatencyBreakdown> = (0..2000)
+            .map(|i| {
+                let app = if i % 15 == 0 { 100_000.0 } else { 1000.0 };
+                breakdown(app + rng.next_f64() * 10.0, 100.0)
+            })
+            .collect();
+        let r = what_if_p95(&pop).unwrap();
+        assert_eq!(r.dominant(), LatencyComponent::ServerApplication);
+        assert!(r.cured(LatencyComponent::ServerApplication) > 0.9);
+    }
+
+    #[test]
+    fn cured_fractions_are_probabilities() {
+        let mut rng = Prng::seed_from(3);
+        let pop: Vec<LatencyBreakdown> = (0..1000)
+            .map(|_| breakdown(rng.next_f64() * 10_000.0, rng.next_f64() * 10_000.0))
+            .collect();
+        let r = what_if_p95(&pop).unwrap();
+        for f in r.cured_fraction {
+            assert!((0.0..=1.0).contains(&f));
+        }
+        assert!(r.tail_count >= 40 && r.tail_count <= 60, "{}", r.tail_count);
+        assert!(r.p95_secs > 0.0);
+    }
+
+    #[test]
+    fn substituting_an_already_small_component_cures_nothing() {
+        // Tail comes from app; the network component is always zero, so
+        // substituting it changes nothing.
+        let pop: Vec<LatencyBreakdown> = (0..1000)
+            .map(|i| breakdown(if i % 25 == 0 { 50_000.0 } else { 500.0 }, 1.0))
+            .collect();
+        let r = what_if_p95(&pop).unwrap();
+        assert_eq!(r.cured(LatencyComponent::RequestNetworkWire), 0.0);
+    }
+}

@@ -1,0 +1,1021 @@
+//! The fleet simulation driver.
+//!
+//! Expands every root RPC into its full call tree through the
+//! nine-component pipeline of Fig. 9:
+//!
+//! ```text
+//! client send queue -> request stack processing -> request network wire
+//!   -> server recv queue (wakeup + M/G/k wait at the machine's current
+//!      utilization) -> handler compute (x machine slowdown) -> nested
+//!      fan-out (parallel) -> server send queue -> response stack
+//!      processing -> response network wire -> client recv queue
+//! ```
+//!
+//! Server queueing is *analytic*: the traced RPCs are a sampled slice of
+//! production traffic, so their waiting time is driven by the background
+//! utilization captured in each machine's exogenous profile (see
+//! `rpclens-cluster::mgk`). Cross-trace coupling flows through the shared
+//! network congestion processes and the shared diurnal load, which is the
+//! coupling the paper's analyses actually exercise.
+//!
+//! Every simulated span feeds the popularity counters; sampled traces are
+//! stored in full; cycles flow to the profiler and errors to the error
+//! accounting.
+
+use crate::catalog::{Catalog, CatalogConfig, MethodSpec};
+use crate::workload::Workload;
+use rpclens_cluster::exogenous::ExogenousProfile;
+use rpclens_cluster::machine::{Machine, MachineConfig, MachineId};
+use rpclens_cluster::mgk::QueueModel;
+use rpclens_netsim::latency::{Network, NetworkConfig};
+use rpclens_netsim::topology::{ClusterId, Topology};
+use rpclens_profiler::{CycleProfiler, ErrorAccounting};
+use rpclens_rpcstack::component::{LatencyBreakdown, LatencyComponent};
+use rpclens_rpcstack::cost::{CycleCategory, CycleCost, MessageClass, StackCostConfig, StackCostModel};
+use rpclens_rpcstack::error::{ErrorKind, ErrorProfile};
+use rpclens_rpcstack::hedging::resolve_hedge;
+use rpclens_rpcstack::queue::SoftQueue;
+use rpclens_simcore::dist::Sample;
+use rpclens_simcore::rng::Prng;
+use rpclens_simcore::time::{SimDuration, SimTime};
+use rpclens_trace::collector::{TraceCollector, TraceStore};
+use rpclens_trace::span::{MethodId, ServiceId, SpanBuilder, SpanRecord, TraceData, ROOT_PARENT};
+use rpclens_tsdb::metric::{Labels, MetricDescriptor, MetricValue};
+use rpclens_tsdb::store::TimeSeriesDb;
+use std::collections::HashMap;
+
+/// Simulation scale presets.
+#[derive(Debug, Clone)]
+pub struct SimScale {
+    /// Preset name (recorded in EXPERIMENTS.md).
+    pub name: &'static str,
+    /// Catalog size.
+    pub total_methods: usize,
+    /// Number of root RPCs to issue.
+    pub roots: u64,
+    /// Simulated duration (24 h keeps the diurnal analyses meaningful).
+    pub duration: SimDuration,
+    /// Head-based trace sampling: store 1 in N trees.
+    pub trace_sample_rate: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl SimScale {
+    /// CI-friendly scale: ~400 methods, 6k roots.
+    pub fn smoke() -> Self {
+        SimScale {
+            name: "smoke",
+            total_methods: 400,
+            roots: 6_000,
+            duration: SimDuration::from_hours(24),
+            trace_sample_rate: 1,
+            seed: 7,
+        }
+    }
+
+    /// Default scale: ~2,000 methods, 60k roots (seconds to run).
+    pub fn default_scale() -> Self {
+        SimScale {
+            name: "default",
+            total_methods: 2_000,
+            roots: 120_000,
+            duration: SimDuration::from_hours(24),
+            trace_sample_rate: 1,
+            seed: 7,
+        }
+    }
+
+    /// Paper scale: the full 10,000-method population.
+    pub fn paper() -> Self {
+        SimScale {
+            name: "paper",
+            total_methods: 10_000,
+            roots: 700_000,
+            duration: SimDuration::from_hours(24),
+            trace_sample_rate: 1,
+            seed: 7,
+        }
+    }
+}
+
+/// Full driver configuration.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Scale preset.
+    pub scale: SimScale,
+    /// Stack cycle-cost coefficients.
+    pub cost: StackCostConfig,
+    /// Network constants.
+    pub net: NetworkConfig,
+    /// Hard cap on spans per trace (keeps pathological bursts bounded).
+    pub max_trace_spans: usize,
+    /// Hard cap on call depth.
+    pub max_depth: u32,
+    /// Error injection profile.
+    pub errors: ErrorProfile,
+    /// Whether clients hedge slow requests (disable for ablations).
+    pub hedging_enabled: bool,
+    /// Whether reserved-core isolation is honoured (disable for
+    /// ablations: KV-Store then shares cores like everyone else).
+    pub reserved_cores_enabled: bool,
+}
+
+impl FleetConfig {
+    /// A configuration at the given scale with fleet-default everything.
+    pub fn at_scale(scale: SimScale) -> Self {
+        FleetConfig {
+            scale,
+            cost: StackCostConfig::default(),
+            net: NetworkConfig::default(),
+            max_trace_spans: 4_000,
+            max_depth: 12,
+            errors: ErrorProfile::fleet_default(),
+            hedging_enabled: true,
+            reserved_cores_enabled: true,
+        }
+    }
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self::at_scale(SimScale::default_scale())
+    }
+}
+
+/// One deployment site: a service's presence in one cluster.
+#[derive(Debug)]
+pub struct ServiceSite {
+    /// The service.
+    pub service: ServiceId,
+    /// The cluster.
+    pub cluster: ClusterId,
+    /// Cluster-level load profile for this service here.
+    pub load: ExogenousProfile,
+    /// Machines at this site (each with its own load offset baked into
+    /// its profile).
+    pub machines: Vec<Machine>,
+    /// Static per-machine load multipliers (data-dependence skew).
+    pub machine_offsets: Vec<f64>,
+    /// Analytic queue model for the site's pools.
+    pub queue: QueueModel,
+}
+
+impl ServiceSite {
+    /// The effective utilization of machine `mi` at instant `t`.
+    pub fn machine_util(&self, mi: usize, t: SimTime) -> f64 {
+        (self.load.sample(t).cpu_util * self.machine_offsets[mi]).clamp(0.02, 0.98)
+    }
+}
+
+/// Everything a completed simulation exposes to the analyses.
+#[derive(Debug)]
+pub struct FleetRun {
+    /// The catalog used.
+    pub catalog: Catalog,
+    /// The topology used.
+    pub topology: Topology,
+    /// Sampled traces.
+    pub store: TraceStore,
+    /// Cycle accounting.
+    pub profiler: CycleProfiler,
+    /// Error accounting.
+    pub errors: ErrorAccounting,
+    /// Monitoring database (per-service counters, exogenous gauges).
+    pub tsdb: TimeSeriesDb,
+    /// Per-method total simulated calls (including unsampled traces).
+    pub method_calls: Vec<u64>,
+    /// Per-method total bytes moved (request + response).
+    pub method_bytes: Vec<u64>,
+    /// Deployment sites, keyed by (service, cluster).
+    pub sites: HashMap<(ServiceId, ClusterId), ServiceSite>,
+    /// Total spans simulated.
+    pub total_spans: u64,
+    /// The configuration used.
+    pub config: FleetConfig,
+}
+
+impl FleetRun {
+    /// The site of a service in a cluster, if deployed there.
+    pub fn site(&self, service: ServiceId, cluster: ClusterId) -> Option<&ServiceSite> {
+        self.sites.get(&(service, cluster))
+    }
+
+    /// All sites of one service, sorted by cluster id.
+    pub fn sites_of(&self, service: ServiceId) -> Vec<&ServiceSite> {
+        let mut out: Vec<&ServiceSite> = self
+            .sites
+            .values()
+            .filter(|s| s.service == service)
+            .collect();
+        out.sort_by_key(|s| s.cluster);
+        out
+    }
+
+    /// Total simulated calls across all methods.
+    pub fn total_calls(&self) -> u64 {
+        self.method_calls.iter().sum()
+    }
+}
+
+/// Runs the fleet simulation.
+pub fn run_fleet(config: FleetConfig) -> FleetRun {
+    Driver::new(config).run()
+}
+
+/// Per-trace expansion context.
+struct TraceCtx {
+    spans: Vec<SpanRecord>,
+    root_start: SimTime,
+    budget: usize,
+    rng: Prng,
+}
+
+/// Outcome of one placed call as seen by the caller.
+struct CallOutcome {
+    finish: SimTime,
+}
+
+struct Driver {
+    config: FleetConfig,
+    catalog: Catalog,
+    topology: Topology,
+    network: Network,
+    cost: StackCostModel,
+    soft_queue: SoftQueue,
+    sites: HashMap<(ServiceId, ClusterId), ServiceSite>,
+    /// Ambient client-side load profile per cluster.
+    client_profiles: Vec<ExogenousProfile>,
+    profiler: CycleProfiler,
+    errors: ErrorAccounting,
+    method_calls: Vec<u64>,
+    method_bytes: Vec<u64>,
+    total_spans: u64,
+    master_rng: Prng,
+}
+
+impl Driver {
+    fn new(config: FleetConfig) -> Self {
+        let seed = config.scale.seed;
+        let topology = Topology::default_world(seed);
+        let catalog = Catalog::generate(
+            &CatalogConfig {
+                total_methods: config.scale.total_methods,
+                seed,
+            },
+            &topology,
+        );
+        let network = Network::new(topology.clone(), config.net.clone(), seed);
+        let cost = StackCostModel::new(config.cost);
+        let master_rng = Prng::seed_from(seed).stream(0xD21_4E12);
+
+        // Build deployment sites with per-cluster load diversity: each
+        // (service, cluster) pair gets its own base utilization, which is
+        // what makes Fig. 16's clusters differ and Fig. 22's cross-cluster
+        // CPU usage so spread out.
+        let mut sites = HashMap::new();
+        let n_methods = catalog.num_methods();
+        for svc in catalog.services() {
+            for (ci, &cluster) in svc.clusters.iter().enumerate() {
+                let mut site_rng = master_rng.stream(
+                    0x5173_0000 ^ ((svc.id.0 as u64) << 20) ^ cluster.0 as u64,
+                );
+                let base_util = ((0.25 + 0.55 * site_rng.next_f64()) * svc.util_bias).min(0.92);
+                let load = ExogenousProfile {
+                    base_util,
+                    diurnal_amp: 0.10 + 0.10 * site_rng.next_f64(),
+                    peak_hour: 13.0 + 3.0 * site_rng.next_f64(),
+                    noise: 0.05,
+                    mem_bw_peak_gbps: 120.0,
+                    seed: seed ^ ((svc.id.0 as u64) << 32) ^ ((cluster.0 as u64) << 8),
+                };
+                let n_machines = 3 + site_rng.index(3);
+                let mut machines = Vec::with_capacity(n_machines);
+                let mut machine_offsets = Vec::with_capacity(n_machines);
+                for mi in 0..n_machines {
+                    // Data-dependent services have skewed per-machine
+                    // load (log-normal around the cluster base); others
+                    // are near-uniform.
+                    let z = site_rng.next_f64() * 2.0 - 1.0;
+                    let offset = (svc.machine_skew * 1.8 * z).exp().clamp(0.4, 2.4);
+                    machine_offsets.push(offset);
+                    let mprofile = ExogenousProfile {
+                        base_util: (base_util * offset).clamp(0.02, 0.95),
+                        seed: load.seed ^ ((mi as u64) << 48),
+                        ..load
+                    };
+                    machines.push(Machine::new(
+                        MachineId(((svc.id.0 as u32) << 16) | ((ci as u32) << 8) | mi as u32),
+                        MachineConfig {
+                            speed: 0.85 + 0.3 * site_rng.next_f64(),
+                            reserved_cores: svc.reserved_cores && config.reserved_cores_enabled,
+                            baseline_cpi: 1.0,
+                        },
+                        mprofile,
+                        seed,
+                    ));
+                }
+                let queue = QueueModel::new(
+                    svc.workers,
+                    svc.background_service,
+                    svc.background_scv,
+                );
+                sites.insert(
+                    (svc.id, cluster),
+                    ServiceSite {
+                        service: svc.id,
+                        cluster,
+                        load,
+                        machines,
+                        machine_offsets,
+                        queue,
+                    },
+                );
+            }
+        }
+
+        let client_profiles = topology
+            .cluster_ids()
+            .iter()
+            .map(|c| ExogenousProfile {
+                base_util: 0.3 + 0.3 * ((c.0 as f64 * 0.37).sin().abs()),
+                ..ExogenousProfile::shared(seed ^ (c.0 as u64) << 17)
+            })
+            .collect();
+
+        Driver {
+            config,
+            catalog,
+            topology,
+            network,
+            cost,
+            soft_queue: SoftQueue::default(),
+            sites,
+            client_profiles,
+            profiler: CycleProfiler::new(),
+            errors: ErrorAccounting::new(),
+            method_calls: vec![0; n_methods],
+            method_bytes: vec![0; n_methods],
+            total_spans: 0,
+            master_rng,
+        }
+    }
+
+    fn run(mut self) -> FleetRun {
+        let scale = self.config.scale.clone();
+        let mut workload = Workload::new(
+            &self.catalog,
+            &self.topology,
+            scale.duration,
+            scale.seed ^ 0xAB,
+        );
+        let roots = workload.generate(scale.roots);
+        let collector = TraceCollector::new(scale.trace_sample_rate);
+        let mut store = TraceStore::new();
+
+        // Per-window, per-service call counters for the TSDB.
+        let window = rpclens_tsdb::DEFAULT_SAMPLE_PERIOD;
+        let mut window_calls: HashMap<(ServiceId, u64), u64> = HashMap::new();
+
+        for (seq, root) in roots.iter().enumerate() {
+            let mut ctx = TraceCtx {
+                spans: Vec::new(),
+                root_start: root.at,
+                budget: self.config.max_trace_spans,
+                rng: self.master_rng.stream(0x7200_0000 ^ seq as u64),
+            };
+            let client_util = self.client_profiles[root.client_cluster.0 as usize]
+                .sample(root.at)
+                .cpu_util;
+            let entry_service = self.catalog.method(root.method).service;
+            self.place_call(
+                &mut ctx,
+                root.method,
+                entry_service,
+                root.client_cluster,
+                client_util,
+                ROOT_PARENT,
+                root.at,
+                0,
+                false,
+            );
+            // Window accounting for every span.
+            let w = root.at.as_nanos() / window.as_nanos();
+            for span in &ctx.spans {
+                *window_calls.entry((span.service, w)).or_insert(0) += 1;
+            }
+            if collector.should_sample(seq as u64) && !ctx.spans.is_empty() {
+                store.add(TraceData::new(root.at, ctx.spans));
+            }
+        }
+
+        // Flush counters and representative exogenous gauges to the TSDB.
+        let mut tsdb = TimeSeriesDb::new(window);
+        tsdb.register(MetricDescriptor::counter(
+            "rpc/server/count",
+            SimDuration::from_hours(24 * 700),
+        ))
+        .expect("fresh tsdb");
+        tsdb.register(MetricDescriptor::gauge(
+            "machine/cpu/utilization",
+            SimDuration::from_hours(24 * 700),
+        ))
+        .expect("fresh tsdb");
+        let mut cumulative: HashMap<ServiceId, u64> = HashMap::new();
+        let mut keys: Vec<(ServiceId, u64)> = window_calls.keys().copied().collect();
+        keys.sort();
+        for (svc, w) in keys {
+            let c = cumulative.entry(svc).or_insert(0);
+            *c += window_calls[&(svc, w)];
+            let at = SimTime::from_nanos(w * window.as_nanos());
+            let labels = Labels::from_pairs([(
+                "service",
+                self.catalog.service(svc).name.clone(),
+            )]);
+            tsdb.write("rpc/server/count", labels, at, MetricValue::Counter(*c))
+                .expect("registered");
+        }
+        for svc in self.catalog.services().iter().take(12) {
+            for site in svc.clusters.iter().take(4) {
+                if let Some(s) = self.sites.get(&(svc.id, *site)) {
+                    let labels = Labels::from_pairs([
+                        ("service", svc.name.clone()),
+                        ("cluster", format!("{}", site.0)),
+                    ]);
+                    let mut t = SimTime::ZERO;
+                    while t.as_nanos() < scale.duration.as_nanos() {
+                        tsdb.write(
+                            "machine/cpu/utilization",
+                            labels.clone(),
+                            t,
+                            MetricValue::Gauge(s.load.sample(t).cpu_util),
+                        )
+                        .expect("registered");
+                        t += window;
+                    }
+                }
+            }
+        }
+
+        FleetRun {
+            catalog: self.catalog,
+            topology: self.topology,
+            store,
+            profiler: self.profiler,
+            errors: self.errors,
+            tsdb,
+            method_calls: self.method_calls,
+            method_bytes: self.method_bytes,
+            sites: self.sites,
+            total_spans: self.total_spans,
+            config: self.config,
+        }
+    }
+
+    /// Places a call, wrapping `simulate_call` with hedging for eligible
+    /// leaf methods. Returns the caller-observed outcome.
+    #[allow(clippy::too_many_arguments)]
+    fn place_call(
+        &mut self,
+        ctx: &mut TraceCtx,
+        method: MethodId,
+        client_service: ServiceId,
+        client_cluster: ClusterId,
+        client_util: f64,
+        parent: u32,
+        start: SimTime,
+        depth: u32,
+        detached: bool,
+    ) -> CallOutcome {
+        let hedge = self.catalog.method(method).hedge;
+        let primary = self.simulate_call(
+            ctx,
+            method,
+            client_service,
+            client_cluster,
+            client_util,
+            parent,
+            start,
+            depth,
+            detached,
+        );
+        let Some(primary_idx) = primary.1 else {
+            return primary.0;
+        };
+        if !hedge.enabled || !self.config.hedging_enabled {
+            return primary.0;
+        }
+        let primary_latency = primary.0.finish.since(start);
+        let Some(delay) = hedge.decide(primary_latency, &mut ctx.rng) else {
+            return primary.0;
+        };
+        // Issue the hedge copy after `delay`.
+        let hedge_start = start + delay;
+        let (hedge_outcome, hedge_idx) = self.simulate_call(
+            ctx,
+            method,
+            client_service,
+            client_cluster,
+            client_util,
+            parent,
+            hedge_start,
+            depth,
+            detached,
+        );
+        let Some(hedge_idx) = hedge_idx else {
+            return primary.0;
+        };
+        let hedge_latency = hedge_outcome.finish.since(hedge_start);
+        let resolution = resolve_hedge(primary_latency, hedge_latency, delay);
+        let (loser_idx, loser_run) = if resolution.hedge_won {
+            (primary_idx, resolution.loser_run_time)
+        } else {
+            (hedge_idx, resolution.loser_run_time)
+        };
+        // Cancel the loser: mark its span, charge the cycles its *whole
+        // subtree* performed before the cancellation (the replication
+        // fan-out a cancelled Write already triggered is wasted too —
+        // this is what makes cancellations cost more cycles per error
+        // than any other class, Fig. 23).
+        let loser = &mut ctx.spans[loser_idx as usize];
+        loser.error = Some(ErrorKind::Cancelled);
+        loser.hedged = true;
+        ctx.spans[hedge_idx as usize].hedged = true;
+        let _ = loser_run;
+        // Depth-first expansion makes the loser's subtree a contiguous
+        // index range: it ends at the first span whose parent precedes
+        // the loser (or at another root, for hedged root calls).
+        let subtree_start = loser_idx as usize;
+        let mut wasted_kilocycles = ctx.spans[subtree_start].kilocycles as u64;
+        for span in &ctx.spans[subtree_start + 1..] {
+            if span.is_root() || (span.parent as usize) < subtree_start {
+                break;
+            }
+            wasted_kilocycles += span.kilocycles as u64;
+        }
+        let work_fraction =
+            rpclens_rpcstack::error::ErrorProfile::work_fraction(ErrorKind::Cancelled);
+        let wasted = (wasted_kilocycles as f64 * 1000.0 * work_fraction) as u64;
+        self.errors.record_error(ErrorKind::Cancelled, wasted);
+        CallOutcome {
+            finish: start + resolution.winner_latency,
+        }
+    }
+
+    /// Simulates one call (and its subtree). Returns the outcome and the
+    /// span index, or `None` index if the span budget was exhausted.
+    #[allow(clippy::too_many_arguments)]
+    fn simulate_call(
+        &mut self,
+        ctx: &mut TraceCtx,
+        method: MethodId,
+        client_service: ServiceId,
+        client_cluster: ClusterId,
+        client_util: f64,
+        parent: u32,
+        start: SimTime,
+        depth: u32,
+        detached: bool,
+    ) -> (CallOutcome, Option<u32>) {
+        if ctx.budget == 0 {
+            return (CallOutcome { finish: start }, None);
+        }
+        ctx.budget -= 1;
+        self.total_spans += 1;
+
+        let spec: MethodSpec = self.catalog.method(method).clone();
+        let svc = self.catalog.service(spec.service).clone();
+        self.method_calls[method.0 as usize] += 1;
+
+        // Reserve the span slot so parents precede children.
+        let span_idx = ctx.spans.len() as u32;
+        ctx.spans.push(
+            SpanBuilder::new(method, spec.service, client_cluster, client_cluster).build(),
+        );
+
+        let mut t = start;
+        let mut breakdown = LatencyBreakdown::new();
+
+        // 1. Client send queue.
+        let csq = self.soft_queue.delay(client_util, &mut ctx.rng);
+        breakdown.set(LatencyComponent::ClientSendQueue, csq);
+        t += csq;
+
+        // 2. Request stack processing (client serialize + server parse,
+        // pipelined).
+        let class = MessageClass {
+            compressed: svc.compressed,
+            encrypted: svc.encrypted,
+            blob: svc.blob_payload,
+        };
+        let req_bytes = spec.sample_request_bytes(&mut ctx.rng);
+        let req_proc = self.cost.stack_latency(req_bytes, class, 1.0);
+        breakdown.set(LatencyComponent::RequestProcessing, req_proc);
+        t += req_proc;
+
+        // 3. Server placement: cluster (latency-aware) then machine.
+        let server_cluster = self.choose_cluster(
+            &svc.clusters,
+            client_cluster,
+            svc.remote_call_prob,
+            svc.data_miss_prob,
+            &mut ctx.rng,
+        );
+        let site_key = (spec.service, server_cluster);
+        let mi = {
+            let site = &self.sites[&site_key];
+            ctx.rng.index(site.machines.len())
+        };
+
+        // 4. Request network wire.
+        let wire_req = self.cost.wire_bytes(req_bytes, svc.compressed);
+        let req_net =
+            self.network
+                .one_way_latency(client_cluster, server_cluster, wire_req, t, &mut ctx.rng);
+        breakdown.set(LatencyComponent::RequestNetworkWire, req_net);
+        t += req_net;
+
+        // 5. Server receive queue: scheduler wakeup + M/G/k wait at the
+        // machine's current utilization.
+        let (util, wakeup, slowdown, speed) = {
+            let site = self.sites.get_mut(&site_key).expect("deployed site");
+            let util = site.machine_util(mi, t);
+            let wakeup = site.machines[mi].wakeup_latency(t);
+            let slowdown = site.machines[mi].slowdown(t);
+            let speed = site.machines[mi].config().speed;
+            (util, wakeup, slowdown, speed)
+        };
+        // Reserved-core pools are isolated from the machine's ambient
+        // load; only a residual coupling remains.
+        let reserved = svc.reserved_cores && self.config.reserved_cores_enabled;
+        let pool_util = if reserved { util * 0.25 } else { util };
+        let queue_wait = self.sites[&site_key].queue.sample_wait(pool_util, &mut ctx.rng);
+        let srq = wakeup + queue_wait;
+        breakdown.set(LatencyComponent::ServerRecvQueue, srq);
+        t += srq;
+        let handler_start = t;
+
+        // 6. Error injection (hedging cancellations come from place_call).
+        let injected = self.config.errors.draw(&mut ctx.rng);
+
+        // 7. Handler compute.
+        let (nominal, fast) = spec.sample_compute(&mut ctx.rng);
+        let nominal = match injected {
+            Some(kind) => nominal.mul_f64(ErrorProfile::work_fraction(kind)),
+            None => nominal,
+        };
+        let compute_wall = nominal.mul_f64(slowdown / speed);
+        t += compute_wall;
+
+        // 8. Children: parallel fan-out per firing edge; the handler waits
+        // for the slowest child (partition/aggregate).
+        let mut children_end = t;
+        if injected.is_none() && !fast && depth < self.config.max_depth {
+            let edges = spec.edges.clone();
+            for edge in edges {
+                if !ctx.rng.chance(edge.prob) {
+                    continue;
+                }
+                let k = edge.fanout.sample(&mut ctx.rng);
+                for _ in 0..k {
+                    if ctx.budget == 0 {
+                        break;
+                    }
+                    let child = self.place_call(
+                        ctx,
+                        edge.target,
+                        spec.service,
+                        server_cluster,
+                        util,
+                        span_idx,
+                        t,
+                        depth + 1,
+                        !edge.blocking,
+                    );
+                    // Fire-and-forget edges do not extend the parent.
+                    if edge.blocking {
+                        children_end = children_end.max(child.finish);
+                    }
+                }
+            }
+        }
+        let app = children_end.since(handler_start);
+        breakdown.set(LatencyComponent::ServerApplication, app);
+        let mut t = children_end;
+
+        // 9. Response path.
+        let resp_bytes = spec.sample_response_bytes(&mut ctx.rng);
+        // Reserved-core services run dedicated network threads, so their
+        // send queues do not track the machine's overall utilization.
+        let send_util = if reserved { util * 0.3 } else { util };
+        let ssq = self.soft_queue.delay(send_util, &mut ctx.rng);
+        breakdown.set(LatencyComponent::ServerSendQueue, ssq);
+        t += ssq;
+        let resp_proc = self.cost.stack_latency(resp_bytes, class, slowdown);
+        breakdown.set(LatencyComponent::ResponseProcessing, resp_proc);
+        t += resp_proc;
+        let wire_resp = self.cost.wire_bytes(resp_bytes, svc.compressed);
+        let resp_net =
+            self.network
+                .one_way_latency(server_cluster, client_cluster, wire_resp, t, &mut ctx.rng);
+        breakdown.set(LatencyComponent::ResponseNetworkWire, resp_net);
+        t += resp_net;
+        let crq = self.soft_queue.delay(client_util, &mut ctx.rng);
+        breakdown.set(LatencyComponent::ClientRecvQueue, crq);
+        t += crq;
+
+        // 10. Cycle accounting: the server burns its application cycles
+        // (nominal compute normalized across CPU generations) plus the
+        // receive side of the request and the send side of the response;
+        // the *client's service* burns the mirror-image stack cycles.
+        // This split is why storage services move most of the fleet's
+        // bytes yet burn few of its cycles (Fig. 8).
+        let mut cost = CycleCost::new();
+        let cpu_secs = spec.cpu_work.sample(&mut ctx.rng)
+            * match injected {
+                Some(kind) => ErrorProfile::work_fraction(kind),
+                None => 1.0,
+            };
+        cost.add(
+            CycleCategory::Application,
+            (cpu_secs * self.cost.config().clock_hz) as u64,
+        );
+        cost.merge(&self.cost.receiver_cost(req_bytes, class));
+        cost.merge(&self.cost.sender_cost(resp_bytes, class));
+        self.profiler
+            .record(spec.service.0, method.0, &cost, speed);
+        let mut client_cost = self.cost.sender_cost(req_bytes, class);
+        client_cost.merge(&self.cost.receiver_cost(resp_bytes, class));
+        self.profiler
+            .record_client_side(client_service.0, &client_cost);
+        self.method_bytes[method.0 as usize] += req_bytes + resp_bytes;
+
+        // 11. Error accounting.
+        self.errors.record_rpc();
+        if let Some(kind) = injected {
+            self.errors.record_error(kind, cost.total());
+        }
+
+        // 12. Finalize the span record.
+        let mut builder = SpanBuilder::new(method, spec.service, client_cluster, server_cluster)
+            .parent(parent)
+            .start_offset(start.since(ctx.root_start))
+            .breakdown(breakdown)
+            .sizes(req_bytes, resp_bytes)
+            .cycles(cost.total())
+            .detached(detached);
+        if let Some(kind) = injected {
+            builder = builder.error(kind);
+        }
+        ctx.spans[span_idx as usize] = builder.build();
+
+        (CallOutcome { finish: t }, Some(span_idx))
+    }
+
+    /// Latency-aware cluster choice: stay local when deployed locally and
+    /// the data is local; otherwise prefer the nearest deployed cluster.
+    fn choose_cluster(
+        &self,
+        deployed: &[ClusterId],
+        client: ClusterId,
+        remote_prob: f64,
+        data_miss_prob: f64,
+        rng: &mut Prng,
+    ) -> ClusterId {
+        let local = deployed.binary_search(&client).is_ok();
+        if local && !rng.chance(remote_prob) {
+            return client;
+        }
+        // A fraction of locality misses land wherever the data lives,
+        // however far (Fig. 19's intercontinental clients).
+        if rng.chance(data_miss_prob) {
+            return deployed[rng.index(deployed.len())];
+        }
+        // Softmax over negative RTT (the production balancer's
+        // latency-aware behaviour): strongly prefers nearby clusters.
+        let mut weights = Vec::with_capacity(deployed.len());
+        for &c in deployed {
+            let rtt_ms = self.network.rtt_estimate(client, c).as_millis_f64();
+            weights.push((-rtt_ms / 1.0).exp().max(1e-12));
+        }
+        let total: f64 = weights.iter().sum();
+        let mut u = rng.next_f64() * total;
+        for (i, w) in weights.iter().enumerate() {
+            u -= w;
+            if u <= 0.0 {
+                return deployed[i];
+            }
+        }
+        *deployed.last().expect("non-empty deployment")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpclens_simcore::stats::{percentile, sorted_finite};
+    use rpclens_trace::query::MethodQuery;
+
+    fn tiny_run() -> FleetRun {
+        let scale = SimScale {
+            name: "test",
+            total_methods: 320,
+            roots: 6_000,
+            duration: SimDuration::from_hours(24),
+            trace_sample_rate: 1,
+            seed: 11,
+        };
+        run_fleet(FleetConfig::at_scale(scale))
+    }
+
+    #[test]
+    fn run_produces_traces_and_counters() {
+        let run = tiny_run();
+        assert!(run.store.len() > 5_000, "{} traces", run.store.len());
+        assert!(run.total_spans > 20_000, "{} spans", run.total_spans);
+        assert_eq!(run.total_calls(), run.total_spans);
+        assert!(run.profiler.total_cycles() > 0);
+        assert!(run.errors.total_rpcs() == run.total_spans);
+    }
+
+    #[test]
+    fn breakdown_components_are_all_exercised() {
+        let run = tiny_run();
+        let mut totals = [0u64; 9];
+        for trace in run.store.traces() {
+            for span in &trace.spans {
+                for (i, c) in LatencyComponent::ALL.iter().enumerate() {
+                    totals[i] += span.component(*c).as_nanos();
+                }
+            }
+        }
+        for (i, c) in LatencyComponent::ALL.iter().enumerate() {
+            assert!(totals[i] > 0, "component {c:?} never non-zero");
+        }
+        // Application dominates in aggregate (the paper's 2% mean tax is
+        // on completion time; here we just require dominance).
+        let app = totals[4];
+        let tax: u64 = totals.iter().sum::<u64>() - app;
+        assert!(app > tax, "app {app} vs tax {tax}");
+    }
+
+    #[test]
+    fn parents_wait_for_children() {
+        let run = tiny_run();
+        let mut checked = 0;
+        for trace in run.store.traces() {
+            for (i, span) in trace.spans.iter().enumerate().skip(1) {
+                if span.is_root() {
+                    // Hedge copies of a root call also carry ROOT_PARENT.
+                    continue;
+                }
+                let parent = &trace.spans[span.parent as usize];
+                // A child starts after its parent and finishes before the
+                // parent's application phase can end.
+                assert!(span.start_offset() >= parent.start_offset());
+                let parent_end =
+                    parent.start_offset() + parent.total_latency();
+                let child_end = span.start_offset() + span.total_latency();
+                // Children may outlive the parent only when cancelled
+                // (hedge loser) — their wall time no longer gates it.
+                if span.error.is_none() && !span.detached {
+                    assert!(
+                        child_end.as_nanos() <= parent_end.as_nanos() + 1000,
+                        "child {i} ends {child_end} after parent end {parent_end}"
+                    );
+                }
+                checked += 1;
+            }
+        }
+        assert!(checked > 1_000, "only {checked} child spans checked");
+    }
+
+    #[test]
+    fn hedging_produces_cancellations() {
+        let run = tiny_run();
+        let cancelled = run
+            .errors
+            .kinds_by_count()
+            .iter()
+            .find(|(k, _)| *k == ErrorKind::Cancelled)
+            .map(|(_, c)| *c)
+            .unwrap_or(0);
+        assert!(cancelled > 0, "no hedging cancellations at all");
+        // And cancelled spans exist in the store, flagged hedged.
+        let mut found = false;
+        for t in run.store.traces() {
+            for s in &t.spans {
+                if s.error == Some(ErrorKind::Cancelled) {
+                    assert!(s.hedged);
+                    found = true;
+                }
+            }
+        }
+        assert!(found);
+    }
+
+    #[test]
+    fn error_rate_is_in_band() {
+        let run = tiny_run();
+        let rate = run.errors.error_rate();
+        // Paper: 1.9% total. Accept a generous band at tiny scale.
+        assert!((0.005..0.05).contains(&rate), "error rate {rate}");
+    }
+
+    #[test]
+    fn network_disk_is_most_popular_service() {
+        let run = tiny_run();
+        let mut by_service: HashMap<ServiceId, u64> = HashMap::new();
+        for (m, &c) in run.method_calls.iter().enumerate() {
+            let svc = run.catalog.method(MethodId(m as u32)).service;
+            *by_service.entry(svc).or_insert(0) += c;
+        }
+        let (&top, _) = by_service.iter().max_by_key(|(_, &c)| c).unwrap();
+        assert_eq!(run.catalog.service(top).name, "NetworkDisk");
+    }
+
+    #[test]
+    fn cross_cluster_calls_exist_and_are_slower() {
+        let run = tiny_run();
+        let mut local = Vec::new();
+        let mut remote = Vec::new();
+        for t in run.store.traces() {
+            for s in &t.spans {
+                if s.error.is_some() {
+                    continue;
+                }
+                let net = s
+                    .component(LatencyComponent::RequestNetworkWire)
+                    .as_secs_f64();
+                if s.client_cluster == s.server_cluster {
+                    local.push(net);
+                } else {
+                    remote.push(net);
+                }
+            }
+        }
+        assert!(remote.len() > 50, "only {} remote calls", remote.len());
+        let l = sorted_finite(local);
+        let r = sorted_finite(remote);
+        let lm = percentile(&l, 0.5).unwrap();
+        let rm = percentile(&r, 0.5).unwrap();
+        assert!(rm > lm * 3.0, "local {lm}, remote {rm}");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_run() {
+        let a = tiny_run();
+        let b = tiny_run();
+        assert_eq!(a.total_spans, b.total_spans);
+        assert_eq!(a.method_calls, b.method_calls);
+        assert_eq!(a.store.len(), b.store.len());
+        // Spot-check a trace's spans match exactly.
+        let ta = &a.store.traces()[7];
+        let tb = &b.store.traces()[7];
+        assert_eq!(ta.spans, tb.spans);
+    }
+
+    #[test]
+    fn tsdb_contains_service_counters() {
+        let run = tiny_run();
+        let q = rpclens_tsdb::query::QueryEngine::new(&run.tsdb);
+        let all = q.select(
+            "rpc/server/count",
+            &rpclens_tsdb::query::LabelFilter::any(),
+        );
+        assert!(!all.is_empty(), "no counter series");
+        // Rates must be positive somewhere.
+        let has_rate = all.iter().any(|(_, s)| {
+            rpclens_tsdb::query::QueryEngine::rate(s)
+                .iter()
+                .any(|(_, r)| *r > 0.0)
+        });
+        assert!(has_rate);
+    }
+
+    #[test]
+    fn per_method_latency_is_wide() {
+        // Within-method spread: P99/P1 must span orders of magnitude for
+        // typical methods (Fig. 2).
+        let run = tiny_run();
+        let q = MethodQuery::default();
+        let mut wide = 0;
+        let mut total = 0;
+        for (m, _) in q.eligible_methods(&run.store) {
+            if let Some(samples) = q.latency_samples(&run.store, m) {
+                let sorted = sorted_finite(samples);
+                let p01 = percentile(&sorted, 0.01).unwrap();
+                let p99 = percentile(&sorted, 0.99).unwrap();
+                total += 1;
+                if p99 / p01.max(1e-9) > 10.0 {
+                    wide += 1;
+                }
+            }
+        }
+        assert!(total >= 20, "only {total} eligible methods");
+        assert!(
+            wide as f64 / total as f64 > 0.7,
+            "only {wide}/{total} methods have wide spread"
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! The fleet model: a calibrated synthetic equivalent of the production
+//! environment the paper measured.
+//!
+//! - [`catalog`]: the service/method catalog. Meta-distributions are tuned
+//!   so the *population* statistics (latency medians, sizes, popularity
+//!   skew, tree shapes) match the paper's published anchors; the eight
+//!   services of Table 1 (plus BigQuery from Fig. 15) are pinned
+//!   explicitly, including their client-service relationships.
+//! - [`workload`]: diurnal open-loop root-RPC arrivals and entry-point
+//!   selection.
+//! - [`driver`]: the simulation driver. Each trace is expanded in virtual
+//!   time through the full nine-component RPC pipeline: client queues,
+//!   stack cost model, geographic network with congestion, analytic M/G/k
+//!   server queueing coupled to exogenous machine state, nested fan-out,
+//!   hedging, and error injection. Spans stream into the tracer, cycles
+//!   into the profiler, and counters into the TSDB.
+//! - [`growth`]: the 700-day fleet growth model behind Fig. 1.
+//! - [`baselines`]: call-graph generators with the published shape
+//!   parameters of the Alibaba, Meta, and DeathStarBench studies that
+//!   §2.4 compares against.
+
+pub mod baselines;
+pub mod catalog;
+pub mod driver;
+pub mod growth;
+pub mod workload;
+
+/// Convenience re-exports of the most commonly used fleet types.
+pub mod fleet_prelude {
+    pub use crate::{
+        catalog::{Catalog, CatalogConfig, MethodSpec, ServiceCategory, ServiceSpec},
+        driver::{run_fleet, FleetConfig, FleetRun, SimScale},
+        growth::{GrowthConfig, GrowthModel},
+        workload::Workload,
+    };
+}

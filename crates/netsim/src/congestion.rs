@@ -1,0 +1,264 @@
+//! Markov-modulated congestion on network paths.
+//!
+//! The paper finds that although WAN congestion is often considered solved,
+//! "network latency from congestion has a significant impact on the tail"
+//! (§5.1). We model each path as alternating between a *calm* and a
+//! *congested* state with exponentially distributed holding times. Calm
+//! paths add small exponential queueing jitter; congested paths add
+//! Pareto-tailed excess delay. Because state persists over time, tail
+//! latency arrives in bursts — matching the episodic congestion the paper
+//! describes rather than i.i.d. noise.
+
+use rpclens_simcore::dist::{BoundedPareto, Exponential, Sample};
+use rpclens_simcore::rng::Prng;
+use rpclens_simcore::time::{SimDuration, SimTime};
+
+/// Congestion state of a single path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CongestionState {
+    /// Normal operation: small queueing jitter only.
+    Calm,
+    /// Congestion episode: heavy-tailed excess delay.
+    Congested,
+}
+
+/// Parameters of the congestion process for one path class.
+#[derive(Debug, Clone, Copy)]
+pub struct CongestionParams {
+    /// Mean duration of calm periods.
+    pub calm_mean: SimDuration,
+    /// Mean duration of congestion episodes.
+    pub congested_mean: SimDuration,
+    /// Mean queueing jitter while calm.
+    pub calm_jitter_mean: SimDuration,
+    /// Minimum excess delay while congested.
+    pub congested_min: SimDuration,
+    /// Maximum excess delay while congested.
+    pub congested_max: SimDuration,
+    /// Pareto tail index of congested excess delay (smaller = heavier).
+    pub alpha: f64,
+}
+
+impl CongestionParams {
+    /// Typical parameters for an intra-datacenter fabric path.
+    pub fn fabric() -> Self {
+        CongestionParams {
+            calm_mean: SimDuration::from_secs(30),
+            congested_mean: SimDuration::from_millis(400),
+            calm_jitter_mean: SimDuration::from_micros(10),
+            congested_min: SimDuration::from_micros(200),
+            congested_max: SimDuration::from_millis(60),
+            alpha: 1.1,
+        }
+    }
+
+    /// Typical parameters for a WAN path; episodes are rarer but longer
+    /// and add much larger excess delay.
+    pub fn wan() -> Self {
+        CongestionParams {
+            calm_mean: SimDuration::from_secs(120),
+            congested_mean: SimDuration::from_secs(2),
+            calm_jitter_mean: SimDuration::from_micros(150),
+            congested_min: SimDuration::from_millis(2),
+            congested_max: SimDuration::from_millis(900),
+            alpha: 0.9,
+        }
+    }
+}
+
+/// The lazily-evolved congestion process for one path.
+///
+/// State transitions are computed on demand when the path is queried, so
+/// paths that carry no traffic cost nothing.
+#[derive(Debug)]
+pub struct CongestionProcess {
+    params: CongestionParams,
+    state: CongestionState,
+    /// Instant at which the current state ends.
+    until: SimTime,
+    rng: Prng,
+    calm_hold: Exponential,
+    congested_hold: Exponential,
+    calm_jitter: Exponential,
+    congested_excess: BoundedPareto,
+}
+
+impl CongestionProcess {
+    /// Creates a process with its own random stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are degenerate (zero means or an empty
+    /// excess-delay range); the built-in parameter sets are always valid.
+    pub fn new(params: CongestionParams, rng: Prng) -> Self {
+        let calm_hold = Exponential::from_mean(params.calm_mean.as_secs_f64())
+            .expect("calm mean must be positive");
+        let congested_hold = Exponential::from_mean(params.congested_mean.as_secs_f64())
+            .expect("congested mean must be positive");
+        let calm_jitter = Exponential::from_mean(params.calm_jitter_mean.as_secs_f64())
+            .expect("jitter mean must be positive");
+        let congested_excess = BoundedPareto::new(
+            params.congested_min.as_secs_f64().max(1e-9),
+            params.congested_max.as_secs_f64(),
+            params.alpha,
+        )
+        .expect("excess delay range must be non-empty");
+        let mut process = CongestionProcess {
+            params,
+            state: CongestionState::Calm,
+            until: SimTime::ZERO,
+            rng,
+            calm_hold,
+            congested_hold,
+            calm_jitter,
+            congested_excess,
+        };
+        // Sample the first calm period so the process does not flip at t=0.
+        let first = process.calm_hold.sample(&mut process.rng);
+        process.until = SimTime::ZERO + SimDuration::from_secs_f64(first.max(1e-6));
+        process
+    }
+
+    /// Advances the process to `now` and returns the current state.
+    ///
+    /// `until` always marks the end of the *current* state; each loop
+    /// iteration flips the state and samples the new state's holding time.
+    pub fn state_at(&mut self, now: SimTime) -> CongestionState {
+        while self.until <= now {
+            self.state = match self.state {
+                CongestionState::Calm => CongestionState::Congested,
+                CongestionState::Congested => CongestionState::Calm,
+            };
+            let hold = match self.state {
+                CongestionState::Calm => self.calm_hold.sample(&mut self.rng),
+                CongestionState::Congested => self.congested_hold.sample(&mut self.rng),
+            };
+            self.until = self.until + SimDuration::from_secs_f64(hold.max(1e-6));
+        }
+        self.state
+    }
+
+    /// Samples the queueing delay this path adds to a message sent at
+    /// `now`.
+    pub fn queueing_delay(&mut self, now: SimTime) -> SimDuration {
+        match self.state_at(now) {
+            CongestionState::Calm => {
+                SimDuration::from_secs_f64(self.calm_jitter.sample(&mut self.rng))
+            }
+            CongestionState::Congested => {
+                SimDuration::from_secs_f64(self.congested_excess.sample(&mut self.rng))
+            }
+        }
+    }
+
+    /// The parameters this process was built with.
+    pub fn params(&self) -> &CongestionParams {
+        &self.params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn process(params: CongestionParams, seed: u64) -> CongestionProcess {
+        CongestionProcess::new(params, Prng::seed_from(seed))
+    }
+
+    #[test]
+    fn calm_delays_are_small_congested_are_larger() {
+        let mut p = process(CongestionParams::fabric(), 1);
+        // Walk time forward and bucket delays by observed state.
+        let mut calm_max = SimDuration::ZERO;
+        let mut congested_min = SimDuration::from_secs(999);
+        let mut saw_congestion = false;
+        for i in 0..200_000u64 {
+            let now = SimTime::from_nanos(i * 1_000_000); // 1 ms steps.
+            let state = p.state_at(now);
+            let d = p.queueing_delay(now);
+            match state {
+                CongestionState::Calm => calm_max = calm_max.max(d),
+                CongestionState::Congested => {
+                    saw_congestion = true;
+                    congested_min = congested_min.min(d);
+                }
+            }
+        }
+        assert!(saw_congestion, "no congestion episode in 200 s");
+        // Congested delays start above the configured minimum, which is
+        // itself well above the calm mean.
+        assert!(congested_min.as_nanos() >= 200_000, "{congested_min}");
+    }
+
+    #[test]
+    fn episodes_are_bursty_not_iid() {
+        let mut p = process(CongestionParams::fabric(), 2);
+        // Sample states on a fine grid; consecutive samples should agree
+        // far more often than independent coin flips would.
+        let mut same = 0u32;
+        let mut total = 0u32;
+        let mut prev = p.state_at(SimTime::ZERO);
+        for i in 1..100_000u64 {
+            let s = p.state_at(SimTime::from_nanos(i * 100_000)); // 0.1 ms.
+            if s == prev {
+                same += 1;
+            }
+            total += 1;
+            prev = s;
+        }
+        assert!(same as f64 / total as f64 > 0.99, "state flips too often");
+    }
+
+    #[test]
+    fn congestion_fraction_matches_duty_cycle() {
+        let params = CongestionParams::fabric();
+        let mut p = process(params, 3);
+        let mut congested = 0u64;
+        let n = 3_000_000u64;
+        for i in 0..n {
+            // 1 ms grid over 3000 s ≫ calm_mean, so the empirical duty
+            // cycle should approach congested/(calm+congested) ≈ 1.3%.
+            if p.state_at(SimTime::from_nanos(i * 1_000_000)) == CongestionState::Congested {
+                congested += 1;
+            }
+        }
+        let frac = congested as f64 / n as f64;
+        let expected = 0.4 / 30.4;
+        assert!(
+            (frac - expected).abs() < expected,
+            "duty cycle {frac}, expected ~{expected}"
+        );
+    }
+
+    #[test]
+    fn congested_delays_respect_bounds() {
+        let params = CongestionParams::wan();
+        let mut p = process(params, 4);
+        for i in 0..500_000u64 {
+            let now = SimTime::from_nanos(i * 1_000_000);
+            let d = p.queueing_delay(now);
+            assert!(d <= SimDuration::from_millis(901), "delay {d} too large");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = process(CongestionParams::wan(), 5);
+        let mut b = process(CongestionParams::wan(), 5);
+        for i in 0..10_000u64 {
+            let now = SimTime::from_nanos(i * 10_000_000);
+            assert_eq!(a.queueing_delay(now), b.queueing_delay(now));
+        }
+    }
+
+    #[test]
+    fn time_can_jump_far_ahead() {
+        let mut p = process(CongestionParams::fabric(), 6);
+        // Jumping hours ahead must terminate and yield a valid state.
+        let s = p.state_at(SimTime::from_nanos(3_600_000_000_000 * 24));
+        assert!(matches!(
+            s,
+            CongestionState::Calm | CongestionState::Congested
+        ));
+    }
+}

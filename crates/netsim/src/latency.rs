@@ -1,0 +1,283 @@
+//! The network facade: one-way message latency between clusters.
+//!
+//! A message's one-way latency is the sum of:
+//!
+//! 1. **Propagation** — speed-of-light fiber delay from geometry, plus a
+//!    fixed per-hop cost for the switching tiers the path crosses.
+//! 2. **Transmission** — `bytes / bandwidth` for the narrowest link class.
+//! 3. **Queueing** — sampled from the path's [`crate::congestion`] process.
+//!
+//! The paper validates this decomposition in §3.3.5: median cross-cluster
+//! latency closely tracks wire latency, while tails come from congestion.
+
+use crate::congestion::{CongestionParams, CongestionProcess};
+use crate::topology::{ClusterId, PathClass, Topology};
+use rpclens_simcore::rng::Prng;
+use rpclens_simcore::time::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Fixed costs and bandwidths per path class.
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// Base one-way latency inside a cluster (ToR + fabric hops).
+    pub same_cluster_base: SimDuration,
+    /// Base one-way latency between clusters in one datacenter.
+    pub same_dc_base: SimDuration,
+    /// Additional fixed cost for leaving a datacenter (metro/WAN edge).
+    pub wan_edge_cost: SimDuration,
+    /// Per-flow bandwidth within a cluster, bytes/sec.
+    pub cluster_bandwidth: f64,
+    /// Per-flow bandwidth across the WAN, bytes/sec.
+    pub wan_bandwidth: f64,
+    /// Whether paths carry congestion state (disable for ablations: pure
+    /// wire + transmission latency).
+    pub congestion_enabled: bool,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            same_cluster_base: SimDuration::from_micros(12),
+            same_dc_base: SimDuration::from_micros(90),
+            wan_edge_cost: SimDuration::from_micros(300),
+            // 12.5 GB/s ≈ 100 Gbps fabric; 1.25 GB/s ≈ 10 Gbps per WAN flow.
+            cluster_bandwidth: 12.5e9,
+            wan_bandwidth: 1.25e9,
+            congestion_enabled: true,
+        }
+    }
+}
+
+/// The fleet network: topology plus per-path congestion state.
+#[derive(Debug)]
+pub struct Network {
+    topo: Topology,
+    cfg: NetworkConfig,
+    paths: HashMap<(ClusterId, ClusterId), CongestionProcess>,
+    path_rng: Prng,
+}
+
+impl Network {
+    /// Creates a network over `topo` with per-path congestion processes
+    /// seeded from `seed`.
+    pub fn new(topo: Topology, cfg: NetworkConfig, seed: u64) -> Self {
+        Network {
+            topo,
+            cfg,
+            paths: HashMap::new(),
+            path_rng: Prng::seed_from(seed).stream(0x4E45_5457),
+        }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The configured constants.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.cfg
+    }
+
+    /// The deterministic wire-plus-transmission latency for a message of
+    /// `bytes` between two clusters — no congestion, no randomness.
+    ///
+    /// This is what a load balancer can estimate ahead of time, and what
+    /// the paper cross-validates cross-cluster medians against.
+    pub fn base_latency(&self, src: ClusterId, dst: ClusterId, bytes: u64) -> SimDuration {
+        let class = self.topo.path_class(src, dst);
+        let (fixed, bandwidth) = match class {
+            PathClass::SameCluster => (self.cfg.same_cluster_base, self.cfg.cluster_bandwidth),
+            PathClass::SameDatacenter => (self.cfg.same_dc_base, self.cfg.cluster_bandwidth),
+            _ => (
+                self.cfg.same_dc_base + self.cfg.wan_edge_cost,
+                self.cfg.wan_bandwidth,
+            ),
+        };
+        let propagation = match class {
+            PathClass::SameCluster | PathClass::SameDatacenter => SimDuration::ZERO,
+            _ => self
+                .topo
+                .cluster(src)
+                .location
+                .propagation_delay(&self.topo.cluster(dst).location),
+        };
+        let transmission = SimDuration::from_secs_f64(bytes as f64 / bandwidth);
+        fixed + propagation + transmission
+    }
+
+    /// An RTT estimate for load-balancing decisions (twice the zero-byte
+    /// base latency).
+    pub fn rtt_estimate(&self, a: ClusterId, b: ClusterId) -> SimDuration {
+        self.base_latency(a, b, 0).mul_f64(2.0)
+    }
+
+    /// Samples the full one-way latency of a message sent at `now`,
+    /// including congestion queueing.
+    ///
+    /// `rng` is unused today (congestion owns its stream) but kept in the
+    /// signature so alternative jitter models can be plugged in without an
+    /// API break.
+    pub fn one_way_latency(
+        &mut self,
+        src: ClusterId,
+        dst: ClusterId,
+        bytes: u64,
+        now: SimTime,
+        _rng: &mut Prng,
+    ) -> SimDuration {
+        let base = self.base_latency(src, dst, bytes);
+        if !self.cfg.congestion_enabled {
+            return base;
+        }
+        let class = self.topo.path_class(src, dst);
+        let key = ordered(src, dst);
+        let path_rng = self.path_rng.stream(path_label(key));
+        let process = self.paths.entry(key).or_insert_with(|| {
+            let params = match class {
+                PathClass::SameCluster | PathClass::SameDatacenter => CongestionParams::fabric(),
+                _ => CongestionParams::wan(),
+            };
+            CongestionProcess::new(params, path_rng)
+        });
+        base + process.queueing_delay(now)
+    }
+
+    /// The path class between two clusters (delegates to the topology).
+    pub fn path_class(&self, a: ClusterId, b: ClusterId) -> PathClass {
+        self.topo.path_class(a, b)
+    }
+
+    /// Number of paths with materialised congestion state.
+    pub fn active_paths(&self) -> usize {
+        self.paths.len()
+    }
+}
+
+fn ordered(a: ClusterId, b: ClusterId) -> (ClusterId, ClusterId) {
+    if a.0 <= b.0 {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+fn path_label(key: (ClusterId, ClusterId)) -> u64 {
+    ((key.0 .0 as u64) << 16) | key.1 .0 as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+
+    fn network(seed: u64) -> Network {
+        Network::new(
+            Topology::default_world(seed),
+            NetworkConfig::default(),
+            seed,
+        )
+    }
+
+    /// Finds one cluster pair of each requested class.
+    fn find_pair(net: &Network, class: PathClass) -> (ClusterId, ClusterId) {
+        let ids = net.topology().cluster_ids();
+        for &a in &ids {
+            for &b in &ids {
+                if net.path_class(a, b) == class {
+                    return (a, b);
+                }
+            }
+        }
+        panic!("no pair with class {class:?}");
+    }
+
+    #[test]
+    fn base_latency_orders_by_distance_class() {
+        let net = network(1);
+        let (a1, b1) = find_pair(&net, PathClass::SameCluster);
+        let (a2, b2) = find_pair(&net, PathClass::SameDatacenter);
+        let (a3, b3) = find_pair(&net, PathClass::SameRegion);
+        let (a4, b4) = find_pair(&net, PathClass::InterContinent);
+        let l1 = net.base_latency(a1, b1, 1024);
+        let l2 = net.base_latency(a2, b2, 1024);
+        let l3 = net.base_latency(a3, b3, 1024);
+        let l4 = net.base_latency(a4, b4, 1024);
+        assert!(l1 < l2, "{l1} !< {l2}");
+        assert!(l2 < l3, "{l2} !< {l3}");
+        assert!(l3 < l4, "{l3} !< {l4}");
+    }
+
+    #[test]
+    fn intercontinental_rtt_lands_near_paper_scale() {
+        // The paper reports ~200 ms as the longest WAN RTT; our farthest
+        // pair should produce triple-digit-millisecond RTTs.
+        let net = network(2);
+        let ids = net.topology().cluster_ids();
+        let mut max_rtt = SimDuration::ZERO;
+        for &a in &ids {
+            for &b in &ids {
+                max_rtt = max_rtt.max(net.rtt_estimate(a, b));
+            }
+        }
+        let ms = max_rtt.as_millis_f64();
+        assert!((100.0..350.0).contains(&ms), "max rtt {ms} ms");
+    }
+
+    #[test]
+    fn transmission_grows_with_size() {
+        let net = network(3);
+        let (a, b) = find_pair(&net, PathClass::SameCluster);
+        let small = net.base_latency(a, b, 64);
+        let large = net.base_latency(a, b, 16 * 1024 * 1024);
+        assert!(large.as_nanos() > small.as_nanos() + 1_000_000);
+    }
+
+    #[test]
+    fn one_way_latency_is_at_least_base() {
+        let mut net = network(4);
+        let mut rng = Prng::seed_from(4);
+        let ids = net.topology().cluster_ids();
+        for i in 0..200 {
+            let a = ids[i % ids.len()];
+            let b = ids[(i * 7 + 3) % ids.len()];
+            let base = net.base_latency(a, b, 512);
+            let got = net.one_way_latency(a, b, 512, SimTime::from_nanos(i as u64 * 1000), &mut rng);
+            assert!(got >= base, "{got} < {base}");
+        }
+        assert!(net.active_paths() > 0);
+    }
+
+    #[test]
+    fn congestion_state_is_shared_across_directions() {
+        let mut net = network(5);
+        let (a, b) = find_pair(&net, PathClass::SameRegion);
+        let mut rng = Prng::seed_from(6);
+        net.one_way_latency(a, b, 64, SimTime::ZERO, &mut rng);
+        net.one_way_latency(b, a, 64, SimTime::ZERO, &mut rng);
+        // Both directions share one path entry.
+        assert_eq!(net.active_paths(), 1);
+    }
+
+    #[test]
+    fn median_crosscluster_latency_is_wire_dominated() {
+        // Cross-validation from §3.3.5: the median sampled latency should
+        // sit close to the deterministic wire latency.
+        let mut net = network(7);
+        let (a, b) = find_pair(&net, PathClass::InterContinent);
+        let base = net.base_latency(a, b, 1024).as_secs_f64();
+        let mut rng = Prng::seed_from(8);
+        let mut samples: Vec<f64> = (0..20_001u64)
+            .map(|i| {
+                net.one_way_latency(a, b, 1024, SimTime::from_nanos(i * 5_000_000), &mut rng)
+                    .as_secs_f64()
+            })
+            .collect();
+        samples.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let median = samples[samples.len() / 2];
+        assert!(
+            (median - base) / base < 0.05,
+            "median {median} too far above wire {base}"
+        );
+    }
+}

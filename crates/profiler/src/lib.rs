@@ -1,0 +1,348 @@
+//! A fleet-wide sampling CPU profiler (GWP-like).
+//!
+//! The paper uses continuous fleet profiling to attribute CPU cycles to
+//! the RPC *cycle tax* categories (Fig. 20), to per-method normalized
+//! cycle distributions (Fig. 21), and to wasted cycles by error type
+//! (Fig. 23). This crate implements the accounting:
+//!
+//! - [`CycleProfiler`] aggregates cycles by [`CycleCategory`] fleet-wide
+//!   and per service.
+//! - Per-method call costs are recorded as *normalized cycles*: cycles
+//!   divided by the machine's relative speed, mirroring how the paper
+//!   normalizes across CPU generations.
+//! - [`ErrorAccounting`] tracks error counts and wasted cycles per
+//!   [`ErrorKind`].
+
+use rpclens_rpcstack::cost::{CycleCategory, CycleCost};
+use rpclens_rpcstack::error::ErrorKind;
+use std::collections::HashMap;
+
+/// Sampling fleet profiler.
+///
+/// `sample_rate` controls down-sampling: one in `sample_rate` recordings
+/// is kept, with its weight scaled back up, matching how a production
+/// profiler samples a small fraction of cycles. At rate 1 the accounting
+/// is exact.
+#[derive(Debug)]
+pub struct CycleProfiler {
+    /// Fleet-wide cycles by category.
+    by_category: HashMap<CycleCategory, u128>,
+    /// Per-service cycles (service id -> total cycles).
+    by_service: HashMap<u16, u128>,
+    /// Per-method normalized-cycle samples (method id -> samples).
+    per_method: HashMap<u32, Vec<f64>>,
+    /// Cap on retained per-method samples (reservoir-free truncation).
+    per_method_cap: usize,
+    total: u128,
+}
+
+impl Default for CycleProfiler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CycleProfiler {
+    /// Creates a profiler retaining up to 10,000 per-method samples.
+    pub fn new() -> Self {
+        CycleProfiler {
+            by_category: HashMap::new(),
+            by_service: HashMap::new(),
+            per_method: HashMap::new(),
+            per_method_cap: 10_000,
+            total: 0,
+        }
+    }
+
+    /// Sets the per-method sample retention cap.
+    pub fn with_per_method_cap(mut self, cap: usize) -> Self {
+        self.per_method_cap = cap;
+        self
+    }
+
+    /// Records the cycle cost of one RPC executed by `service`/`method`
+    /// on a machine with relative `speed`.
+    pub fn record(&mut self, service: u16, method: u32, cost: &CycleCost, speed: f64) {
+        let mut call_total = 0u128;
+        for (cat, cycles) in cost.iter() {
+            if cycles == 0 {
+                continue;
+            }
+            *self.by_category.entry(cat).or_insert(0) += cycles as u128;
+            call_total += cycles as u128;
+        }
+        *self.by_service.entry(service).or_insert(0) += call_total;
+        self.total += call_total;
+        let samples = self.per_method.entry(method).or_default();
+        if samples.len() < self.per_method_cap {
+            // Normalized cycles: what this call would cost on the
+            // baseline CPU generation.
+            samples.push(call_total as f64 / speed.max(1e-6));
+        }
+    }
+
+    /// Records stack cycles a service burned acting as a *client* (no
+    /// per-method sample — Fig. 21 measures server-side method cost).
+    pub fn record_client_side(&mut self, service: u16, cost: &CycleCost) {
+        let mut call_total = 0u128;
+        for (cat, cycles) in cost.iter() {
+            if cycles == 0 {
+                continue;
+            }
+            *self.by_category.entry(cat).or_insert(0) += cycles as u128;
+            call_total += cycles as u128;
+        }
+        *self.by_service.entry(service).or_insert(0) += call_total;
+        self.total += call_total;
+    }
+
+    /// Total cycles recorded.
+    pub fn total_cycles(&self) -> u128 {
+        self.total
+    }
+
+    /// Cycles recorded for one category.
+    pub fn category_cycles(&self, cat: CycleCategory) -> u128 {
+        self.by_category.get(&cat).copied().unwrap_or(0)
+    }
+
+    /// Fraction of all cycles in one category, or 0 if nothing recorded.
+    pub fn category_fraction(&self, cat: CycleCategory) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.category_cycles(cat) as f64 / self.total as f64
+    }
+
+    /// The RPC cycle tax: fraction of all cycles outside the application
+    /// category (the paper's 7.1%).
+    pub fn tax_fraction(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let tax: u128 = CycleCategory::ALL
+            .iter()
+            .filter(|c| c.is_tax())
+            .map(|&c| self.category_cycles(c))
+            .sum();
+        tax as f64 / self.total as f64
+    }
+
+    /// Cycles attributed to one service.
+    pub fn service_cycles(&self, service: u16) -> u128 {
+        self.by_service.get(&service).copied().unwrap_or(0)
+    }
+
+    /// All services with recorded cycles.
+    pub fn services(&self) -> impl Iterator<Item = (u16, u128)> + '_ {
+        self.by_service.iter().map(|(&s, &c)| (s, c))
+    }
+
+    /// Per-method normalized-cycle samples.
+    pub fn method_samples(&self, method: u32) -> &[f64] {
+        self.per_method
+            .get(&method)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Methods with at least `min` samples.
+    pub fn methods_with_samples(&self, min: usize) -> Vec<u32> {
+        let mut out: Vec<u32> = self
+            .per_method
+            .iter()
+            .filter(|(_, v)| v.len() >= min)
+            .map(|(&m, _)| m)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Merges another profiler into this one.
+    pub fn merge(&mut self, other: CycleProfiler) {
+        for (cat, c) in other.by_category {
+            *self.by_category.entry(cat).or_insert(0) += c;
+        }
+        for (s, c) in other.by_service {
+            *self.by_service.entry(s).or_insert(0) += c;
+        }
+        for (m, samples) in other.per_method {
+            let entry = self.per_method.entry(m).or_default();
+            let room = self.per_method_cap.saturating_sub(entry.len());
+            entry.extend(samples.into_iter().take(room));
+        }
+        self.total += other.total;
+    }
+}
+
+/// Error counts and wasted cycles per error kind (Fig. 23).
+#[derive(Debug, Default)]
+pub struct ErrorAccounting {
+    counts: HashMap<ErrorKind, u64>,
+    wasted_cycles: HashMap<ErrorKind, u128>,
+    total_rpcs: u64,
+}
+
+impl ErrorAccounting {
+    /// Creates empty accounting.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one completed RPC (success or failure).
+    pub fn record_rpc(&mut self) {
+        self.total_rpcs += 1;
+    }
+
+    /// Records one failed RPC with the cycles it wasted.
+    pub fn record_error(&mut self, kind: ErrorKind, wasted_cycles: u64) {
+        *self.counts.entry(kind).or_insert(0) += 1;
+        *self.wasted_cycles.entry(kind).or_insert(0) += wasted_cycles as u128;
+    }
+
+    /// Total RPCs observed.
+    pub fn total_rpcs(&self) -> u64 {
+        self.total_rpcs
+    }
+
+    /// Total errors observed.
+    pub fn total_errors(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Fleet error rate.
+    pub fn error_rate(&self) -> f64 {
+        if self.total_rpcs == 0 {
+            return 0.0;
+        }
+        self.total_errors() as f64 / self.total_rpcs as f64
+    }
+
+    /// This kind's share of all errors, by count.
+    pub fn count_share(&self, kind: ErrorKind) -> f64 {
+        let total = self.total_errors();
+        if total == 0 {
+            return 0.0;
+        }
+        self.counts.get(&kind).copied().unwrap_or(0) as f64 / total as f64
+    }
+
+    /// This kind's share of all wasted cycles.
+    pub fn cycle_share(&self, kind: ErrorKind) -> f64 {
+        let total: u128 = self.wasted_cycles.values().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.wasted_cycles.get(&kind).copied().unwrap_or(0) as f64 / total as f64
+    }
+
+    /// All kinds with at least one error, sorted by count descending.
+    pub fn kinds_by_count(&self) -> Vec<(ErrorKind, u64)> {
+        let mut out: Vec<_> = self.counts.iter().map(|(&k, &c)| (k, c)).collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost(app: u64, compress: u64, ser: u64) -> CycleCost {
+        let mut c = CycleCost::new();
+        c.add(CycleCategory::Application, app);
+        c.add(CycleCategory::Compression, compress);
+        c.add(CycleCategory::Serialization, ser);
+        c
+    }
+
+    #[test]
+    fn category_fractions_sum_correctly() {
+        let mut p = CycleProfiler::new();
+        p.record(1, 10, &cost(9000, 700, 300), 1.0);
+        assert_eq!(p.total_cycles(), 10_000);
+        assert!((p.category_fraction(CycleCategory::Application) - 0.9).abs() < 1e-12);
+        assert!((p.category_fraction(CycleCategory::Compression) - 0.07).abs() < 1e-12);
+        assert!((p.tax_fraction() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_profiler_reports_zero() {
+        let p = CycleProfiler::new();
+        assert_eq!(p.total_cycles(), 0);
+        assert_eq!(p.tax_fraction(), 0.0);
+        assert_eq!(p.category_fraction(CycleCategory::Networking), 0.0);
+        assert!(p.method_samples(1).is_empty());
+    }
+
+    #[test]
+    fn per_service_attribution() {
+        let mut p = CycleProfiler::new();
+        p.record(1, 10, &cost(100, 0, 0), 1.0);
+        p.record(1, 11, &cost(200, 0, 0), 1.0);
+        p.record(2, 20, &cost(700, 0, 0), 1.0);
+        assert_eq!(p.service_cycles(1), 300);
+        assert_eq!(p.service_cycles(2), 700);
+        assert_eq!(p.service_cycles(3), 0);
+        assert_eq!(p.services().count(), 2);
+    }
+
+    #[test]
+    fn normalized_cycles_divide_by_speed() {
+        let mut p = CycleProfiler::new();
+        p.record(1, 5, &cost(1000, 0, 0), 2.0);
+        assert_eq!(p.method_samples(5), &[500.0]);
+    }
+
+    #[test]
+    fn per_method_cap_is_enforced() {
+        let mut p = CycleProfiler::new().with_per_method_cap(10);
+        for _ in 0..100 {
+            p.record(1, 7, &cost(10, 0, 0), 1.0);
+        }
+        assert_eq!(p.method_samples(7).len(), 10);
+        // Fleet totals still count everything.
+        assert_eq!(p.total_cycles(), 1000);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = CycleProfiler::new();
+        a.record(1, 1, &cost(100, 10, 0), 1.0);
+        let mut b = CycleProfiler::new();
+        b.record(1, 1, &cost(200, 0, 20), 1.0);
+        b.record(2, 2, &cost(50, 0, 0), 1.0);
+        a.merge(b);
+        assert_eq!(a.total_cycles(), 380);
+        assert_eq!(a.service_cycles(1), 330);
+        assert_eq!(a.method_samples(1).len(), 2);
+        assert_eq!(a.methods_with_samples(1), vec![1, 2]);
+    }
+
+    #[test]
+    fn error_accounting_shares() {
+        let mut e = ErrorAccounting::new();
+        for _ in 0..1000 {
+            e.record_rpc();
+        }
+        for _ in 0..9 {
+            e.record_error(ErrorKind::Cancelled, 1000);
+        }
+        e.record_error(ErrorKind::EntityNotFound, 100);
+        assert_eq!(e.total_errors(), 10);
+        assert!((e.error_rate() - 0.01).abs() < 1e-12);
+        assert!((e.count_share(ErrorKind::Cancelled) - 0.9).abs() < 1e-12);
+        // Cancelled wastes disproportionately many cycles.
+        assert!(e.cycle_share(ErrorKind::Cancelled) > 0.98);
+        assert_eq!(e.kinds_by_count()[0].0, ErrorKind::Cancelled);
+        assert_eq!(e.count_share(ErrorKind::Internal), 0.0);
+    }
+
+    #[test]
+    fn empty_error_accounting_is_zero() {
+        let e = ErrorAccounting::new();
+        assert_eq!(e.error_rate(), 0.0);
+        assert_eq!(e.cycle_share(ErrorKind::Cancelled), 0.0);
+        assert!(e.kinds_by_count().is_empty());
+    }
+}

@@ -1,0 +1,489 @@
+//! Cycle cost models for the RPC stack (the *RPC cycle tax*).
+//!
+//! Fig. 20 of the paper attributes 7.1% of all fleet CPU cycles to the RPC
+//! tax, dominated by compression (3.1%), networking (1.7%), serialization
+//! (1.2%), and the RPC library itself (1.1%). The model here charges each
+//! frame per-byte and per-packet costs in those categories; the fleet
+//! driver feeds the resulting cycle counts both into latency (stack
+//! processing time) and into the profiler (cycle accounting).
+
+use rpclens_simcore::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Cycle attribution categories used by the fleet profiler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CycleCategory {
+    /// Application handler work (not part of the tax).
+    Application,
+    /// Compression and decompression.
+    Compression,
+    /// Serialization and deserialization (marshalling).
+    Serialization,
+    /// Encryption and decryption.
+    Encryption,
+    /// Kernel and userspace network stack (TCP, packetization, syscalls).
+    Networking,
+    /// The RPC library: dispatch, method lookup, buffer management.
+    RpcLibrary,
+    /// Memory allocation attributable to the stack.
+    Allocation,
+    /// Everything else (bookkeeping, stats, tracing).
+    Other,
+}
+
+impl CycleCategory {
+    /// All categories, tax categories first.
+    pub const ALL: [CycleCategory; 8] = [
+        CycleCategory::Compression,
+        CycleCategory::Serialization,
+        CycleCategory::Encryption,
+        CycleCategory::Networking,
+        CycleCategory::RpcLibrary,
+        CycleCategory::Allocation,
+        CycleCategory::Other,
+        CycleCategory::Application,
+    ];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CycleCategory::Application => "Application",
+            CycleCategory::Compression => "Compression",
+            CycleCategory::Serialization => "Serialization",
+            CycleCategory::Encryption => "Encryption",
+            CycleCategory::Networking => "Networking",
+            CycleCategory::RpcLibrary => "RPC Library",
+            CycleCategory::Allocation => "Allocation",
+            CycleCategory::Other => "Other",
+        }
+    }
+
+    /// Whether the category is part of the RPC cycle tax.
+    pub fn is_tax(self) -> bool {
+        self != CycleCategory::Application
+    }
+
+    fn index(self) -> usize {
+        Self::ALL.iter().position(|&c| c == self).expect("in ALL")
+    }
+}
+
+/// Cycles attributed per category for one operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CycleCost {
+    cycles: [u64; 8],
+}
+
+impl CycleCost {
+    /// An all-zero cost.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds cycles to a category.
+    pub fn add(&mut self, c: CycleCategory, cycles: u64) {
+        self.cycles[c.index()] += cycles;
+    }
+
+    /// Reads a category's cycles.
+    pub fn get(&self, c: CycleCategory) -> u64 {
+        self.cycles[c.index()]
+    }
+
+    /// Total cycles across all categories.
+    pub fn total(&self) -> u64 {
+        self.cycles.iter().sum()
+    }
+
+    /// Total tax cycles (everything but application).
+    pub fn tax(&self) -> u64 {
+        CycleCategory::ALL
+            .iter()
+            .filter(|c| c.is_tax())
+            .map(|&c| self.get(c))
+            .sum()
+    }
+
+    /// Merges another cost into this one.
+    pub fn merge(&mut self, other: &CycleCost) {
+        for (a, b) in self.cycles.iter_mut().zip(other.cycles.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Iterates `(category, cycles)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (CycleCategory, u64)> + '_ {
+        CycleCategory::ALL.iter().map(move |&c| (c, self.get(c)))
+    }
+}
+
+/// Per-byte and per-operation cycle coefficients.
+///
+/// Defaults are in line with published measurements of protobuf-style
+/// serialization (a few cycles/byte), LZ-class compression (tens of
+/// cycles/byte), AES-NI encryption (~1 cycle/byte), and kernel TCP
+/// processing (a few thousand cycles per packet).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct StackCostConfig {
+    /// Fixed dispatch cost of the RPC library per call, cycles.
+    pub library_base: u64,
+    /// Library cost per byte moved (buffer management), cycles.
+    pub library_per_byte: f64,
+    /// Serialization cost per byte, cycles.
+    pub serialize_per_byte: f64,
+    /// Fixed serialization cost per message, cycles.
+    pub serialize_base: u64,
+    /// Compression cost per byte (when enabled), cycles.
+    pub compress_per_byte: f64,
+    /// Compression ratio achieved (compressed/original size).
+    pub compression_ratio: f64,
+    /// Encryption cost per byte (when enabled), cycles.
+    pub encrypt_per_byte: f64,
+    /// Network stack cost per packet, cycles.
+    pub net_per_packet: u64,
+    /// Network stack fixed cost per message (syscalls, epoll), cycles.
+    pub net_base: u64,
+    /// Allocation cost per message, cycles.
+    pub alloc_base: u64,
+    /// MTU used for packetization, bytes.
+    pub mtu: u64,
+    /// Baseline CPU clock, Hz (for converting cycles to time).
+    pub clock_hz: f64,
+    /// Fraction of stack cycles on the latency path: production stacks
+    /// pipeline chunked compression/serialization with transmission and
+    /// spread work across cores, so elapsed stack time is well below
+    /// serial cycles divided by clock.
+    pub pipeline_factor: f64,
+    /// Serialization-rate multiplier for opaque blob payloads (storage
+    /// blocks are memcpy'd, not field-by-field encoded).
+    pub blob_serialize_factor: f64,
+    /// Decompression cost relative to compression (LZ-class decoders are
+    /// several times cheaper than encoders).
+    pub decompress_factor: f64,
+}
+
+/// How a message's payload is handled by the stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MessageClass {
+    /// Payload is compressed on the wire.
+    pub compressed: bool,
+    /// Payload is encrypted on the wire.
+    pub encrypted: bool,
+    /// Payload is an opaque blob (cheap serialization).
+    pub blob: bool,
+}
+
+impl MessageClass {
+    /// The fleet-default class: compressed + encrypted structured data.
+    pub fn structured() -> Self {
+        MessageClass {
+            compressed: true,
+            encrypted: true,
+            blob: false,
+        }
+    }
+
+    /// Pre-compressed storage blocks: encrypted opaque blobs.
+    pub fn blob() -> Self {
+        MessageClass {
+            compressed: false,
+            encrypted: true,
+            blob: true,
+        }
+    }
+}
+
+impl Default for StackCostConfig {
+    fn default() -> Self {
+        StackCostConfig {
+            library_base: 42_000,
+            library_per_byte: 0.3,
+            serialize_per_byte: 16.0,
+            serialize_base: 1_500,
+            compress_per_byte: 52.0,
+            compression_ratio: 0.45,
+            encrypt_per_byte: 1.2,
+            net_per_packet: 9_000,
+            net_base: 20_000,
+            alloc_base: 3_000,
+            mtu: 1460,
+            clock_hz: 3.0e9,
+            pipeline_factor: 0.35,
+            blob_serialize_factor: 0.12,
+            decompress_factor: 0.33,
+        }
+    }
+}
+
+/// The stack cost model: maps message sizes to cycles and time.
+#[derive(Debug, Clone, Copy)]
+pub struct StackCostModel {
+    cfg: StackCostConfig,
+}
+
+impl StackCostModel {
+    /// Creates a model from a configuration.
+    pub fn new(cfg: StackCostConfig) -> Self {
+        StackCostModel { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &StackCostConfig {
+        &self.cfg
+    }
+
+    /// The bytes that actually cross the wire for a payload of
+    /// `payload_bytes` (after optional compression, plus framing).
+    pub fn wire_bytes(&self, payload_bytes: u64, compressed: bool) -> u64 {
+        let body = if compressed {
+            (payload_bytes as f64 * self.cfg.compression_ratio).ceil() as u64
+        } else {
+            payload_bytes
+        };
+        // Framing overhead: header + checksum, ~48 bytes.
+        body + 48
+    }
+
+    fn ser_rate(&self, class: MessageClass) -> f64 {
+        if class.blob {
+            self.cfg.serialize_per_byte * self.cfg.blob_serialize_factor
+        } else {
+            self.cfg.serialize_per_byte
+        }
+    }
+
+    fn shared_path_cost(&self, payload_bytes: u64, class: MessageClass, cost: &mut CycleCost) {
+        let b = payload_bytes as f64;
+        let wire = self.wire_bytes(payload_bytes, class.compressed);
+        if class.encrypted {
+            cost.add(
+                CycleCategory::Encryption,
+                (self.cfg.encrypt_per_byte * wire as f64) as u64,
+            );
+        }
+        let packets = wire.div_ceil(self.cfg.mtu).max(1);
+        cost.add(
+            CycleCategory::Networking,
+            self.cfg.net_base + packets * self.cfg.net_per_packet,
+        );
+        cost.add(
+            CycleCategory::RpcLibrary,
+            self.cfg.library_base + (self.cfg.library_per_byte * b) as u64,
+        );
+        cost.add(CycleCategory::Allocation, self.cfg.alloc_base);
+    }
+
+    /// Cycles the *sender* burns on one message: serialize, compress,
+    /// encrypt, transmit.
+    pub fn sender_cost(&self, payload_bytes: u64, class: MessageClass) -> CycleCost {
+        let mut cost = CycleCost::new();
+        let b = payload_bytes as f64;
+        cost.add(
+            CycleCategory::Serialization,
+            self.cfg.serialize_base + (self.ser_rate(class) * b) as u64,
+        );
+        if class.compressed {
+            cost.add(
+                CycleCategory::Compression,
+                (self.cfg.compress_per_byte * b) as u64,
+            );
+        }
+        self.shared_path_cost(payload_bytes, class, &mut cost);
+        cost
+    }
+
+    /// Cycles the *receiver* burns on one message: receive, decrypt,
+    /// decompress, parse. Parsing is cheaper than encoding and LZ-class
+    /// decompression is several times cheaper than compression.
+    pub fn receiver_cost(&self, payload_bytes: u64, class: MessageClass) -> CycleCost {
+        let mut cost = CycleCost::new();
+        let b = payload_bytes as f64;
+        cost.add(
+            CycleCategory::Serialization,
+            self.cfg.serialize_base + (self.ser_rate(class) * 0.6 * b) as u64,
+        );
+        if class.compressed {
+            cost.add(
+                CycleCategory::Compression,
+                (self.cfg.compress_per_byte * self.cfg.decompress_factor * b) as u64,
+            );
+        }
+        self.shared_path_cost(payload_bytes, class, &mut cost);
+        cost
+    }
+
+    /// Total cycles both sides spend moving one message (sender plus
+    /// receiver).
+    pub fn message_cost(&self, payload_bytes: u64, compressed: bool, encrypted: bool) -> CycleCost {
+        let class = MessageClass {
+            compressed,
+            encrypted,
+            blob: false,
+        };
+        let mut cost = self.sender_cost(payload_bytes, class);
+        cost.merge(&self.receiver_cost(payload_bytes, class));
+        cost
+    }
+
+    /// Converts cycles to wall time on a machine running at `slowdown`
+    /// times the baseline clock (1.0 = baseline).
+    pub fn cycles_to_time(&self, cycles: u64, slowdown: f64) -> SimDuration {
+        SimDuration::from_secs_f64(cycles as f64 * slowdown.max(0.0) / self.cfg.clock_hz)
+    }
+
+    /// The elapsed *latency* one message direction adds for stack
+    /// processing: both endpoints' tax cycles, discounted by the pipeline
+    /// factor (chunked processing overlaps with transmission and spans
+    /// multiple cores).
+    pub fn stack_latency(&self, payload_bytes: u64, class: MessageClass, slowdown: f64) -> SimDuration {
+        let cycles = self.sender_cost(payload_bytes, class).tax()
+            + self.receiver_cost(payload_bytes, class).tax();
+        self.cycles_to_time(
+            (cycles as f64 * self.cfg.pipeline_factor) as u64,
+            slowdown,
+        )
+    }
+
+    /// Convenience: the stack processing *time* for one message direction
+    /// with structured (non-blob) payloads.
+    pub fn processing_time(
+        &self,
+        payload_bytes: u64,
+        compressed: bool,
+        encrypted: bool,
+        slowdown: f64,
+    ) -> SimDuration {
+        self.stack_latency(
+            payload_bytes,
+            MessageClass {
+                compressed,
+                encrypted,
+                blob: false,
+            },
+            slowdown,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn model() -> StackCostModel {
+        StackCostModel::new(StackCostConfig::default())
+    }
+
+    #[test]
+    fn cost_grows_with_size() {
+        let m = model();
+        let small = m.message_cost(64, false, false).total();
+        let large = m.message_cost(64 * 1024, false, false).total();
+        assert!(large > small * 3, "small {small}, large {large}");
+    }
+
+    #[test]
+    fn compression_adds_cycles_but_shrinks_wire_bytes() {
+        let m = model();
+        let plain = m.message_cost(32 * 1024, false, false);
+        let compressed = m.message_cost(32 * 1024, true, false);
+        assert!(compressed.get(CycleCategory::Compression) > 0);
+        assert_eq!(plain.get(CycleCategory::Compression), 0);
+        assert!(m.wire_bytes(32 * 1024, true) < m.wire_bytes(32 * 1024, false));
+        // Fewer wire bytes means fewer packets, hence less networking.
+        assert!(
+            compressed.get(CycleCategory::Networking) < plain.get(CycleCategory::Networking)
+        );
+    }
+
+    #[test]
+    fn encryption_charges_per_wire_byte() {
+        let m = model();
+        let plain = m.message_cost(4096, false, false);
+        let enc = m.message_cost(4096, false, true);
+        assert_eq!(plain.get(CycleCategory::Encryption), 0);
+        assert!(enc.get(CycleCategory::Encryption) >= 4096);
+    }
+
+    #[test]
+    fn compression_dominates_tax_for_large_compressed_messages() {
+        // The fleet's biggest tax component is compression (Fig. 20b);
+        // for a typical compressed KB-scale message it should dominate.
+        let m = model();
+        let c = m.message_cost(16 * 1024, true, true);
+        assert!(c.get(CycleCategory::Compression) > c.get(CycleCategory::Serialization));
+        assert!(c.get(CycleCategory::Compression) > c.get(CycleCategory::Networking));
+    }
+
+    #[test]
+    fn tax_excludes_application() {
+        let mut c = CycleCost::new();
+        c.add(CycleCategory::Application, 1_000_000);
+        c.add(CycleCategory::Serialization, 500);
+        assert_eq!(c.tax(), 500);
+        assert_eq!(c.total(), 1_000_500);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let m = model();
+        let a = m.message_cost(100, true, true);
+        let b = m.message_cost(200, false, false);
+        let mut merged = a;
+        merged.merge(&b);
+        for (cat, cycles) in merged.iter() {
+            assert_eq!(cycles, a.get(cat) + b.get(cat));
+        }
+    }
+
+    #[test]
+    fn cycles_to_time_uses_clock_and_slowdown() {
+        let m = model();
+        let t = m.cycles_to_time(3_000_000, 1.0);
+        assert_eq!(t, SimDuration::from_millis(1));
+        let slow = m.cycles_to_time(3_000_000, 2.0);
+        assert_eq!(slow, SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn processing_time_is_microseconds_for_small_messages() {
+        // Small-RPC stack time should be on the order of a few to tens of
+        // microseconds — the regime prior RPC-acceleration work targets.
+        let m = model();
+        let t = m.processing_time(128, false, true, 1.0);
+        let us = t.as_micros_f64();
+        assert!((1.0..50.0).contains(&us), "stack time {us} us");
+    }
+
+    #[test]
+    fn packetization_steps_at_mtu_boundaries() {
+        let m = model();
+        let one = m.message_cost(500, false, false).get(CycleCategory::Networking);
+        let two = m.message_cost(2000, false, false).get(CycleCategory::Networking);
+        // message_cost counts both endpoints, so one extra packet costs
+        // one per-packet charge on each side.
+        assert_eq!(
+            two - one,
+            2 * StackCostConfig::default().net_per_packet,
+            "2000B payload (+48B framing) needs exactly one extra packet per side"
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn costs_are_monotone_in_size(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+            let m = model();
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(
+                m.message_cost(lo, true, true).total() <= m.message_cost(hi, true, true).total()
+            );
+            prop_assert!(m.wire_bytes(lo, true) <= m.wire_bytes(hi, true));
+        }
+
+        #[test]
+        fn wire_bytes_include_framing(bytes in 0u64..10_000_000) {
+            let m = model();
+            prop_assert!(m.wire_bytes(bytes, false) >= bytes + 48);
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! Pluggable RPC load-balancing policies.
+//!
+//! The paper's §4.3 observes that the production balancer optimizes for
+//! *network latency* when choosing among clusters — CPU balance across
+//! clusters is not a goal — which produces the heavy cross-cluster CPU
+//! imbalance of Fig. 22. Within a cluster, replica choice is much more
+//! uniform. The policies here let the benchmarks reproduce that behaviour
+//! and run ablations against CPU-aware alternatives.
+
+use rpclens_simcore::rng::Prng;
+use rpclens_simcore::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// What a balancer knows about one candidate target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TargetInfo {
+    /// Estimated network RTT to the target.
+    pub rtt: SimDuration,
+    /// Current queue backlog at the target (probe or piggybacked).
+    pub backlog: SimDuration,
+    /// Target machine CPU utilization in `[0, 1]`.
+    pub cpu_util: f64,
+    /// Relative capacity weight (e.g. machine size), 1.0 = baseline.
+    pub weight: f64,
+}
+
+/// The built-in balancing policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LbPolicy {
+    /// Cycle through targets in order.
+    RoundRobin,
+    /// Uniformly random choice.
+    Random,
+    /// Sample two targets, pick the one with less backlog.
+    PowerOfTwo,
+    /// Prefer low network RTT; ignores CPU (the production default the
+    /// paper describes).
+    LatencyAware,
+    /// Pick the target with the smallest backlog (requires fresh state).
+    LeastLoaded,
+    /// Score by RTT *and* CPU headroom — the cross-layer design §5.2
+    /// calls for.
+    CpuAndLatency,
+}
+
+impl LbPolicy {
+    /// All policies (used by the ablation benchmark).
+    pub const ALL: [LbPolicy; 6] = [
+        LbPolicy::RoundRobin,
+        LbPolicy::Random,
+        LbPolicy::PowerOfTwo,
+        LbPolicy::LatencyAware,
+        LbPolicy::LeastLoaded,
+        LbPolicy::CpuAndLatency,
+    ];
+
+    /// Display name.
+    pub fn label(self) -> &'static str {
+        match self {
+            LbPolicy::RoundRobin => "round-robin",
+            LbPolicy::Random => "random",
+            LbPolicy::PowerOfTwo => "power-of-two",
+            LbPolicy::LatencyAware => "latency-aware",
+            LbPolicy::LeastLoaded => "least-loaded",
+            LbPolicy::CpuAndLatency => "cpu+latency",
+        }
+    }
+}
+
+/// A stateful load balancer for one client's view of a target set.
+#[derive(Debug, Clone)]
+pub struct LoadBalancer {
+    policy: LbPolicy,
+    next: usize,
+}
+
+impl LoadBalancer {
+    /// Creates a balancer with the given policy.
+    pub fn new(policy: LbPolicy) -> Self {
+        LoadBalancer { policy, next: 0 }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> LbPolicy {
+        self.policy
+    }
+
+    /// Picks a target index from `targets`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets` is empty.
+    pub fn pick(&mut self, targets: &[TargetInfo], rng: &mut Prng) -> usize {
+        assert!(!targets.is_empty(), "balancer needs at least one target");
+        if targets.len() == 1 {
+            return 0;
+        }
+        match self.policy {
+            LbPolicy::RoundRobin => {
+                let i = self.next % targets.len();
+                self.next = self.next.wrapping_add(1);
+                i
+            }
+            LbPolicy::Random => rng.index(targets.len()),
+            LbPolicy::PowerOfTwo => {
+                let a = rng.index(targets.len());
+                let mut b = rng.index(targets.len() - 1);
+                if b >= a {
+                    b += 1;
+                }
+                if targets[a].backlog <= targets[b].backlog {
+                    a
+                } else {
+                    b
+                }
+            }
+            LbPolicy::LatencyAware => {
+                // Softmax over negative RTT: strongly prefers the nearest
+                // targets but keeps some spread among near-equals, like a
+                // subsetting mesh router.
+                let min_rtt = targets
+                    .iter()
+                    .map(|t| t.rtt.as_secs_f64())
+                    .fold(f64::MAX, f64::min);
+                let weights: Vec<f64> = targets
+                    .iter()
+                    .map(|t| {
+                        let excess_ms = (t.rtt.as_secs_f64() - min_rtt) * 1e3;
+                        t.weight * (-excess_ms / 0.5).exp()
+                    })
+                    .collect();
+                weighted_pick(&weights, rng)
+            }
+            LbPolicy::LeastLoaded => {
+                let mut best = 0;
+                for (i, t) in targets.iter().enumerate().skip(1) {
+                    if t.backlog < targets[best].backlog {
+                        best = i;
+                    }
+                }
+                best
+            }
+            LbPolicy::CpuAndLatency => {
+                // Score: RTT penalty plus CPU pressure penalty; pick the
+                // softmax-minimal score.
+                let min_rtt = targets
+                    .iter()
+                    .map(|t| t.rtt.as_secs_f64())
+                    .fold(f64::MAX, f64::min);
+                let weights: Vec<f64> = targets
+                    .iter()
+                    .map(|t| {
+                        let excess_ms = (t.rtt.as_secs_f64() - min_rtt) * 1e3;
+                        let cpu_penalty = 4.0 * t.cpu_util * t.cpu_util;
+                        t.weight * (-(excess_ms / 2.0 + cpu_penalty)).exp()
+                    })
+                    .collect();
+                weighted_pick(&weights, rng)
+            }
+        }
+    }
+}
+
+/// Picks an index proportional to `weights` (all zero weights fall back to
+/// uniform).
+fn weighted_pick(weights: &[f64], rng: &mut Prng) -> usize {
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 || !total.is_finite() {
+        return rng.index(weights.len());
+    }
+    let mut u = rng.next_f64() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        u -= w;
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(rtt_us: u64, backlog_us: u64, cpu: f64) -> TargetInfo {
+        TargetInfo {
+            rtt: SimDuration::from_micros(rtt_us),
+            backlog: SimDuration::from_micros(backlog_us),
+            cpu_util: cpu,
+            weight: 1.0,
+        }
+    }
+
+    fn pick_counts(policy: LbPolicy, targets: &[TargetInfo], n: usize, seed: u64) -> Vec<usize> {
+        let mut lb = LoadBalancer::new(policy);
+        let mut rng = Prng::seed_from(seed);
+        let mut counts = vec![0usize; targets.len()];
+        for _ in 0..n {
+            counts[lb.pick(targets, &mut rng)] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn round_robin_is_uniform_and_cyclic() {
+        let targets = vec![target(1, 0, 0.0); 4];
+        let counts = pick_counts(LbPolicy::RoundRobin, &targets, 400, 1);
+        assert!(counts.iter().all(|&c| c == 100), "{counts:?}");
+    }
+
+    #[test]
+    fn random_is_roughly_uniform() {
+        let targets = vec![target(1, 0, 0.0); 4];
+        let counts = pick_counts(LbPolicy::Random, &targets, 40_000, 2);
+        for &c in &counts {
+            assert!((c as i64 - 10_000).abs() < 600, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn power_of_two_prefers_short_queues() {
+        let targets = vec![
+            target(1, 10_000, 0.0),
+            target(1, 100, 0.0),
+            target(1, 10_000, 0.0),
+        ];
+        let counts = pick_counts(LbPolicy::PowerOfTwo, &targets, 30_000, 3);
+        assert!(
+            counts[1] > counts[0] * 2 && counts[1] > counts[2] * 2,
+            "{counts:?}"
+        );
+    }
+
+    #[test]
+    fn latency_aware_heavily_prefers_near_targets_ignoring_cpu() {
+        // One nearby hot target, one distant idle target: the production
+        // policy routes to the hot one — exactly the imbalance in Fig. 22.
+        let targets = vec![target(100, 0, 0.95), target(50_000, 0, 0.05)];
+        let counts = pick_counts(LbPolicy::LatencyAware, &targets, 10_000, 4);
+        assert!(counts[0] > 9_500, "{counts:?}");
+    }
+
+    #[test]
+    fn cpu_and_latency_sheds_load_from_hot_targets() {
+        let targets = vec![target(100, 0, 0.95), target(500, 0, 0.05)];
+        let counts = pick_counts(LbPolicy::CpuAndLatency, &targets, 10_000, 5);
+        // The hot nearby target no longer takes everything.
+        assert!(counts[1] > 2_000, "{counts:?}");
+    }
+
+    #[test]
+    fn least_loaded_always_picks_minimum_backlog() {
+        let targets = vec![target(1, 500, 0.0), target(1, 100, 0.0), target(1, 900, 0.0)];
+        let counts = pick_counts(LbPolicy::LeastLoaded, &targets, 100, 6);
+        assert_eq!(counts, vec![0, 100, 0]);
+    }
+
+    #[test]
+    fn single_target_short_circuits() {
+        let targets = vec![target(1, 0, 0.0)];
+        for policy in LbPolicy::ALL {
+            let counts = pick_counts(policy, &targets, 10, 7);
+            assert_eq!(counts, vec![10], "{policy:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one target")]
+    fn empty_targets_panic() {
+        let mut lb = LoadBalancer::new(LbPolicy::Random);
+        let mut rng = Prng::seed_from(0);
+        let _ = lb.pick(&[], &mut rng);
+    }
+
+    #[test]
+    fn weighted_pick_respects_capacity_weights() {
+        let mut targets = vec![target(100, 0, 0.5), target(100, 0, 0.5)];
+        targets[1].weight = 3.0;
+        let counts = pick_counts(LbPolicy::LatencyAware, &targets, 40_000, 8);
+        let ratio = counts[1] as f64 / counts[0] as f64;
+        assert!((2.0..4.5).contains(&ratio), "ratio {ratio}, {counts:?}");
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::BTreeSet<_> =
+            LbPolicy::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), LbPolicy::ALL.len());
+    }
+}

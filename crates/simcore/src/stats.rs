@@ -1,0 +1,353 @@
+//! Exact quantiles, streaming moments, and correlation measures.
+//!
+//! The characterization analyses mostly operate on per-method sample
+//! vectors extracted from the trace store, so they use *exact* order
+//! statistics here (as the paper's offline analysis pipeline would), while
+//! online fleet aggregation uses [`crate::hist::LogHistogram`].
+
+/// Returns the `q`-quantile of `sorted` using linear interpolation between
+/// closest ranks, or `None` if the slice is empty.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]` or the slice is not sorted in debug
+/// builds.
+///
+/// # Examples
+///
+/// ```
+/// use rpclens_simcore::stats::percentile;
+///
+/// let v = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(percentile(&v, 0.5), Some(2.5));
+/// assert_eq!(percentile(&v, 1.0), Some(4.0));
+/// ```
+pub fn percentile(sorted: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "input must be sorted"
+    );
+    if sorted.is_empty() {
+        return None;
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
+/// Sorts a sample vector and returns it, dropping non-finite values.
+pub fn sorted_finite(mut values: Vec<f64>) -> Vec<f64> {
+    values.retain(|v| v.is_finite());
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    values
+}
+
+/// A compact multi-quantile summary of a sample set.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct QuantileSummary {
+    /// Number of samples summarised.
+    pub count: usize,
+    /// 1st percentile.
+    pub p01: f64,
+    /// 10th percentile.
+    pub p10: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl QuantileSummary {
+    /// Builds a summary from an unsorted sample vector, or `None` if empty
+    /// after dropping non-finite values.
+    pub fn from_samples(values: Vec<f64>) -> Option<Self> {
+        let sorted = sorted_finite(values);
+        if sorted.is_empty() {
+            return None;
+        }
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        Some(QuantileSummary {
+            count: sorted.len(),
+            p01: percentile(&sorted, 0.01)?,
+            p10: percentile(&sorted, 0.10)?,
+            p50: percentile(&sorted, 0.50)?,
+            p90: percentile(&sorted, 0.90)?,
+            p95: percentile(&sorted, 0.95)?,
+            p99: percentile(&sorted, 0.99)?,
+            mean,
+        })
+    }
+
+    /// Retrieves a named quantile; `q` must be one of the stored levels.
+    pub fn get(&self, q: f64) -> Option<f64> {
+        match q {
+            x if x == 0.01 => Some(self.p01),
+            x if x == 0.10 => Some(self.p10),
+            x if x == 0.50 => Some(self.p50),
+            x if x == 0.90 => Some(self.p90),
+            x if x == 0.95 => Some(self.p95),
+            x if x == 0.99 => Some(self.p99),
+            _ => None,
+        }
+    }
+}
+
+/// Streaming mean/variance via Welford's algorithm.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OnlineMoments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl OnlineMoments {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean of observations, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.mean)
+    }
+
+    /// Population variance, or `None` if empty.
+    pub fn variance(&self) -> Option<f64> {
+        (self.n > 0).then(|| self.m2 / self.n as f64)
+    }
+
+    /// Population standard deviation, or `None` if empty.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Merges another accumulator into this one (Chan's parallel update).
+    pub fn merge(&mut self, other: &OnlineMoments) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        *self = OnlineMoments { n, mean, m2 };
+    }
+}
+
+/// Pearson correlation coefficient of two equal-length slices, or `None` if
+/// fewer than two points or either side has zero variance.
+pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        cov += (a - mx) * (b - my);
+        vx += (a - mx) * (a - mx);
+        vy += (b - my) * (b - my);
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        return None;
+    }
+    Some(cov / (vx.sqrt() * vy.sqrt()))
+}
+
+/// Spearman rank correlation of two equal-length slices.
+///
+/// Ties receive their average rank. Returns `None` under the same
+/// conditions as [`pearson`].
+pub fn spearman(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let rx = ranks(x);
+    let ry = ranks(y);
+    pearson(&rx, &ry)
+}
+
+/// Assigns average ranks (1-based) to a slice, averaging ties.
+fn ranks(values: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite"));
+    let mut out = vec![0.0; values.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && values[idx[j + 1]] == values[idx[i]] {
+            j += 1;
+        }
+        // Average rank for the tie group [i, j].
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(percentile(&v, 0.0), Some(10.0));
+        assert_eq!(percentile(&v, 0.25), Some(20.0));
+        assert_eq!(percentile(&v, 0.5), Some(30.0));
+        assert_eq!(percentile(&v, 0.875), Some(45.0));
+        assert_eq!(percentile(&v, 1.0), Some(50.0));
+        assert_eq!(percentile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn sorted_finite_drops_nan_and_sorts() {
+        let v = sorted_finite(vec![3.0, f64::NAN, 1.0, f64::INFINITY, 2.0]);
+        assert_eq!(v, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn quantile_summary_orders_levels() {
+        let samples: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        let s = QuantileSummary::from_samples(samples).unwrap();
+        assert_eq!(s.count, 1000);
+        assert!(s.p01 < s.p10 && s.p10 < s.p50 && s.p50 < s.p90);
+        assert!(s.p90 < s.p95 && s.p95 < s.p99);
+        assert!((s.p50 - 500.5).abs() < 1e-9);
+        assert!((s.mean - 500.5).abs() < 1e-9);
+        assert_eq!(s.get(0.5), Some(s.p50));
+        assert_eq!(s.get(0.33), None);
+    }
+
+    #[test]
+    fn quantile_summary_empty_is_none() {
+        assert!(QuantileSummary::from_samples(vec![]).is_none());
+        assert!(QuantileSummary::from_samples(vec![f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn online_moments_match_direct_computation() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut m = OnlineMoments::new();
+        for &x in &data {
+            m.push(x);
+        }
+        assert_eq!(m.count(), 8);
+        assert!((m.mean().unwrap() - 5.0).abs() < 1e-12);
+        assert!((m.variance().unwrap() - 4.0).abs() < 1e-12);
+        assert!((m.std_dev().unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn online_moments_merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = OnlineMoments::new();
+        let mut left = OnlineMoments::new();
+        let mut right = OnlineMoments::new();
+        for (i, &x) in data.iter().enumerate() {
+            whole.push(x);
+            if i < 37 {
+                left.push(x);
+            } else {
+                right.push(x);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean().unwrap() - whole.mean().unwrap()).abs() < 1e-9);
+        assert!((left.variance().unwrap() - whole.variance().unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pearson_detects_perfect_linearity() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v + 2.0).collect();
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = x.iter().map(|v| -v).collect();
+        assert!((pearson(&x, &neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_rejects_degenerate_inputs() {
+        assert!(pearson(&[1.0], &[2.0]).is_none());
+        assert!(pearson(&[1.0, 2.0], &[5.0, 5.0]).is_none());
+        assert!(pearson(&[1.0, 2.0, 3.0], &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn spearman_captures_monotone_nonlinear_relation() {
+        let x: Vec<f64> = (1..100).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| v.exp().min(1e300)).collect();
+        // Nonlinear but perfectly monotone.
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ranks_average_ties() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn percentile_is_monotone_in_q(
+            mut values in proptest::collection::vec(-1e6f64..1e6, 2..100),
+            q1 in 0.0f64..=1.0,
+            q2 in 0.0f64..=1.0,
+        ) {
+            values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+            let a = percentile(&values, lo).unwrap();
+            let b = percentile(&values, hi).unwrap();
+            prop_assert!(a <= b + 1e-9);
+        }
+
+        #[test]
+        fn correlation_is_bounded(
+            x in proptest::collection::vec(-100.0f64..100.0, 3..50),
+        ) {
+            let y: Vec<f64> = x.iter().map(|v| v * 2.0 + (v * 17.0).sin()).collect();
+            if let Some(r) = pearson(&x, &y) {
+                prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+            }
+            if let Some(r) = spearman(&x, &y) {
+                prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+            }
+        }
+    }
+}

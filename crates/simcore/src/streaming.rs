@@ -1,0 +1,368 @@
+//! Constant-memory streaming estimators.
+//!
+//! The monitoring pipeline cannot keep every sample: a production metrics
+//! agent exports quantiles from bounded state. This module provides the
+//! two classic tools — the P² quantile estimator (Jain & Chlamtac, 1985)
+//! and reservoir sampling (Vitter's Algorithm R) — both deterministic
+//! given their inputs, so monitoring output is reproducible.
+
+use crate::rng::Prng;
+
+/// The P² (piecewise-parabolic) streaming quantile estimator.
+///
+/// Tracks one quantile with five markers and O(1) work per observation;
+/// error is typically well under 1% of the distribution's scale for
+/// unimodal inputs.
+///
+/// # Examples
+///
+/// ```
+/// use rpclens_simcore::streaming::P2Quantile;
+///
+/// let mut p95 = P2Quantile::new(0.95).unwrap();
+/// for i in 1..=10_000 {
+///     p95.observe(i as f64);
+/// }
+/// let est = p95.estimate().unwrap();
+/// assert!((est - 9_500.0).abs() < 100.0, "estimate {est}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights.
+    heights: [f64; 5],
+    /// Marker positions (1-based counts).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments per observation.
+    increments: [f64; 5],
+    /// Observations seen.
+    count: u64,
+    /// The first five observations, collected before initialisation.
+    warmup: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for quantile `q`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `0 < q < 1`.
+    pub fn new(q: f64) -> Result<Self, &'static str> {
+        if !(q > 0.0 && q < 1.0) {
+            return Err("quantile must be in (0, 1)");
+        }
+        Ok(P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+            warmup: Vec::with_capacity(5),
+        })
+    }
+
+    /// The tracked quantile level.
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// Number of observations seen.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Feeds one observation.
+    pub fn observe(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.count += 1;
+        if self.warmup.len() < 5 {
+            self.warmup.push(x);
+            if self.warmup.len() == 5 {
+                self.warmup
+                    .sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                for (h, &w) in self.heights.iter_mut().zip(self.warmup.iter()) {
+                    *h = w;
+                }
+            }
+            return;
+        }
+
+        // 1. Find the cell containing x, adjusting extremes.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            let mut k = 0;
+            for i in 0..4 {
+                if x >= self.heights[i] && x < self.heights[i + 1] {
+                    k = i;
+                    break;
+                }
+            }
+            k
+        };
+
+        // 2. Shift positions above the cell; advance desired positions.
+        for i in (k + 1)..5 {
+            self.positions[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.desired[i] += self.increments[i];
+        }
+
+        // 3. Adjust interior markers with the parabolic formula, falling
+        // back to linear when the parabola would break monotonicity.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let can_right = self.positions[i + 1] - self.positions[i] > 1.0;
+            let can_left = self.positions[i - 1] - self.positions[i] < -1.0;
+            if (d >= 1.0 && can_right) || (d <= -1.0 && can_left) {
+                let s = d.signum();
+                let parabolic = self.parabolic(i, s);
+                if self.heights[i - 1] < parabolic && parabolic < self.heights[i + 1] {
+                    self.heights[i] = parabolic;
+                } else {
+                    self.heights[i] = self.linear(i, s);
+                }
+                self.positions[i] += s;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, s: f64) -> f64 {
+        let (qm, q0, qp) = (self.heights[i - 1], self.heights[i], self.heights[i + 1]);
+        let (nm, n0, np) = (
+            self.positions[i - 1],
+            self.positions[i],
+            self.positions[i + 1],
+        );
+        q0 + s / (np - nm)
+            * ((n0 - nm + s) * (qp - q0) / (np - n0) + (np - n0 - s) * (q0 - qm) / (n0 - nm))
+    }
+
+    fn linear(&self, i: usize, s: f64) -> f64 {
+        let j = (i as f64 + s) as usize;
+        self.heights[i]
+            + s * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// The current estimate, or `None` before five observations.
+    pub fn estimate(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.warmup.len() < 5 {
+            // Exact small-sample quantile.
+            let mut sorted = self.warmup.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let idx = ((sorted.len() - 1) as f64 * self.q).round() as usize;
+            return sorted.get(idx).copied();
+        }
+        Some(self.heights[2])
+    }
+}
+
+/// Fixed-size uniform reservoir sample (Algorithm R).
+///
+/// # Examples
+///
+/// ```
+/// use rpclens_simcore::streaming::Reservoir;
+/// use rpclens_simcore::rng::Prng;
+///
+/// let mut rng = Prng::seed_from(1);
+/// let mut r = Reservoir::new(100);
+/// for i in 0..100_000u64 {
+///     r.observe(i as f64, &mut rng);
+/// }
+/// assert_eq!(r.samples().len(), 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Reservoir {
+    capacity: usize,
+    samples: Vec<f64>,
+    seen: u64,
+}
+
+impl Reservoir {
+    /// Creates a reservoir holding up to `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "reservoir needs capacity");
+        Reservoir {
+            capacity,
+            samples: Vec::with_capacity(capacity),
+            seen: 0,
+        }
+    }
+
+    /// Feeds one observation.
+    pub fn observe(&mut self, x: f64, rng: &mut Prng) {
+        self.seen += 1;
+        if self.samples.len() < self.capacity {
+            self.samples.push(x);
+        } else {
+            let j = rng.next_below(self.seen) as usize;
+            if j < self.capacity {
+                self.samples[j] = x;
+            }
+        }
+    }
+
+    /// The retained samples (unordered).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Total observations fed.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{LogNormal, Sample};
+    use crate::stats::{percentile, sorted_finite};
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_degenerate_quantiles() {
+        assert!(P2Quantile::new(0.0).is_err());
+        assert!(P2Quantile::new(1.0).is_err());
+        assert!(P2Quantile::new(0.5).is_ok());
+    }
+
+    #[test]
+    fn small_samples_are_exact_ish() {
+        let mut p = P2Quantile::new(0.5).unwrap();
+        assert_eq!(p.estimate(), None);
+        p.observe(10.0);
+        p.observe(20.0);
+        p.observe(30.0);
+        let est = p.estimate().unwrap();
+        assert_eq!(est, 20.0);
+        assert_eq!(p.count(), 3);
+    }
+
+    #[test]
+    fn median_of_uniform_stream() {
+        let mut p = P2Quantile::new(0.5).unwrap();
+        let mut rng = Prng::seed_from(1);
+        for _ in 0..100_000 {
+            p.observe(rng.next_f64());
+        }
+        let est = p.estimate().unwrap();
+        assert!((est - 0.5).abs() < 0.01, "median {est}");
+    }
+
+    #[test]
+    fn p99_of_lognormal_stream_matches_exact() {
+        let d = LogNormal::from_median_sigma(1000.0, 1.0).unwrap();
+        let mut rng = Prng::seed_from(2);
+        let mut p = P2Quantile::new(0.99).unwrap();
+        let mut all = Vec::new();
+        for _ in 0..200_000 {
+            let x = d.sample(&mut rng);
+            p.observe(x);
+            all.push(x);
+        }
+        let exact = percentile(&sorted_finite(all), 0.99).unwrap();
+        let est = p.estimate().unwrap();
+        assert!(
+            (est - exact).abs() / exact < 0.08,
+            "P2 {est} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn non_finite_observations_are_ignored() {
+        let mut p = P2Quantile::new(0.5).unwrap();
+        for x in [1.0, f64::NAN, 2.0, f64::INFINITY, 3.0] {
+            p.observe(x);
+        }
+        assert_eq!(p.count(), 3);
+        assert_eq!(p.estimate(), Some(2.0));
+    }
+
+    #[test]
+    fn reservoir_is_uniform() {
+        // Feed 0..10_000; the mean of retained samples should approach
+        // the stream mean.
+        let mut rng = Prng::seed_from(3);
+        let mut means = Vec::new();
+        for seed in 0..50u64 {
+            let mut r = Reservoir::new(64);
+            let mut local = Prng::seed_from(seed);
+            for i in 0..10_000u64 {
+                r.observe(i as f64, &mut local);
+            }
+            means.push(r.samples().iter().sum::<f64>() / 64.0);
+            let _ = &mut rng;
+        }
+        let grand = means.iter().sum::<f64>() / means.len() as f64;
+        assert!((grand - 4999.5).abs() < 300.0, "grand mean {grand}");
+    }
+
+    #[test]
+    fn reservoir_counts_and_caps() {
+        let mut rng = Prng::seed_from(4);
+        let mut r = Reservoir::new(10);
+        for i in 0..5u64 {
+            r.observe(i as f64, &mut rng);
+        }
+        assert_eq!(r.samples().len(), 5);
+        for i in 0..100u64 {
+            r.observe(i as f64, &mut rng);
+        }
+        assert_eq!(r.samples().len(), 10);
+        assert_eq!(r.seen(), 105);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = Reservoir::new(0);
+    }
+
+    proptest! {
+        #[test]
+        fn p2_estimate_stays_within_observed_range(
+            values in proptest::collection::vec(-1e6f64..1e6, 6..300),
+            q in 0.05f64..0.95,
+        ) {
+            let mut p = P2Quantile::new(q).unwrap();
+            for &v in &values {
+                p.observe(v);
+            }
+            let est = p.estimate().unwrap();
+            let lo = values.iter().cloned().fold(f64::MAX, f64::min);
+            let hi = values.iter().cloned().fold(f64::MIN, f64::max);
+            prop_assert!(est >= lo - 1e-9 && est <= hi + 1e-9, "{est} not in [{lo}, {hi}]");
+        }
+
+        #[test]
+        fn markers_stay_sorted(values in proptest::collection::vec(0.0f64..1e3, 10..500)) {
+            let mut p = P2Quantile::new(0.9).unwrap();
+            for &v in &values {
+                p.observe(v);
+            }
+            // Internal invariant: marker heights are non-decreasing.
+            for w in p.heights.windows(2) {
+                prop_assert!(w[0] <= w[1] + 1e-9);
+            }
+        }
+    }
+}

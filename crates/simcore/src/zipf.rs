@@ -1,0 +1,132 @@
+//! Zipf-distributed integer sampling.
+//!
+//! Popularity skew in the fleet (the paper's Fig. 3: the top 10 methods take
+//! 58% of all calls) is modelled with Zipfian weights; this module provides
+//! both a weight generator and a direct sampler.
+
+use crate::rng::Prng;
+
+/// A Zipf distribution over ranks `1..=n` with exponent `s`, sampled by
+/// inverting a precomputed cumulative table (exact, O(log n) per sample).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n` ranks with exponent `s`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string if `n == 0` or `s` is negative or non-finite.
+    pub fn new(n: usize, s: f64) -> Result<Self, &'static str> {
+        if n == 0 {
+            return Err("zipf needs at least one rank");
+        }
+        if !s.is_finite() || s < 0.0 {
+            return Err("zipf exponent must be finite and non-negative");
+        }
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cumulative.push(acc);
+        }
+        let total = *cumulative.last().expect("n >= 1");
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        Ok(Zipf { cumulative })
+    }
+
+    /// Draws a rank in `1..=n` (rank 1 is the most probable).
+    pub fn sample(&self, rng: &mut Prng) -> usize {
+        let u = rng.next_f64();
+        self.cumulative.partition_point(|&c| c <= u) + 1
+    }
+
+    /// Returns the probability weights of all ranks (normalised Zipf mass).
+    ///
+    /// Useful for building an [`crate::alias::AliasTable`] that mixes Zipf
+    /// popularity with other factors.
+    pub fn weights(n: usize, s: f64) -> Result<Vec<f64>, &'static str> {
+        if n == 0 {
+            return Err("zipf needs at least one rank");
+        }
+        if !s.is_finite() || s < 0.0 {
+            return Err("zipf exponent must be finite and non-negative");
+        }
+        let raw: Vec<f64> = (1..=n).map(|k| (k as f64).powf(-s)).collect();
+        let total: f64 = raw.iter().sum();
+        Ok(raw.into_iter().map(|w| w / total).collect())
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the distribution has zero ranks (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, -1.0).is_err());
+        assert!(Zipf::new(10, f64::NAN).is_err());
+        assert!(Zipf::weights(0, 1.0).is_err());
+    }
+
+    #[test]
+    fn rank_one_dominates() {
+        let z = Zipf::new(1000, 1.0).unwrap();
+        let mut rng = Prng::seed_from(1);
+        let n = 100_000;
+        let ones = (0..n).filter(|_| z.sample(&mut rng) == 1).count();
+        // With s=1 and n=1000, P(rank 1) = 1/H_1000 ≈ 0.1336.
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.1336).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let z = Zipf::new(4, 0.0).unwrap();
+        let mut rng = Prng::seed_from(2);
+        let mut counts = [0u32; 4];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng) - 1] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 / n as f64 - 0.25).abs() < 0.01, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_one_and_decrease() {
+        let w = Zipf::weights(100, 1.2).unwrap();
+        let total: f64 = w.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(w.windows(2).all(|p| p[0] > p[1]));
+    }
+
+    proptest! {
+        #[test]
+        fn samples_in_rank_range(n in 1usize..500, s in 0.0f64..3.0, seed: u64) {
+            let z = Zipf::new(n, s).unwrap();
+            let mut rng = Prng::seed_from(seed);
+            for _ in 0..64 {
+                let r = z.sample(&mut rng);
+                prop_assert!(r >= 1 && r <= n);
+            }
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Trace sampling and storage.
+//!
+//! Dapper samples head-based: the decision to trace is made at the root
+//! and inherited by the whole tree. [`TraceCollector`] makes that decision
+//! deterministically from the trace id, so a re-run with the same seed
+//! samples exactly the same traces. [`TraceStore`] owns the sampled
+//! traces and maintains a per-method index for the query layer.
+
+use crate::span::{MethodId, TraceData};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Head-based sampling decision maker.
+#[derive(Debug, Clone)]
+pub struct TraceCollector {
+    /// Sample 1 in `rate` root RPCs (1 = everything).
+    rate: u64,
+}
+
+impl TraceCollector {
+    /// Creates a collector sampling 1 in `rate` traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is zero.
+    pub fn new(rate: u64) -> Self {
+        assert!(rate > 0, "sampling rate must be at least 1");
+        TraceCollector { rate }
+    }
+
+    /// Whether the trace with this id should be sampled.
+    ///
+    /// Uses a multiplicative hash of the id so that sequential ids do not
+    /// alias against the modulus.
+    pub fn should_sample(&self, trace_id: u64) -> bool {
+        if self.rate == 1 {
+            return true;
+        }
+        trace_id.wrapping_mul(0x9E37_79B9_7F4A_7C15) % self.rate == 0
+    }
+
+    /// The configured sampling rate.
+    pub fn rate(&self) -> u64 {
+        self.rate
+    }
+}
+
+/// Owned storage of sampled traces with a per-method span index.
+#[derive(Debug, Default)]
+pub struct TraceStore {
+    traces: Vec<TraceData>,
+    /// Method -> list of (trace index, span index).
+    by_method: HashMap<MethodId, Vec<(u32, u32)>>,
+    total_spans: usize,
+}
+
+impl TraceStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a sampled trace, indexing its spans.
+    pub fn add(&mut self, trace: TraceData) {
+        let t_idx = self.traces.len() as u32;
+        for (s_idx, span) in trace.spans.iter().enumerate() {
+            self.by_method
+                .entry(span.method)
+                .or_default()
+                .push((t_idx, s_idx as u32));
+        }
+        self.total_spans += trace.len();
+        self.traces.push(trace);
+    }
+
+    /// All traces.
+    pub fn traces(&self) -> &[TraceData] {
+        &self.traces
+    }
+
+    /// Number of traces stored.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// Total spans across all traces.
+    pub fn total_spans(&self) -> usize {
+        self.total_spans
+    }
+
+    /// The methods that appear in at least one span.
+    pub fn methods(&self) -> impl Iterator<Item = MethodId> + '_ {
+        self.by_method.keys().copied()
+    }
+
+    /// The `(trace, span)` locations of every span of `method`.
+    pub fn spans_of(&self, method: MethodId) -> &[(u32, u32)] {
+        self.by_method
+            .get(&method)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Visits every span of `method` with its containing trace.
+    pub fn for_each_span<F>(&self, method: MethodId, mut f: F)
+    where
+        F: FnMut(&TraceData, &crate::span::SpanRecord),
+    {
+        for &(t, s) in self.spans_of(method) {
+            let trace = &self.traces[t as usize];
+            f(trace, &trace.spans[s as usize]);
+        }
+    }
+}
+
+/// A thread-safe collector handle for concurrent simulation shards.
+///
+/// Worker threads collect into their own [`TraceStore`]s and merge here,
+/// or append traces directly; either way contention stays off the hot
+/// path.
+#[derive(Debug, Clone, Default)]
+pub struct SharedTraceStore {
+    inner: Arc<Mutex<TraceStore>>,
+}
+
+impl SharedTraceStore {
+    /// Creates an empty shared store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one trace.
+    pub fn add(&self, trace: TraceData) {
+        self.inner.lock().add(trace);
+    }
+
+    /// Merges an entire local store.
+    pub fn merge(&self, local: TraceStore) {
+        let mut guard = self.inner.lock();
+        for trace in local.traces {
+            guard.add(trace);
+        }
+    }
+
+    /// Extracts the inner store, leaving an empty one.
+    pub fn take(&self) -> TraceStore {
+        std::mem::take(&mut *self.inner.lock())
+    }
+
+    /// Total spans currently stored.
+    pub fn total_spans(&self) -> usize {
+        self.inner.lock().total_spans()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{ServiceId, SpanBuilder};
+    use rpclens_netsim::topology::ClusterId;
+    use rpclens_simcore::time::SimTime;
+
+    fn trace_with_methods(methods: &[u32]) -> TraceData {
+        let spans: Vec<_> = methods
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| {
+                let b = SpanBuilder::new(
+                    MethodId(m),
+                    ServiceId(0),
+                    ClusterId(0),
+                    ClusterId(0),
+                );
+                if i == 0 { b } else { b.parent(0) }.build()
+            })
+            .collect();
+        TraceData::new(SimTime::ZERO, spans)
+    }
+
+    #[test]
+    fn sampling_rate_one_samples_everything() {
+        let c = TraceCollector::new(1);
+        assert!((0..1000).all(|id| c.should_sample(id)));
+    }
+
+    #[test]
+    fn sampling_hits_expected_fraction() {
+        let c = TraceCollector::new(64);
+        let hits = (0..1_000_000u64).filter(|&id| c.should_sample(id)).count();
+        let frac = hits as f64 / 1e6;
+        assert!((frac - 1.0 / 64.0).abs() < 0.002, "sampled {frac}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let a = TraceCollector::new(10);
+        let b = TraceCollector::new(10);
+        for id in 0..10_000 {
+            assert_eq!(a.should_sample(id), b.should_sample(id));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_rate_panics() {
+        let _ = TraceCollector::new(0);
+    }
+
+    #[test]
+    fn store_indexes_spans_by_method() {
+        let mut store = TraceStore::new();
+        store.add(trace_with_methods(&[1, 2, 2]));
+        store.add(trace_with_methods(&[2, 3]));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.total_spans(), 5);
+        assert_eq!(store.spans_of(MethodId(1)).len(), 1);
+        assert_eq!(store.spans_of(MethodId(2)).len(), 3);
+        assert_eq!(store.spans_of(MethodId(3)).len(), 1);
+        assert_eq!(store.spans_of(MethodId(99)).len(), 0);
+        let mut methods: Vec<_> = store.methods().map(|m| m.0).collect();
+        methods.sort_unstable();
+        assert_eq!(methods, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn for_each_span_visits_all() {
+        let mut store = TraceStore::new();
+        store.add(trace_with_methods(&[7, 7, 7]));
+        let mut n = 0;
+        store.for_each_span(MethodId(7), |trace, span| {
+            assert_eq!(trace.len(), 3);
+            assert_eq!(span.method, MethodId(7));
+            n += 1;
+        });
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn shared_store_merges_from_threads() {
+        let shared = SharedTraceStore::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let shared = shared.clone();
+                s.spawn(move || {
+                    let mut local = TraceStore::new();
+                    for _ in 0..25 {
+                        local.add(trace_with_methods(&[1, 2]));
+                    }
+                    shared.merge(local);
+                });
+            }
+        });
+        assert_eq!(shared.total_spans(), 4 * 25 * 2);
+        let store = shared.take();
+        assert_eq!(store.len(), 100);
+        assert_eq!(shared.total_spans(), 0);
+    }
+}

@@ -1,0 +1,317 @@
+//! Critical-path analysis of RPC trees (CRISP-style).
+//!
+//! The paper's related work (§6) highlights CRISP, Uber's tool for
+//! finding the critical path through large RPC call graphs, as a
+//! motivated direction — tail latency can only be reduced by shortening
+//! the path that actually gated completion. This module computes, for a
+//! sampled trace, the chain of spans that determined the root's
+//! completion time, and aggregates per-method *criticality*: how much
+//! wall time each method contributed to critical paths.
+//!
+//! The driver records, per span, its start offset and per-component
+//! latencies; a child gates its parent when the child's completion is the
+//! latest among the parent's blocking children (fire-and-forget spans
+//! never gate).
+
+use crate::span::{MethodId, TraceData};
+use rpclens_simcore::time::SimDuration;
+use std::collections::HashMap;
+
+/// One hop on a critical path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CriticalHop {
+    /// Span index within the trace.
+    pub span: u32,
+    /// The method invoked.
+    pub method: MethodId,
+    /// Wall time this hop contributed exclusively (its completion time
+    /// minus the completion of the child that gated it, i.e. its own
+    /// non-overlapped share).
+    pub exclusive: SimDuration,
+}
+
+/// The critical path of one trace.
+#[derive(Debug, Clone)]
+pub struct CriticalPath {
+    /// Hops from the root down to the gating leaf.
+    pub hops: Vec<CriticalHop>,
+    /// Total root completion time.
+    pub total: SimDuration,
+}
+
+impl CriticalPath {
+    /// Computes the critical path of a trace.
+    ///
+    /// Walks from the root: at each span, the next hop is the blocking
+    /// child whose `start_offset + total_latency` is the latest; the walk
+    /// stops when no blocking child exists.
+    pub fn compute(trace: &TraceData) -> CriticalPath {
+        // Index children per parent.
+        let mut children: HashMap<u32, Vec<u32>> = HashMap::new();
+        for (i, span) in trace.spans.iter().enumerate().skip(1) {
+            if span.is_root() || span.detached {
+                continue;
+            }
+            children.entry(span.parent).or_default().push(i as u32);
+        }
+        let end_of = |i: u32| {
+            let s = &trace.spans[i as usize];
+            s.start_offset() + s.total_latency()
+        };
+        let mut hops = Vec::new();
+        let mut current = 0u32;
+        // Effective ends are clamped to be non-increasing along the path
+        // so the exclusive times always telescope to the root's total,
+        // even on hand-built traces where a child nominally outlives its
+        // parent.
+        let mut ceiling = end_of(0);
+        loop {
+            let gating_child = children
+                .get(&current)
+                .and_then(|kids| kids.iter().copied().max_by_key(|&k| end_of(k)));
+            let own_end = end_of(current).min(ceiling);
+            let child_end = gating_child
+                .map(|c| end_of(c).min(own_end))
+                .unwrap_or(SimDuration::ZERO);
+            // Exclusive time: whatever of this span's span-of-control was
+            // not overlapped by the gating child.
+            let exclusive = SimDuration::from_nanos(
+                own_end.as_nanos().saturating_sub(child_end.as_nanos()),
+            );
+            hops.push(CriticalHop {
+                span: current,
+                method: trace.spans[current as usize].method,
+                exclusive,
+            });
+            ceiling = child_end;
+            match gating_child {
+                Some(c) => current = c,
+                None => break,
+            }
+        }
+        CriticalPath {
+            total: end_of(0),
+            hops,
+        }
+    }
+
+    /// Path depth (number of hops).
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Whether the path is empty (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+
+    /// The exclusive times sum to the root's completion time.
+    pub fn exclusive_sum(&self) -> SimDuration {
+        self.hops.iter().map(|h| h.exclusive).sum()
+    }
+}
+
+/// Per-method criticality aggregated over many traces.
+#[derive(Debug, Default)]
+pub struct CriticalityReport {
+    /// Method -> (times on a critical path, total exclusive seconds).
+    by_method: HashMap<MethodId, (u64, f64)>,
+    /// Total critical-path seconds across traces.
+    total_secs: f64,
+    /// Number of traces analysed.
+    traces: u64,
+}
+
+impl CriticalityReport {
+    /// Builds a report over an iterator of traces.
+    pub fn compute<'a, I: IntoIterator<Item = &'a TraceData>>(traces: I) -> CriticalityReport {
+        let mut report = CriticalityReport::default();
+        for trace in traces {
+            let path = CriticalPath::compute(trace);
+            for hop in &path.hops {
+                let entry = report.by_method.entry(hop.method).or_insert((0, 0.0));
+                entry.0 += 1;
+                entry.1 += hop.exclusive.as_secs_f64();
+            }
+            report.total_secs += path.total.as_secs_f64();
+            report.traces += 1;
+        }
+        report
+    }
+
+    /// The fraction of all critical-path time attributable to `method`.
+    pub fn criticality(&self, method: MethodId) -> f64 {
+        if self.total_secs <= 0.0 {
+            return 0.0;
+        }
+        self.by_method
+            .get(&method)
+            .map(|(_, secs)| secs / self.total_secs)
+            .unwrap_or(0.0)
+    }
+
+    /// Methods ranked by critical-path time, descending.
+    pub fn ranked(&self) -> Vec<(MethodId, f64)> {
+        let mut out: Vec<(MethodId, f64)> = self
+            .by_method
+            .iter()
+            .map(|(&m, &(_, secs))| (m, secs))
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Number of traces analysed.
+    pub fn traces(&self) -> u64 {
+        self.traces
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{ServiceId, SpanBuilder, SpanRecord};
+    use rpclens_netsim::topology::ClusterId;
+    use rpclens_rpcstack::component::{LatencyBreakdown, LatencyComponent};
+    use rpclens_simcore::time::SimTime;
+
+    fn span(
+        method: u32,
+        parent: Option<u32>,
+        start_us: u64,
+        app_us: u64,
+        detached: bool,
+    ) -> SpanRecord {
+        let mut b = LatencyBreakdown::new();
+        b.set(
+            LatencyComponent::ServerApplication,
+            SimDuration::from_micros(app_us),
+        );
+        let builder = SpanBuilder::new(MethodId(method), ServiceId(0), ClusterId(0), ClusterId(0))
+            .start_offset(SimDuration::from_micros(start_us))
+            .breakdown(b)
+            .detached(detached);
+        match parent {
+            Some(p) => builder.parent(p),
+            None => builder,
+        }
+        .build()
+    }
+
+    #[test]
+    fn single_span_path_is_the_root() {
+        let t = TraceData::new(SimTime::ZERO, vec![span(1, None, 0, 1000, false)]);
+        let p = CriticalPath::compute(&t);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.hops[0].method, MethodId(1));
+        assert_eq!(p.total, SimDuration::from_micros(1000));
+        assert_eq!(p.exclusive_sum(), p.total);
+    }
+
+    #[test]
+    fn slowest_child_gates() {
+        // Root 0..5000us with two children: fast (100..600) and slow
+        // (100..4100).
+        let t = TraceData::new(
+            SimTime::ZERO,
+            vec![
+                span(1, None, 0, 5000, false),
+                span(2, Some(0), 100, 500, false),
+                span(3, Some(0), 100, 4000, false),
+            ],
+        );
+        let p = CriticalPath::compute(&t);
+        let methods: Vec<u32> = p.hops.iter().map(|h| h.method.0).collect();
+        assert_eq!(methods, vec![1, 3]);
+        // Exclusive shares: child 3 covers 4100us of the root's 5000us.
+        assert_eq!(p.hops[1].exclusive, SimDuration::from_micros(4100));
+        assert_eq!(p.hops[0].exclusive, SimDuration::from_micros(900));
+        assert_eq!(p.exclusive_sum(), p.total);
+    }
+
+    #[test]
+    fn detached_children_never_gate() {
+        // The detached child ends long after the root; the path must
+        // ignore it.
+        let t = TraceData::new(
+            SimTime::ZERO,
+            vec![
+                span(1, None, 0, 1000, false),
+                span(2, Some(0), 100, 50_000, true),
+            ],
+        );
+        let p = CriticalPath::compute(&t);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.total, SimDuration::from_micros(1000));
+    }
+
+    #[test]
+    fn deep_chain_is_followed() {
+        let t = TraceData::new(
+            SimTime::ZERO,
+            vec![
+                span(1, None, 0, 4000, false),
+                span(2, Some(0), 100, 3000, false),
+                span(3, Some(1), 200, 2000, false),
+                span(4, Some(2), 300, 1000, false),
+            ],
+        );
+        let p = CriticalPath::compute(&t);
+        assert_eq!(p.len(), 4);
+        assert_eq!(
+            p.hops.iter().map(|h| h.method.0).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4]
+        );
+        assert_eq!(p.exclusive_sum(), p.total);
+    }
+
+    #[test]
+    fn report_aggregates_criticality() {
+        let traces: Vec<TraceData> = (0..10)
+            .map(|_| {
+                TraceData::new(
+                    SimTime::ZERO,
+                    vec![
+                        span(1, None, 0, 5000, false),
+                        span(2, Some(0), 100, 500, false),
+                        span(3, Some(0), 100, 4000, false),
+                    ],
+                )
+            })
+            .collect();
+        let report = CriticalityReport::compute(traces.iter());
+        assert_eq!(report.traces(), 10);
+        // Method 3 carries 4100/5000 of every path.
+        assert!((report.criticality(MethodId(3)) - 0.82).abs() < 1e-9);
+        assert!((report.criticality(MethodId(1)) - 0.18).abs() < 1e-9);
+        assert_eq!(report.criticality(MethodId(2)), 0.0);
+        let ranked = report.ranked();
+        assert_eq!(ranked[0].0, MethodId(3));
+    }
+
+    #[test]
+    fn exclusive_times_partition_the_total_on_random_trees() {
+        use rpclens_simcore::rng::Prng;
+        let mut rng = Prng::seed_from(3);
+        for _ in 0..50 {
+            let n = 2 + rng.index(40);
+            let mut spans = vec![span(0, None, 0, 50_000, false)];
+            for i in 1..n {
+                let parent = rng.index(i) as u32;
+                let pstart = spans[parent as usize].start_offset().as_micros_f64() as u64;
+                spans.push(span(
+                    i as u32,
+                    Some(parent),
+                    pstart + 10 + rng.next_below(100),
+                    rng.next_below(20_000),
+                    false,
+                ));
+            }
+            let t = TraceData::new(SimTime::ZERO, spans);
+            let p = CriticalPath::compute(&t);
+            assert_eq!(p.exclusive_sum(), p.total, "exclusive times partition");
+            // Path length is bounded by the tree size.
+            assert!(p.len() <= n);
+        }
+    }
+}

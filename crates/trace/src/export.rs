@@ -1,0 +1,304 @@
+//! Compact binary export/import of trace stores.
+//!
+//! Dapper persists sampled traces to a repository for offline analysis;
+//! this module gives [`TraceStore`] the same property with a versioned,
+//! checksummed binary format built on the workspace's own framing
+//! primitives, so a fleet run's traces can be captured once and re-analysed
+//! without re-simulating.
+//!
+//! Layout (all integers little-endian unless varint):
+//!
+//! ```text
+//! magic "RLTR" | version u8 | trace_count varint
+//!   per trace: root_start u64 | span_count varint | spans...
+//!     per span: method u32 | service u16 | parent u32 | client u16 |
+//!               server u16 | start_ticks u32 | components [u32; 9] |
+//!               req u32 | resp u32 | kilocycles u32 | flags u8 | error u8
+//! crc32 over everything above | u32
+//! ```
+
+use crate::collector::TraceStore;
+use crate::span::{MethodId, ServiceId, SpanBuilder, SpanRecord, TraceData};
+use bytes::{Buf, BufMut, BytesMut};
+use rpclens_netsim::topology::ClusterId;
+use rpclens_rpcstack::codec::{crc32, get_varint, put_varint, DecodeError};
+use rpclens_rpcstack::component::LatencyComponent;
+use rpclens_rpcstack::error::ErrorKind;
+use rpclens_simcore::time::SimTime;
+
+/// Export format magic.
+pub const MAGIC: &[u8; 4] = b"RLTR";
+/// Export format version.
+pub const VERSION: u8 = 1;
+
+fn error_to_byte(e: Option<ErrorKind>) -> u8 {
+    match e {
+        None => 0,
+        Some(kind) => {
+            1 + ErrorKind::ALL
+                .iter()
+                .position(|&k| k == kind)
+                .expect("kind in ALL") as u8
+        }
+    }
+}
+
+fn byte_to_error(b: u8) -> Result<Option<ErrorKind>, DecodeError> {
+    match b {
+        0 => Ok(None),
+        n if (n as usize) <= ErrorKind::ALL.len() => Ok(Some(ErrorKind::ALL[n as usize - 1])),
+        _ => Err(DecodeError::Truncated),
+    }
+}
+
+/// Serializes a trace store to bytes.
+pub fn export(store: &TraceStore) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(64 + store.total_spans() * 64);
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    put_varint(&mut buf, store.len() as u64);
+    for trace in store.traces() {
+        buf.put_u64(trace.root_start.as_nanos());
+        put_varint(&mut buf, trace.len() as u64);
+        for span in &trace.spans {
+            buf.put_u32(span.method.0);
+            buf.put_u16(span.service.0);
+            buf.put_u32(span.parent);
+            buf.put_u16(span.client_cluster.0);
+            buf.put_u16(span.server_cluster.0);
+            // Re-quantize through the public accessors (ticks are private
+            // to the span module; 100 ns resolution survives roundtrip).
+            buf.put_u32((span.start_offset().as_nanos() / 100) as u32);
+            for c in LatencyComponent::ALL {
+                buf.put_u32((span.component(c).as_nanos() / 100) as u32);
+            }
+            buf.put_u32(span.request_bytes);
+            buf.put_u32(span.response_bytes);
+            buf.put_u32(span.kilocycles);
+            let flags = (span.hedged as u8) | ((span.detached as u8) << 1);
+            buf.put_u8(flags);
+            buf.put_u8(error_to_byte(span.error));
+        }
+    }
+    let crc = crc32(&buf);
+    buf.put_u32(crc);
+    buf.to_vec()
+}
+
+/// Deserializes a trace store from bytes.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on truncation, bad magic/version, or a CRC
+/// mismatch.
+pub fn import(mut input: &[u8]) -> Result<TraceStore, DecodeError> {
+    let full = input;
+    if input.len() < 9 {
+        return Err(DecodeError::Truncated);
+    }
+    // Verify the trailer before parsing the body.
+    let body_len = full.len() - 4;
+    let expected = u32::from_be_bytes(
+        full[body_len..]
+            .try_into()
+            .map_err(|_| DecodeError::Truncated)?,
+    );
+    let actual = crc32(&full[..body_len]);
+    if expected != actual {
+        return Err(DecodeError::BadChecksum { expected, actual });
+    }
+
+    let mut magic = [0u8; 4];
+    input.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = input.get_u8();
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let trace_count = get_varint(&mut input)?;
+    let mut store = TraceStore::new();
+    for _ in 0..trace_count {
+        if input.remaining() < 8 {
+            return Err(DecodeError::Truncated);
+        }
+        let root_start = SimTime::from_nanos(input.get_u64());
+        let span_count = get_varint(&mut input)?;
+        let mut spans = Vec::with_capacity(span_count as usize);
+        for _ in 0..span_count {
+            // Fixed-size span body: 4+2+4+2+2+4 + 36 + 4+4+4 + 1+1 = 68.
+            if input.remaining() < 68 {
+                return Err(DecodeError::Truncated);
+            }
+            let method = MethodId(input.get_u32());
+            let service = ServiceId(input.get_u16());
+            let parent = input.get_u32();
+            let client = ClusterId(input.get_u16());
+            let server = ClusterId(input.get_u16());
+            let start_ticks = input.get_u32();
+            let mut breakdown = rpclens_rpcstack::component::LatencyBreakdown::new();
+            for c in LatencyComponent::ALL {
+                let ticks = input.get_u32();
+                breakdown.set(
+                    c,
+                    rpclens_simcore::time::SimDuration::from_nanos(ticks as u64 * 100),
+                );
+            }
+            let req = input.get_u32();
+            let resp = input.get_u32();
+            let kilocycles = input.get_u32();
+            let flags = input.get_u8();
+            let error = byte_to_error(input.get_u8())?;
+            let mut builder = SpanBuilder::new(method, service, client, server)
+                .parent(parent)
+                .start_offset(rpclens_simcore::time::SimDuration::from_nanos(
+                    start_ticks as u64 * 100,
+                ))
+                .breakdown(breakdown)
+                .sizes(req as u64, resp as u64)
+                .cycles(kilocycles as u64 * 1000)
+                .hedged(flags & 1 != 0)
+                .detached(flags & 2 != 0);
+            if let Some(kind) = error {
+                builder = builder.error(kind);
+            }
+            let span: SpanRecord = builder.build();
+            spans.push(span);
+        }
+        if spans.is_empty() {
+            return Err(DecodeError::Truncated);
+        }
+        store.add(TraceData::new(root_start, spans));
+    }
+    Ok(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpclens_rpcstack::component::LatencyBreakdown;
+    use rpclens_simcore::rng::Prng;
+    use rpclens_simcore::time::SimDuration;
+
+    fn random_store(seed: u64, traces: usize) -> TraceStore {
+        let mut rng = Prng::seed_from(seed);
+        let mut store = TraceStore::new();
+        for t in 0..traces {
+            let n = 1 + rng.index(20);
+            let spans: Vec<SpanRecord> = (0..n)
+                .map(|i| {
+                    let mut b = LatencyBreakdown::new();
+                    b.set(
+                        LatencyComponent::ServerApplication,
+                        SimDuration::from_nanos(rng.next_below(1_000_000_000) / 100 * 100),
+                    );
+                    b.set(
+                        LatencyComponent::RequestNetworkWire,
+                        SimDuration::from_nanos(rng.next_below(10_000_000) / 100 * 100),
+                    );
+                    let mut builder = SpanBuilder::new(
+                        MethodId(rng.next_below(1000) as u32),
+                        ServiceId(rng.next_below(40) as u16),
+                        ClusterId(rng.next_below(48) as u16),
+                        ClusterId(rng.next_below(48) as u16),
+                    )
+                    .breakdown(b)
+                    .sizes(rng.next_below(1 << 20), rng.next_below(1 << 20))
+                    .cycles(rng.next_below(1 << 30) / 1000 * 1000)
+                    .start_offset(SimDuration::from_nanos(
+                        rng.next_below(60_000_000_000) / 100 * 100,
+                    ))
+                    .hedged(rng.chance(0.05))
+                    .detached(rng.chance(0.05));
+                    if i > 0 {
+                        builder = builder.parent(rng.index(i) as u32);
+                    }
+                    if rng.chance(0.1) {
+                        builder = builder.error(*rng.choose(&ErrorKind::ALL));
+                    }
+                    builder.build()
+                })
+                .collect();
+            store.add(TraceData::new(
+                SimTime::from_nanos(t as u64 * 1_000_000),
+                spans,
+            ));
+        }
+        store
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_span() {
+        let store = random_store(1, 200);
+        let bytes = export(&store);
+        let back = import(&bytes).expect("valid export");
+        assert_eq!(back.len(), store.len());
+        assert_eq!(back.total_spans(), store.total_spans());
+        for (a, b) in store.traces().iter().zip(back.traces()) {
+            assert_eq!(a.root_start, b.root_start);
+            assert_eq!(a.spans, b.spans);
+        }
+    }
+
+    #[test]
+    fn empty_store_roundtrips() {
+        let store = TraceStore::new();
+        let bytes = export(&store);
+        let back = import(&bytes).expect("valid export");
+        assert_eq!(back.len(), 0);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let store = random_store(2, 20);
+        let mut bytes = export(&store);
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        match import(&bytes) {
+            Err(DecodeError::BadChecksum { .. }) => {}
+            other => panic!("expected checksum failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let store = random_store(3, 20);
+        let bytes = export(&store);
+        for cut in [0usize, 4, 8, bytes.len() / 2, bytes.len() - 1] {
+            assert!(import(&bytes[..cut]).is_err(), "cut {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn wrong_magic_and_version_rejected() {
+        let store = random_store(4, 5);
+        let reject_with = |mutate: fn(&mut Vec<u8>)| {
+            let mut bytes = export(&store);
+            mutate(&mut bytes);
+            // Re-seal the CRC so only the intended field is wrong.
+            let body = bytes.len() - 4;
+            let crc = crc32(&bytes[..body]);
+            let crc_bytes = crc.to_be_bytes();
+            bytes[body..].copy_from_slice(&crc_bytes);
+            import(&bytes)
+        };
+        assert!(matches!(
+            reject_with(|b| b[0] = b'X'),
+            Err(DecodeError::BadMagic)
+        ));
+        assert!(matches!(
+            reject_with(|b| b[4] = 9),
+            Err(DecodeError::BadVersion(9))
+        ));
+    }
+
+    #[test]
+    fn export_is_compact() {
+        // ~70 bytes per span plus headers: far below a naive text dump.
+        let store = random_store(5, 100);
+        let bytes = export(&store);
+        let per_span = bytes.len() as f64 / store.total_spans() as f64;
+        assert!(per_span < 90.0, "{per_span:.1} bytes/span");
+    }
+}

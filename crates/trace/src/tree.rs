@@ -1,0 +1,169 @@
+//! Tree-shape statistics: descendants and ancestors (§2.4).
+//!
+//! The paper measures, per method, the number of *descendants* (how much
+//! distributed work an RPC fans out to) and *ancestors* (how deep in a
+//! call tree the method typically sits), concluding that hyperscale call
+//! trees are much wider than they are deep.
+
+use crate::span::TraceData;
+
+/// Per-span tree statistics for one trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeStats {
+    /// Number of descendants of each span (subtree size minus one).
+    pub descendants: Vec<u32>,
+    /// Number of ancestors of each span (depth; root = 0).
+    pub ancestors: Vec<u32>,
+    /// Number of direct children of each span.
+    pub fanout: Vec<u32>,
+    /// Maximum depth of the tree.
+    pub max_depth: u32,
+}
+
+impl TreeStats {
+    /// Computes statistics for a trace in O(n) using the invariant that
+    /// parents precede children.
+    pub fn compute(trace: &TraceData) -> TreeStats {
+        let n = trace.spans.len();
+        let mut descendants = vec![0u32; n];
+        let mut ancestors = vec![0u32; n];
+        let mut fanout = vec![0u32; n];
+        let mut max_depth = 0;
+        // Forward pass: depths and fanout (parents precede children).
+        // Spans other than 0 may themselves be roots (hedged root calls
+        // make the trace a forest); they stay at depth 0.
+        for i in 1..n {
+            if trace.spans[i].is_root() {
+                continue;
+            }
+            let p = trace.spans[i].parent as usize;
+            ancestors[i] = ancestors[p] + 1;
+            fanout[p] += 1;
+            max_depth = max_depth.max(ancestors[i]);
+        }
+        // Backward pass: subtree sizes.
+        for i in (1..n).rev() {
+            if trace.spans[i].is_root() {
+                continue;
+            }
+            let p = trace.spans[i].parent as usize;
+            descendants[p] += descendants[i] + 1;
+        }
+        TreeStats {
+            descendants,
+            ancestors,
+            fanout,
+            max_depth,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{MethodId, ServiceId, SpanBuilder, SpanRecord};
+    use rpclens_netsim::topology::ClusterId;
+    use rpclens_simcore::time::SimTime;
+
+    fn span(parent: Option<u32>) -> SpanRecord {
+        let b = SpanBuilder::new(MethodId(0), ServiceId(0), ClusterId(0), ClusterId(0));
+        match parent {
+            Some(p) => b.parent(p),
+            None => b,
+        }
+        .build()
+    }
+
+    /// Builds a trace from a parent list (index 0 must be None).
+    fn trace(parents: &[Option<u32>]) -> TraceData {
+        TraceData::new(
+            SimTime::ZERO,
+            parents.iter().map(|&p| span(p)).collect(),
+        )
+    }
+
+    #[test]
+    fn single_span_tree() {
+        let s = TreeStats::compute(&trace(&[None]));
+        assert_eq!(s.descendants, vec![0]);
+        assert_eq!(s.ancestors, vec![0]);
+        assert_eq!(s.fanout, vec![0]);
+        assert_eq!(s.max_depth, 0);
+    }
+
+    #[test]
+    fn chain_tree_is_deep() {
+        // 0 -> 1 -> 2 -> 3.
+        let s = TreeStats::compute(&trace(&[None, Some(0), Some(1), Some(2)]));
+        assert_eq!(s.descendants, vec![3, 2, 1, 0]);
+        assert_eq!(s.ancestors, vec![0, 1, 2, 3]);
+        assert_eq!(s.fanout, vec![1, 1, 1, 0]);
+        assert_eq!(s.max_depth, 3);
+    }
+
+    #[test]
+    fn star_tree_is_wide() {
+        // Root with 5 direct children.
+        let s = TreeStats::compute(&trace(&[
+            None,
+            Some(0),
+            Some(0),
+            Some(0),
+            Some(0),
+            Some(0),
+        ]));
+        assert_eq!(s.descendants[0], 5);
+        assert_eq!(s.fanout[0], 5);
+        assert_eq!(s.max_depth, 1);
+        assert!(s.ancestors[1..].iter().all(|&a| a == 1));
+    }
+
+    #[test]
+    fn mixed_tree() {
+        //       0
+        //      / \
+        //     1   2
+        //    / \   \
+        //   3   4   5
+        let s = TreeStats::compute(&trace(&[
+            None,
+            Some(0),
+            Some(0),
+            Some(1),
+            Some(1),
+            Some(2),
+        ]));
+        assert_eq!(s.descendants, vec![5, 2, 1, 0, 0, 0]);
+        assert_eq!(s.ancestors, vec![0, 1, 1, 2, 2, 2]);
+        assert_eq!(s.fanout, vec![2, 2, 1, 0, 0, 0]);
+        assert_eq!(s.max_depth, 2);
+    }
+
+    #[test]
+    fn invariants_hold_on_random_trees() {
+        use rpclens_simcore::rng::Prng;
+        let mut rng = Prng::seed_from(1);
+        for _ in 0..100 {
+            let n = 2 + rng.index(200);
+            let parents: Vec<Option<u32>> = (0..n)
+                .map(|i| if i == 0 { None } else { Some(rng.index(i) as u32) })
+                .collect();
+            let t = trace(&parents);
+            let s = TreeStats::compute(&t);
+            // The root's descendants count the whole tree.
+            assert_eq!(s.descendants[0] as usize, n - 1);
+            // Total fanout = number of edges.
+            assert_eq!(s.fanout.iter().sum::<u32>() as usize, n - 1);
+            // Each child's ancestor count is its parent's plus one.
+            for i in 1..n {
+                let p = parents[i].unwrap() as usize;
+                assert_eq!(s.ancestors[i], s.ancestors[p] + 1);
+            }
+            // Sum of descendants equals sum of depths (both count
+            // ancestor-descendant pairs).
+            let sum_desc: u64 = s.descendants.iter().map(|&d| d as u64).sum();
+            let sum_depth: u64 = s.ancestors.iter().map(|&a| a as u64).sum();
+            assert_eq!(sum_desc, sum_depth);
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Query layer: selection, counter rates, and grouped aggregation.
+
+use crate::metric::{Labels, MetricValue};
+use crate::store::{Series, TimeSeriesDb};
+use rpclens_simcore::time::SimTime;
+use std::collections::BTreeMap;
+
+/// A label predicate for selecting series.
+#[derive(Debug, Clone, Default)]
+pub struct LabelFilter {
+    required: Vec<(String, String)>,
+}
+
+impl LabelFilter {
+    /// Matches every series.
+    pub fn any() -> Self {
+        Self::default()
+    }
+
+    /// Adds an exact-match requirement.
+    pub fn eq(mut self, key: &str, value: &str) -> Self {
+        self.required.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Whether a label set satisfies the filter.
+    pub fn matches(&self, labels: &Labels) -> bool {
+        self.required
+            .iter()
+            .all(|(k, v)| labels.get(k) == Some(v.as_str()))
+    }
+}
+
+/// Query operations over a [`TimeSeriesDb`].
+#[derive(Debug)]
+pub struct QueryEngine<'a> {
+    db: &'a TimeSeriesDb,
+}
+
+impl<'a> QueryEngine<'a> {
+    /// Creates a query engine over a database.
+    pub fn new(db: &'a TimeSeriesDb) -> Self {
+        QueryEngine { db }
+    }
+
+    /// Selects all series of `metric` matching `filter`.
+    pub fn select(&self, metric: &str, filter: &LabelFilter) -> Vec<(&'a Labels, &'a Series)> {
+        let mut out: Vec<_> = self
+            .db
+            .series_of(metric)
+            .filter(|(l, _)| filter.matches(l))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(b.0));
+        out
+    }
+
+    /// Converts a cumulative counter series to per-second rates between
+    /// consecutive points. Counter resets (decreases) yield a zero rate.
+    pub fn rate(series: &Series) -> Vec<(SimTime, f64)> {
+        let mut out = Vec::new();
+        let mut prev: Option<(SimTime, u64)> = None;
+        for (t, v) in series.points() {
+            if let MetricValue::Counter(c) = v {
+                if let Some((pt, pc)) = prev {
+                    let dt = t.since(pt).as_secs_f64();
+                    if dt > 0.0 {
+                        let delta = c.saturating_sub(pc);
+                        out.push((*t, delta as f64 / dt));
+                    }
+                }
+                prev = Some((*t, *c));
+            }
+        }
+        out
+    }
+
+    /// Extracts gauge values as `(time, value)` pairs.
+    pub fn gauges(series: &Series) -> Vec<(SimTime, f64)> {
+        series
+            .points()
+            .iter()
+            .filter_map(|(t, v)| v.as_gauge().map(|g| (*t, g)))
+            .collect()
+    }
+
+    /// Groups selected series by one label key and sums gauge values per
+    /// timestamp within each group.
+    pub fn group_sum(
+        &self,
+        metric: &str,
+        filter: &LabelFilter,
+        group_key: &str,
+    ) -> BTreeMap<String, BTreeMap<SimTime, f64>> {
+        let mut out: BTreeMap<String, BTreeMap<SimTime, f64>> = BTreeMap::new();
+        for (labels, series) in self.select(metric, filter) {
+            let group = labels.get(group_key).unwrap_or("<none>").to_string();
+            let entry = out.entry(group).or_default();
+            for (t, v) in series.points() {
+                let x = match v {
+                    MetricValue::Gauge(g) => *g,
+                    MetricValue::Counter(c) => *c as f64,
+                    MetricValue::Distribution(h) => h.mean().unwrap_or(0.0),
+                };
+                *entry.entry(*t).or_insert(0.0) += x;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::MetricDescriptor;
+    use rpclens_simcore::time::SimDuration;
+
+    fn mins(m: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_mins(m)
+    }
+
+    fn db_with_counters() -> TimeSeriesDb {
+        let mut d = TimeSeriesDb::new(SimDuration::from_mins(30));
+        d.register(MetricDescriptor::counter("rps", SimDuration::from_hours(100)))
+            .unwrap();
+        d.register(MetricDescriptor::gauge("util", SimDuration::from_hours(100)))
+            .unwrap();
+        for cluster in ["a", "b"] {
+            let labels = Labels::from_pairs([("cluster", cluster), ("service", "disk")]);
+            for i in 0..4u64 {
+                d.write(
+                    "rps",
+                    labels.clone(),
+                    mins(i * 30),
+                    MetricValue::Counter(i * 1800 * if cluster == "a" { 1 } else { 2 }),
+                )
+                .unwrap();
+                d.write(
+                    "util",
+                    labels.clone(),
+                    mins(i * 30),
+                    MetricValue::Gauge(0.1 * i as f64),
+                )
+                .unwrap();
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn select_filters_by_label() {
+        let d = db_with_counters();
+        let q = QueryEngine::new(&d);
+        assert_eq!(q.select("rps", &LabelFilter::any()).len(), 2);
+        assert_eq!(
+            q.select("rps", &LabelFilter::any().eq("cluster", "a")).len(),
+            1
+        );
+        assert_eq!(
+            q.select("rps", &LabelFilter::any().eq("cluster", "zzz")).len(),
+            0
+        );
+        assert_eq!(
+            q.select(
+                "rps",
+                &LabelFilter::any().eq("cluster", "a").eq("service", "disk")
+            )
+            .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn rate_computes_per_second_deltas() {
+        let d = db_with_counters();
+        let q = QueryEngine::new(&d);
+        let labels = Labels::from_pairs([("cluster", "a"), ("service", "disk")]);
+        let series = q.select("rps", &LabelFilter::any().eq("cluster", "a"));
+        assert_eq!(series.len(), 1);
+        let rates = QueryEngine::rate(series[0].1);
+        // Counter grows 1800 per 30 minutes = 1/sec.
+        assert_eq!(rates.len(), 3);
+        for (_, r) in &rates {
+            assert!((r - 1.0).abs() < 1e-9, "rate {r}");
+        }
+        let _ = labels;
+    }
+
+    #[test]
+    fn rate_handles_counter_reset() {
+        let mut d = TimeSeriesDb::new(SimDuration::from_mins(30));
+        d.register(MetricDescriptor::counter("c", SimDuration::from_hours(10)))
+            .unwrap();
+        d.write("c", Labels::empty(), mins(0), MetricValue::Counter(100))
+            .unwrap();
+        d.write("c", Labels::empty(), mins(30), MetricValue::Counter(10))
+            .unwrap();
+        let s = d.series("c", &Labels::empty()).unwrap();
+        let rates = QueryEngine::rate(s);
+        assert_eq!(rates.len(), 1);
+        assert_eq!(rates[0].1, 0.0);
+    }
+
+    #[test]
+    fn group_sum_aggregates_across_series() {
+        let d = db_with_counters();
+        let q = QueryEngine::new(&d);
+        let grouped = q.group_sum("util", &LabelFilter::any(), "service");
+        assert_eq!(grouped.len(), 1);
+        let disk = &grouped["disk"];
+        // Both clusters contribute 0.1*i at each timestamp.
+        assert!((disk[&mins(30)] - 0.2).abs() < 1e-12);
+        assert!((disk[&mins(90)] - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn group_sum_with_missing_key_buckets_to_none() {
+        let d = db_with_counters();
+        let q = QueryEngine::new(&d);
+        let grouped = q.group_sum("util", &LabelFilter::any(), "nonexistent");
+        assert_eq!(grouped.len(), 1);
+        assert!(grouped.contains_key("<none>"));
+    }
+
+    #[test]
+    fn gauges_extract_values() {
+        let d = db_with_counters();
+        let q = QueryEngine::new(&d);
+        let series = q.select("util", &LabelFilter::any().eq("cluster", "b"));
+        let gs = QueryEngine::gauges(series[0].1);
+        assert_eq!(gs.len(), 4);
+        assert_eq!(gs[2].1, 0.2);
+    }
+}

@@ -1,0 +1,372 @@
+//! The time-series store.
+//!
+//! Each `(metric, labels)` pair owns one [`Series`] of timestamped points.
+//! Writes are aligned down to the metric's sampling window and retention
+//! is enforced lazily at write time, the way a streaming monitoring
+//! database ages out old data.
+
+use crate::metric::{Labels, MetricDescriptor, MetricValue};
+use rpclens_simcore::time::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// One time series: aligned, time-ordered points.
+#[derive(Debug, Clone, Default)]
+pub struct Series {
+    points: Vec<(SimTime, MetricValue)>,
+}
+
+impl Series {
+    /// The points, oldest first.
+    pub fn points(&self) -> &[(SimTime, MetricValue)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The most recent point.
+    pub fn latest(&self) -> Option<&(SimTime, MetricValue)> {
+        self.points.last()
+    }
+
+    fn push(&mut self, at: SimTime, value: MetricValue) {
+        // Overwrite if the window already has a point (last write wins).
+        if let Some(last) = self.points.last_mut() {
+            if last.0 == at {
+                last.1 = value;
+                return;
+            }
+        }
+        debug_assert!(
+            self.points.last().map(|(t, _)| *t < at).unwrap_or(true),
+            "points must be written in time order"
+        );
+        self.points.push((at, value));
+    }
+
+    fn enforce_retention(&mut self, now: SimTime, retention: SimDuration) {
+        let cutoff_ns = now.as_nanos().saturating_sub(retention.as_nanos());
+        let cutoff = SimTime::from_nanos(cutoff_ns);
+        let keep_from = self.points.partition_point(|(t, _)| *t < cutoff);
+        if keep_from > 0 {
+            self.points.drain(..keep_from);
+        }
+    }
+}
+
+/// The database: registered metrics and their series.
+#[derive(Debug, Default)]
+pub struct TimeSeriesDb {
+    metrics: HashMap<String, MetricDescriptor>,
+    series: HashMap<(String, Labels), Series>,
+    sample_period: SimDuration,
+}
+
+impl TimeSeriesDb {
+    /// Creates a database sampling on the given period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the period is zero.
+    pub fn new(sample_period: SimDuration) -> Self {
+        assert!(sample_period.as_nanos() > 0, "sample period must be positive");
+        TimeSeriesDb {
+            metrics: HashMap::new(),
+            series: HashMap::new(),
+            sample_period,
+        }
+    }
+
+    /// The sampling period.
+    pub fn sample_period(&self) -> SimDuration {
+        self.sample_period
+    }
+
+    /// Registers a metric. Re-registering with identical descriptor is a
+    /// no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the name is already registered with a
+    /// different kind or retention.
+    pub fn register(&mut self, desc: MetricDescriptor) -> Result<(), String> {
+        if let Some(existing) = self.metrics.get(&desc.name) {
+            if existing != &desc {
+                return Err(format!("metric {} already registered differently", desc.name));
+            }
+            return Ok(());
+        }
+        self.metrics.insert(desc.name.clone(), desc);
+        Ok(())
+    }
+
+    /// The descriptor of a metric, if registered.
+    pub fn descriptor(&self, name: &str) -> Option<&MetricDescriptor> {
+        self.metrics.get(name)
+    }
+
+    /// Writes one sample, aligning `at` down to the sampling window and
+    /// enforcing retention.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the metric is unregistered or the value kind
+    /// does not match the descriptor.
+    pub fn write(
+        &mut self,
+        name: &str,
+        labels: Labels,
+        at: SimTime,
+        value: MetricValue,
+    ) -> Result<(), String> {
+        let desc = self
+            .metrics
+            .get(name)
+            .ok_or_else(|| format!("metric {name} not registered"))?;
+        if desc.kind != value.kind() {
+            return Err(format!(
+                "metric {name} is {:?}, got {:?}",
+                desc.kind,
+                value.kind()
+            ));
+        }
+        let aligned = at.align_down(self.sample_period);
+        let retention = desc.retention;
+        let series = self
+            .series
+            .entry((name.to_string(), labels))
+            .or_default();
+        series.push(aligned, value);
+        series.enforce_retention(aligned, retention);
+        Ok(())
+    }
+
+    /// Reads one series.
+    pub fn series(&self, name: &str, labels: &Labels) -> Option<&Series> {
+        self.series.get(&(name.to_string(), labels.clone()))
+    }
+
+    /// Iterates all `(labels, series)` of one metric.
+    pub fn series_of<'a>(
+        &'a self,
+        name: &str,
+    ) -> impl Iterator<Item = (&'a Labels, &'a Series)> + 'a {
+        let name = name.to_string();
+        self.series
+            .iter()
+            .filter(move |((n, _), _)| *n == name)
+            .map(|((_, l), s)| (l, s))
+    }
+
+    /// Number of live series.
+    pub fn num_series(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Downsamples a series' gauge values to a coarser window by
+    /// averaging; counters take the last value of each window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is smaller than the sampling period.
+    pub fn downsample(&self, series: &Series, window: SimDuration) -> Vec<(SimTime, f64)> {
+        assert!(
+            window.as_nanos() >= self.sample_period.as_nanos(),
+            "downsample window smaller than sample period"
+        );
+        let mut out: Vec<(SimTime, f64)> = Vec::new();
+        let mut bucket_start: Option<SimTime> = None;
+        let mut acc = 0.0;
+        let mut n = 0u64;
+        let mut last_counter = 0.0;
+        for (t, v) in series.points() {
+            let aligned = t.align_down(window);
+            if bucket_start != Some(aligned) {
+                if let Some(b) = bucket_start {
+                    out.push((b, if n > 0 { acc / n as f64 } else { last_counter }));
+                }
+                bucket_start = Some(aligned);
+                acc = 0.0;
+                n = 0;
+            }
+            match v {
+                MetricValue::Gauge(g) => {
+                    acc += g;
+                    n += 1;
+                }
+                MetricValue::Counter(c) => {
+                    last_counter = *c as f64;
+                }
+                MetricValue::Distribution(h) => {
+                    if let Some(m) = h.mean() {
+                        acc += m;
+                        n += 1;
+                    }
+                }
+            }
+        }
+        if let Some(b) = bucket_start {
+            out.push((b, if n > 0 { acc / n as f64 } else { last_counter }));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpclens_simcore::hist::LogHistogram;
+
+    fn db() -> TimeSeriesDb {
+        TimeSeriesDb::new(SimDuration::from_mins(30))
+    }
+
+    fn mins(m: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_mins(m)
+    }
+
+    #[test]
+    fn register_then_write_and_read() {
+        let mut d = db();
+        d.register(MetricDescriptor::gauge("cpu", SimDuration::from_hours(24)))
+            .unwrap();
+        d.write("cpu", Labels::empty(), mins(31), MetricValue::Gauge(0.5))
+            .unwrap();
+        let s = d.series("cpu", &Labels::empty()).unwrap();
+        assert_eq!(s.len(), 1);
+        // Aligned down to the 30-minute boundary.
+        assert_eq!(s.points()[0].0, mins(30));
+        assert_eq!(s.latest().unwrap().1.as_gauge(), Some(0.5));
+    }
+
+    #[test]
+    fn unregistered_or_mismatched_writes_fail() {
+        let mut d = db();
+        assert!(d
+            .write("nope", Labels::empty(), mins(0), MetricValue::Gauge(1.0))
+            .is_err());
+        d.register(MetricDescriptor::counter("c", SimDuration::from_hours(1)))
+            .unwrap();
+        assert!(d
+            .write("c", Labels::empty(), mins(0), MetricValue::Gauge(1.0))
+            .is_err());
+        assert!(d
+            .write("c", Labels::empty(), mins(0), MetricValue::Counter(1))
+            .is_ok());
+    }
+
+    #[test]
+    fn conflicting_registration_fails() {
+        let mut d = db();
+        d.register(MetricDescriptor::gauge("m", SimDuration::from_hours(1)))
+            .unwrap();
+        assert!(d
+            .register(MetricDescriptor::gauge("m", SimDuration::from_hours(1)))
+            .is_ok());
+        assert!(d
+            .register(MetricDescriptor::counter("m", SimDuration::from_hours(1)))
+            .is_err());
+    }
+
+    #[test]
+    fn same_window_write_overwrites() {
+        let mut d = db();
+        d.register(MetricDescriptor::gauge("g", SimDuration::from_hours(1)))
+            .unwrap();
+        d.write("g", Labels::empty(), mins(5), MetricValue::Gauge(1.0))
+            .unwrap();
+        d.write("g", Labels::empty(), mins(20), MetricValue::Gauge(2.0))
+            .unwrap();
+        let s = d.series("g", &Labels::empty()).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.latest().unwrap().1.as_gauge(), Some(2.0));
+    }
+
+    #[test]
+    fn retention_drops_old_points() {
+        let mut d = db();
+        d.register(MetricDescriptor::gauge("g", SimDuration::from_hours(2)))
+            .unwrap();
+        for i in 0..10u64 {
+            d.write(
+                "g",
+                Labels::empty(),
+                mins(i * 30),
+                MetricValue::Gauge(i as f64),
+            )
+            .unwrap();
+        }
+        let s = d.series("g", &Labels::empty()).unwrap();
+        // At t=270min with 120min retention, points before 150min are gone.
+        assert!(s.points().iter().all(|(t, _)| *t >= mins(150)));
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn series_are_keyed_by_labels() {
+        let mut d = db();
+        d.register(MetricDescriptor::gauge("g", SimDuration::from_hours(24)))
+            .unwrap();
+        let a = Labels::from_pairs([("cluster", "1")]);
+        let b = Labels::from_pairs([("cluster", "2")]);
+        d.write("g", a.clone(), mins(0), MetricValue::Gauge(1.0))
+            .unwrap();
+        d.write("g", b.clone(), mins(0), MetricValue::Gauge(2.0))
+            .unwrap();
+        assert_eq!(d.num_series(), 2);
+        assert_eq!(d.series_of("g").count(), 2);
+        assert_eq!(
+            d.series("g", &a).unwrap().latest().unwrap().1.as_gauge(),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn distribution_points_round_trip() {
+        let mut d = db();
+        d.register(MetricDescriptor::distribution(
+            "lat",
+            SimDuration::from_hours(24),
+        ))
+        .unwrap();
+        let mut h = LogHistogram::new();
+        for v in [100u64, 200, 300] {
+            h.record(v);
+        }
+        d.write("lat", Labels::empty(), mins(0), MetricValue::Distribution(h))
+            .unwrap();
+        let s = d.series("lat", &Labels::empty()).unwrap();
+        let got = s.points()[0].1.as_distribution().unwrap();
+        assert_eq!(got.count(), 3);
+        assert_eq!(got.mean(), Some(200.0));
+    }
+
+    #[test]
+    fn downsample_averages_gauges() {
+        let mut d = db();
+        d.register(MetricDescriptor::gauge("g", SimDuration::from_hours(48)))
+            .unwrap();
+        for i in 0..8u64 {
+            d.write(
+                "g",
+                Labels::empty(),
+                mins(i * 30),
+                MetricValue::Gauge(i as f64),
+            )
+            .unwrap();
+        }
+        let s = d.series("g", &Labels::empty()).unwrap().clone();
+        let coarse = d.downsample(&s, SimDuration::from_hours(2));
+        // 8 points at 30-minute cadence = 2 buckets of 4.
+        assert_eq!(coarse.len(), 2);
+        assert_eq!(coarse[0].1, 1.5);
+        assert_eq!(coarse[1].1, 5.5);
+    }
+}

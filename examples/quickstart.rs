@@ -1,0 +1,47 @@
+//! Quickstart: simulate a small fleet day and print the headline
+//! characterization numbers.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rpclens::core::figs::{fig03, fig10, fig20, fig23};
+use rpclens::prelude::*;
+
+fn main() {
+    // A CI-sized fleet: ~400 methods, 6,000 root RPCs over one simulated
+    // day. Swap in `SimScale::default_scale()` or `SimScale::paper()` for
+    // the calibrated populations.
+    let config = FleetConfig::at_scale(SimScale::smoke());
+    let t0 = std::time::Instant::now();
+    let run = run_fleet(config);
+    println!(
+        "simulated {} RPCs in {} sampled traces across {} clusters ({:.2}s wall)",
+        run.total_spans,
+        run.store.len(),
+        run.topology.num_clusters(),
+        t0.elapsed().as_secs_f64()
+    );
+    println!(
+        "catalog: {} methods in {} services; error rate {:.2}%\n",
+        run.catalog.num_methods(),
+        run.catalog.num_services(),
+        run.errors.error_rate() * 100.0
+    );
+
+    // Popularity skew (Fig. 3).
+    let popularity = fig03::compute(&run);
+    println!("{}", fig03::render(&popularity));
+
+    // The latency tax (Fig. 10).
+    let tax = fig10::compute(&run);
+    println!("{}", fig10::render(&tax));
+
+    // The cycle tax (Fig. 20).
+    let cycles = fig20::compute(&run);
+    println!("{}", fig20::render(&cycles));
+
+    // Errors (Fig. 23).
+    let errors = fig23::compute(&run);
+    println!("{}", fig23::render(&errors));
+}

@@ -1,0 +1,155 @@
+//! The headline reproduction test: at the calibrated default scale,
+//! every figure's paper-vs-measured shape checks must pass.
+//!
+//! This is the same gate `repro all --scale default` enforces; here it
+//! runs as part of `cargo test --workspace` so a regression in any model
+//! parameter is caught immediately.
+
+use rpclens::core::check::ExpectationSet;
+use rpclens::core::figs as f;
+use rpclens::prelude::*;
+use std::sync::OnceLock;
+
+fn shared() -> &'static FleetRun {
+    static RUN: OnceLock<FleetRun> = OnceLock::new();
+    // The calibrated default scale, reduced in roots to keep debug-mode
+    // test time reasonable while staying above every per-figure sample
+    // gate.
+    RUN.get_or_init(|| {
+        run_fleet(FleetConfig::at_scale(SimScale {
+            roots: 60_000,
+            ..SimScale::default_scale()
+        }))
+    })
+}
+
+fn assert_all(checks: ExpectationSet) {
+    assert!(checks.all_passed(), "{checks}");
+}
+
+#[test]
+fn fig01_growth() {
+    let fig = f::fig01::compute(&GrowthConfig::default());
+    assert_all(f::fig01::checks(&fig));
+}
+
+#[test]
+fn fig02_latency() {
+    assert_all(f::fig02::checks(&f::fig02::compute(shared())));
+}
+
+#[test]
+fn fig03_popularity() {
+    assert_all(f::fig03::checks(&f::fig03::compute(shared())));
+}
+
+#[test]
+fn fig04_descendants() {
+    assert_all(f::fig04::checks(&f::fig04::compute(shared())));
+}
+
+#[test]
+fn fig05_ancestors() {
+    assert_all(f::fig05::checks(&f::fig05::compute(shared())));
+}
+
+#[test]
+fn fig06_sizes() {
+    assert_all(f::fig06::checks(&f::fig06::compute(shared())));
+}
+
+#[test]
+fn fig07_ratio() {
+    assert_all(f::fig07::checks(&f::fig07::compute(shared())));
+}
+
+#[test]
+fn fig08_services() {
+    assert_all(f::fig08::checks(&f::fig08::compute(shared())));
+}
+
+#[test]
+fn fig10_tax() {
+    assert_all(f::fig10::checks(&f::fig10::compute(shared())));
+}
+
+#[test]
+fn fig11_tax_ratio() {
+    assert_all(f::fig11::checks(&f::fig11::compute(shared())));
+}
+
+#[test]
+fn fig12_network_stack() {
+    assert_all(f::fig12::checks(&f::fig12::compute(shared())));
+}
+
+#[test]
+fn fig13_queueing() {
+    assert_all(f::fig13::checks(&f::fig13::compute(shared())));
+}
+
+#[test]
+fn fig14_breakdowns() {
+    assert_all(f::fig14::checks(&f::fig14::compute(shared())));
+}
+
+#[test]
+fn fig15_whatif() {
+    assert_all(f::fig15::checks(&f::fig15::compute(shared())));
+}
+
+#[test]
+fn fig16_clusters() {
+    assert_all(f::fig16::checks(&f::fig16::compute(shared())));
+}
+
+#[test]
+fn fig17_exogenous() {
+    assert_all(f::fig17::checks(&f::fig17::compute(shared())));
+}
+
+#[test]
+fn fig18_timeline() {
+    let fig = f::fig18::compute(shared()).expect("enough Bigtable clusters");
+    assert_all(f::fig18::checks(&fig));
+}
+
+#[test]
+fn fig19_crosscluster() {
+    assert_all(f::fig19::checks(&f::fig19::compute(shared())));
+}
+
+#[test]
+fn fig20_cycle_tax() {
+    assert_all(f::fig20::checks(&f::fig20::compute(shared())));
+}
+
+#[test]
+fn fig21_cpu() {
+    assert_all(f::fig21::checks(&f::fig21::compute(shared())));
+}
+
+#[test]
+fn fig22_load_balance() {
+    assert_all(f::fig22::checks(&f::fig22::compute(shared())));
+}
+
+#[test]
+fn fig23_errors() {
+    assert_all(f::fig23::checks(&f::fig23::compute(shared())));
+}
+
+#[test]
+fn table1_services() {
+    assert_all(f::table1::checks(shared()));
+}
+
+#[test]
+fn table2_variables() {
+    assert_all(f::table2::checks(&f::table2::compute(shared())));
+}
+
+#[test]
+fn section_2_4_comparison() {
+    assert_all(f::compare::checks(&f::compare::compute(shared())));
+}
