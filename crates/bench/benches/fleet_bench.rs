@@ -56,11 +56,12 @@ fn bench_queue_and_congestion(c: &mut Criterion) {
         b.iter(|| black_box(q.sample_wait(0.8, &mut rng)))
     });
     let mut proc = CongestionProcess::new(CongestionParams::wan(), Prng::seed_from(5));
+    let mut jitter_rng = Prng::seed_from(6);
     let mut t = 0u64;
     g.bench_function("congestion_delay", |b| {
         b.iter(|| {
             t += 1_000_000;
-            black_box(proc.queueing_delay(SimTime::from_nanos(t)))
+            black_box(proc.queueing_delay(SimTime::from_nanos(t), &mut jitter_rng))
         })
     });
     g.finish();

@@ -65,10 +65,14 @@ fn bench_rng_and_dists(c: &mut Criterion) {
     let ln = LogNormal::from_median_sigma(1e-3, 1.2).expect("valid");
     g.bench_function("lognormal", |b| b.iter(|| black_box(ln.sample(&mut rng))));
     let bp = BoundedPareto::new(1.0, 1e6, 1.1).expect("valid");
-    g.bench_function("bounded_pareto", |b| b.iter(|| black_box(bp.sample(&mut rng))));
+    g.bench_function("bounded_pareto", |b| {
+        b.iter(|| black_box(bp.sample(&mut rng)))
+    });
     let weights: Vec<f64> = (1..=10_000).map(|i| 1.0 / i as f64).collect();
     let alias = AliasTable::new(&weights).expect("valid");
-    g.bench_function("alias_10k", |b| b.iter(|| black_box(alias.sample(&mut rng))));
+    g.bench_function("alias_10k", |b| {
+        b.iter(|| black_box(alias.sample(&mut rng)))
+    });
     let zipf = Zipf::new(10_000, 1.2).expect("valid");
     g.bench_function("zipf_10k", |b| b.iter(|| black_box(zipf.sample(&mut rng))));
     g.finish();

@@ -36,7 +36,11 @@ fn main() {
         ablations.extend(Ablation::ALL);
     }
     for ablation in ablations {
-        eprintln!("running ablation {} at scale {}...", ablation.name(), scale.name);
+        eprintln!(
+            "running ablation {} at scale {}...",
+            ablation.name(),
+            scale.name
+        );
         let r = run_ablation(ablation, &scale);
         println!(
             "{:>14}: {}\n{:>14}  with mechanism    {:.6}\n{:>14}  without mechanism {:.6}\n{:>14}  ratio (off/on)    {:.3}",

@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro all [--scale smoke|default|paper] [--seed N] [--out DIR]
+//! repro all [--scale smoke|default|paper] [--seed N] [--shards N] [--out DIR]
 //! repro fig12 fig13 table1 ...
 //! repro list
 //! ```
@@ -13,12 +13,12 @@
 //! paper-vs-measured expectation checks. The process exits non-zero if
 //! any check misses, so CI can gate on shape fidelity.
 
-use rpclens_bench::{produce, run_at, scale_by_name, Artifact};
+use rpclens_bench::{produce, run_at_sharded, scale_by_name, Artifact};
 use rpclens_fleet::driver::SimScale;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <artifact>... | all | list  [--scale smoke|default|paper] [--seed N]\n\
+        "usage: repro <artifact>... | all | list  [--scale smoke|default|paper] [--seed N] [--shards N]\n\
          artifacts: {}",
         Artifact::ALL
             .iter()
@@ -35,6 +35,7 @@ fn main() {
         usage();
     }
     let mut scale = SimScale::default_scale();
+    let mut shards: Option<usize> = None;
     let mut out_dir: Option<std::path::PathBuf> = None;
     let mut artifacts: Vec<Artifact> = Vec::new();
     let mut iter = args.iter().peekable();
@@ -53,6 +54,12 @@ fn main() {
                     usage()
                 };
                 scale.seed = seed;
+            }
+            "--shards" => {
+                let Some(n) = iter.next().and_then(|s| s.parse().ok()) else {
+                    usage()
+                };
+                shards = Some(n);
             }
             "--out" => {
                 let Some(dir) = iter.next() else { usage() };
@@ -85,7 +92,7 @@ fn main() {
             scale.name, scale.total_methods, scale.roots, scale.seed
         );
         let t0 = std::time::Instant::now();
-        let run = run_at(scale);
+        let run = run_at_sharded(scale, shards);
         eprintln!(
             "simulated {} spans in {} traces ({:.1}s)",
             run.total_spans,
@@ -106,10 +113,15 @@ fn main() {
         let (text, checks) = produce(artifact, run.as_ref());
         if let Some(dir) = &out_dir {
             let path = dir.join(format!("{}.txt", artifact.name()));
-            std::fs::write(&path, format!("{text}
+            std::fs::write(
+                &path,
+                format!(
+                    "{text}
 {checks}
-"))
-                .expect("write artifact file");
+"
+                ),
+            )
+            .expect("write artifact file");
         }
         println!("{}", "=".repeat(72));
         println!("{text}");

@@ -95,10 +95,7 @@ impl Artifact {
     /// Parses a CLI name like `fig12`, `table1`, or `compare`.
     pub fn parse(name: &str) -> Option<Artifact> {
         let name = name.to_lowercase();
-        Artifact::ALL
-            .iter()
-            .copied()
-            .find(|a| a.name() == name)
+        Artifact::ALL.iter().copied().find(|a| a.name() == name)
     }
 
     /// The CLI name.
@@ -264,6 +261,18 @@ pub fn scale_by_name(name: &str) -> Option<SimScale> {
 /// Runs the fleet at a scale preset.
 pub fn run_at(scale: SimScale) -> FleetRun {
     run_fleet(FleetConfig::at_scale(scale))
+}
+
+/// Runs the fleet at a scale preset with an explicit shard count.
+///
+/// `None` keeps the default (one shard per available core). Output is
+/// bit-identical regardless of the shard count.
+pub fn run_at_sharded(scale: SimScale, shards: Option<usize>) -> FleetRun {
+    let mut config = FleetConfig::at_scale(scale);
+    if let Some(shards) = shards {
+        config.shards = shards;
+    }
+    run_fleet(config)
 }
 
 #[cfg(test)]

@@ -1,0 +1,75 @@
+//! The parallel driver's tentpole guarantee: shard count must not change
+//! a single bit of any output.
+//!
+//! A sharded run partitions the root workload across worker threads, each
+//! with its own network instance and accumulators, then folds the shards
+//! back together in shard-id order. The determinism contract (see
+//! `docs/ARCHITECTURE.md`) promises that this fold reproduces the
+//! single-threaded run exactly — so every figure and table regenerated
+//! from a run is bit-identical no matter how many cores were used.
+
+use rpclens_bench::{produce, Artifact};
+use rpclens_fleet::driver::{run_fleet, FleetConfig, FleetRun, SimScale};
+use rpclens_simcore::time::SimDuration;
+
+fn run_with_shards(shards: usize) -> FleetRun {
+    let scale = SimScale {
+        name: "determinism",
+        total_methods: 320,
+        roots: 4_000,
+        duration: SimDuration::from_hours(24),
+        trace_sample_rate: 1,
+        seed: 23,
+    };
+    let mut config = FleetConfig::at_scale(scale);
+    config.shards = shards;
+    run_fleet(config)
+}
+
+#[test]
+fn figures_are_bit_identical_at_any_shard_count() {
+    let base = run_with_shards(1);
+    for shards in [2usize, 8] {
+        let run = run_with_shards(shards);
+
+        // Raw simulation outputs first — cheap to diagnose when they
+        // differ, and they are the inputs every figure derives from.
+        assert_eq!(base.total_spans, run.total_spans, "shards={shards}");
+        assert_eq!(base.method_calls, run.method_calls, "shards={shards}");
+        assert_eq!(base.method_bytes, run.method_bytes, "shards={shards}");
+        assert_eq!(base.store.len(), run.store.len(), "shards={shards}");
+        for (i, (a, b)) in base
+            .store
+            .traces()
+            .iter()
+            .zip(run.store.traces())
+            .enumerate()
+        {
+            assert_eq!(a.root_start, b.root_start, "trace {i} at shards={shards}");
+            assert_eq!(a.spans, b.spans, "trace {i} spans at shards={shards}");
+        }
+        assert_eq!(
+            base.errors.kinds_by_count(),
+            run.errors.kinds_by_count(),
+            "shards={shards}"
+        );
+        assert_eq!(
+            base.profiler.total_cycles(),
+            run.profiler.total_cycles(),
+            "shards={shards}"
+        );
+
+        // Then the deliverables themselves: every rendered figure and
+        // table, compared as exact text.
+        for artifact in Artifact::ALL {
+            let (a, _) = produce(artifact, Some(&base));
+            let (b, _) = produce(artifact, Some(&run));
+            assert_eq!(
+                a,
+                b,
+                "artifact {} differs at shards={shards}",
+                artifact.name()
+            );
+        }
+    }
+}

@@ -91,8 +91,7 @@ impl ExogenousProfile {
     /// interpolated between bucket centers.
     fn noise_at(&self, t: SimTime, stream: u64) -> f64 {
         let bucket = t.as_nanos() / NOISE_BUCKET.as_nanos();
-        let frac =
-            (t.as_nanos() % NOISE_BUCKET.as_nanos()) as f64 / NOISE_BUCKET.as_nanos() as f64;
+        let frac = (t.as_nanos() % NOISE_BUCKET.as_nanos()) as f64 / NOISE_BUCKET.as_nanos() as f64;
         let a = bucket_noise(self.seed, stream, bucket);
         let b = bucket_noise(self.seed, stream, bucket + 1);
         a + (b - a) * frac
@@ -101,32 +100,25 @@ impl ExogenousProfile {
     /// Samples the exogenous variables at instant `t`.
     pub fn sample(&self, t: SimTime) -> ExogenousVars {
         let hour = (t.as_secs_f64() / 3600.0) % 24.0;
-        let diurnal =
-            (std::f64::consts::TAU * (hour - self.peak_hour + 6.0) / 24.0).sin();
-        let cpu_util = (self.base_util
-            + self.diurnal_amp * diurnal
-            + self.noise * self.noise_at(t, 1))
-        .clamp(0.02, 0.98);
+        let diurnal = (std::f64::consts::TAU * (hour - self.peak_hour + 6.0) / 24.0).sin();
+        let cpu_util =
+            (self.base_util + self.diurnal_amp * diurnal + self.noise * self.noise_at(t, 1))
+                .clamp(0.02, 0.98);
 
         // Memory bandwidth tracks utilization sublinearly with its own
         // noise component.
-        let mem_frac = (0.25 + 0.75 * cpu_util.powf(0.8)
-            + 0.08 * self.noise_at(t, 2))
-        .clamp(0.05, 1.0);
+        let mem_frac =
+            (0.25 + 0.75 * cpu_util.powf(0.8) + 0.08 * self.noise_at(t, 2)).clamp(0.05, 1.0);
         let mem_bw_gbps = self.mem_bw_peak_gbps * mem_frac;
 
         // Long scheduler wakeups grow superlinearly with utilization: a
         // nearly idle machine rarely preempts, a saturated one often does.
-        let long_wakeup_rate = (0.001
-            + 0.02 * cpu_util.powi(3)
-            + 0.002 * self.noise_at(t, 3).abs())
-        .clamp(0.0, 0.15);
+        let long_wakeup_rate =
+            (0.001 + 0.02 * cpu_util.powi(3) + 0.002 * self.noise_at(t, 3).abs()).clamp(0.0, 0.15);
 
         // CPI degrades with memory pressure and sharing (cache/BW
         // contention), per the coupling observed in Fig. 17.
-        let cpi = (0.85 + 0.35 * cpu_util + 0.25 * mem_frac
-            + 0.04 * self.noise_at(t, 4))
-        .max(0.7);
+        let cpi = (0.85 + 0.35 * cpu_util + 0.25 * mem_frac + 0.04 * self.noise_at(t, 4)).max(0.7);
 
         ExogenousVars {
             cpu_util,
@@ -169,7 +161,8 @@ impl ExogenousProfile {
 /// rescaled — cheap, deterministic, and bounded in roughly `[-1.7, 1.7]`.
 fn bucket_noise(seed: u64, stream: u64, bucket: u64) -> f64 {
     let mut sm = SplitMix64::new(
-        seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ bucket.wrapping_mul(0xD134_2543_DE82_EF95),
+        seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ bucket.wrapping_mul(0xD134_2543_DE82_EF95),
     );
     let mut acc = 0.0;
     for _ in 0..4 {

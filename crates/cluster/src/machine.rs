@@ -44,12 +44,17 @@ impl Default for MachineConfig {
 }
 
 /// A simulated machine.
-#[derive(Debug)]
+///
+/// Machines hold no generator state of their own: every stochastic draw
+/// (currently only [`Machine::wakeup_latency`]) samples from a caller
+/// supplied [`Prng`]. This keeps a machine's behaviour a pure function of
+/// `(profile, t, caller randomness)`, which is what lets the fleet driver
+/// replay the same trace on any shard and get identical latencies.
+#[derive(Debug, Clone)]
 pub struct Machine {
     id: MachineId,
     config: MachineConfig,
     profile: ExogenousProfile,
-    rng: Prng,
 }
 
 /// Threshold above which a scheduling event counts as a "long wakeup"
@@ -57,15 +62,12 @@ pub struct Machine {
 pub const LONG_WAKEUP_THRESHOLD: SimDuration = SimDuration::from_micros(50);
 
 impl Machine {
-    /// Creates a machine with the given profile; randomness is derived
-    /// from the machine id so machines are independent and reproducible.
-    pub fn new(id: MachineId, config: MachineConfig, profile: ExogenousProfile, seed: u64) -> Self {
-        let rng = Prng::seed_from(seed).stream(0x4D41_0000 ^ id.0 as u64);
+    /// Creates a machine with the given profile.
+    pub fn new(id: MachineId, config: MachineConfig, profile: ExogenousProfile) -> Self {
         Machine {
             id,
             config,
             profile,
-            rng,
         }
     }
 
@@ -115,12 +117,15 @@ impl Machine {
         nominal.mul_f64(self.slowdown(t) / self.config.speed)
     }
 
-    /// Samples one scheduler wakeup latency at instant `t`.
+    /// Samples one scheduler wakeup latency at instant `t` from `rng`.
     ///
     /// Most wakeups are a few microseconds; with the machine's current
     /// long-wakeup probability the thread instead waits beyond
-    /// [`LONG_WAKEUP_THRESHOLD`], with an exponential tail.
-    pub fn wakeup_latency(&mut self, t: SimTime) -> SimDuration {
+    /// [`LONG_WAKEUP_THRESHOLD`], with an exponential tail. Draws come
+    /// from the caller's generator (in the fleet driver, the per-trace
+    /// stream) so that concurrent traces touching the same machine never
+    /// perturb each other's samples.
+    pub fn wakeup_latency(&self, t: SimTime, rng: &mut Prng) -> SimDuration {
         let vars = self.profile.sample(t);
         let long_rate = if self.config.reserved_cores {
             // Dedicated cores do not contend for runqueue slots.
@@ -128,16 +133,16 @@ impl Machine {
         } else {
             vars.long_wakeup_rate
         };
-        if self.rng.chance(long_rate) {
+        if rng.chance(long_rate) {
             // A long wakeup: threshold plus an exponential excess whose
             // mean grows with utilization.
             let mean_excess_us = 80.0 * (1.0 + 2.0 * vars.cpu_util);
-            let excess = -self.rng.next_f64_open().ln() * mean_excess_us;
+            let excess = -rng.next_f64_open().ln() * mean_excess_us;
             LONG_WAKEUP_THRESHOLD + SimDuration::from_micros_f64(excess)
         } else {
             // Normal wakeup: a few microseconds, mildly load-dependent.
             let mean_us = 2.0 + 6.0 * vars.cpu_util;
-            SimDuration::from_micros_f64(-self.rng.next_f64_open().ln() * mean_us)
+            SimDuration::from_micros_f64(-rng.next_f64_open().ln() * mean_us)
         }
     }
 }
@@ -146,7 +151,7 @@ impl Machine {
 mod tests {
     use super::*;
 
-    fn machine(reserved: bool, profile: ExogenousProfile, seed: u64) -> Machine {
+    fn machine(reserved: bool, profile: ExogenousProfile) -> Machine {
         Machine::new(
             MachineId(1),
             MachineConfig {
@@ -154,7 +159,6 @@ mod tests {
                 ..MachineConfig::default()
             },
             profile,
-            seed,
         )
     }
 
@@ -168,9 +172,8 @@ mod tests {
                 ..MachineConfig::default()
             },
             profile,
-            1,
         );
-        let slow = Machine::new(MachineId(1), MachineConfig::default(), profile, 1);
+        let slow = Machine::new(MachineId(1), MachineConfig::default(), profile);
         let t = SimTime::ZERO;
         let nominal = SimDuration::from_millis(10);
         let f = fast.execute(nominal, t);
@@ -180,8 +183,8 @@ mod tests {
 
     #[test]
     fn busy_machines_run_slower() {
-        let busy = machine(false, ExogenousProfile::busy(2), 2);
-        let light = machine(false, ExogenousProfile::light(2), 2);
+        let busy = machine(false, ExogenousProfile::busy(2));
+        let light = machine(false, ExogenousProfile::light(2));
         // Compare average slowdown across a day.
         let mut busy_sum = 0.0;
         let mut light_sum = 0.0;
@@ -196,8 +199,8 @@ mod tests {
     #[test]
     fn reserved_cores_shrink_utilization_coupling() {
         let profile = ExogenousProfile::busy(3);
-        let shared = machine(false, profile, 3);
-        let reserved = machine(true, profile, 3);
+        let shared = machine(false, profile);
+        let reserved = machine(true, profile);
         // Variance of slowdown across the day should be much lower with
         // reserved cores.
         let collect = |m: &Machine| -> Vec<f64> {
@@ -216,12 +219,13 @@ mod tests {
 
     #[test]
     fn wakeup_latencies_have_long_tail_on_busy_machines() {
-        let mut busy = machine(false, ExogenousProfile::busy(4), 4);
+        let busy = machine(false, ExogenousProfile::busy(4));
+        let mut rng = Prng::seed_from(4);
         let mut long = 0u32;
         let n = 50_000;
         for i in 0..n {
             let t = SimTime::ZERO + SimDuration::from_millis(i as u64);
-            if busy.wakeup_latency(t) >= LONG_WAKEUP_THRESHOLD {
+            if busy.wakeup_latency(t, &mut rng) >= LONG_WAKEUP_THRESHOLD {
                 long += 1;
             }
         }
@@ -232,27 +236,44 @@ mod tests {
 
     #[test]
     fn reserved_cores_avoid_long_wakeups() {
-        let mut shared = machine(false, ExogenousProfile::busy(5), 5);
-        let mut reserved = machine(true, ExogenousProfile::busy(5), 5);
-        let count_long = |m: &mut Machine| {
+        let shared = machine(false, ExogenousProfile::busy(5));
+        let reserved = machine(true, ExogenousProfile::busy(5));
+        let count_long = |m: &Machine, seed: u64| {
+            let mut rng = Prng::seed_from(seed);
             (0..50_000u64)
                 .filter(|&i| {
-                    m.wakeup_latency(SimTime::ZERO + SimDuration::from_millis(i))
+                    m.wakeup_latency(SimTime::ZERO + SimDuration::from_millis(i), &mut rng)
                         >= LONG_WAKEUP_THRESHOLD
                 })
                 .count()
         };
-        let s = count_long(&mut shared);
-        let r = count_long(&mut reserved);
+        let s = count_long(&shared, 5);
+        let r = count_long(&reserved, 5);
         assert!(r * 4 < s, "reserved {r} vs shared {s}");
     }
 
     #[test]
     fn wakeups_are_positive_and_bounded_sane() {
-        let mut m = machine(false, ExogenousProfile::shared(6), 6);
+        let m = machine(false, ExogenousProfile::shared(6));
+        let mut rng = Prng::seed_from(6);
         for i in 0..10_000u64 {
-            let w = m.wakeup_latency(SimTime::ZERO + SimDuration::from_millis(i));
+            let w = m.wakeup_latency(SimTime::ZERO + SimDuration::from_millis(i), &mut rng);
             assert!(w < SimDuration::from_millis(20), "wakeup {w} implausible");
+        }
+    }
+
+    #[test]
+    fn wakeup_is_pure_function_of_time_and_rng() {
+        // Two clones of the machine given identical caller rngs must
+        // produce identical samples — the machine itself holds no
+        // generator state.
+        let m1 = machine(false, ExogenousProfile::busy(7));
+        let m2 = m1.clone();
+        let mut r1 = Prng::seed_from(7);
+        let mut r2 = Prng::seed_from(7);
+        for i in 0..1_000u64 {
+            let t = SimTime::ZERO + SimDuration::from_millis(i);
+            assert_eq!(m1.wakeup_latency(t, &mut r1), m2.wakeup_latency(t, &mut r2));
         }
     }
 }

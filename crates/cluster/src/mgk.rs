@@ -25,8 +25,8 @@ pub fn erlang_c(k: u32, rho: f64) -> f64 {
     }
     let k = k.max(1);
     let a = rho * k as f64; // Offered load in Erlangs.
-    // Compute the Erlang-C formula in a numerically stable way via the
-    // iterative Erlang-B recursion: B(0) = 1, B(j) = a*B(j-1)/(j + a*B(j-1)).
+                            // Compute the Erlang-C formula in a numerically stable way via the
+                            // iterative Erlang-B recursion: B(0) = 1, B(j) = a*B(j-1)/(j + a*B(j-1)).
     let mut b = 1.0;
     for j in 1..=k {
         b = a * b / (j as f64 + a * b);
@@ -76,8 +76,7 @@ impl QueueModel {
             return SimDuration::ZERO;
         }
         let pw = erlang_c(self.workers, rho);
-        let mm_k_wait = pw * self.mean_service.as_secs_f64()
-            / (self.workers as f64 * (1.0 - rho));
+        let mm_k_wait = pw * self.mean_service.as_secs_f64() / (self.workers as f64 * (1.0 - rho));
         // The (1 + SCV)/2 factor extends M/M/k to M/G/k.
         SimDuration::from_secs_f64(mm_k_wait * (1.0 + self.scv) / 2.0)
     }
@@ -95,8 +94,7 @@ impl QueueModel {
             return SimDuration::ZERO;
         }
         // Conditional mean wait given waiting.
-        let cond_mean = self.mean_service.as_secs_f64()
-            / (self.workers as f64 * (1.0 - rho))
+        let cond_mean = self.mean_service.as_secs_f64() / (self.workers as f64 * (1.0 - rho))
             * (1.0 + self.scv)
             / 2.0;
         let u = -rng.next_f64_open().ln();

@@ -110,9 +110,8 @@ impl WorkerPool {
 
     /// Mean queueing delay over all admissions, or `None` if none.
     pub fn mean_queue_delay(&self) -> Option<SimDuration> {
-        (self.admitted > 0).then(|| {
-            SimDuration::from_nanos((self.total_queue_ns / self.admitted as u128) as u64)
-        })
+        (self.admitted > 0)
+            .then(|| SimDuration::from_nanos((self.total_queue_ns / self.admitted as u128) as u64))
     }
 
     /// The worst queueing delay seen.
@@ -195,10 +194,7 @@ mod tests {
         p.admit(SimTime::ZERO, SimDuration::from_millis(10));
         p.admit(SimTime::ZERO, SimDuration::from_millis(10));
         assert_eq!(p.max_queue_delay(), SimDuration::from_millis(10));
-        assert_eq!(
-            p.mean_queue_delay().unwrap(),
-            SimDuration::from_millis(5)
-        );
+        assert_eq!(p.mean_queue_delay().unwrap(), SimDuration::from_millis(5));
     }
 
     #[test]

@@ -45,7 +45,13 @@ impl MethodHeatmap {
     }
 
     /// Builds a heatmap from precomputed per-method sample vectors.
+    ///
+    /// Input order does not matter: rows are keyed by method id before the
+    /// median sort, so callers may pass samples straight out of a hash map
+    /// and still get a deterministic layout.
     pub fn from_samples(samples: Vec<(MethodId, Vec<f64>)>, min_samples: usize) -> MethodHeatmap {
+        let mut samples = samples;
+        samples.sort_by_key(|(method, _)| *method);
         let mut rows = Vec::new();
         for (method, values) in samples {
             if values.len() < min_samples {

@@ -96,8 +96,8 @@ pub fn checks(fig: &Fig02) -> ExpectationSet {
     );
     // The full dynamic range of medians spans from sub-ms to 100ms+.
     let medians = hm.across_methods(0.5);
-    let range = medians.last().copied().unwrap_or(f64::NAN)
-        / medians.first().copied().unwrap_or(f64::NAN);
+    let range =
+        medians.last().copied().unwrap_or(f64::NAN) / medians.first().copied().unwrap_or(f64::NAN);
     s.add(
         "fig2.median_dynamic_range",
         "method medians span hundreds of us to seconds",

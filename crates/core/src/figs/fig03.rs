@@ -56,9 +56,8 @@ pub fn compute(run: &FleetRun) -> Fig03 {
 
     let mut by_popularity: Vec<u64> = run.method_calls.clone();
     by_popularity.sort_unstable_by(|a, b| b.cmp(a));
-    let share = |n: usize| {
-        by_popularity.iter().take(n).sum::<u64>() as f64 / total_calls.max(1) as f64
-    };
+    let share =
+        |n: usize| by_popularity.iter().take(n).sum::<u64>() as f64 / total_calls.max(1) as f64;
 
     // Scale-aware: the paper takes the fastest 100 of ~10,000 methods
     // (1%); we take the fastest 1% (min 3) of the eligible population.
@@ -101,7 +100,10 @@ pub fn compute(run: &FleetRun) -> Fig03 {
 /// Renders the popularity summary.
 pub fn render(fig: &Fig03) -> String {
     let mut t = TextTable::new(&["statistic", "share"]);
-    t.row(vec!["most popular method".into(), fmt_pct(fig.top_method_share)]);
+    t.row(vec![
+        "most popular method".into(),
+        fmt_pct(fig.top_method_share),
+    ]);
     t.row(vec!["top-10 methods".into(), fmt_pct(fig.top10_share)]);
     t.row(vec!["top-100 methods".into(), fmt_pct(fig.top100_share)]);
     t.row(vec![
@@ -202,7 +204,9 @@ mod tests {
             .enumerate()
             .max_by_key(|(_, &c)| c)
             .unwrap();
-        let m = run.catalog.method(rpclens_trace::span::MethodId(idx as u32));
+        let m = run
+            .catalog
+            .method(rpclens_trace::span::MethodId(idx as u32));
         assert_eq!(m.name, "Write");
         assert_eq!(run.catalog.service(m.service).name, "NetworkDisk");
         assert!(fig.top_method_share > 0.1);

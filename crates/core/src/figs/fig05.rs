@@ -24,10 +24,7 @@ pub struct Fig05 {
 pub fn compute(run: &FleetRun) -> Fig05 {
     let shapes = TreeShapeSamples::compute(&run.store);
     Fig05 {
-        ancestors: MethodHeatmap::from_samples(
-            shapes.ancestors.into_iter().collect(),
-            MIN_SAMPLES,
-        ),
+        ancestors: MethodHeatmap::from_samples(shapes.ancestors.into_iter().collect(), MIN_SAMPLES),
         descendants: MethodHeatmap::from_samples(
             shapes.descendants.into_iter().collect(),
             MIN_SAMPLES,

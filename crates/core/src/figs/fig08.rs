@@ -76,7 +76,10 @@ pub fn render(fig: &Fig08) -> String {
             fmt_pct(s.cycle_share),
         ]);
     }
-    format!("Fig. 8 — Top services by calls / bytes / cycles\n{}", t.render())
+    format!(
+        "Fig. 8 — Top services by calls / bytes / cycles\n{}",
+        t.render()
+    )
 }
 
 /// Paper-vs-measured checks.
@@ -105,9 +108,7 @@ pub fn checks(fig: &Fig08) -> ExpectationSet {
     s.add(
         "fig8.disk_leads_bytes",
         "Network Disk transfers the most bytes",
-        (fig.shares
-            .iter()
-            .all(|x| x.byte_share <= disk.byte_share)) as u8 as f64,
+        (fig.shares.iter().all(|x| x.byte_share <= disk.byte_share)) as u8 as f64,
         1.0,
         1.0,
     );

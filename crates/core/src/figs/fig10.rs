@@ -70,8 +70,7 @@ pub fn compute(run: &FleetRun) -> Fig10 {
     let p95 = percentile(&totals, 0.95).unwrap_or(f64::NAN);
     let mean = shares(spans.iter().map(|(_, s)| *s));
     // Per-method P95 thresholds.
-    let mut per_method: std::collections::HashMap<u32, Vec<f64>> =
-        std::collections::HashMap::new();
+    let mut per_method: std::collections::HashMap<u32, Vec<f64>> = std::collections::HashMap::new();
     for (t, s) in &spans {
         per_method.entry(s.method.0).or_default().push(*t);
     }

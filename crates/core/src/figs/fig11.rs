@@ -21,9 +21,7 @@ pub struct Fig11 {
 pub fn compute(run: &FleetRun) -> Fig11 {
     let query = paper_query();
     Fig11 {
-        heatmap: MethodHeatmap::build(run, &query, |_, s| {
-            s.breakdown().tax_ratio().unwrap_or(0.0)
-        }),
+        heatmap: MethodHeatmap::build(run, &query, |_, s| s.breakdown().tax_ratio().unwrap_or(0.0)),
     }
 }
 

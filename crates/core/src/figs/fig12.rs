@@ -31,9 +31,7 @@ pub struct Fig12 {
 pub fn compute(run: &FleetRun) -> Fig12 {
     let query = paper_query();
     Fig12 {
-        heatmap: MethodHeatmap::build(run, &query, |_, s| {
-            component_sum_secs(s, &WIRE_AND_STACK)
-        }),
+        heatmap: MethodHeatmap::build(run, &query, |_, s| component_sum_secs(s, &WIRE_AND_STACK)),
     }
 }
 

@@ -75,8 +75,7 @@ pub fn compute(run: &FleetRun) -> Fig16 {
             let totals = sorted_finite(rows.iter().map(|r| r.0).collect());
             let p95 = percentile(&totals, 0.95).expect("non-empty");
             let p90 = percentile(&totals, 0.90).expect("non-empty");
-            let tail: Vec<&(f64, [f64; 9])> =
-                rows.iter().filter(|(t, _)| *t >= p90).collect();
+            let tail: Vec<&(f64, [f64; 9])> = rows.iter().filter(|(t, _)| *t >= p90).collect();
             let mut tail_components = [0.0f64; 9];
             for (_, comps) in &tail {
                 for i in 0..9 {

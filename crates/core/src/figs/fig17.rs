@@ -146,8 +146,11 @@ pub fn compute(run: &FleetRun) -> Fig17 {
                 // P95 +/- 1% selection.
                 let p90 = percentile(&sb, 0.90)?;
                 let p99 = percentile(&sb, 0.99)?;
-                let tail: Vec<f64> =
-                    sb.iter().copied().filter(|&v| v >= p90 && v <= p99).collect();
+                let tail: Vec<f64> = sb
+                    .iter()
+                    .copied()
+                    .filter(|&v| v >= p90 && v <= p99)
+                    .collect();
                 if tail.is_empty() {
                     return None;
                 }

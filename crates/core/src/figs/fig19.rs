@@ -74,8 +74,8 @@ pub fn compute(run: &FleetRun) -> Fig19 {
         // nearest replica. A deterministic hash assigns each client's
         // working set a home, so distance classes span same-cluster to
         // intercontinental exactly as Fig. 19's x-axis does.
-        let server = spanner.clusters
-            [(client.0 as usize).wrapping_mul(7919) % spanner.clusters.len()];
+        let server =
+            spanner.clusters[(client.0 as usize).wrapping_mul(7919) % spanner.clusters.len()];
         let site = run.site(spanner.id, server).expect("site exists");
         let mut totals = Vec::new();
         let mut networks = Vec::new();
@@ -209,8 +209,7 @@ mod tests {
         let fig = compute(run);
         assert_eq!(fig.rows.len(), run.topology.num_clusters());
         // Multiple distance classes are populated.
-        let classes: std::collections::BTreeSet<_> =
-            fig.rows.iter().map(|r| r.class).collect();
+        let classes: std::collections::BTreeSet<_> = fig.rows.iter().map(|r| r.class).collect();
         assert!(classes.len() >= 3, "{classes:?}");
     }
 
@@ -218,8 +217,7 @@ mod tests {
     fn rows_sorted_by_class_then_median() {
         let fig = compute(shared());
         assert!(fig.rows.windows(2).all(|w| {
-            w[0].class < w[1].class
-                || (w[0].class == w[1].class && w[0].median <= w[1].median)
+            w[0].class < w[1].class || (w[0].class == w[1].class && w[0].median <= w[1].median)
         }));
     }
 

@@ -69,7 +69,11 @@ pub fn checks(run: &FleetRun) -> ExpectationSet {
         if let (Some(req), Some(resp)) = (req, resp) {
             let r1 = req.p50 / nominal;
             let r2 = resp.p50 / nominal;
-            let best = if r1.ln().abs() <= r2.ln().abs() { r1 } else { r2 };
+            let best = if r1.ln().abs() <= r2.ln().abs() {
+                r1
+            } else {
+                r2
+            };
             s.add(
                 &format!("table1.{}_size", entry.server.replace(' ', "_")),
                 "one measured payload direction within ~4x of the table's nominal size",

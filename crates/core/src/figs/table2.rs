@@ -31,12 +31,7 @@ pub fn compute(run: &FleetRun) -> Table2 {
     let mut ranges = [[f64::MAX, f64::MIN]; 4];
     for site in run.sites.values() {
         let v = site.load.window_average(SimTime::ZERO, day);
-        let vals = [
-            v.cpu_util * 100.0,
-            v.mem_bw_gbps,
-            v.long_wakeup_rate,
-            v.cpi,
-        ];
+        let vals = [v.cpu_util * 100.0, v.mem_bw_gbps, v.long_wakeup_rate, v.cpi];
         for (r, val) in ranges.iter_mut().zip(vals) {
             r[0] = r[0].min(val);
             r[1] = r[1].max(val);
@@ -83,7 +78,13 @@ pub fn checks(t2: &Table2) -> ExpectationSet {
     let mut s = ExpectationSet::new();
     let row = |name: &str| t2.rows.iter().find(|r| r.name == name).expect("row");
     let cpu = row("CPU util");
-    s.add("table2.cpu_min", "CPU util spans a wide range", cpu.min, 0.0, 50.0);
+    s.add(
+        "table2.cpu_min",
+        "CPU util spans a wide range",
+        cpu.min,
+        0.0,
+        50.0,
+    );
     s.add("table2.cpu_max", "hot sites run high", cpu.max, 50.0, 100.0);
     let bw = row("Memory BW");
     s.add(

@@ -138,7 +138,13 @@ pub fn sketch_cdf(sorted: &[f64], fmt: fn(f64) -> String) -> String {
     for decile in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
         let idx = ((sorted.len() - 1) as f64 * decile) as usize;
         let bar = "#".repeat((decile * 40.0) as usize);
-        let _ = writeln!(out, "p{:<5} {:>10} |{}", decile * 100.0, fmt(sorted[idx]), bar);
+        let _ = writeln!(
+            out,
+            "p{:<5} {:>10} |{}",
+            decile * 100.0,
+            fmt(sorted[idx]),
+            bar
+        );
     }
     out
 }

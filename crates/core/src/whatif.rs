@@ -49,23 +49,13 @@ pub fn what_if_p95(breakdowns: &[LatencyBreakdown]) -> Option<WhatIfResult> {
     if breakdowns.len() < 100 {
         return None;
     }
-    let totals = sorted_finite(
-        breakdowns
-            .iter()
-            .map(|b| b.total().as_secs_f64())
-            .collect(),
-    );
+    let totals = sorted_finite(breakdowns.iter().map(|b| b.total().as_secs_f64()).collect());
     let p95 = percentile(&totals, 0.95)?;
 
     // Component medians over the whole population.
     let mut medians = [0.0f64; 9];
     for (i, &c) in LatencyComponent::ALL.iter().enumerate() {
-        let vals = sorted_finite(
-            breakdowns
-                .iter()
-                .map(|b| b.get(c).as_secs_f64())
-                .collect(),
-        );
+        let vals = sorted_finite(breakdowns.iter().map(|b| b.get(c).as_secs_f64()).collect());
         medians[i] = percentile(&vals, 0.5)?;
     }
 
@@ -80,8 +70,7 @@ pub fn what_if_p95(breakdowns: &[LatencyBreakdown]) -> Option<WhatIfResult> {
     let mut cured = [0usize; 9];
     for b in &tail {
         for (i, &c) in LatencyComponent::ALL.iter().enumerate() {
-            let substituted =
-                b.with_component(c, SimDuration::from_secs_f64(medians[i]));
+            let substituted = b.with_component(c, SimDuration::from_secs_f64(medians[i]));
             if substituted.total().as_secs_f64() <= p95 {
                 cured[i] += 1;
             }

@@ -362,46 +362,19 @@ impl<'a> Builder<'a> {
         let id = ServiceId(self.services.len() as u16);
         let clusters = self.pick_clusters(clusters);
         let (reserved, compressed, remote_prob, skew, bg_service, bg_scv) = match category {
-            ServiceCategory::Storage => (
-                false,
-                true,
-                0.10,
-                0.05,
-                SimDuration::from_micros(400),
-                4.0,
-            ),
-            ServiceCategory::ComputeIntensive => (
-                false,
-                true,
-                0.05,
-                0.30,
-                SimDuration::from_millis(5),
-                6.0,
-            ),
-            ServiceCategory::LatencySensitive => (
-                true,
-                true,
-                0.02,
-                0.25,
-                SimDuration::from_micros(100),
-                2.0,
-            ),
-            ServiceCategory::Frontend => (
-                false,
-                true,
-                0.08,
-                0.05,
-                SimDuration::from_millis(1),
-                4.0,
-            ),
-            ServiceCategory::Infra => (
-                false,
-                true,
-                0.10,
-                0.08,
-                SimDuration::from_millis(2),
-                5.0,
-            ),
+            ServiceCategory::Storage => {
+                (false, true, 0.10, 0.05, SimDuration::from_micros(400), 4.0)
+            }
+            ServiceCategory::ComputeIntensive => {
+                (false, true, 0.05, 0.30, SimDuration::from_millis(5), 6.0)
+            }
+            ServiceCategory::LatencySensitive => {
+                (true, true, 0.02, 0.25, SimDuration::from_micros(100), 2.0)
+            }
+            ServiceCategory::Frontend => {
+                (false, true, 0.08, 0.05, SimDuration::from_millis(1), 4.0)
+            }
+            ServiceCategory::Infra => (false, true, 0.10, 0.08, SimDuration::from_millis(2), 5.0),
         };
         self.services.push(ServiceSpec {
             id,
@@ -456,19 +429,17 @@ impl<'a> Builder<'a> {
         // time; storage/infra/frontend handlers mostly wait on devices,
         // so their CPU draw is an *independent* per-method property.
         let cpu_work = match self.services[service.0 as usize].category {
-            ServiceCategory::ComputeIntensive => LogNormal::from_median_sigma(
-                (compute.median() * 0.40).max(1e-6),
-                compute.sigma(),
-            )
-            .expect("valid cpu work"),
-            ServiceCategory::LatencySensitive => LogNormal::from_median_sigma(
-                (compute.median() * 0.85).max(1e-6),
-                compute.sigma(),
-            )
-            .expect("valid cpu work"),
+            ServiceCategory::ComputeIntensive => {
+                LogNormal::from_median_sigma((compute.median() * 0.40).max(1e-6), compute.sigma())
+                    .expect("valid cpu work")
+            }
+            ServiceCategory::LatencySensitive => {
+                LogNormal::from_median_sigma((compute.median() * 0.85).max(1e-6), compute.sigma())
+                    .expect("valid cpu work")
+            }
             _ => {
-                let median_us = (400.0 * (1.1 * self.rng.next_gaussian()).exp())
-                    .clamp(20.0, 20_000.0);
+                let median_us =
+                    (400.0 * (1.1 * self.rng.next_gaussian()).exp()).clamp(20.0, 20_000.0);
                 ln_us(median_us, 1.0)
             }
         };
@@ -546,8 +517,7 @@ impl<'a> Builder<'a> {
         let burst = |max, alpha| FanoutDist::Pareto { max, alpha };
 
         // ---- Tier 3: the storage layer ----------------------------------
-        let network_disk =
-            self.add_service("NetworkDisk", ServiceCategory::Storage, 3, 26, 24);
+        let network_disk = self.add_service("NetworkDisk", ServiceCategory::Storage, 3, 26, 24);
         self.blob_payloads(network_disk);
         // The single most popular method in the fleet: Network Disk Write
         // (28% of all calls in the paper). Low latency, 32 kB requests,
@@ -688,8 +658,7 @@ impl<'a> Builder<'a> {
             );
         }
 
-        let video_meta =
-            self.add_service("VideoMetadata", ServiceCategory::Storage, 2, 17, 6);
+        let video_meta = self.add_service("VideoMetadata", ServiceCategory::Storage, 2, 17, 6);
         self.bias_utilization(video_meta, 1.5);
         let vm_get = self.add_method(
             video_meta,
@@ -729,8 +698,7 @@ impl<'a> Builder<'a> {
         }
 
         // ---- Tier 1: application backends --------------------------------
-        let kv_store =
-            self.add_service("KVStore", ServiceCategory::LatencySensitive, 1, 6, 16);
+        let kv_store = self.add_service("KVStore", ServiceCategory::LatencySensitive, 1, 6, 16);
         let kv_search = self.add_method(
             kv_store,
             "SearchValue",
@@ -780,8 +748,7 @@ impl<'a> Builder<'a> {
             );
         }
 
-        let bigquery =
-            self.add_service("BigQuery", ServiceCategory::ComputeIntensive, 1, 19, 12);
+        let bigquery = self.add_service("BigQuery", ServiceCategory::ComputeIntensive, 1, 19, 12);
         let bq_query = self.add_method(
             bigquery,
             "RunQuery",
@@ -963,7 +930,15 @@ impl<'a> Builder<'a> {
         ];
         // Keep references that are pinned but not in Table 1 alive for
         // documentation purposes.
-        let _ = (disk_write, f1_process, bq_query, vs_search, mlc_request, reco_serve, ni_lookup);
+        let _ = (
+            disk_write,
+            f1_process,
+            bq_query,
+            vs_search,
+            mlc_request,
+            reco_serve,
+            ni_lookup,
+        );
 
         self.add_filler_services();
         self.wire_filler_edges();
@@ -1230,8 +1205,7 @@ mod tests {
             .collect();
         weighted.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
         let top_median: f64 = weighted[..10].iter().map(|w| w.1).sum::<f64>() / 10.0;
-        let all_median: f64 =
-            weighted.iter().map(|w| w.1).sum::<f64>() / weighted.len() as f64;
+        let all_median: f64 = weighted.iter().map(|w| w.1).sum::<f64>() / weighted.len() as f64;
         assert!(
             top_median < all_median / 3.0,
             "top {top_median}, all {all_median}"
@@ -1278,7 +1252,10 @@ mod tests {
     #[test]
     fn fanout_dists_sample_in_bounds() {
         let mut rng = Prng::seed_from(9);
-        let f = FanoutDist::Pareto { max: 48, alpha: 0.8 };
+        let f = FanoutDist::Pareto {
+            max: 48,
+            alpha: 0.8,
+        };
         let mut saw_big = false;
         for _ in 0..10_000 {
             let k = f.sample(&mut rng);

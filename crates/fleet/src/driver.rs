@@ -23,7 +23,7 @@
 //! accounting.
 
 use crate::catalog::{Catalog, CatalogConfig, MethodSpec};
-use crate::workload::Workload;
+use crate::workload::{RootArrival, Workload};
 use rpclens_cluster::exogenous::ExogenousProfile;
 use rpclens_cluster::machine::{Machine, MachineConfig, MachineId};
 use rpclens_cluster::mgk::QueueModel;
@@ -31,7 +31,9 @@ use rpclens_netsim::latency::{Network, NetworkConfig};
 use rpclens_netsim::topology::{ClusterId, Topology};
 use rpclens_profiler::{CycleProfiler, ErrorAccounting};
 use rpclens_rpcstack::component::{LatencyBreakdown, LatencyComponent};
-use rpclens_rpcstack::cost::{CycleCategory, CycleCost, MessageClass, StackCostConfig, StackCostModel};
+use rpclens_rpcstack::cost::{
+    CycleCategory, CycleCost, MessageClass, StackCostConfig, StackCostModel,
+};
 use rpclens_rpcstack::error::{ErrorKind, ErrorProfile};
 use rpclens_rpcstack::hedging::resolve_hedge;
 use rpclens_rpcstack::queue::SoftQueue;
@@ -119,6 +121,21 @@ pub struct FleetConfig {
     /// Whether reserved-core isolation is honoured (disable for
     /// ablations: KV-Store then shares cores like everyone else).
     pub reserved_cores_enabled: bool,
+    /// Number of worker shards the root workload is split across.
+    ///
+    /// The run's outputs are bit-identical for every value — shard count
+    /// only trades wall-clock time for cores (see the "Determinism
+    /// contract" section of `docs/ARCHITECTURE.md`). Values are clamped
+    /// to at least 1; the default is one shard per available core.
+    pub shards: usize,
+}
+
+/// One shard per available core, falling back to a single shard when the
+/// parallelism of the host cannot be determined.
+fn default_shards() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 impl FleetConfig {
@@ -133,6 +150,7 @@ impl FleetConfig {
             errors: ErrorProfile::fleet_default(),
             hedging_enabled: true,
             reserved_cores_enabled: true,
+            shards: default_shards(),
         }
     }
 }
@@ -236,21 +254,22 @@ struct CallOutcome {
     finish: SimTime,
 }
 
+/// The immutable simulation world, shared by reference across shards.
+///
+/// Everything here is read-only while roots are being expanded: the
+/// catalog, topology, deployment sites (machines are stateless — their
+/// wakeup jitter comes from the caller's generator), cost model, and the
+/// master generator (stream derivation reads seed state without
+/// consuming it). All mutable state lives in per-shard [`Shard`]s.
 struct Driver {
     config: FleetConfig,
     catalog: Catalog,
     topology: Topology,
-    network: Network,
     cost: StackCostModel,
     soft_queue: SoftQueue,
     sites: HashMap<(ServiceId, ClusterId), ServiceSite>,
     /// Ambient client-side load profile per cluster.
     client_profiles: Vec<ExogenousProfile>,
-    profiler: CycleProfiler,
-    errors: ErrorAccounting,
-    method_calls: Vec<u64>,
-    method_bytes: Vec<u64>,
-    total_spans: u64,
     master_rng: Prng,
 }
 
@@ -265,7 +284,6 @@ impl Driver {
             },
             &topology,
         );
-        let network = Network::new(topology.clone(), config.net.clone(), seed);
         let cost = StackCostModel::new(config.cost);
         let master_rng = Prng::seed_from(seed).stream(0xD21_4E12);
 
@@ -274,12 +292,10 @@ impl Driver {
         // what makes Fig. 16's clusters differ and Fig. 22's cross-cluster
         // CPU usage so spread out.
         let mut sites = HashMap::new();
-        let n_methods = catalog.num_methods();
         for svc in catalog.services() {
             for (ci, &cluster) in svc.clusters.iter().enumerate() {
-                let mut site_rng = master_rng.stream(
-                    0x5173_0000 ^ ((svc.id.0 as u64) << 20) ^ cluster.0 as u64,
-                );
+                let mut site_rng =
+                    master_rng.stream(0x5173_0000 ^ ((svc.id.0 as u64) << 20) ^ cluster.0 as u64);
                 let base_util = ((0.25 + 0.55 * site_rng.next_f64()) * svc.util_bias).min(0.92);
                 let load = ExogenousProfile {
                     base_util,
@@ -312,14 +328,10 @@ impl Driver {
                             baseline_cpi: 1.0,
                         },
                         mprofile,
-                        seed,
                     ));
                 }
-                let queue = QueueModel::new(
-                    svc.workers,
-                    svc.background_service,
-                    svc.background_scv,
-                );
+                let queue =
+                    QueueModel::new(svc.workers, svc.background_service, svc.background_scv);
                 sites.insert(
                     (svc.id, cluster),
                     ServiceSite {
@@ -347,21 +359,15 @@ impl Driver {
             config,
             catalog,
             topology,
-            network,
             cost,
             soft_queue: SoftQueue::default(),
             sites,
             client_profiles,
-            profiler: CycleProfiler::new(),
-            errors: ErrorAccounting::new(),
-            method_calls: vec![0; n_methods],
-            method_bytes: vec![0; n_methods],
-            total_spans: 0,
             master_rng,
         }
     }
 
-    fn run(mut self) -> FleetRun {
+    fn run(self) -> FleetRun {
         let scale = self.config.scale.clone();
         let mut workload = Workload::new(
             &self.catalog,
@@ -369,47 +375,63 @@ impl Driver {
             scale.duration,
             scale.seed ^ 0xAB,
         );
+        // Roots are generated once, on the main thread, in arrival order;
+        // shards receive contiguous chunks of this one sequence so that a
+        // shard-ordered merge reproduces the sequential run exactly.
         let roots = workload.generate(scale.roots);
         let collector = TraceCollector::new(scale.trace_sample_rate);
-        let mut store = TraceStore::new();
+        let shards = self.config.shards.clamp(1, roots.len().max(1));
+        let chunk = roots.len().div_ceil(shards).max(1);
 
-        // Per-window, per-service call counters for the TSDB.
-        let window = rpclens_tsdb::DEFAULT_SAMPLE_PERIOD;
-        let mut window_calls: HashMap<(ServiceId, u64), u64> = HashMap::new();
+        let merged = if shards == 1 {
+            let mut shard = Shard::new(&self);
+            shard.run_roots(&roots, 0, &collector);
+            shard
+        } else {
+            let outputs: Vec<Shard<'_>> = std::thread::scope(|s| {
+                let handles: Vec<_> = roots
+                    .chunks(chunk)
+                    .enumerate()
+                    .map(|(i, slice)| {
+                        let world = &self;
+                        let collector = &collector;
+                        s.spawn(move || {
+                            let mut shard = Shard::new(world);
+                            shard.run_roots(slice, i * chunk, collector);
+                            shard
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard worker panicked"))
+                    .collect()
+            });
+            // Fold in shard-id order: every accumulator either commutes
+            // (integer counters, histograms) or is order-sensitive but
+            // folded over contiguous partitions in sequence order (the
+            // trace store), so the result is bit-identical to shards=1.
+            let mut it = outputs.into_iter();
+            let mut acc = it.next().expect("at least one shard");
+            for shard in it {
+                acc.absorb(shard);
+            }
+            acc
+        };
 
-        for (seq, root) in roots.iter().enumerate() {
-            let mut ctx = TraceCtx {
-                spans: Vec::new(),
-                root_start: root.at,
-                budget: self.config.max_trace_spans,
-                rng: self.master_rng.stream(0x7200_0000 ^ seq as u64),
-            };
-            let client_util = self.client_profiles[root.client_cluster.0 as usize]
-                .sample(root.at)
-                .cpu_util;
-            let entry_service = self.catalog.method(root.method).service;
-            self.place_call(
-                &mut ctx,
-                root.method,
-                entry_service,
-                root.client_cluster,
-                client_util,
-                ROOT_PARENT,
-                root.at,
-                0,
-                false,
-            );
-            // Window accounting for every span.
-            let w = root.at.as_nanos() / window.as_nanos();
-            for span in &ctx.spans {
-                *window_calls.entry((span.service, w)).or_insert(0) += 1;
-            }
-            if collector.should_sample(seq as u64) && !ctx.spans.is_empty() {
-                store.add(TraceData::new(root.at, ctx.spans));
-            }
-        }
+        let Shard {
+            store,
+            profiler,
+            errors,
+            method_calls,
+            method_bytes,
+            window_calls,
+            total_spans,
+            ..
+        } = merged;
 
         // Flush counters and representative exogenous gauges to the TSDB.
+        let window = rpclens_tsdb::DEFAULT_SAMPLE_PERIOD;
         let mut tsdb = TimeSeriesDb::new(window);
         tsdb.register(MetricDescriptor::counter(
             "rpc/server/count",
@@ -428,10 +450,7 @@ impl Driver {
             let c = cumulative.entry(svc).or_insert(0);
             *c += window_calls[&(svc, w)];
             let at = SimTime::from_nanos(w * window.as_nanos());
-            let labels = Labels::from_pairs([(
-                "service",
-                self.catalog.service(svc).name.clone(),
-            )]);
+            let labels = Labels::from_pairs([("service", self.catalog.service(svc).name.clone())]);
             tsdb.write("rpc/server/count", labels, at, MetricValue::Counter(*c))
                 .expect("registered");
         }
@@ -461,15 +480,116 @@ impl Driver {
             catalog: self.catalog,
             topology: self.topology,
             store,
-            profiler: self.profiler,
-            errors: self.errors,
+            profiler,
+            errors,
             tsdb,
-            method_calls: self.method_calls,
-            method_bytes: self.method_bytes,
+            method_calls,
+            method_bytes,
             sites: self.sites,
-            total_spans: self.total_spans,
+            total_spans,
             config: self.config,
         }
+    }
+}
+
+/// One simulation shard: the mutable half of the driver.
+///
+/// A shard owns every piece of state that root expansion writes — its own
+/// [`Network`] (whose congestion trajectories are seed-derived and hence
+/// identical in every shard), trace store, profilers, and counters — plus
+/// a shared reference to the immutable [`Driver`] world. Shards never
+/// communicate while running; their outputs are folded in shard-id order
+/// by [`Shard::absorb`].
+struct Shard<'a> {
+    world: &'a Driver,
+    network: Network,
+    store: TraceStore,
+    profiler: CycleProfiler,
+    errors: ErrorAccounting,
+    method_calls: Vec<u64>,
+    method_bytes: Vec<u64>,
+    /// Per-window, per-service call counters for the TSDB.
+    window_calls: HashMap<(ServiceId, u64), u64>,
+    total_spans: u64,
+}
+
+impl<'a> Shard<'a> {
+    fn new(world: &'a Driver) -> Self {
+        let n_methods = world.catalog.num_methods();
+        Shard {
+            world,
+            network: Network::new(
+                world.topology.clone(),
+                world.config.net.clone(),
+                world.config.scale.seed,
+            ),
+            store: TraceStore::new(),
+            profiler: CycleProfiler::new(),
+            errors: ErrorAccounting::new(),
+            method_calls: vec![0; n_methods],
+            method_bytes: vec![0; n_methods],
+            window_calls: HashMap::new(),
+            total_spans: 0,
+        }
+    }
+
+    /// Expands a contiguous chunk of roots whose global sequence numbers
+    /// start at `base_seq`.
+    ///
+    /// Each trace draws from `master_rng.substream(seq)` with its *global*
+    /// sequence number, and the sampling decision also uses `seq`, so a
+    /// root produces exactly the same spans no matter which shard runs it.
+    fn run_roots(&mut self, roots: &[RootArrival], base_seq: usize, collector: &TraceCollector) {
+        let window = rpclens_tsdb::DEFAULT_SAMPLE_PERIOD;
+        for (i, root) in roots.iter().enumerate() {
+            let seq = base_seq + i;
+            let mut ctx = TraceCtx {
+                spans: Vec::new(),
+                root_start: root.at,
+                budget: self.world.config.max_trace_spans,
+                rng: self.world.master_rng.substream(seq as u64),
+            };
+            let client_util = self.world.client_profiles[root.client_cluster.0 as usize]
+                .sample(root.at)
+                .cpu_util;
+            let entry_service = self.world.catalog.method(root.method).service;
+            self.place_call(
+                &mut ctx,
+                root.method,
+                entry_service,
+                root.client_cluster,
+                client_util,
+                ROOT_PARENT,
+                root.at,
+                0,
+                false,
+            );
+            // Window accounting for every span.
+            let w = root.at.as_nanos() / window.as_nanos();
+            for span in &ctx.spans {
+                *self.window_calls.entry((span.service, w)).or_insert(0) += 1;
+            }
+            if collector.should_sample(seq as u64) && !ctx.spans.is_empty() {
+                self.store.add(TraceData::new(root.at, ctx.spans));
+            }
+        }
+    }
+
+    /// Folds `other` (the next shard in id order) into this one.
+    fn absorb(&mut self, other: Shard<'_>) {
+        self.store.merge(other.store);
+        self.profiler.merge(other.profiler);
+        self.errors.merge(&other.errors);
+        for (a, b) in self.method_calls.iter_mut().zip(&other.method_calls) {
+            *a += b;
+        }
+        for (a, b) in self.method_bytes.iter_mut().zip(&other.method_bytes) {
+            *a += b;
+        }
+        for (k, v) in other.window_calls {
+            *self.window_calls.entry(k).or_insert(0) += v;
+        }
+        self.total_spans += other.total_spans;
     }
 
     /// Places a call, wrapping `simulate_call` with hedging for eligible
@@ -487,7 +607,7 @@ impl Driver {
         depth: u32,
         detached: bool,
     ) -> CallOutcome {
-        let hedge = self.catalog.method(method).hedge;
+        let hedge = self.world.catalog.method(method).hedge;
         let primary = self.simulate_call(
             ctx,
             method,
@@ -502,7 +622,7 @@ impl Driver {
         let Some(primary_idx) = primary.1 else {
             return primary.0;
         };
-        if !hedge.enabled || !self.config.hedging_enabled {
+        if !hedge.enabled || !self.world.config.hedging_enabled {
             return primary.0;
         }
         let primary_latency = primary.0.finish.since(start);
@@ -583,21 +703,20 @@ impl Driver {
         ctx.budget -= 1;
         self.total_spans += 1;
 
-        let spec: MethodSpec = self.catalog.method(method).clone();
-        let svc = self.catalog.service(spec.service).clone();
+        let spec: MethodSpec = self.world.catalog.method(method).clone();
+        let svc = self.world.catalog.service(spec.service).clone();
         self.method_calls[method.0 as usize] += 1;
 
         // Reserve the span slot so parents precede children.
         let span_idx = ctx.spans.len() as u32;
-        ctx.spans.push(
-            SpanBuilder::new(method, spec.service, client_cluster, client_cluster).build(),
-        );
+        ctx.spans
+            .push(SpanBuilder::new(method, spec.service, client_cluster, client_cluster).build());
 
         let mut t = start;
         let mut breakdown = LatencyBreakdown::new();
 
         // 1. Client send queue.
-        let csq = self.soft_queue.delay(client_util, &mut ctx.rng);
+        let csq = self.world.soft_queue.delay(client_util, &mut ctx.rng);
         breakdown.set(LatencyComponent::ClientSendQueue, csq);
         t += csq;
 
@@ -609,7 +728,7 @@ impl Driver {
             blob: svc.blob_payload,
         };
         let req_bytes = spec.sample_request_bytes(&mut ctx.rng);
-        let req_proc = self.cost.stack_latency(req_bytes, class, 1.0);
+        let req_proc = self.world.cost.stack_latency(req_bytes, class, 1.0);
         breakdown.set(LatencyComponent::RequestProcessing, req_proc);
         t += req_proc;
 
@@ -623,12 +742,12 @@ impl Driver {
         );
         let site_key = (spec.service, server_cluster);
         let mi = {
-            let site = &self.sites[&site_key];
+            let site = &self.world.sites[&site_key];
             ctx.rng.index(site.machines.len())
         };
 
         // 4. Request network wire.
-        let wire_req = self.cost.wire_bytes(req_bytes, svc.compressed);
+        let wire_req = self.world.cost.wire_bytes(req_bytes, svc.compressed);
         let req_net =
             self.network
                 .one_way_latency(client_cluster, server_cluster, wire_req, t, &mut ctx.rng);
@@ -638,25 +757,27 @@ impl Driver {
         // 5. Server receive queue: scheduler wakeup + M/G/k wait at the
         // machine's current utilization.
         let (util, wakeup, slowdown, speed) = {
-            let site = self.sites.get_mut(&site_key).expect("deployed site");
+            let site = &self.world.sites[&site_key];
             let util = site.machine_util(mi, t);
-            let wakeup = site.machines[mi].wakeup_latency(t);
+            let wakeup = site.machines[mi].wakeup_latency(t, &mut ctx.rng);
             let slowdown = site.machines[mi].slowdown(t);
             let speed = site.machines[mi].config().speed;
             (util, wakeup, slowdown, speed)
         };
         // Reserved-core pools are isolated from the machine's ambient
         // load; only a residual coupling remains.
-        let reserved = svc.reserved_cores && self.config.reserved_cores_enabled;
+        let reserved = svc.reserved_cores && self.world.config.reserved_cores_enabled;
         let pool_util = if reserved { util * 0.25 } else { util };
-        let queue_wait = self.sites[&site_key].queue.sample_wait(pool_util, &mut ctx.rng);
+        let queue_wait = self.world.sites[&site_key]
+            .queue
+            .sample_wait(pool_util, &mut ctx.rng);
         let srq = wakeup + queue_wait;
         breakdown.set(LatencyComponent::ServerRecvQueue, srq);
         t += srq;
         let handler_start = t;
 
         // 6. Error injection (hedging cancellations come from place_call).
-        let injected = self.config.errors.draw(&mut ctx.rng);
+        let injected = self.world.config.errors.draw(&mut ctx.rng);
 
         // 7. Handler compute.
         let (nominal, fast) = spec.sample_compute(&mut ctx.rng);
@@ -670,7 +791,7 @@ impl Driver {
         // 8. Children: parallel fan-out per firing edge; the handler waits
         // for the slowest child (partition/aggregate).
         let mut children_end = t;
-        if injected.is_none() && !fast && depth < self.config.max_depth {
+        if injected.is_none() && !fast && depth < self.world.config.max_depth {
             let edges = spec.edges.clone();
             for edge in edges {
                 if !ctx.rng.chance(edge.prob) {
@@ -708,19 +829,23 @@ impl Driver {
         // Reserved-core services run dedicated network threads, so their
         // send queues do not track the machine's overall utilization.
         let send_util = if reserved { util * 0.3 } else { util };
-        let ssq = self.soft_queue.delay(send_util, &mut ctx.rng);
+        let ssq = self.world.soft_queue.delay(send_util, &mut ctx.rng);
         breakdown.set(LatencyComponent::ServerSendQueue, ssq);
         t += ssq;
-        let resp_proc = self.cost.stack_latency(resp_bytes, class, slowdown);
+        let resp_proc = self.world.cost.stack_latency(resp_bytes, class, slowdown);
         breakdown.set(LatencyComponent::ResponseProcessing, resp_proc);
         t += resp_proc;
-        let wire_resp = self.cost.wire_bytes(resp_bytes, svc.compressed);
-        let resp_net =
-            self.network
-                .one_way_latency(server_cluster, client_cluster, wire_resp, t, &mut ctx.rng);
+        let wire_resp = self.world.cost.wire_bytes(resp_bytes, svc.compressed);
+        let resp_net = self.network.one_way_latency(
+            server_cluster,
+            client_cluster,
+            wire_resp,
+            t,
+            &mut ctx.rng,
+        );
         breakdown.set(LatencyComponent::ResponseNetworkWire, resp_net);
         t += resp_net;
-        let crq = self.soft_queue.delay(client_util, &mut ctx.rng);
+        let crq = self.world.soft_queue.delay(client_util, &mut ctx.rng);
         breakdown.set(LatencyComponent::ClientRecvQueue, crq);
         t += crq;
 
@@ -738,14 +863,13 @@ impl Driver {
             };
         cost.add(
             CycleCategory::Application,
-            (cpu_secs * self.cost.config().clock_hz) as u64,
+            (cpu_secs * self.world.cost.config().clock_hz) as u64,
         );
-        cost.merge(&self.cost.receiver_cost(req_bytes, class));
-        cost.merge(&self.cost.sender_cost(resp_bytes, class));
-        self.profiler
-            .record(spec.service.0, method.0, &cost, speed);
-        let mut client_cost = self.cost.sender_cost(req_bytes, class);
-        client_cost.merge(&self.cost.receiver_cost(resp_bytes, class));
+        cost.merge(&self.world.cost.receiver_cost(req_bytes, class));
+        cost.merge(&self.world.cost.sender_cost(resp_bytes, class));
+        self.profiler.record(spec.service.0, method.0, &cost, speed);
+        let mut client_cost = self.world.cost.sender_cost(req_bytes, class);
+        client_cost.merge(&self.world.cost.receiver_cost(resp_bytes, class));
         self.profiler
             .record_client_side(client_service.0, &client_cost);
         self.method_bytes[method.0 as usize] += req_bytes + resp_bytes;
@@ -873,8 +997,7 @@ mod tests {
                 // A child starts after its parent and finishes before the
                 // parent's application phase can end.
                 assert!(span.start_offset() >= parent.start_offset());
-                let parent_end =
-                    parent.start_offset() + parent.total_latency();
+                let parent_end = parent.start_offset() + parent.total_latency();
                 let child_end = span.start_offset() + span.total_latency();
                 // Children may outlive the parent only when cancelled
                 // (hedge loser) — their wall time no longer gates it.
@@ -979,10 +1102,7 @@ mod tests {
     fn tsdb_contains_service_counters() {
         let run = tiny_run();
         let q = rpclens_tsdb::query::QueryEngine::new(&run.tsdb);
-        let all = q.select(
-            "rpc/server/count",
-            &rpclens_tsdb::query::LabelFilter::any(),
-        );
+        let all = q.select("rpc/server/count", &rpclens_tsdb::query::LabelFilter::any());
         assert!(!all.is_empty(), "no counter series");
         // Rates must be positive somewhere.
         let has_rate = all.iter().any(|(_, s)| {

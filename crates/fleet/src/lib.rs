@@ -19,6 +19,8 @@
 //!   parameters of the Alibaba, Meta, and DeathStarBench studies that
 //!   §2.4 compares against.
 
+#![warn(missing_docs)]
+
 pub mod baselines;
 pub mod catalog;
 pub mod driver;

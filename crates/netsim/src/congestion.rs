@@ -70,12 +70,31 @@ impl CongestionParams {
 ///
 /// State transitions are computed on demand when the path is queried, so
 /// paths that carry no traffic cost nothing.
-#[derive(Debug)]
+///
+/// # Determinism contract
+///
+/// The process's own generator is reserved for the state *trajectory*:
+/// it is consumed exactly one draw per state flip, strictly in trajectory
+/// order, and the flip instants are remembered. That makes
+/// [`CongestionProcess::state_at`] a pure function of `(construction
+/// seed, now)` — independent of who queries the path, how often, in what
+/// order (queries may jump backwards in time), or from which simulation
+/// shard. Per-message jitter is sampled from the caller's generator in
+/// [`CongestionProcess::queueing_delay`], so concurrent callers never
+/// perturb each other's delays either.
+///
+/// Remembering the trajectory costs one [`SimTime`] per flip. With the
+/// built-in parameter sets that is a few thousand entries per simulated
+/// day per path — cheap enough that every simulation shard can hold its
+/// own identical copy of each path.
+#[derive(Debug, Clone)]
 pub struct CongestionProcess {
     params: CongestionParams,
-    state: CongestionState,
-    /// Instant at which the current state ends.
-    until: SimTime,
+    /// `flip_ends[i]` is the instant interval `i` ends. Interval `i`
+    /// covers `[flip_ends[i-1], flip_ends[i])` (interval 0 starts at
+    /// `SimTime::ZERO`) and is calm exactly when `i` is even. Grows
+    /// monotonically; never truncated, so past intervals stay queryable.
+    flip_ends: Vec<SimTime>,
     rng: Prng,
     calm_hold: Exponential,
     congested_hold: Exponential,
@@ -105,8 +124,7 @@ impl CongestionProcess {
         .expect("excess delay range must be non-empty");
         let mut process = CongestionProcess {
             params,
-            state: CongestionState::Calm,
-            until: SimTime::ZERO,
+            flip_ends: Vec::new(),
             rng,
             calm_hold,
             congested_hold,
@@ -115,38 +133,52 @@ impl CongestionProcess {
         };
         // Sample the first calm period so the process does not flip at t=0.
         let first = process.calm_hold.sample(&mut process.rng);
-        process.until = SimTime::ZERO + SimDuration::from_secs_f64(first.max(1e-6));
+        process
+            .flip_ends
+            .push(SimTime::ZERO + SimDuration::from_secs_f64(first.max(1e-6)));
         process
     }
 
-    /// Advances the process to `now` and returns the current state.
+    /// Extends the trajectory to cover `now` and returns the state of the
+    /// interval containing it.
     ///
-    /// `until` always marks the end of the *current* state; each loop
-    /// iteration flips the state and samples the new state's holding time.
+    /// Queries may arrive in any order: extending only appends flips (one
+    /// generator draw each, in trajectory order), and a query below the
+    /// frontier is answered from the remembered flip instants, so the
+    /// result depends on `now` alone.
     pub fn state_at(&mut self, now: SimTime) -> CongestionState {
-        while self.until <= now {
-            self.state = match self.state {
-                CongestionState::Calm => CongestionState::Congested,
-                CongestionState::Congested => CongestionState::Calm,
+        while *self.flip_ends.last().expect("trajectory is never empty") <= now {
+            // The interval being appended; even indices are calm.
+            let next = self.flip_ends.len();
+            let hold = if next % 2 == 0 {
+                self.calm_hold.sample(&mut self.rng)
+            } else {
+                self.congested_hold.sample(&mut self.rng)
             };
-            let hold = match self.state {
-                CongestionState::Calm => self.calm_hold.sample(&mut self.rng),
-                CongestionState::Congested => self.congested_hold.sample(&mut self.rng),
-            };
-            self.until = self.until + SimDuration::from_secs_f64(hold.max(1e-6));
+            let end = *self.flip_ends.last().expect("trajectory is never empty")
+                + SimDuration::from_secs_f64(hold.max(1e-6));
+            self.flip_ends.push(end);
         }
-        self.state
+        let i = self.flip_ends.partition_point(|&end| end <= now);
+        if i % 2 == 0 {
+            CongestionState::Calm
+        } else {
+            CongestionState::Congested
+        }
     }
 
     /// Samples the queueing delay this path adds to a message sent at
-    /// `now`.
-    pub fn queueing_delay(&mut self, now: SimTime) -> SimDuration {
+    /// `now`, drawing the jitter from `rng`.
+    ///
+    /// The path's internal generator only advances the state trajectory
+    /// (see the type-level determinism contract); the per-message jitter
+    /// comes from the caller so that two callers sharing a path draw from
+    /// their own independent streams.
+    pub fn queueing_delay(&mut self, now: SimTime, rng: &mut Prng) -> SimDuration {
         match self.state_at(now) {
-            CongestionState::Calm => {
-                SimDuration::from_secs_f64(self.calm_jitter.sample(&mut self.rng))
-            }
+            CongestionState::Calm => SimDuration::from_secs_f64(self.calm_jitter.sample(rng)),
             CongestionState::Congested => {
-                SimDuration::from_secs_f64(self.congested_excess.sample(&mut self.rng))
+                SimDuration::from_secs_f64(self.congested_excess.sample(rng))
             }
         }
     }
@@ -168,6 +200,7 @@ mod tests {
     #[test]
     fn calm_delays_are_small_congested_are_larger() {
         let mut p = process(CongestionParams::fabric(), 1);
+        let mut rng = Prng::seed_from(11);
         // Walk time forward and bucket delays by observed state.
         let mut calm_max = SimDuration::ZERO;
         let mut congested_min = SimDuration::from_secs(999);
@@ -175,7 +208,7 @@ mod tests {
         for i in 0..200_000u64 {
             let now = SimTime::from_nanos(i * 1_000_000); // 1 ms steps.
             let state = p.state_at(now);
-            let d = p.queueing_delay(now);
+            let d = p.queueing_delay(now, &mut rng);
             match state {
                 CongestionState::Calm => calm_max = calm_max.max(d),
                 CongestionState::Congested => {
@@ -234,9 +267,10 @@ mod tests {
     fn congested_delays_respect_bounds() {
         let params = CongestionParams::wan();
         let mut p = process(params, 4);
+        let mut rng = Prng::seed_from(44);
         for i in 0..500_000u64 {
             let now = SimTime::from_nanos(i * 1_000_000);
-            let d = p.queueing_delay(now);
+            let d = p.queueing_delay(now, &mut rng);
             assert!(d <= SimDuration::from_millis(901), "delay {d} too large");
         }
     }
@@ -245,9 +279,46 @@ mod tests {
     fn deterministic_per_seed() {
         let mut a = process(CongestionParams::wan(), 5);
         let mut b = process(CongestionParams::wan(), 5);
+        let mut ra = Prng::seed_from(55);
+        let mut rb = Prng::seed_from(55);
         for i in 0..10_000u64 {
             let now = SimTime::from_nanos(i * 10_000_000);
-            assert_eq!(a.queueing_delay(now), b.queueing_delay(now));
+            assert_eq!(
+                a.queueing_delay(now, &mut ra),
+                b.queueing_delay(now, &mut rb)
+            );
+        }
+    }
+
+    #[test]
+    fn trajectory_is_independent_of_query_pattern() {
+        // Two copies of a process driven on completely different query
+        // patterns — one message-heavy and monotone, one advanced in a
+        // single jump and then queried *backwards* — must agree on the
+        // state at every instant, because the trajectory consumes
+        // generator draws only at state flips, in trajectory order, and
+        // past intervals stay queryable. This is the property the sharded
+        // fleet driver leans on: shards interleave path queries in
+        // arbitrary time order yet must sample identical congestion.
+        let mut dense = process(CongestionParams::fabric(), 9);
+        let mut sparse = process(CongestionParams::fabric(), 9);
+        let mut jitter_rng = Prng::seed_from(99);
+        let mut recorded = Vec::new();
+        for i in 0..400_000u64 {
+            let now = SimTime::from_nanos(i * 250_000); // 0.25 ms grid to 100 s.
+            recorded.push(dense.state_at(now));
+            // The dense copy also burns caller jitter draws; that must not
+            // affect its trajectory.
+            dense.queueing_delay(now, &mut jitter_rng);
+        }
+        sparse.state_at(SimTime::from_nanos(100_000_000_000)); // one jump.
+        for i in (0..400_000u64).rev() {
+            let now = SimTime::from_nanos(i * 250_000);
+            assert_eq!(
+                recorded[i as usize],
+                sparse.state_at(now),
+                "diverged at {now}"
+            );
         }
     }
 

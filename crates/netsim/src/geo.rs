@@ -36,8 +36,14 @@ impl GeoPoint {
     /// Panics if latitude is outside `[-90, 90]` or either coordinate is
     /// non-finite.
     pub fn new(lat: f64, lon: f64) -> Self {
-        assert!(lat.is_finite() && lon.is_finite(), "coordinates must be finite");
-        assert!((-90.0..=90.0).contains(&lat), "latitude out of range: {lat}");
+        assert!(
+            lat.is_finite() && lon.is_finite(),
+            "coordinates must be finite"
+        );
+        assert!(
+            (-90.0..=90.0).contains(&lat),
+            "latitude out of range: {lat}"
+        );
         let lon = ((lon + 180.0).rem_euclid(360.0)) - 180.0;
         GeoPoint { lat, lon }
     }
@@ -48,8 +54,7 @@ impl GeoPoint {
         let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
         let dlat = lat2 - lat1;
         let dlon = lon2 - lon1;
-        let a = (dlat / 2.0).sin().powi(2)
-            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
         2.0 * EARTH_RADIUS_KM * a.sqrt().min(1.0).asin()
     }
 

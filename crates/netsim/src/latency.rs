@@ -115,16 +115,18 @@ impl Network {
     /// Samples the full one-way latency of a message sent at `now`,
     /// including congestion queueing.
     ///
-    /// `rng` is unused today (congestion owns its stream) but kept in the
-    /// signature so alternative jitter models can be plugged in without an
-    /// API break.
+    /// The congestion *trajectory* (when each path is calm vs congested)
+    /// evolves from the path's own seed-derived stream, so it is identical
+    /// across shards; the per-message jitter is drawn from `rng`, the
+    /// caller's stream. Together these make the sampled latency a pure
+    /// function of `(network seed, src, dst, bytes, now, caller rng)`.
     pub fn one_way_latency(
         &mut self,
         src: ClusterId,
         dst: ClusterId,
         bytes: u64,
         now: SimTime,
-        _rng: &mut Prng,
+        rng: &mut Prng,
     ) -> SimDuration {
         let base = self.base_latency(src, dst, bytes);
         if !self.cfg.congestion_enabled {
@@ -140,7 +142,7 @@ impl Network {
             };
             CongestionProcess::new(params, path_rng)
         });
-        base + process.queueing_delay(now)
+        base + process.queueing_delay(now, rng)
     }
 
     /// The path class between two clusters (delegates to the topology).
@@ -242,7 +244,8 @@ mod tests {
             let a = ids[i % ids.len()];
             let b = ids[(i * 7 + 3) % ids.len()];
             let base = net.base_latency(a, b, 512);
-            let got = net.one_way_latency(a, b, 512, SimTime::from_nanos(i as u64 * 1000), &mut rng);
+            let got =
+                net.one_way_latency(a, b, 512, SimTime::from_nanos(i as u64 * 1000), &mut rng);
             assert!(got >= base, "{got} < {base}");
         }
         assert!(net.active_paths() > 0);

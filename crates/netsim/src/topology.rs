@@ -269,7 +269,9 @@ impl Topology {
 
     /// Great-circle distance between two clusters' datacenters, km.
     pub fn distance_km(&self, a: ClusterId, b: ClusterId) -> f64 {
-        self.cluster(a).location.distance_km(&self.cluster(b).location)
+        self.cluster(a)
+            .location
+            .distance_km(&self.cluster(b).location)
     }
 }
 

@@ -242,6 +242,21 @@ impl ErrorAccounting {
         out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         out
     }
+
+    /// Merges another accounting into this one.
+    ///
+    /// All state is additive integer counts, so folding per-shard
+    /// accountings yields exactly what a single-threaded run records,
+    /// regardless of fold order.
+    pub fn merge(&mut self, other: &ErrorAccounting) {
+        for (&kind, &count) in &other.counts {
+            *self.counts.entry(kind).or_insert(0) += count;
+        }
+        for (&kind, &cycles) in &other.wasted_cycles {
+            *self.wasted_cycles.entry(kind).or_insert(0) += cycles;
+        }
+        self.total_rpcs += other.total_rpcs;
+    }
 }
 
 #[cfg(test)]
@@ -344,5 +359,35 @@ mod tests {
         assert_eq!(e.error_rate(), 0.0);
         assert_eq!(e.cycle_share(ErrorKind::Cancelled), 0.0);
         assert!(e.kinds_by_count().is_empty());
+    }
+
+    #[test]
+    fn error_accounting_merge_equals_single_pass() {
+        let mut single = ErrorAccounting::new();
+        let mut shards = vec![ErrorAccounting::new(), ErrorAccounting::new()];
+        for i in 0..100u64 {
+            let shard = &mut shards[(i >= 60) as usize];
+            single.record_rpc();
+            shard.record_rpc();
+            if i % 10 == 0 {
+                let kind = if i % 20 == 0 {
+                    ErrorKind::Cancelled
+                } else {
+                    ErrorKind::EntityNotFound
+                };
+                single.record_error(kind, i * 7);
+                shard.record_error(kind, i * 7);
+            }
+        }
+        let mut merged = ErrorAccounting::new();
+        for shard in &shards {
+            merged.merge(shard);
+        }
+        assert_eq!(merged.total_rpcs(), single.total_rpcs());
+        assert_eq!(merged.total_errors(), single.total_errors());
+        assert_eq!(merged.kinds_by_count(), single.kinds_by_count());
+        for kind in [ErrorKind::Cancelled, ErrorKind::EntityNotFound] {
+            assert_eq!(merged.cycle_share(kind), single.cycle_share(kind));
+        }
     }
 }

@@ -96,7 +96,10 @@ impl std::fmt::Display for DecodeError {
             DecodeError::BadVersion(v) => write!(f, "unsupported version {v}"),
             DecodeError::VarintOverflow => write!(f, "varint overflow"),
             DecodeError::BadChecksum { expected, actual } => {
-                write!(f, "checksum mismatch: frame {expected:#x}, computed {actual:#x}")
+                write!(
+                    f,
+                    "checksum mismatch: frame {expected:#x}, computed {actual:#x}"
+                )
             }
             DecodeError::BadLength => write!(f, "payload length exceeds input"),
         }
@@ -209,7 +212,11 @@ pub fn crc32(data: &[u8]) -> u32 {
         for (i, entry) in t.iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
             }
             *entry = c;
         }
@@ -248,7 +255,10 @@ mod tests {
         // Standard test vector: CRC32("123456789") = 0xCBF43926.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
-        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
     }
 
     #[test]

@@ -256,13 +256,22 @@ mod tests {
     #[test]
     fn add_accumulates_set_overwrites() {
         let mut b = LatencyBreakdown::new();
-        b.add(LatencyComponent::ClientSendQueue, SimDuration::from_nanos(5));
-        b.add(LatencyComponent::ClientSendQueue, SimDuration::from_nanos(7));
+        b.add(
+            LatencyComponent::ClientSendQueue,
+            SimDuration::from_nanos(5),
+        );
+        b.add(
+            LatencyComponent::ClientSendQueue,
+            SimDuration::from_nanos(7),
+        );
         assert_eq!(
             b.get(LatencyComponent::ClientSendQueue),
             SimDuration::from_nanos(12)
         );
-        b.set(LatencyComponent::ClientSendQueue, SimDuration::from_nanos(1));
+        b.set(
+            LatencyComponent::ClientSendQueue,
+            SimDuration::from_nanos(1),
+        );
         assert_eq!(
             b.get(LatencyComponent::ClientSendQueue),
             SimDuration::from_nanos(1)
@@ -272,7 +281,10 @@ mod tests {
     #[test]
     fn with_component_is_pure() {
         let mut b = LatencyBreakdown::new();
-        b.set(LatencyComponent::ServerApplication, SimDuration::from_secs(1));
+        b.set(
+            LatencyComponent::ServerApplication,
+            SimDuration::from_secs(1),
+        );
         let replaced = b.with_component(
             LatencyComponent::ServerApplication,
             SimDuration::from_millis(1),

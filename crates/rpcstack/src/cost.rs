@@ -335,13 +335,15 @@ impl StackCostModel {
     /// processing: both endpoints' tax cycles, discounted by the pipeline
     /// factor (chunked processing overlaps with transmission and spans
     /// multiple cores).
-    pub fn stack_latency(&self, payload_bytes: u64, class: MessageClass, slowdown: f64) -> SimDuration {
+    pub fn stack_latency(
+        &self,
+        payload_bytes: u64,
+        class: MessageClass,
+        slowdown: f64,
+    ) -> SimDuration {
         let cycles = self.sender_cost(payload_bytes, class).tax()
             + self.receiver_cost(payload_bytes, class).tax();
-        self.cycles_to_time(
-            (cycles as f64 * self.cfg.pipeline_factor) as u64,
-            slowdown,
-        )
+        self.cycles_to_time((cycles as f64 * self.cfg.pipeline_factor) as u64, slowdown)
     }
 
     /// Convenience: the stack processing *time* for one message direction
@@ -391,9 +393,7 @@ mod tests {
         assert_eq!(plain.get(CycleCategory::Compression), 0);
         assert!(m.wire_bytes(32 * 1024, true) < m.wire_bytes(32 * 1024, false));
         // Fewer wire bytes means fewer packets, hence less networking.
-        assert!(
-            compressed.get(CycleCategory::Networking) < plain.get(CycleCategory::Networking)
-        );
+        assert!(compressed.get(CycleCategory::Networking) < plain.get(CycleCategory::Networking));
     }
 
     #[test]
@@ -458,8 +458,12 @@ mod tests {
     #[test]
     fn packetization_steps_at_mtu_boundaries() {
         let m = model();
-        let one = m.message_cost(500, false, false).get(CycleCategory::Networking);
-        let two = m.message_cost(2000, false, false).get(CycleCategory::Networking);
+        let one = m
+            .message_cost(500, false, false)
+            .get(CycleCategory::Networking);
+        let two = m
+            .message_cost(2000, false, false)
+            .get(CycleCategory::Networking);
         // message_cost counts both endpoints, so one extra packet costs
         // one per-packet charge on each side.
         assert_eq!(

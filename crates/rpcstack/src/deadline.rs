@@ -48,8 +48,7 @@ impl Deadline {
             return None;
         }
         Some(Deadline {
-            expires_at: now
-                + SimDuration::from_nanos(remaining.as_nanos() - margin.as_nanos()),
+            expires_at: now + SimDuration::from_nanos(remaining.as_nanos() - margin.as_nanos()),
         })
     }
 }

@@ -176,11 +176,10 @@ mod tests {
         assert!(ErrorProfile::new(vec![(ErrorKind::Cancelled, 0.1)]).is_err());
         assert!(ErrorProfile::new(vec![(ErrorKind::Internal, -0.1)]).is_err());
         assert!(ErrorProfile::new(vec![(ErrorKind::Internal, f64::NAN)]).is_err());
-        assert!(ErrorProfile::new(vec![
-            (ErrorKind::Internal, 0.6),
-            (ErrorKind::Aborted, 0.6),
-        ])
-        .is_err());
+        assert!(
+            ErrorProfile::new(vec![(ErrorKind::Internal, 0.6), (ErrorKind::Aborted, 0.6),])
+                .is_err()
+        );
     }
 
     #[test]

@@ -99,7 +99,9 @@ pub fn resolve_hedge(
             winner_latency: primary_latency,
             hedge_won: false,
             loser_run_time: SimDuration::from_nanos(
-                primary_latency.as_nanos().saturating_sub(hedge_delay.as_nanos()),
+                primary_latency
+                    .as_nanos()
+                    .saturating_sub(hedge_delay.as_nanos()),
             ),
         }
     }
@@ -176,11 +178,7 @@ mod tests {
     fn hedging_reduces_observed_latency() {
         // The point of hedging: the observed latency is min(primary,
         // delay + hedge) <= primary.
-        for (p, h, d) in [
-            (1000u64, 900u64, 100u64),
-            (500, 10, 50),
-            (50, 50, 100),
-        ] {
+        for (p, h, d) in [(1000u64, 900u64, 100u64), (500, 10, 50), (50, 50, 100)] {
             let o = resolve_hedge(
                 SimDuration::from_millis(p),
                 SimDuration::from_millis(h),

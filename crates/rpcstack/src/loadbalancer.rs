@@ -250,7 +250,11 @@ mod tests {
 
     #[test]
     fn least_loaded_always_picks_minimum_backlog() {
-        let targets = vec![target(1, 500, 0.0), target(1, 100, 0.0), target(1, 900, 0.0)];
+        let targets = vec![
+            target(1, 500, 0.0),
+            target(1, 100, 0.0),
+            target(1, 900, 0.0),
+        ];
         let counts = pick_counts(LbPolicy::LeastLoaded, &targets, 100, 6);
         assert_eq!(counts, vec![0, 100, 0]);
     }

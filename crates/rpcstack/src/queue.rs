@@ -82,8 +82,8 @@ impl SoftQueue {
         if rng.chance(stall_prob) {
             return SimDuration::from_secs_f64(self.stall.sample(rng));
         }
-        let mean = self.cfg.base_mean.as_secs_f64()
-            + self.cfg.util_mean.as_secs_f64() * util * util;
+        let mean =
+            self.cfg.base_mean.as_secs_f64() + self.cfg.util_mean.as_secs_f64() * util * util;
         SimDuration::from_secs_f64(-rng.next_f64_open().ln() * mean)
     }
 }
@@ -102,7 +102,9 @@ mod tests {
     fn sample_delays(util: f64, n: usize, seed: u64) -> Vec<f64> {
         let q = SoftQueue::default();
         let mut rng = Prng::seed_from(seed);
-        (0..n).map(|_| q.delay(util, &mut rng).as_secs_f64()).collect()
+        (0..n)
+            .map(|_| q.delay(util, &mut rng).as_secs_f64())
+            .collect()
     }
 
     #[test]

@@ -43,7 +43,9 @@ impl std::fmt::Display for AliasError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             AliasError::Empty => write!(f, "alias table needs at least one weight"),
-            AliasError::BadWeights => write!(f, "weights must be finite, non-negative, not all zero"),
+            AliasError::BadWeights => {
+                write!(f, "weights must be finite, non-negative, not all zero")
+            }
             AliasError::TooManyCategories => write!(f, "too many categories for alias table"),
         }
     }

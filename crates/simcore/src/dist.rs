@@ -248,7 +248,11 @@ impl BoundedPareto {
         if x_min <= 0.0 || x_max <= x_min || alpha <= 0.0 {
             return Err(DistError::new("bounded pareto domain"));
         }
-        Ok(BoundedPareto { x_min, x_max, alpha })
+        Ok(BoundedPareto {
+            x_min,
+            x_max,
+            alpha,
+        })
     }
 }
 

@@ -133,7 +133,10 @@ impl LogHistogram {
     ///
     /// Panics if `q` is not within `[0, 1]`.
     pub fn quantile(&self, q: f64) -> Option<u64> {
-        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile must be in [0,1], got {q}"
+        );
         if self.count == 0 {
             return None;
         }
@@ -331,6 +334,38 @@ mod tests {
             let mid = bucket_midpoint(bucket_index(v));
             let rel = (mid as f64 - v as f64).abs() / v as f64;
             prop_assert!(rel <= 1.0 / 32.0 + 1e-9, "v={v} mid={mid} rel={rel}");
+        }
+
+        #[test]
+        fn sharded_merge_is_bit_identical_to_single_pass(
+            values in proptest::collection::vec(0u64..1_000_000_000, 1..200),
+            shards in 1usize..8,
+        ) {
+            // The parallel fleet driver records per-shard histograms and
+            // folds them in shard order; bucket counts are integers, so the
+            // merged histogram must equal single-pass recording EXACTLY —
+            // this is part of the determinism contract.
+            let mut single = LogHistogram::new();
+            for &v in &values {
+                single.record(v);
+            }
+            let chunk = values.len().div_ceil(shards);
+            let mut merged = LogHistogram::new();
+            for part in values.chunks(chunk) {
+                let mut local = LogHistogram::new();
+                for &v in part {
+                    local.record(v);
+                }
+                merged.merge(&local);
+            }
+            prop_assert_eq!(merged.count(), single.count());
+            prop_assert_eq!(merged.sum(), single.sum());
+            prop_assert_eq!(merged.min(), single.min());
+            prop_assert_eq!(merged.max(), single.max());
+            for q in [0.01, 0.25, 0.5, 0.75, 0.99] {
+                prop_assert_eq!(merged.quantile(q), single.quantile(q));
+            }
+            prop_assert_eq!(merged.cdf_points(), single.cdf_points());
         }
 
         #[test]

@@ -36,6 +36,8 @@
 //! assert!(median > 8_000 && median < 12_500, "median {median}");
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod alias;
 pub mod dist;
 pub mod event;

@@ -23,7 +23,10 @@
 /// assert_eq!(percentile(&v, 1.0), Some(4.0));
 /// ```
 pub fn percentile(sorted: &[f64], q: f64) -> Option<f64> {
-    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile must be in [0,1], got {q}"
+    );
     debug_assert!(
         sorted.windows(2).all(|w| w[0] <= w[1]),
         "input must be sorted"
@@ -155,10 +158,99 @@ impl OnlineMoments {
         let n = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n as f64;
-        let m2 = self.m2
-            + other.m2
-            + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
         *self = OnlineMoments { n, mean, m2 };
+    }
+}
+
+/// A mergeable streaming summary: count, sum, min, max, mean, variance.
+///
+/// This is the per-shard accumulator for parallel fleet runs: each worker
+/// pushes its own observations, and the coordinator folds the shard
+/// accumulators together with [`StreamingStats::merge`] in shard order.
+/// Count, sum, min, and max merge exactly; mean and variance merge via
+/// Chan's parallel update (numerically stable, but — like any floating
+/// point reduction — the last few bits can differ from a single-pass
+/// computation, so anything that must be bit-identical across shard
+/// counts should be recomputed from merged exact state instead).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StreamingStats {
+    moments: OnlineMoments,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl StreamingStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation; non-finite values are ignored.
+    pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        if self.moments.count() == 0 {
+            self.min = x;
+            self.max = x;
+        } else {
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+        }
+        self.sum += x;
+        self.moments.push(x);
+    }
+
+    /// Number of (finite) observations.
+    pub fn count(&self) -> u64 {
+        self.moments.count()
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest observation, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count() > 0).then_some(self.min)
+    }
+
+    /// Largest observation, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count() > 0).then_some(self.max)
+    }
+
+    /// Mean of observations, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        self.moments.mean()
+    }
+
+    /// Population variance, or `None` if empty.
+    pub fn variance(&self) -> Option<f64> {
+        self.moments.variance()
+    }
+
+    /// Population standard deviation, or `None` if empty.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.moments.std_dev()
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &StreamingStats) {
+        if other.count() == 0 {
+            return;
+        }
+        if self.count() == 0 {
+            *self = *other;
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+        self.moments.merge(&other.moments);
     }
 }
 
@@ -335,6 +427,36 @@ mod tests {
             let a = percentile(&values, lo).unwrap();
             let b = percentile(&values, hi).unwrap();
             prop_assert!(a <= b + 1e-9);
+        }
+
+        #[test]
+        fn streaming_stats_sharded_merge_equals_single_pass(
+            values in proptest::collection::vec(-1e6f64..1e6, 1..200),
+            shards in 1usize..8,
+        ) {
+            let mut single = StreamingStats::new();
+            for &x in &values {
+                single.push(x);
+            }
+            // Partition into contiguous chunks as the fleet driver does,
+            // then fold shard accumulators in order.
+            let chunk = values.len().div_ceil(shards);
+            let mut merged = StreamingStats::new();
+            for part in values.chunks(chunk) {
+                let mut local = StreamingStats::new();
+                for &x in part {
+                    local.push(x);
+                }
+                merged.merge(&local);
+            }
+            prop_assert_eq!(merged.count(), single.count());
+            prop_assert_eq!(merged.min(), single.min());
+            prop_assert_eq!(merged.max(), single.max());
+            prop_assert!((merged.sum() - single.sum()).abs() <= 1e-6 * single.sum().abs().max(1.0));
+            let (ms, ss) = (merged.mean().unwrap(), single.mean().unwrap());
+            prop_assert!((ms - ss).abs() <= 1e-9 * ss.abs().max(1.0), "{} vs {}", ms, ss);
+            let (mv, sv) = (merged.variance().unwrap(), single.variance().unwrap());
+            prop_assert!((mv - sv).abs() <= 1e-6 * sv.abs().max(1.0), "{} vs {}", mv, sv);
         }
 
         #[test]

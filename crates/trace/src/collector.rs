@@ -107,6 +107,18 @@ impl TraceStore {
             .unwrap_or(&[])
     }
 
+    /// Appends every trace of `other`, preserving `other`'s order.
+    ///
+    /// Folding per-shard stores in shard order over contiguous trace
+    /// partitions reproduces exactly the store a single-threaded run
+    /// would have built — trace order, span indexes, and the per-method
+    /// index included. The parallel fleet driver relies on this.
+    pub fn merge(&mut self, other: TraceStore) {
+        for trace in other.traces {
+            self.add(trace);
+        }
+    }
+
     /// Visits every span of `method` with its containing trace.
     pub fn for_each_span<F>(&self, method: MethodId, mut f: F)
     where
@@ -142,10 +154,7 @@ impl SharedTraceStore {
 
     /// Merges an entire local store.
     pub fn merge(&self, local: TraceStore) {
-        let mut guard = self.inner.lock();
-        for trace in local.traces {
-            guard.add(trace);
-        }
+        self.inner.lock().merge(local);
     }
 
     /// Extracts the inner store, leaving an empty one.
@@ -171,12 +180,7 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, &m)| {
-                let b = SpanBuilder::new(
-                    MethodId(m),
-                    ServiceId(0),
-                    ClusterId(0),
-                    ClusterId(0),
-                );
+                let b = SpanBuilder::new(MethodId(m), ServiceId(0), ClusterId(0), ClusterId(0));
                 if i == 0 { b } else { b.parent(0) }.build()
             })
             .collect();
@@ -239,6 +243,29 @@ mod tests {
             n += 1;
         });
         assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn merge_preserves_order_and_index() {
+        // A store built in one pass and one built from ordered partial
+        // stores must agree exactly.
+        let batches = [vec![1u32, 2], vec![2, 3, 3], vec![4]];
+        let mut single = TraceStore::new();
+        let mut merged = TraceStore::new();
+        for batch in &batches {
+            let mut local = TraceStore::new();
+            single.add(trace_with_methods(batch));
+            local.add(trace_with_methods(batch));
+            merged.merge(local);
+        }
+        assert_eq!(merged.len(), single.len());
+        assert_eq!(merged.total_spans(), single.total_spans());
+        for m in [1, 2, 3, 4, 99] {
+            assert_eq!(merged.spans_of(MethodId(m)), single.spans_of(MethodId(m)));
+        }
+        for (a, b) in merged.traces().iter().zip(single.traces()) {
+            assert_eq!(a.spans.len(), b.spans.len());
+        }
     }
 
     #[test]

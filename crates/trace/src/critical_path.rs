@@ -75,9 +75,8 @@ impl CriticalPath {
                 .unwrap_or(SimDuration::ZERO);
             // Exclusive time: whatever of this span's span-of-control was
             // not overlapped by the gating child.
-            let exclusive = SimDuration::from_nanos(
-                own_end.as_nanos().saturating_sub(child_end.as_nanos()),
-            );
+            let exclusive =
+                SimDuration::from_nanos(own_end.as_nanos().saturating_sub(child_end.as_nanos()));
             hops.push(CriticalHop {
                 span: current,
                 method: trace.spans[current as usize].method,

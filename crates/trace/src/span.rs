@@ -7,9 +7,9 @@
 //! to the workspace's standard types; quantization error is below the
 //! log-histogram bucket error everywhere it matters.
 
+use rpclens_netsim::topology::ClusterId;
 use rpclens_rpcstack::component::{LatencyBreakdown, LatencyComponent};
 use rpclens_rpcstack::error::ErrorKind;
-use rpclens_netsim::topology::ClusterId;
 use rpclens_simcore::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 

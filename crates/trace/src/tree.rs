@@ -76,10 +76,7 @@ mod tests {
 
     /// Builds a trace from a parent list (index 0 must be None).
     fn trace(parents: &[Option<u32>]) -> TraceData {
-        TraceData::new(
-            SimTime::ZERO,
-            parents.iter().map(|&p| span(p)).collect(),
-        )
+        TraceData::new(SimTime::ZERO, parents.iter().map(|&p| span(p)).collect())
     }
 
     #[test]
@@ -104,14 +101,7 @@ mod tests {
     #[test]
     fn star_tree_is_wide() {
         // Root with 5 direct children.
-        let s = TreeStats::compute(&trace(&[
-            None,
-            Some(0),
-            Some(0),
-            Some(0),
-            Some(0),
-            Some(0),
-        ]));
+        let s = TreeStats::compute(&trace(&[None, Some(0), Some(0), Some(0), Some(0), Some(0)]));
         assert_eq!(s.descendants[0], 5);
         assert_eq!(s.fanout[0], 5);
         assert_eq!(s.max_depth, 1);
@@ -125,14 +115,7 @@ mod tests {
         //     1   2
         //    / \   \
         //   3   4   5
-        let s = TreeStats::compute(&trace(&[
-            None,
-            Some(0),
-            Some(0),
-            Some(1),
-            Some(1),
-            Some(2),
-        ]));
+        let s = TreeStats::compute(&trace(&[None, Some(0), Some(0), Some(1), Some(1), Some(2)]));
         assert_eq!(s.descendants, vec![5, 2, 1, 0, 0, 0]);
         assert_eq!(s.ancestors, vec![0, 1, 1, 2, 2, 2]);
         assert_eq!(s.fanout, vec![2, 2, 1, 0, 0, 0]);
@@ -146,7 +129,13 @@ mod tests {
         for _ in 0..100 {
             let n = 2 + rng.index(200);
             let parents: Vec<Option<u32>> = (0..n)
-                .map(|i| if i == 0 { None } else { Some(rng.index(i) as u32) })
+                .map(|i| {
+                    if i == 0 {
+                        None
+                    } else {
+                        Some(rng.index(i) as u32)
+                    }
+                })
                 .collect();
             let t = trace(&parents);
             let s = TreeStats::compute(&t);

@@ -120,10 +120,16 @@ mod tests {
 
     fn db_with_counters() -> TimeSeriesDb {
         let mut d = TimeSeriesDb::new(SimDuration::from_mins(30));
-        d.register(MetricDescriptor::counter("rps", SimDuration::from_hours(100)))
-            .unwrap();
-        d.register(MetricDescriptor::gauge("util", SimDuration::from_hours(100)))
-            .unwrap();
+        d.register(MetricDescriptor::counter(
+            "rps",
+            SimDuration::from_hours(100),
+        ))
+        .unwrap();
+        d.register(MetricDescriptor::gauge(
+            "util",
+            SimDuration::from_hours(100),
+        ))
+        .unwrap();
         for cluster in ["a", "b"] {
             let labels = Labels::from_pairs([("cluster", cluster), ("service", "disk")]);
             for i in 0..4u64 {
@@ -152,11 +158,13 @@ mod tests {
         let q = QueryEngine::new(&d);
         assert_eq!(q.select("rps", &LabelFilter::any()).len(), 2);
         assert_eq!(
-            q.select("rps", &LabelFilter::any().eq("cluster", "a")).len(),
+            q.select("rps", &LabelFilter::any().eq("cluster", "a"))
+                .len(),
             1
         );
         assert_eq!(
-            q.select("rps", &LabelFilter::any().eq("cluster", "zzz")).len(),
+            q.select("rps", &LabelFilter::any().eq("cluster", "zzz"))
+                .len(),
             0
         );
         assert_eq!(

@@ -76,7 +76,10 @@ impl TimeSeriesDb {
     ///
     /// Panics if the period is zero.
     pub fn new(sample_period: SimDuration) -> Self {
-        assert!(sample_period.as_nanos() > 0, "sample period must be positive");
+        assert!(
+            sample_period.as_nanos() > 0,
+            "sample period must be positive"
+        );
         TimeSeriesDb {
             metrics: HashMap::new(),
             series: HashMap::new(),
@@ -99,7 +102,10 @@ impl TimeSeriesDb {
     pub fn register(&mut self, desc: MetricDescriptor) -> Result<(), String> {
         if let Some(existing) = self.metrics.get(&desc.name) {
             if existing != &desc {
-                return Err(format!("metric {} already registered differently", desc.name));
+                return Err(format!(
+                    "metric {} already registered differently",
+                    desc.name
+                ));
             }
             return Ok(());
         }
@@ -139,10 +145,7 @@ impl TimeSeriesDb {
         }
         let aligned = at.align_down(self.sample_period);
         let retention = desc.retention;
-        let series = self
-            .series
-            .entry((name.to_string(), labels))
-            .or_default();
+        let series = self.series.entry((name.to_string(), labels)).or_default();
         series.push(aligned, value);
         series.enforce_retention(aligned, retention);
         Ok(())
@@ -168,6 +171,60 @@ impl TimeSeriesDb {
     /// Number of live series.
     pub fn num_series(&self) -> usize {
         self.series.len()
+    }
+
+    /// Merges another database into this one (the shard-fold operation).
+    ///
+    /// Metric registrations are unioned; registering the same name with a
+    /// different descriptor is an error, as in [`TimeSeriesDb::register`].
+    /// Series with the same `(metric, labels)` key have their points
+    /// merge-sorted by timestamp. Where both sides hold a point in the
+    /// same window, the values combine by kind:
+    ///
+    /// - **Counter**: summed — each shard observed a disjoint share of
+    ///   the events, so cumulative readings add;
+    /// - **Distribution**: histogram-merged, which is exact;
+    /// - **Gauge**: `other`'s value wins (last-write-wins, matching the
+    ///   single-db overwrite rule). Shard-partitioned gauge writes should
+    ///   be disjoint or identical across shards; the fleet driver instead
+    ///   computes gauges post-merge from merged exact state.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on conflicting metric registration or on sample
+    /// period mismatch; `self` is left unchanged in that case.
+    pub fn merge(&mut self, other: TimeSeriesDb) -> Result<(), String> {
+        if self.sample_period != other.sample_period {
+            return Err(format!(
+                "sample period mismatch: {} vs {}",
+                self.sample_period, other.sample_period
+            ));
+        }
+        for desc in other.metrics.values() {
+            if let Some(existing) = self.metrics.get(&desc.name) {
+                if existing != desc {
+                    return Err(format!(
+                        "metric {} already registered differently",
+                        desc.name
+                    ));
+                }
+            }
+        }
+        for desc in other.metrics.into_values() {
+            self.metrics.entry(desc.name.clone()).or_insert(desc);
+        }
+        for (key, incoming) in other.series {
+            match self.series.entry(key) {
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(incoming);
+                }
+                std::collections::hash_map::Entry::Occupied(mut slot) => {
+                    let existing = std::mem::take(slot.get_mut());
+                    slot.get_mut().points = merge_points(existing.points, incoming.points);
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Downsamples a series' gauge values to a coarser window by
@@ -217,6 +274,43 @@ impl TimeSeriesDb {
         }
         out
     }
+}
+
+/// Merge-sorts two time-ordered point vectors, combining same-window
+/// values by kind (counters sum, distributions merge, gauges take `b`).
+fn merge_points(
+    a: Vec<(SimTime, MetricValue)>,
+    b: Vec<(SimTime, MetricValue)>,
+) -> Vec<(SimTime, MetricValue)> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let mut ai = a.into_iter().peekable();
+    let mut bi = b.into_iter().peekable();
+    while let (Some((ta, _)), Some((tb, _))) = (ai.peek(), bi.peek()) {
+        match ta.cmp(tb) {
+            std::cmp::Ordering::Less => out.push(ai.next().expect("peeked")),
+            std::cmp::Ordering::Greater => out.push(bi.next().expect("peeked")),
+            std::cmp::Ordering::Equal => {
+                let (t, va) = ai.next().expect("peeked");
+                let (_, vb) = bi.next().expect("peeked");
+                let combined = match (va, vb) {
+                    (MetricValue::Counter(x), MetricValue::Counter(y)) => {
+                        MetricValue::Counter(x + y)
+                    }
+                    (MetricValue::Distribution(mut h), MetricValue::Distribution(g)) => {
+                        h.merge(&g);
+                        MetricValue::Distribution(h)
+                    }
+                    // Gauges (and any kind mismatch, which registration
+                    // rules already exclude): last write wins.
+                    (_, vb) => vb,
+                };
+                out.push((t, combined));
+            }
+        }
+    }
+    out.extend(ai);
+    out.extend(bi);
+    out
 }
 
 #[cfg(test)]
@@ -340,12 +434,134 @@ mod tests {
         for v in [100u64, 200, 300] {
             h.record(v);
         }
-        d.write("lat", Labels::empty(), mins(0), MetricValue::Distribution(h))
-            .unwrap();
+        d.write(
+            "lat",
+            Labels::empty(),
+            mins(0),
+            MetricValue::Distribution(h),
+        )
+        .unwrap();
         let s = d.series("lat", &Labels::empty()).unwrap();
         let got = s.points()[0].1.as_distribution().unwrap();
         assert_eq!(got.count(), 3);
         assert_eq!(got.mean(), Some(200.0));
+    }
+
+    #[test]
+    fn merge_unions_registrations_and_interleaves_series() {
+        let mut a = db();
+        let mut b = db();
+        for d in [&mut a, &mut b] {
+            d.register(MetricDescriptor::counter(
+                "rpcs",
+                SimDuration::from_hours(24),
+            ))
+            .unwrap();
+            d.register(MetricDescriptor::gauge("cpu", SimDuration::from_hours(24)))
+                .unwrap();
+        }
+        b.register(MetricDescriptor::gauge("mem", SimDuration::from_hours(24)))
+            .unwrap();
+        // Counters in the same window sum; disjoint windows interleave.
+        a.write("rpcs", Labels::empty(), mins(0), MetricValue::Counter(10))
+            .unwrap();
+        a.write("rpcs", Labels::empty(), mins(60), MetricValue::Counter(25))
+            .unwrap();
+        b.write("rpcs", Labels::empty(), mins(0), MetricValue::Counter(7))
+            .unwrap();
+        b.write("rpcs", Labels::empty(), mins(30), MetricValue::Counter(12))
+            .unwrap();
+        b.write("cpu", Labels::empty(), mins(0), MetricValue::Gauge(0.25))
+            .unwrap();
+        b.write("mem", Labels::empty(), mins(0), MetricValue::Gauge(0.5))
+            .unwrap();
+        a.merge(b).unwrap();
+        let rpcs = a.series("rpcs", &Labels::empty()).unwrap();
+        let readings: Vec<(SimTime, Option<u64>)> = rpcs
+            .points()
+            .iter()
+            .map(|(t, v)| (*t, v.as_counter()))
+            .collect();
+        assert_eq!(
+            readings,
+            vec![
+                (mins(0), Some(17)),
+                (mins(30), Some(12)),
+                (mins(60), Some(25)),
+            ]
+        );
+        assert!(a.descriptor("mem").is_some());
+        assert_eq!(
+            a.series("cpu", &Labels::empty())
+                .unwrap()
+                .latest()
+                .unwrap()
+                .1
+                .as_gauge(),
+            Some(0.25)
+        );
+    }
+
+    #[test]
+    fn merge_rejects_conflicting_registration_or_period() {
+        let mut a = db();
+        let mut b = db();
+        a.register(MetricDescriptor::gauge("m", SimDuration::from_hours(1)))
+            .unwrap();
+        b.register(MetricDescriptor::counter("m", SimDuration::from_hours(1)))
+            .unwrap();
+        assert!(a.merge(b).is_err());
+        let c = TimeSeriesDb::new(SimDuration::from_mins(5));
+        assert!(a.merge(c).is_err());
+    }
+
+    #[test]
+    fn merge_of_distributions_is_exact() {
+        let mut a = db();
+        let mut b = db();
+        for d in [&mut a, &mut b] {
+            d.register(MetricDescriptor::distribution(
+                "lat",
+                SimDuration::from_hours(24),
+            ))
+            .unwrap();
+        }
+        let mut ha = LogHistogram::new();
+        let mut hb = LogHistogram::new();
+        for v in 0..100u64 {
+            if v % 2 == 0 {
+                ha.record(v * 11);
+            } else {
+                hb.record(v * 11);
+            }
+        }
+        a.write(
+            "lat",
+            Labels::empty(),
+            mins(0),
+            MetricValue::Distribution(ha),
+        )
+        .unwrap();
+        b.write(
+            "lat",
+            Labels::empty(),
+            mins(0),
+            MetricValue::Distribution(hb),
+        )
+        .unwrap();
+        a.merge(b).unwrap();
+        let merged = a.series("lat", &Labels::empty()).unwrap().points()[0]
+            .1
+            .as_distribution()
+            .unwrap()
+            .clone();
+        let mut single = LogHistogram::new();
+        for v in 0..100u64 {
+            single.record(v * 11);
+        }
+        assert_eq!(merged.count(), single.count());
+        assert_eq!(merged.sum(), single.sum());
+        assert_eq!(merged.cdf_points(), single.cdf_points());
     }
 
     #[test]

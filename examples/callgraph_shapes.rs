@@ -32,7 +32,11 @@ fn main() {
             .take(12)
             .map(|&c| {
                 let h = (c as f64 / 20_000.0 * 50.0) as usize;
-                if h > 0 { '#' } else { '.' }
+                if h > 0 {
+                    '#'
+                } else {
+                    '.'
+                }
             })
             .map(|c| c.to_string())
             .collect::<Vec<_>>()

@@ -25,12 +25,9 @@ fn main() {
     }
     println!("Spanner read latency by client distance class:");
     for (class, rows) in &by_class {
-        let mean_median: f64 =
-            rows.iter().map(|r| r.median).sum::<f64>() / rows.len() as f64;
-        let mean_net: f64 =
-            rows.iter().map(|r| r.median_network).sum::<f64>() / rows.len() as f64;
-        let mean_wire: f64 =
-            rows.iter().map(|r| r.wire_rtt).sum::<f64>() / rows.len() as f64;
+        let mean_median: f64 = rows.iter().map(|r| r.median).sum::<f64>() / rows.len() as f64;
+        let mean_net: f64 = rows.iter().map(|r| r.median_network).sum::<f64>() / rows.len() as f64;
+        let mean_wire: f64 = rows.iter().map(|r| r.wire_rtt).sum::<f64>() / rows.len() as f64;
         println!(
             "  {:>28} ({:>2} clients): median {:>9}, network {:>9}, wire RTT {:>9}",
             class.label(),

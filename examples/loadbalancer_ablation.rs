@@ -39,8 +39,7 @@ fn run_policy(policy: LbPolicy, seed: u64) -> (f64, f64, f64) {
     let service = Mixture::new(vec![
         (
             0.95,
-            Box::new(LogNormal::from_median_sigma(400e-6, 0.8).expect("valid"))
-                as Box<dyn Sample>,
+            Box::new(LogNormal::from_median_sigma(400e-6, 0.8).expect("valid")) as Box<dyn Sample>,
         ),
         (
             0.05,

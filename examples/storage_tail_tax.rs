@@ -80,8 +80,5 @@ fn main() {
             result.cured(c) * 100.0
         );
     }
-    println!(
-        "\ndominant tail cause: {}",
-        result.dominant().label()
-    );
+    println!("\ndominant tail cause: {}", result.dominant().label());
 }

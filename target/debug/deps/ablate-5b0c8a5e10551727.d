@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate-5b0c8a5e10551727.d: crates/bench/src/bin/ablate.rs
+
+/root/repo/target/debug/deps/ablate-5b0c8a5e10551727: crates/bench/src/bin/ablate.rs
+
+crates/bench/src/bin/ablate.rs:

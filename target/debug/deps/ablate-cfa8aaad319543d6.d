@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate-cfa8aaad319543d6.d: crates/bench/src/bin/ablate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate-cfa8aaad319543d6.rmeta: crates/bench/src/bin/ablate.rs Cargo.toml
+
+crates/bench/src/bin/ablate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

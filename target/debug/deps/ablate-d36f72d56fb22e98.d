@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate-d36f72d56fb22e98.d: crates/bench/src/bin/ablate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate-d36f72d56fb22e98.rmeta: crates/bench/src/bin/ablate.rs Cargo.toml
+
+crates/bench/src/bin/ablate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

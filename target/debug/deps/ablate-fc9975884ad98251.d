@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate-fc9975884ad98251.d: crates/bench/src/bin/ablate.rs
+
+/root/repo/target/debug/deps/ablate-fc9975884ad98251: crates/bench/src/bin/ablate.rs
+
+crates/bench/src/bin/ablate.rs:

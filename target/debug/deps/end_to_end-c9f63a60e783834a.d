@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-c9f63a60e783834a.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-c9f63a60e783834a: tests/end_to_end.rs
+
+tests/end_to_end.rs:

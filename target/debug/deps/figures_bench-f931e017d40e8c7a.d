@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figures_bench-f931e017d40e8c7a.d: crates/bench/benches/figures_bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigures_bench-f931e017d40e8c7a.rmeta: crates/bench/benches/figures_bench.rs Cargo.toml
+
+crates/bench/benches/figures_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

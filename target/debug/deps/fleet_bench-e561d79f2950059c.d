@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fleet_bench-e561d79f2950059c.d: crates/bench/benches/fleet_bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfleet_bench-e561d79f2950059c.rmeta: crates/bench/benches/fleet_bench.rs Cargo.toml
+
+crates/bench/benches/fleet_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

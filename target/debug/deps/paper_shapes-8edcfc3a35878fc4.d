@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-8edcfc3a35878fc4.d: tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-8edcfc3a35878fc4: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

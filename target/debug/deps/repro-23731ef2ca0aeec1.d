@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-23731ef2ca0aeec1.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-23731ef2ca0aeec1: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

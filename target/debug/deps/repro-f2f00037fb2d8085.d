@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-f2f00037fb2d8085.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-f2f00037fb2d8085: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rpclens-0e4b47f813a0444b.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librpclens-0e4b47f813a0444b.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

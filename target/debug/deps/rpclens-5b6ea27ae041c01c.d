@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rpclens-5b6ea27ae041c01c.d: src/lib.rs
+
+/root/repo/target/debug/deps/rpclens-5b6ea27ae041c01c: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rpclens-a89e402f6f110f3d.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librpclens-a89e402f6f110f3d.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

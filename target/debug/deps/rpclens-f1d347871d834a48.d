@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rpclens-f1d347871d834a48.d: src/lib.rs
+
+/root/repo/target/debug/deps/librpclens-f1d347871d834a48.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/librpclens-f1d347871d834a48.rmeta: src/lib.rs
+
+src/lib.rs:

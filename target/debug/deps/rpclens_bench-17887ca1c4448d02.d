@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rpclens_bench-17887ca1c4448d02.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs
+
+/root/repo/target/debug/deps/librpclens_bench-17887ca1c4448d02.rlib: crates/bench/src/lib.rs crates/bench/src/ablation.rs
+
+/root/repo/target/debug/deps/librpclens_bench-17887ca1c4448d02.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:

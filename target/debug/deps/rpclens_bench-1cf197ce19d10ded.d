@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rpclens_bench-1cf197ce19d10ded.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/librpclens_bench-1cf197ce19d10ded.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

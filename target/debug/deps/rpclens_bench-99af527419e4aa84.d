@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rpclens_bench-99af527419e4aa84.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/librpclens_bench-99af527419e4aa84.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/rpclens_bench-cd10066da8b0c766.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs
+
+/root/repo/target/debug/deps/rpclens_bench-cd10066da8b0c766: crates/bench/src/lib.rs crates/bench/src/ablation.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rpclens_cluster-234c358a705e20d0.d: crates/cluster/src/lib.rs crates/cluster/src/accounting.rs crates/cluster/src/exogenous.rs crates/cluster/src/machine.rs crates/cluster/src/mgk.rs crates/cluster/src/pool.rs
+
+/root/repo/target/debug/deps/librpclens_cluster-234c358a705e20d0.rmeta: crates/cluster/src/lib.rs crates/cluster/src/accounting.rs crates/cluster/src/exogenous.rs crates/cluster/src/machine.rs crates/cluster/src/mgk.rs crates/cluster/src/pool.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/accounting.rs:
+crates/cluster/src/exogenous.rs:
+crates/cluster/src/machine.rs:
+crates/cluster/src/mgk.rs:
+crates/cluster/src/pool.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rpclens_cluster-3712da74f795ed50.d: crates/cluster/src/lib.rs crates/cluster/src/accounting.rs crates/cluster/src/exogenous.rs crates/cluster/src/machine.rs crates/cluster/src/mgk.rs crates/cluster/src/pool.rs
+
+/root/repo/target/debug/deps/rpclens_cluster-3712da74f795ed50: crates/cluster/src/lib.rs crates/cluster/src/accounting.rs crates/cluster/src/exogenous.rs crates/cluster/src/machine.rs crates/cluster/src/mgk.rs crates/cluster/src/pool.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/accounting.rs:
+crates/cluster/src/exogenous.rs:
+crates/cluster/src/machine.rs:
+crates/cluster/src/mgk.rs:
+crates/cluster/src/pool.rs:

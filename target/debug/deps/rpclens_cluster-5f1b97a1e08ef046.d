@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rpclens_cluster-5f1b97a1e08ef046.d: crates/cluster/src/lib.rs crates/cluster/src/accounting.rs crates/cluster/src/exogenous.rs crates/cluster/src/machine.rs crates/cluster/src/mgk.rs crates/cluster/src/pool.rs
+
+/root/repo/target/debug/deps/librpclens_cluster-5f1b97a1e08ef046.rlib: crates/cluster/src/lib.rs crates/cluster/src/accounting.rs crates/cluster/src/exogenous.rs crates/cluster/src/machine.rs crates/cluster/src/mgk.rs crates/cluster/src/pool.rs
+
+/root/repo/target/debug/deps/librpclens_cluster-5f1b97a1e08ef046.rmeta: crates/cluster/src/lib.rs crates/cluster/src/accounting.rs crates/cluster/src/exogenous.rs crates/cluster/src/machine.rs crates/cluster/src/mgk.rs crates/cluster/src/pool.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/accounting.rs:
+crates/cluster/src/exogenous.rs:
+crates/cluster/src/machine.rs:
+crates/cluster/src/mgk.rs:
+crates/cluster/src/pool.rs:

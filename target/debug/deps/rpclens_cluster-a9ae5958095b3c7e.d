@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rpclens_cluster-a9ae5958095b3c7e.d: crates/cluster/src/lib.rs crates/cluster/src/accounting.rs crates/cluster/src/exogenous.rs crates/cluster/src/machine.rs crates/cluster/src/mgk.rs crates/cluster/src/pool.rs Cargo.toml
+
+/root/repo/target/debug/deps/librpclens_cluster-a9ae5958095b3c7e.rmeta: crates/cluster/src/lib.rs crates/cluster/src/accounting.rs crates/cluster/src/exogenous.rs crates/cluster/src/machine.rs crates/cluster/src/mgk.rs crates/cluster/src/pool.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/accounting.rs:
+crates/cluster/src/exogenous.rs:
+crates/cluster/src/machine.rs:
+crates/cluster/src/mgk.rs:
+crates/cluster/src/pool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,37 @@
+/root/repo/target/debug/deps/rpclens_core-b523c2cdf75c9580.d: crates/core/src/lib.rs crates/core/src/check.rs crates/core/src/common.rs crates/core/src/figs/mod.rs crates/core/src/figs/compare.rs crates/core/src/figs/fig01.rs crates/core/src/figs/fig02.rs crates/core/src/figs/fig03.rs crates/core/src/figs/fig04.rs crates/core/src/figs/fig05.rs crates/core/src/figs/fig06.rs crates/core/src/figs/fig07.rs crates/core/src/figs/fig08.rs crates/core/src/figs/fig10.rs crates/core/src/figs/fig11.rs crates/core/src/figs/fig12.rs crates/core/src/figs/fig13.rs crates/core/src/figs/fig14.rs crates/core/src/figs/fig15.rs crates/core/src/figs/fig16.rs crates/core/src/figs/fig17.rs crates/core/src/figs/fig18.rs crates/core/src/figs/fig19.rs crates/core/src/figs/fig20.rs crates/core/src/figs/fig21.rs crates/core/src/figs/fig22.rs crates/core/src/figs/fig23.rs crates/core/src/figs/table1.rs crates/core/src/figs/table2.rs crates/core/src/render.rs crates/core/src/whatif.rs
+
+/root/repo/target/debug/deps/librpclens_core-b523c2cdf75c9580.rlib: crates/core/src/lib.rs crates/core/src/check.rs crates/core/src/common.rs crates/core/src/figs/mod.rs crates/core/src/figs/compare.rs crates/core/src/figs/fig01.rs crates/core/src/figs/fig02.rs crates/core/src/figs/fig03.rs crates/core/src/figs/fig04.rs crates/core/src/figs/fig05.rs crates/core/src/figs/fig06.rs crates/core/src/figs/fig07.rs crates/core/src/figs/fig08.rs crates/core/src/figs/fig10.rs crates/core/src/figs/fig11.rs crates/core/src/figs/fig12.rs crates/core/src/figs/fig13.rs crates/core/src/figs/fig14.rs crates/core/src/figs/fig15.rs crates/core/src/figs/fig16.rs crates/core/src/figs/fig17.rs crates/core/src/figs/fig18.rs crates/core/src/figs/fig19.rs crates/core/src/figs/fig20.rs crates/core/src/figs/fig21.rs crates/core/src/figs/fig22.rs crates/core/src/figs/fig23.rs crates/core/src/figs/table1.rs crates/core/src/figs/table2.rs crates/core/src/render.rs crates/core/src/whatif.rs
+
+/root/repo/target/debug/deps/librpclens_core-b523c2cdf75c9580.rmeta: crates/core/src/lib.rs crates/core/src/check.rs crates/core/src/common.rs crates/core/src/figs/mod.rs crates/core/src/figs/compare.rs crates/core/src/figs/fig01.rs crates/core/src/figs/fig02.rs crates/core/src/figs/fig03.rs crates/core/src/figs/fig04.rs crates/core/src/figs/fig05.rs crates/core/src/figs/fig06.rs crates/core/src/figs/fig07.rs crates/core/src/figs/fig08.rs crates/core/src/figs/fig10.rs crates/core/src/figs/fig11.rs crates/core/src/figs/fig12.rs crates/core/src/figs/fig13.rs crates/core/src/figs/fig14.rs crates/core/src/figs/fig15.rs crates/core/src/figs/fig16.rs crates/core/src/figs/fig17.rs crates/core/src/figs/fig18.rs crates/core/src/figs/fig19.rs crates/core/src/figs/fig20.rs crates/core/src/figs/fig21.rs crates/core/src/figs/fig22.rs crates/core/src/figs/fig23.rs crates/core/src/figs/table1.rs crates/core/src/figs/table2.rs crates/core/src/render.rs crates/core/src/whatif.rs
+
+crates/core/src/lib.rs:
+crates/core/src/check.rs:
+crates/core/src/common.rs:
+crates/core/src/figs/mod.rs:
+crates/core/src/figs/compare.rs:
+crates/core/src/figs/fig01.rs:
+crates/core/src/figs/fig02.rs:
+crates/core/src/figs/fig03.rs:
+crates/core/src/figs/fig04.rs:
+crates/core/src/figs/fig05.rs:
+crates/core/src/figs/fig06.rs:
+crates/core/src/figs/fig07.rs:
+crates/core/src/figs/fig08.rs:
+crates/core/src/figs/fig10.rs:
+crates/core/src/figs/fig11.rs:
+crates/core/src/figs/fig12.rs:
+crates/core/src/figs/fig13.rs:
+crates/core/src/figs/fig14.rs:
+crates/core/src/figs/fig15.rs:
+crates/core/src/figs/fig16.rs:
+crates/core/src/figs/fig17.rs:
+crates/core/src/figs/fig18.rs:
+crates/core/src/figs/fig19.rs:
+crates/core/src/figs/fig20.rs:
+crates/core/src/figs/fig21.rs:
+crates/core/src/figs/fig22.rs:
+crates/core/src/figs/fig23.rs:
+crates/core/src/figs/table1.rs:
+crates/core/src/figs/table2.rs:
+crates/core/src/render.rs:
+crates/core/src/whatif.rs:

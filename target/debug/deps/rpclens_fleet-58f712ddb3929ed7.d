@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rpclens_fleet-58f712ddb3929ed7.d: crates/fleet/src/lib.rs crates/fleet/src/baselines.rs crates/fleet/src/catalog.rs crates/fleet/src/driver.rs crates/fleet/src/growth.rs crates/fleet/src/workload.rs
+
+/root/repo/target/debug/deps/librpclens_fleet-58f712ddb3929ed7.rlib: crates/fleet/src/lib.rs crates/fleet/src/baselines.rs crates/fleet/src/catalog.rs crates/fleet/src/driver.rs crates/fleet/src/growth.rs crates/fleet/src/workload.rs
+
+/root/repo/target/debug/deps/librpclens_fleet-58f712ddb3929ed7.rmeta: crates/fleet/src/lib.rs crates/fleet/src/baselines.rs crates/fleet/src/catalog.rs crates/fleet/src/driver.rs crates/fleet/src/growth.rs crates/fleet/src/workload.rs
+
+crates/fleet/src/lib.rs:
+crates/fleet/src/baselines.rs:
+crates/fleet/src/catalog.rs:
+crates/fleet/src/driver.rs:
+crates/fleet/src/growth.rs:
+crates/fleet/src/workload.rs:

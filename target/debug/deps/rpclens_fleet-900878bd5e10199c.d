@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rpclens_fleet-900878bd5e10199c.d: crates/fleet/src/lib.rs crates/fleet/src/baselines.rs crates/fleet/src/catalog.rs crates/fleet/src/driver.rs crates/fleet/src/growth.rs crates/fleet/src/workload.rs
+
+/root/repo/target/debug/deps/rpclens_fleet-900878bd5e10199c: crates/fleet/src/lib.rs crates/fleet/src/baselines.rs crates/fleet/src/catalog.rs crates/fleet/src/driver.rs crates/fleet/src/growth.rs crates/fleet/src/workload.rs
+
+crates/fleet/src/lib.rs:
+crates/fleet/src/baselines.rs:
+crates/fleet/src/catalog.rs:
+crates/fleet/src/driver.rs:
+crates/fleet/src/growth.rs:
+crates/fleet/src/workload.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rpclens_fleet-eab0d52f6ca4161f.d: crates/fleet/src/lib.rs crates/fleet/src/baselines.rs crates/fleet/src/catalog.rs crates/fleet/src/driver.rs crates/fleet/src/growth.rs crates/fleet/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/librpclens_fleet-eab0d52f6ca4161f.rmeta: crates/fleet/src/lib.rs crates/fleet/src/baselines.rs crates/fleet/src/catalog.rs crates/fleet/src/driver.rs crates/fleet/src/growth.rs crates/fleet/src/workload.rs Cargo.toml
+
+crates/fleet/src/lib.rs:
+crates/fleet/src/baselines.rs:
+crates/fleet/src/catalog.rs:
+crates/fleet/src/driver.rs:
+crates/fleet/src/growth.rs:
+crates/fleet/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rpclens_netsim-7cb49378adc3f84e.d: crates/netsim/src/lib.rs crates/netsim/src/congestion.rs crates/netsim/src/geo.rs crates/netsim/src/latency.rs crates/netsim/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/librpclens_netsim-7cb49378adc3f84e.rmeta: crates/netsim/src/lib.rs crates/netsim/src/congestion.rs crates/netsim/src/geo.rs crates/netsim/src/latency.rs crates/netsim/src/topology.rs Cargo.toml
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/congestion.rs:
+crates/netsim/src/geo.rs:
+crates/netsim/src/latency.rs:
+crates/netsim/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rpclens_netsim-bf9ebd3df2207d5c.d: crates/netsim/src/lib.rs crates/netsim/src/congestion.rs crates/netsim/src/geo.rs crates/netsim/src/latency.rs crates/netsim/src/topology.rs
+
+/root/repo/target/debug/deps/rpclens_netsim-bf9ebd3df2207d5c: crates/netsim/src/lib.rs crates/netsim/src/congestion.rs crates/netsim/src/geo.rs crates/netsim/src/latency.rs crates/netsim/src/topology.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/congestion.rs:
+crates/netsim/src/geo.rs:
+crates/netsim/src/latency.rs:
+crates/netsim/src/topology.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rpclens_netsim-f07a3d80a81293e1.d: crates/netsim/src/lib.rs crates/netsim/src/congestion.rs crates/netsim/src/geo.rs crates/netsim/src/latency.rs crates/netsim/src/topology.rs
+
+/root/repo/target/debug/deps/librpclens_netsim-f07a3d80a81293e1.rlib: crates/netsim/src/lib.rs crates/netsim/src/congestion.rs crates/netsim/src/geo.rs crates/netsim/src/latency.rs crates/netsim/src/topology.rs
+
+/root/repo/target/debug/deps/librpclens_netsim-f07a3d80a81293e1.rmeta: crates/netsim/src/lib.rs crates/netsim/src/congestion.rs crates/netsim/src/geo.rs crates/netsim/src/latency.rs crates/netsim/src/topology.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/congestion.rs:
+crates/netsim/src/geo.rs:
+crates/netsim/src/latency.rs:
+crates/netsim/src/topology.rs:

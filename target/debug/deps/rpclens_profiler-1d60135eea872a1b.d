@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rpclens_profiler-1d60135eea872a1b.d: crates/profiler/src/lib.rs
+
+/root/repo/target/debug/deps/librpclens_profiler-1d60135eea872a1b.rlib: crates/profiler/src/lib.rs
+
+/root/repo/target/debug/deps/librpclens_profiler-1d60135eea872a1b.rmeta: crates/profiler/src/lib.rs
+
+crates/profiler/src/lib.rs:

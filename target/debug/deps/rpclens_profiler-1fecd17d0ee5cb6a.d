@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rpclens_profiler-1fecd17d0ee5cb6a.d: crates/profiler/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librpclens_profiler-1fecd17d0ee5cb6a.rmeta: crates/profiler/src/lib.rs Cargo.toml
+
+crates/profiler/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

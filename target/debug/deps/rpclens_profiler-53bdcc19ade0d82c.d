@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rpclens_profiler-53bdcc19ade0d82c.d: crates/profiler/src/lib.rs
+
+/root/repo/target/debug/deps/rpclens_profiler-53bdcc19ade0d82c: crates/profiler/src/lib.rs
+
+crates/profiler/src/lib.rs:

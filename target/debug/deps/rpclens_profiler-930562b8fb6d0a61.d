@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rpclens_profiler-930562b8fb6d0a61.d: crates/profiler/src/lib.rs
+
+/root/repo/target/debug/deps/librpclens_profiler-930562b8fb6d0a61.rmeta: crates/profiler/src/lib.rs
+
+crates/profiler/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rpclens_profiler-be3df6ebfcdce851.d: crates/profiler/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librpclens_profiler-be3df6ebfcdce851.rmeta: crates/profiler/src/lib.rs Cargo.toml
+
+crates/profiler/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

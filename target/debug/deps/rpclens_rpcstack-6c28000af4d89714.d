@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rpclens_rpcstack-6c28000af4d89714.d: crates/rpcstack/src/lib.rs crates/rpcstack/src/codec.rs crates/rpcstack/src/component.rs crates/rpcstack/src/cost.rs crates/rpcstack/src/deadline.rs crates/rpcstack/src/error.rs crates/rpcstack/src/hedging.rs crates/rpcstack/src/loadbalancer.rs crates/rpcstack/src/queue.rs crates/rpcstack/src/retry.rs
+
+/root/repo/target/debug/deps/rpclens_rpcstack-6c28000af4d89714: crates/rpcstack/src/lib.rs crates/rpcstack/src/codec.rs crates/rpcstack/src/component.rs crates/rpcstack/src/cost.rs crates/rpcstack/src/deadline.rs crates/rpcstack/src/error.rs crates/rpcstack/src/hedging.rs crates/rpcstack/src/loadbalancer.rs crates/rpcstack/src/queue.rs crates/rpcstack/src/retry.rs
+
+crates/rpcstack/src/lib.rs:
+crates/rpcstack/src/codec.rs:
+crates/rpcstack/src/component.rs:
+crates/rpcstack/src/cost.rs:
+crates/rpcstack/src/deadline.rs:
+crates/rpcstack/src/error.rs:
+crates/rpcstack/src/hedging.rs:
+crates/rpcstack/src/loadbalancer.rs:
+crates/rpcstack/src/queue.rs:
+crates/rpcstack/src/retry.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/rpclens_rpcstack-c9198c75f1a67d1a.d: crates/rpcstack/src/lib.rs crates/rpcstack/src/codec.rs crates/rpcstack/src/component.rs crates/rpcstack/src/cost.rs crates/rpcstack/src/deadline.rs crates/rpcstack/src/error.rs crates/rpcstack/src/hedging.rs crates/rpcstack/src/loadbalancer.rs crates/rpcstack/src/queue.rs crates/rpcstack/src/retry.rs Cargo.toml
+
+/root/repo/target/debug/deps/librpclens_rpcstack-c9198c75f1a67d1a.rmeta: crates/rpcstack/src/lib.rs crates/rpcstack/src/codec.rs crates/rpcstack/src/component.rs crates/rpcstack/src/cost.rs crates/rpcstack/src/deadline.rs crates/rpcstack/src/error.rs crates/rpcstack/src/hedging.rs crates/rpcstack/src/loadbalancer.rs crates/rpcstack/src/queue.rs crates/rpcstack/src/retry.rs Cargo.toml
+
+crates/rpcstack/src/lib.rs:
+crates/rpcstack/src/codec.rs:
+crates/rpcstack/src/component.rs:
+crates/rpcstack/src/cost.rs:
+crates/rpcstack/src/deadline.rs:
+crates/rpcstack/src/error.rs:
+crates/rpcstack/src/hedging.rs:
+crates/rpcstack/src/loadbalancer.rs:
+crates/rpcstack/src/queue.rs:
+crates/rpcstack/src/retry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

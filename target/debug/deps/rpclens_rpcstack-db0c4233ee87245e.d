@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rpclens_rpcstack-db0c4233ee87245e.d: crates/rpcstack/src/lib.rs crates/rpcstack/src/codec.rs crates/rpcstack/src/component.rs crates/rpcstack/src/cost.rs crates/rpcstack/src/deadline.rs crates/rpcstack/src/error.rs crates/rpcstack/src/hedging.rs crates/rpcstack/src/loadbalancer.rs crates/rpcstack/src/queue.rs crates/rpcstack/src/retry.rs
+
+/root/repo/target/debug/deps/librpclens_rpcstack-db0c4233ee87245e.rmeta: crates/rpcstack/src/lib.rs crates/rpcstack/src/codec.rs crates/rpcstack/src/component.rs crates/rpcstack/src/cost.rs crates/rpcstack/src/deadline.rs crates/rpcstack/src/error.rs crates/rpcstack/src/hedging.rs crates/rpcstack/src/loadbalancer.rs crates/rpcstack/src/queue.rs crates/rpcstack/src/retry.rs
+
+crates/rpcstack/src/lib.rs:
+crates/rpcstack/src/codec.rs:
+crates/rpcstack/src/component.rs:
+crates/rpcstack/src/cost.rs:
+crates/rpcstack/src/deadline.rs:
+crates/rpcstack/src/error.rs:
+crates/rpcstack/src/hedging.rs:
+crates/rpcstack/src/loadbalancer.rs:
+crates/rpcstack/src/queue.rs:
+crates/rpcstack/src/retry.rs:

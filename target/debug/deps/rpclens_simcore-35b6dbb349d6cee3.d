@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rpclens_simcore-35b6dbb349d6cee3.d: crates/simcore/src/lib.rs crates/simcore/src/alias.rs crates/simcore/src/dist.rs crates/simcore/src/event.rs crates/simcore/src/hist.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/streaming.rs crates/simcore/src/time.rs crates/simcore/src/zipf.rs
+
+/root/repo/target/debug/deps/rpclens_simcore-35b6dbb349d6cee3: crates/simcore/src/lib.rs crates/simcore/src/alias.rs crates/simcore/src/dist.rs crates/simcore/src/event.rs crates/simcore/src/hist.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/streaming.rs crates/simcore/src/time.rs crates/simcore/src/zipf.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/alias.rs:
+crates/simcore/src/dist.rs:
+crates/simcore/src/event.rs:
+crates/simcore/src/hist.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/stats.rs:
+crates/simcore/src/streaming.rs:
+crates/simcore/src/time.rs:
+crates/simcore/src/zipf.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rpclens_simcore-4967d3fb2db97082.d: crates/simcore/src/lib.rs crates/simcore/src/alias.rs crates/simcore/src/dist.rs crates/simcore/src/event.rs crates/simcore/src/hist.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/streaming.rs crates/simcore/src/time.rs crates/simcore/src/zipf.rs
+
+/root/repo/target/debug/deps/librpclens_simcore-4967d3fb2db97082.rmeta: crates/simcore/src/lib.rs crates/simcore/src/alias.rs crates/simcore/src/dist.rs crates/simcore/src/event.rs crates/simcore/src/hist.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/streaming.rs crates/simcore/src/time.rs crates/simcore/src/zipf.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/alias.rs:
+crates/simcore/src/dist.rs:
+crates/simcore/src/event.rs:
+crates/simcore/src/hist.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/stats.rs:
+crates/simcore/src/streaming.rs:
+crates/simcore/src/time.rs:
+crates/simcore/src/zipf.rs:

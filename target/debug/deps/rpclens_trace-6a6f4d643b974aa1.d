@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rpclens_trace-6a6f4d643b974aa1.d: crates/trace/src/lib.rs crates/trace/src/collector.rs crates/trace/src/critical_path.rs crates/trace/src/export.rs crates/trace/src/query.rs crates/trace/src/span.rs crates/trace/src/tree.rs
+
+/root/repo/target/debug/deps/librpclens_trace-6a6f4d643b974aa1.rlib: crates/trace/src/lib.rs crates/trace/src/collector.rs crates/trace/src/critical_path.rs crates/trace/src/export.rs crates/trace/src/query.rs crates/trace/src/span.rs crates/trace/src/tree.rs
+
+/root/repo/target/debug/deps/librpclens_trace-6a6f4d643b974aa1.rmeta: crates/trace/src/lib.rs crates/trace/src/collector.rs crates/trace/src/critical_path.rs crates/trace/src/export.rs crates/trace/src/query.rs crates/trace/src/span.rs crates/trace/src/tree.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/collector.rs:
+crates/trace/src/critical_path.rs:
+crates/trace/src/export.rs:
+crates/trace/src/query.rs:
+crates/trace/src/span.rs:
+crates/trace/src/tree.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rpclens_trace-d421b8b367396dba.d: crates/trace/src/lib.rs crates/trace/src/collector.rs crates/trace/src/critical_path.rs crates/trace/src/export.rs crates/trace/src/query.rs crates/trace/src/span.rs crates/trace/src/tree.rs
+
+/root/repo/target/debug/deps/librpclens_trace-d421b8b367396dba.rmeta: crates/trace/src/lib.rs crates/trace/src/collector.rs crates/trace/src/critical_path.rs crates/trace/src/export.rs crates/trace/src/query.rs crates/trace/src/span.rs crates/trace/src/tree.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/collector.rs:
+crates/trace/src/critical_path.rs:
+crates/trace/src/export.rs:
+crates/trace/src/query.rs:
+crates/trace/src/span.rs:
+crates/trace/src/tree.rs:

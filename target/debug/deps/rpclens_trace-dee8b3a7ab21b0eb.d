@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rpclens_trace-dee8b3a7ab21b0eb.d: crates/trace/src/lib.rs crates/trace/src/collector.rs crates/trace/src/critical_path.rs crates/trace/src/export.rs crates/trace/src/query.rs crates/trace/src/span.rs crates/trace/src/tree.rs
+
+/root/repo/target/debug/deps/rpclens_trace-dee8b3a7ab21b0eb: crates/trace/src/lib.rs crates/trace/src/collector.rs crates/trace/src/critical_path.rs crates/trace/src/export.rs crates/trace/src/query.rs crates/trace/src/span.rs crates/trace/src/tree.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/collector.rs:
+crates/trace/src/critical_path.rs:
+crates/trace/src/export.rs:
+crates/trace/src/query.rs:
+crates/trace/src/span.rs:
+crates/trace/src/tree.rs:

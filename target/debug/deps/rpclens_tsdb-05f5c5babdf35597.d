@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rpclens_tsdb-05f5c5babdf35597.d: crates/tsdb/src/lib.rs crates/tsdb/src/metric.rs crates/tsdb/src/query.rs crates/tsdb/src/store.rs
+
+/root/repo/target/debug/deps/librpclens_tsdb-05f5c5babdf35597.rlib: crates/tsdb/src/lib.rs crates/tsdb/src/metric.rs crates/tsdb/src/query.rs crates/tsdb/src/store.rs
+
+/root/repo/target/debug/deps/librpclens_tsdb-05f5c5babdf35597.rmeta: crates/tsdb/src/lib.rs crates/tsdb/src/metric.rs crates/tsdb/src/query.rs crates/tsdb/src/store.rs
+
+crates/tsdb/src/lib.rs:
+crates/tsdb/src/metric.rs:
+crates/tsdb/src/query.rs:
+crates/tsdb/src/store.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rpclens_tsdb-1e310e5cf2cc1c6b.d: crates/tsdb/src/lib.rs crates/tsdb/src/metric.rs crates/tsdb/src/query.rs crates/tsdb/src/store.rs
+
+/root/repo/target/debug/deps/rpclens_tsdb-1e310e5cf2cc1c6b: crates/tsdb/src/lib.rs crates/tsdb/src/metric.rs crates/tsdb/src/query.rs crates/tsdb/src/store.rs
+
+crates/tsdb/src/lib.rs:
+crates/tsdb/src/metric.rs:
+crates/tsdb/src/query.rs:
+crates/tsdb/src/store.rs:

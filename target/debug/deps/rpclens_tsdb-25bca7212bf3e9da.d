@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rpclens_tsdb-25bca7212bf3e9da.d: crates/tsdb/src/lib.rs crates/tsdb/src/metric.rs crates/tsdb/src/query.rs crates/tsdb/src/store.rs
+
+/root/repo/target/debug/deps/librpclens_tsdb-25bca7212bf3e9da.rmeta: crates/tsdb/src/lib.rs crates/tsdb/src/metric.rs crates/tsdb/src/query.rs crates/tsdb/src/store.rs
+
+crates/tsdb/src/lib.rs:
+crates/tsdb/src/metric.rs:
+crates/tsdb/src/query.rs:
+crates/tsdb/src/store.rs:

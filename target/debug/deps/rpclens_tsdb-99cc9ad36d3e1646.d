@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rpclens_tsdb-99cc9ad36d3e1646.d: crates/tsdb/src/lib.rs crates/tsdb/src/metric.rs crates/tsdb/src/query.rs crates/tsdb/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/librpclens_tsdb-99cc9ad36d3e1646.rmeta: crates/tsdb/src/lib.rs crates/tsdb/src/metric.rs crates/tsdb/src/query.rs crates/tsdb/src/store.rs Cargo.toml
+
+crates/tsdb/src/lib.rs:
+crates/tsdb/src/metric.rs:
+crates/tsdb/src/query.rs:
+crates/tsdb/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rpcstack_bench-1d439be838b7866a.d: crates/bench/benches/rpcstack_bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/librpcstack_bench-1d439be838b7866a.rmeta: crates/bench/benches/rpcstack_bench.rs Cargo.toml
+
+crates/bench/benches/rpcstack_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

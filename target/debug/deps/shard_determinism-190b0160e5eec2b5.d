@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shard_determinism-190b0160e5eec2b5.d: crates/bench/tests/shard_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshard_determinism-190b0160e5eec2b5.rmeta: crates/bench/tests/shard_determinism.rs Cargo.toml
+
+crates/bench/tests/shard_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shard_determinism-dd7ed29546c86b8c.d: crates/bench/tests/shard_determinism.rs
+
+/root/repo/target/debug/deps/shard_determinism-dd7ed29546c86b8c: crates/bench/tests/shard_determinism.rs
+
+crates/bench/tests/shard_determinism.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shard_scaling-5525680972483e6b.d: crates/bench/benches/shard_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshard_scaling-5525680972483e6b.rmeta: crates/bench/benches/shard_scaling.rs Cargo.toml
+
+crates/bench/benches/shard_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

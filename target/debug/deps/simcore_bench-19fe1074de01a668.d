@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simcore_bench-19fe1074de01a668.d: crates/bench/benches/simcore_bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimcore_bench-19fe1074de01a668.rmeta: crates/bench/benches/simcore_bench.rs Cargo.toml
+
+crates/bench/benches/simcore_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate_interop-08f7386609766589.d: tests/substrate_interop.rs
+
+/root/repo/target/debug/deps/substrate_interop-08f7386609766589: tests/substrate_interop.rs
+
+tests/substrate_interop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/substrate_interop-e8692e878037478f.d: tests/substrate_interop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsubstrate_interop-e8692e878037478f.rmeta: tests/substrate_interop.rs Cargo.toml
+
+tests/substrate_interop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_export-7491b19658f1818f.d: tests/trace_export.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_export-7491b19658f1818f.rmeta: tests/trace_export.rs Cargo.toml
+
+tests/trace_export.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

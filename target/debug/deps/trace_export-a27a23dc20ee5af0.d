@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_export-a27a23dc20ee5af0.d: tests/trace_export.rs
+
+/root/repo/target/debug/deps/trace_export-a27a23dc20ee5af0: tests/trace_export.rs
+
+tests/trace_export.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/callgraph_shapes-305a438e5a1e369c.d: examples/callgraph_shapes.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcallgraph_shapes-305a438e5a1e369c.rmeta: examples/callgraph_shapes.rs Cargo.toml
+
+examples/callgraph_shapes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/callgraph_shapes-dff5fa7f57e44928.d: examples/callgraph_shapes.rs
+
+/root/repo/target/debug/examples/callgraph_shapes-dff5fa7f57e44928: examples/callgraph_shapes.rs
+
+examples/callgraph_shapes.rs:

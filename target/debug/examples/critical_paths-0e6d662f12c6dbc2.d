@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/critical_paths-0e6d662f12c6dbc2.d: examples/critical_paths.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcritical_paths-0e6d662f12c6dbc2.rmeta: examples/critical_paths.rs Cargo.toml
+
+examples/critical_paths.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

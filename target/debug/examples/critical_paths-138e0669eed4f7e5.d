@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/critical_paths-138e0669eed4f7e5.d: examples/critical_paths.rs
+
+/root/repo/target/debug/examples/critical_paths-138e0669eed4f7e5: examples/critical_paths.rs
+
+examples/critical_paths.rs:

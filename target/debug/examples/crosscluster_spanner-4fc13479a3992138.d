@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/crosscluster_spanner-4fc13479a3992138.d: examples/crosscluster_spanner.rs
+
+/root/repo/target/debug/examples/crosscluster_spanner-4fc13479a3992138: examples/crosscluster_spanner.rs
+
+examples/crosscluster_spanner.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/crosscluster_spanner-79e0fbbc6f73afa4.d: examples/crosscluster_spanner.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcrosscluster_spanner-79e0fbbc6f73afa4.rmeta: examples/crosscluster_spanner.rs Cargo.toml
+
+examples/crosscluster_spanner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

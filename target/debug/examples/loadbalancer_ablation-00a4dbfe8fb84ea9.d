@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/loadbalancer_ablation-00a4dbfe8fb84ea9.d: examples/loadbalancer_ablation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libloadbalancer_ablation-00a4dbfe8fb84ea9.rmeta: examples/loadbalancer_ablation.rs Cargo.toml
+
+examples/loadbalancer_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/loadbalancer_ablation-c1ac143d6352cdaf.d: examples/loadbalancer_ablation.rs
+
+/root/repo/target/debug/examples/loadbalancer_ablation-c1ac143d6352cdaf: examples/loadbalancer_ablation.rs
+
+examples/loadbalancer_ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-27ef6c9d01bd7162.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-27ef6c9d01bd7162.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

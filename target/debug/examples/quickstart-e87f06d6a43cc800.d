@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e87f06d6a43cc800.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e87f06d6a43cc800: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/storage_tail_tax-083075f167cd5c69.d: examples/storage_tail_tax.rs
+
+/root/repo/target/debug/examples/storage_tail_tax-083075f167cd5c69: examples/storage_tail_tax.rs
+
+examples/storage_tail_tax.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/storage_tail_tax-1705b57d4a5691fe.d: examples/storage_tail_tax.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstorage_tail_tax-1705b57d4a5691fe.rmeta: examples/storage_tail_tax.rs Cargo.toml
+
+examples/storage_tail_tax.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

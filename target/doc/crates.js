@@ -1,0 +1,2 @@
+window.ALL_CRATES = ["rpclens_fleet","rpclens_simcore"];
+//{"start":21,"fragment_lengths":[15,18]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["rpclens_simcore",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"enum\" href=\"rpclens_simcore/alias/enum.AliasError.html\" title=\"enum rpclens_simcore::alias::AliasError\">AliasError</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"struct\" href=\"rpclens_simcore/dist/struct.DistError.html\" title=\"struct rpclens_simcore::dist::DistError\">DistError</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[590]}

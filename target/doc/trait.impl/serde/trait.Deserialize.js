@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["rpclens_fleet",[["impl Deserialize for <a class=\"enum\" href=\"rpclens_fleet/catalog/enum.FanoutDist.html\" title=\"enum rpclens_fleet::catalog::FanoutDist\">FanoutDist</a>",0],["impl Deserialize for <a class=\"enum\" href=\"rpclens_fleet/catalog/enum.ServiceCategory.html\" title=\"enum rpclens_fleet::catalog::ServiceCategory\">ServiceCategory</a>",0]]],["rpclens_simcore",[["impl Deserialize for <a class=\"struct\" href=\"rpclens_simcore/hist/struct.LogHistogram.html\" title=\"struct rpclens_simcore::hist::LogHistogram\">LogHistogram</a>",0],["impl Deserialize for <a class=\"struct\" href=\"rpclens_simcore/stats/struct.QuantileSummary.html\" title=\"struct rpclens_simcore::stats::QuantileSummary\">QuantileSummary</a>",0],["impl Deserialize for <a class=\"struct\" href=\"rpclens_simcore/time/struct.SimDuration.html\" title=\"struct rpclens_simcore::time::SimDuration\">SimDuration</a>",0],["impl Deserialize for <a class=\"struct\" href=\"rpclens_simcore/time/struct.SimTime.html\" title=\"struct rpclens_simcore::time::SimTime\">SimTime</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[358,703]}

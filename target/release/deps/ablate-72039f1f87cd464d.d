@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate-72039f1f87cd464d.d: crates/bench/src/bin/ablate.rs
+
+/root/repo/target/release/deps/ablate-72039f1f87cd464d: crates/bench/src/bin/ablate.rs
+
+crates/bench/src/bin/ablate.rs:

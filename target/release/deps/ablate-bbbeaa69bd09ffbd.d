@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate-bbbeaa69bd09ffbd.d: crates/bench/src/bin/ablate.rs
+
+/root/repo/target/release/deps/ablate-bbbeaa69bd09ffbd: crates/bench/src/bin/ablate.rs
+
+crates/bench/src/bin/ablate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-3dce3b8416813fca.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-3dce3b8416813fca: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_shapes-4cf163a338d269f3.d: tests/paper_shapes.rs
+
+/root/repo/target/release/deps/paper_shapes-4cf163a338d269f3: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parking_lot-89e0c8b4d9be00dc.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/parking_lot-89e0c8b4d9be00dc: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-601eb783a1f352ab.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-601eb783a1f352ab: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-6c04187f644a5982.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-6c04187f644a5982: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

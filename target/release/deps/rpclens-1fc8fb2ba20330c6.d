@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rpclens-1fc8fb2ba20330c6.d: src/lib.rs
+
+/root/repo/target/release/deps/rpclens-1fc8fb2ba20330c6: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rpclens-59cc3d9ffd2fcdeb.d: src/lib.rs
+
+/root/repo/target/release/deps/librpclens-59cc3d9ffd2fcdeb.rlib: src/lib.rs
+
+/root/repo/target/release/deps/librpclens-59cc3d9ffd2fcdeb.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/rpclens_bench-22a6a8e5ffe82d11.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs
+
+/root/repo/target/release/deps/rpclens_bench-22a6a8e5ffe82d11: crates/bench/src/lib.rs crates/bench/src/ablation.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/rpclens_bench-3402a0e841fa65a4.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs
+
+/root/repo/target/release/deps/librpclens_bench-3402a0e841fa65a4.rlib: crates/bench/src/lib.rs crates/bench/src/ablation.rs
+
+/root/repo/target/release/deps/librpclens_bench-3402a0e841fa65a4.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rpclens_cluster-c2eba2056f9fe504.d: crates/cluster/src/lib.rs crates/cluster/src/accounting.rs crates/cluster/src/exogenous.rs crates/cluster/src/machine.rs crates/cluster/src/mgk.rs crates/cluster/src/pool.rs
+
+/root/repo/target/release/deps/rpclens_cluster-c2eba2056f9fe504: crates/cluster/src/lib.rs crates/cluster/src/accounting.rs crates/cluster/src/exogenous.rs crates/cluster/src/machine.rs crates/cluster/src/mgk.rs crates/cluster/src/pool.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/accounting.rs:
+crates/cluster/src/exogenous.rs:
+crates/cluster/src/machine.rs:
+crates/cluster/src/mgk.rs:
+crates/cluster/src/pool.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rpclens_fleet-dcc3416814f532f1.d: crates/fleet/src/lib.rs crates/fleet/src/baselines.rs crates/fleet/src/catalog.rs crates/fleet/src/driver.rs crates/fleet/src/growth.rs crates/fleet/src/workload.rs
+
+/root/repo/target/release/deps/rpclens_fleet-dcc3416814f532f1: crates/fleet/src/lib.rs crates/fleet/src/baselines.rs crates/fleet/src/catalog.rs crates/fleet/src/driver.rs crates/fleet/src/growth.rs crates/fleet/src/workload.rs
+
+crates/fleet/src/lib.rs:
+crates/fleet/src/baselines.rs:
+crates/fleet/src/catalog.rs:
+crates/fleet/src/driver.rs:
+crates/fleet/src/growth.rs:
+crates/fleet/src/workload.rs:

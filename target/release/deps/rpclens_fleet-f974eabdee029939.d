@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/rpclens_fleet-f974eabdee029939.d: crates/fleet/src/lib.rs crates/fleet/src/baselines.rs crates/fleet/src/catalog.rs crates/fleet/src/driver.rs crates/fleet/src/growth.rs crates/fleet/src/workload.rs
+
+/root/repo/target/release/deps/librpclens_fleet-f974eabdee029939.rlib: crates/fleet/src/lib.rs crates/fleet/src/baselines.rs crates/fleet/src/catalog.rs crates/fleet/src/driver.rs crates/fleet/src/growth.rs crates/fleet/src/workload.rs
+
+/root/repo/target/release/deps/librpclens_fleet-f974eabdee029939.rmeta: crates/fleet/src/lib.rs crates/fleet/src/baselines.rs crates/fleet/src/catalog.rs crates/fleet/src/driver.rs crates/fleet/src/growth.rs crates/fleet/src/workload.rs
+
+crates/fleet/src/lib.rs:
+crates/fleet/src/baselines.rs:
+crates/fleet/src/catalog.rs:
+crates/fleet/src/driver.rs:
+crates/fleet/src/growth.rs:
+crates/fleet/src/workload.rs:

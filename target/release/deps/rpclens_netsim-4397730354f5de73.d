@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/rpclens_netsim-4397730354f5de73.d: crates/netsim/src/lib.rs crates/netsim/src/congestion.rs crates/netsim/src/geo.rs crates/netsim/src/latency.rs crates/netsim/src/topology.rs
+
+/root/repo/target/release/deps/librpclens_netsim-4397730354f5de73.rlib: crates/netsim/src/lib.rs crates/netsim/src/congestion.rs crates/netsim/src/geo.rs crates/netsim/src/latency.rs crates/netsim/src/topology.rs
+
+/root/repo/target/release/deps/librpclens_netsim-4397730354f5de73.rmeta: crates/netsim/src/lib.rs crates/netsim/src/congestion.rs crates/netsim/src/geo.rs crates/netsim/src/latency.rs crates/netsim/src/topology.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/congestion.rs:
+crates/netsim/src/geo.rs:
+crates/netsim/src/latency.rs:
+crates/netsim/src/topology.rs:

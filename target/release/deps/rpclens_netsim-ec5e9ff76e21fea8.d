@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rpclens_netsim-ec5e9ff76e21fea8.d: crates/netsim/src/lib.rs crates/netsim/src/congestion.rs crates/netsim/src/geo.rs crates/netsim/src/latency.rs crates/netsim/src/topology.rs
+
+/root/repo/target/release/deps/rpclens_netsim-ec5e9ff76e21fea8: crates/netsim/src/lib.rs crates/netsim/src/congestion.rs crates/netsim/src/geo.rs crates/netsim/src/latency.rs crates/netsim/src/topology.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/congestion.rs:
+crates/netsim/src/geo.rs:
+crates/netsim/src/latency.rs:
+crates/netsim/src/topology.rs:

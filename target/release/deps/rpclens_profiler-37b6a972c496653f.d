@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rpclens_profiler-37b6a972c496653f.d: crates/profiler/src/lib.rs
+
+/root/repo/target/release/deps/rpclens_profiler-37b6a972c496653f: crates/profiler/src/lib.rs
+
+crates/profiler/src/lib.rs:

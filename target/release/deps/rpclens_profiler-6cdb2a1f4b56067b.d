@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rpclens_profiler-6cdb2a1f4b56067b.d: crates/profiler/src/lib.rs
+
+/root/repo/target/release/deps/librpclens_profiler-6cdb2a1f4b56067b.rlib: crates/profiler/src/lib.rs
+
+/root/repo/target/release/deps/librpclens_profiler-6cdb2a1f4b56067b.rmeta: crates/profiler/src/lib.rs
+
+crates/profiler/src/lib.rs:

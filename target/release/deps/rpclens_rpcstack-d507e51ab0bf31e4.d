@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/rpclens_rpcstack-d507e51ab0bf31e4.d: crates/rpcstack/src/lib.rs crates/rpcstack/src/codec.rs crates/rpcstack/src/component.rs crates/rpcstack/src/cost.rs crates/rpcstack/src/deadline.rs crates/rpcstack/src/error.rs crates/rpcstack/src/hedging.rs crates/rpcstack/src/loadbalancer.rs crates/rpcstack/src/queue.rs crates/rpcstack/src/retry.rs
+
+/root/repo/target/release/deps/librpclens_rpcstack-d507e51ab0bf31e4.rlib: crates/rpcstack/src/lib.rs crates/rpcstack/src/codec.rs crates/rpcstack/src/component.rs crates/rpcstack/src/cost.rs crates/rpcstack/src/deadline.rs crates/rpcstack/src/error.rs crates/rpcstack/src/hedging.rs crates/rpcstack/src/loadbalancer.rs crates/rpcstack/src/queue.rs crates/rpcstack/src/retry.rs
+
+/root/repo/target/release/deps/librpclens_rpcstack-d507e51ab0bf31e4.rmeta: crates/rpcstack/src/lib.rs crates/rpcstack/src/codec.rs crates/rpcstack/src/component.rs crates/rpcstack/src/cost.rs crates/rpcstack/src/deadline.rs crates/rpcstack/src/error.rs crates/rpcstack/src/hedging.rs crates/rpcstack/src/loadbalancer.rs crates/rpcstack/src/queue.rs crates/rpcstack/src/retry.rs
+
+crates/rpcstack/src/lib.rs:
+crates/rpcstack/src/codec.rs:
+crates/rpcstack/src/component.rs:
+crates/rpcstack/src/cost.rs:
+crates/rpcstack/src/deadline.rs:
+crates/rpcstack/src/error.rs:
+crates/rpcstack/src/hedging.rs:
+crates/rpcstack/src/loadbalancer.rs:
+crates/rpcstack/src/queue.rs:
+crates/rpcstack/src/retry.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/rpclens_simcore-08205512bbeca128.d: crates/simcore/src/lib.rs crates/simcore/src/alias.rs crates/simcore/src/dist.rs crates/simcore/src/event.rs crates/simcore/src/hist.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/streaming.rs crates/simcore/src/time.rs crates/simcore/src/zipf.rs
+
+/root/repo/target/release/deps/rpclens_simcore-08205512bbeca128: crates/simcore/src/lib.rs crates/simcore/src/alias.rs crates/simcore/src/dist.rs crates/simcore/src/event.rs crates/simcore/src/hist.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/streaming.rs crates/simcore/src/time.rs crates/simcore/src/zipf.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/alias.rs:
+crates/simcore/src/dist.rs:
+crates/simcore/src/event.rs:
+crates/simcore/src/hist.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/stats.rs:
+crates/simcore/src/streaming.rs:
+crates/simcore/src/time.rs:
+crates/simcore/src/zipf.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/rpclens_simcore-34749ee17685c3e1.d: crates/simcore/src/lib.rs crates/simcore/src/alias.rs crates/simcore/src/dist.rs crates/simcore/src/event.rs crates/simcore/src/hist.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/streaming.rs crates/simcore/src/time.rs crates/simcore/src/zipf.rs
+
+/root/repo/target/release/deps/librpclens_simcore-34749ee17685c3e1.rlib: crates/simcore/src/lib.rs crates/simcore/src/alias.rs crates/simcore/src/dist.rs crates/simcore/src/event.rs crates/simcore/src/hist.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/streaming.rs crates/simcore/src/time.rs crates/simcore/src/zipf.rs
+
+/root/repo/target/release/deps/librpclens_simcore-34749ee17685c3e1.rmeta: crates/simcore/src/lib.rs crates/simcore/src/alias.rs crates/simcore/src/dist.rs crates/simcore/src/event.rs crates/simcore/src/hist.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/streaming.rs crates/simcore/src/time.rs crates/simcore/src/zipf.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/alias.rs:
+crates/simcore/src/dist.rs:
+crates/simcore/src/event.rs:
+crates/simcore/src/hist.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/stats.rs:
+crates/simcore/src/streaming.rs:
+crates/simcore/src/time.rs:
+crates/simcore/src/zipf.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/rpclens_trace-c668196b0977e7b6.d: crates/trace/src/lib.rs crates/trace/src/collector.rs crates/trace/src/critical_path.rs crates/trace/src/export.rs crates/trace/src/query.rs crates/trace/src/span.rs crates/trace/src/tree.rs
+
+/root/repo/target/release/deps/librpclens_trace-c668196b0977e7b6.rlib: crates/trace/src/lib.rs crates/trace/src/collector.rs crates/trace/src/critical_path.rs crates/trace/src/export.rs crates/trace/src/query.rs crates/trace/src/span.rs crates/trace/src/tree.rs
+
+/root/repo/target/release/deps/librpclens_trace-c668196b0977e7b6.rmeta: crates/trace/src/lib.rs crates/trace/src/collector.rs crates/trace/src/critical_path.rs crates/trace/src/export.rs crates/trace/src/query.rs crates/trace/src/span.rs crates/trace/src/tree.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/collector.rs:
+crates/trace/src/critical_path.rs:
+crates/trace/src/export.rs:
+crates/trace/src/query.rs:
+crates/trace/src/span.rs:
+crates/trace/src/tree.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/rpclens_trace-fd3f7574fb5cd053.d: crates/trace/src/lib.rs crates/trace/src/collector.rs crates/trace/src/critical_path.rs crates/trace/src/export.rs crates/trace/src/query.rs crates/trace/src/span.rs crates/trace/src/tree.rs
+
+/root/repo/target/release/deps/rpclens_trace-fd3f7574fb5cd053: crates/trace/src/lib.rs crates/trace/src/collector.rs crates/trace/src/critical_path.rs crates/trace/src/export.rs crates/trace/src/query.rs crates/trace/src/span.rs crates/trace/src/tree.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/collector.rs:
+crates/trace/src/critical_path.rs:
+crates/trace/src/export.rs:
+crates/trace/src/query.rs:
+crates/trace/src/span.rs:
+crates/trace/src/tree.rs:

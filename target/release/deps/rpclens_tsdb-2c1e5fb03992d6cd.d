@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/rpclens_tsdb-2c1e5fb03992d6cd.d: crates/tsdb/src/lib.rs crates/tsdb/src/metric.rs crates/tsdb/src/query.rs crates/tsdb/src/store.rs
+
+/root/repo/target/release/deps/rpclens_tsdb-2c1e5fb03992d6cd: crates/tsdb/src/lib.rs crates/tsdb/src/metric.rs crates/tsdb/src/query.rs crates/tsdb/src/store.rs
+
+crates/tsdb/src/lib.rs:
+crates/tsdb/src/metric.rs:
+crates/tsdb/src/query.rs:
+crates/tsdb/src/store.rs:

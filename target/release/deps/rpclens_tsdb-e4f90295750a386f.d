@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rpclens_tsdb-e4f90295750a386f.d: crates/tsdb/src/lib.rs crates/tsdb/src/metric.rs crates/tsdb/src/query.rs crates/tsdb/src/store.rs
+
+/root/repo/target/release/deps/librpclens_tsdb-e4f90295750a386f.rlib: crates/tsdb/src/lib.rs crates/tsdb/src/metric.rs crates/tsdb/src/query.rs crates/tsdb/src/store.rs
+
+/root/repo/target/release/deps/librpclens_tsdb-e4f90295750a386f.rmeta: crates/tsdb/src/lib.rs crates/tsdb/src/metric.rs crates/tsdb/src/query.rs crates/tsdb/src/store.rs
+
+crates/tsdb/src/lib.rs:
+crates/tsdb/src/metric.rs:
+crates/tsdb/src/query.rs:
+crates/tsdb/src/store.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-a25eed747233d7b8.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/serde-a25eed747233d7b8: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/shard_determinism-fbf7e7d253a4d1ce.d: crates/bench/tests/shard_determinism.rs
+
+/root/repo/target/release/deps/shard_determinism-fbf7e7d253a4d1ce: crates/bench/tests/shard_determinism.rs
+
+crates/bench/tests/shard_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/shard_scaling-64e9c22d417922a4.d: crates/bench/benches/shard_scaling.rs
+
+/root/repo/target/release/deps/shard_scaling-64e9c22d417922a4: crates/bench/benches/shard_scaling.rs
+
+crates/bench/benches/shard_scaling.rs:

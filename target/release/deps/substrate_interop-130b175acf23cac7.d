@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/substrate_interop-130b175acf23cac7.d: tests/substrate_interop.rs
+
+/root/repo/target/release/deps/substrate_interop-130b175acf23cac7: tests/substrate_interop.rs
+
+tests/substrate_interop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_export-447057d15cb863b1.d: tests/trace_export.rs
+
+/root/repo/target/release/deps/trace_export-447057d15cb863b1: tests/trace_export.rs
+
+tests/trace_export.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/callgraph_shapes-472c7d545e00a0bd.d: examples/callgraph_shapes.rs
+
+/root/repo/target/release/examples/callgraph_shapes-472c7d545e00a0bd: examples/callgraph_shapes.rs
+
+examples/callgraph_shapes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/critical_paths-941f6c78abda79fa.d: examples/critical_paths.rs
+
+/root/repo/target/release/examples/critical_paths-941f6c78abda79fa: examples/critical_paths.rs
+
+examples/critical_paths.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/crosscluster_spanner-68fde102df550f85.d: examples/crosscluster_spanner.rs
+
+/root/repo/target/release/examples/crosscluster_spanner-68fde102df550f85: examples/crosscluster_spanner.rs
+
+examples/crosscluster_spanner.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/loadbalancer_ablation-1bbdcca38ffe297a.d: examples/loadbalancer_ablation.rs
+
+/root/repo/target/release/examples/loadbalancer_ablation-1bbdcca38ffe297a: examples/loadbalancer_ablation.rs
+
+examples/loadbalancer_ablation.rs:

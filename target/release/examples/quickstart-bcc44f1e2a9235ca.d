@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-bcc44f1e2a9235ca.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-bcc44f1e2a9235ca: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/storage_tail_tax-f91c345a034e64fe.d: examples/storage_tail_tax.rs
+
+/root/repo/target/release/examples/storage_tail_tax-f91c345a034e64fe: examples/storage_tail_tax.rs
+
+examples/storage_tail_tax.rs:

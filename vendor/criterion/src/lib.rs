@@ -1,0 +1,269 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the slice of the criterion API the rpclens benches use —
+//! `Criterion::benchmark_group`, `bench_function`/`bench_with_input`,
+//! `Bencher::iter`, `black_box`, `BenchmarkId`, `Throughput`, and the
+//! `criterion_group!`/`criterion_main!` macros — as a small harness that
+//! really measures wall-clock time and prints one line per benchmark.
+//!
+//! No statistics beyond the mean, no HTML reports, no outlier analysis:
+//! the goal is that `cargo bench` works and produces honest relative
+//! numbers in a network-isolated build environment.
+
+use std::time::{Duration, Instant};
+
+/// Re-sampled wall-clock time target per benchmark.
+const TARGET_MEASURE: Duration = Duration::from_millis(400);
+/// Warm-up time target per benchmark.
+const TARGET_WARMUP: Duration = Duration::from_millis(100);
+
+/// Opaque value barrier; prevents the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units of work per iteration, used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the payload.
+pub struct Bencher {
+    /// Mean wall-clock duration of one iteration, filled in by `iter`.
+    measured: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then measuring enough
+    /// iterations to fill the measurement window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also calibrates how many iterations fit the window.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < TARGET_WARMUP {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let iters = ((TARGET_MEASURE.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.measured = Some(start.elapsed() / iters as u32);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count (accepted for API
+    /// compatibility; this harness sizes runs by wall-clock time).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement window (accepted for API compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Declares the work per iteration for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { measured: None };
+        f(&mut b);
+        self.report(&id, b.measured);
+        self
+    }
+
+    /// Runs one benchmark that takes an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher { measured: None };
+        f(&mut b, input);
+        self.report(&id, b.measured);
+        self
+    }
+
+    /// Ends the group (no-op; present for API compatibility).
+    pub fn finish(&mut self) {}
+
+    fn report(&mut self, id: &BenchmarkId, measured: Option<Duration>) {
+        let full = format!("{}/{}", self.name, id.id);
+        match measured {
+            Some(d) => {
+                let mut line = format!("{full:<56} {:>12}", format_duration(d));
+                if let Some(tp) = self.throughput {
+                    let secs = d.as_secs_f64().max(1e-12);
+                    match tp {
+                        Throughput::Bytes(n) => {
+                            let gib = n as f64 / secs / (1u64 << 30) as f64;
+                            line.push_str(&format!("  {gib:>9.3} GiB/s"));
+                        }
+                        Throughput::Elements(n) => {
+                            let me = n as f64 / secs / 1e6;
+                            line.push_str(&format!("  {me:>9.3} Melem/s"));
+                        }
+                    }
+                }
+                println!("{line}");
+                self.criterion.results.push((full, d));
+            }
+            None => println!("{full:<56} {:>12}", "no measurement"),
+        }
+    }
+}
+
+/// Benchmark driver; owns results for the process lifetime.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<(String, Duration)>,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n-- {name} --");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+
+    /// Per-benchmark mean durations recorded so far.
+    pub fn results(&self) -> &[(String, Duration)] {
+        &self.results
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group function from a list of bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from a list of benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).map(black_box).sum::<u64>())
+        });
+        g.finish();
+        assert_eq!(c.results().len(), 1);
+        assert!(c.results()[0].1 > Duration::ZERO);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("f", 4);
+        assert_eq!(id.id, "f/4");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

@@ -1,0 +1,415 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the slice of the proptest API the rpclens workspace uses —
+//! the `proptest!` macro, range and collection strategies, `any::<T>()`,
+//! and the `prop_assert*`/`prop_assume!` macros — as a small, fully
+//! deterministic harness with no external dependencies, so property tests
+//! keep running in a network-isolated build environment.
+//!
+//! Differences from real proptest, by design:
+//!
+//! - no shrinking: a failing case panics with its seed index, and re-runs
+//!   reproduce it exactly (the generator is seeded from the test path);
+//! - a fixed case count (default 64, `PROPTEST_CASES` overrides);
+//! - strategies are plain values sampled eagerly, not lazy trees.
+
+/// Deterministic generation state for one test case.
+pub mod test_runner {
+    /// SplitMix64-based generator used to produce test inputs.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a generator for case `case` of the test named `name`.
+        ///
+        /// The seed depends only on the test path and case index, so every
+        /// run generates the same inputs in the same order.
+        pub fn deterministic(name: &str, case: u64) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng {
+                state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            }
+        }
+
+        /// Next raw 64-bit output.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "below(0)");
+            // Multiply-shift bounded sampling; bias is irrelevant for a
+            // test-input generator.
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Number of cases each `proptest!` test runs.
+    pub fn cases() -> u64 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A source of generated values.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Samples one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_int_ranges {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    (lo as i128 + ((rng.next_u64() as u128 * span) >> 64) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            // Occasionally emit the exact endpoints; they are the
+            // interesting boundary cases an inclusive range advertises.
+            match rng.below(32) {
+                0 => *self.start(),
+                1 => *self.end(),
+                _ => *self.start() + rng.unit_f64() * (*self.end() - *self.start()),
+            }
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            self.start + rng.unit_f64() as f32 * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_tuples {
+        ($(($($n:ident . $i:tt),+)),+) => {$(
+            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                type Value = ($($n::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$i.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuples!((A.0), (A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain generator.
+    pub trait Arbitrary {
+        /// Samples one value from the type's full domain.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    // Mix raw values with boundary cases, which real
+                    // proptest weighs heavily via shrinking.
+                    match rng.below(16) {
+                        0 => 0 as $t,
+                        1 => <$t>::MAX,
+                        2 => <$t>::MIN,
+                        _ => rng.next_u64() as $t,
+                    }
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            match rng.below(16) {
+                0 => 0.0,
+                1 => -1.0,
+                2 => 1.0,
+                _ => (rng.unit_f64() - 0.5) * 2e9,
+            }
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// A full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// An inclusive-exclusive bound on generated collection sizes.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            assert!(self.size.lo < self.size.hi, "empty size range");
+            let span = (self.size.hi - self.size.lo) as u64;
+            let n = self.size.lo + rng.below(span.max(1)) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A strategy for vectors whose elements come from `element` and whose
+    /// length falls in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// The common imports every proptest test pulls in.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares deterministic property tests.
+///
+/// Each `#[test] fn name(arg in strategy, other: Type) { ... }` item
+/// expands to a normal test that runs the body for
+/// [`test_runner::cases`] generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    ($(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let cases = $crate::test_runner::cases();
+            for __case in 0..cases {
+                let mut __proptest_rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                let mut __one_case = || {
+                    $crate::__proptest_bind!(__proptest_rng; $($params)*; $body)
+                };
+                __one_case();
+            }
+        }
+        $crate::proptest! { $($rest)* }
+    };
+}
+
+/// Internal argument-binding muncher for [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident; ; $body:block) => { $body };
+    ($rng:ident; $arg:ident : $ty:ty, $($rest:tt)*) => {{
+        let $arg = <$ty as $crate::arbitrary::Arbitrary>::arbitrary(&mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*)
+    }};
+    ($rng:ident; $arg:ident : $ty:ty; $body:block) => {{
+        let $arg = <$ty as $crate::arbitrary::Arbitrary>::arbitrary(&mut $rng);
+        $body
+    }};
+    ($rng:ident; $pat:pat in $strat:expr, $($rest:tt)*) => {{
+        let $pat = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*)
+    }};
+    ($rng:ident; $pat:pat in $strat:expr; $body:block) => {{
+        let $pat = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $body
+    }};
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when its inputs do not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u64..20, y in -5i32..5, f in 0.25f64..0.75) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn typed_args_generate(seed: u64, flag: bool) {
+            let _ = (seed, flag);
+        }
+
+        #[test]
+        fn vectors_respect_size(v in crate::collection::vec(0u64..100, 3..7)) {
+            prop_assert!(v.len() >= 3 && v.len() < 7);
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn tuples_and_assume(pair in (0u64..10, 0u64..10)) {
+            prop_assume!(pair.0 != pair.1);
+            prop_assert_ne!(pair.0, pair.1);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::TestRng::deterministic("t", 3);
+        let mut b = crate::test_runner::TestRng::deterministic("t", 3);
+        let s = 0u64..1000;
+        for _ in 0..100 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+}

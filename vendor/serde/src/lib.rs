@@ -1,0 +1,46 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The rpclens workspace derives `Serialize`/`Deserialize` on its data
+//! types so they stay serialization-ready, but no code path actually
+//! serializes anything. This vendored crate keeps those derives compiling
+//! in a network-isolated build environment: the traits are empty markers
+//! and the derive macros emit empty impls.
+//!
+//! Swap back to the real crates-io `serde` by deleting the
+//! `[patch.crates-io]` entries in the workspace `Cargo.toml`.
+
+/// Marker for types that can be serialized.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized.
+pub trait Deserialize {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_markers {
+    ($($t:ty),* $(,)?) => {
+        $(impl Serialize for $t {}
+          impl Deserialize for $t {})*
+    };
+}
+
+impl_markers!(
+    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char, String
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<T: Deserialize> Deserialize for Option<T> {}
+impl<T: Serialize> Serialize for Box<T> {}
+impl<T: Deserialize> Deserialize for Box<T> {}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::HashMap<K, V> {}
+impl<K: Deserialize, V: Deserialize> Deserialize for std::collections::HashMap<K, V> {}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {}
+impl<K: Deserialize, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {}
+impl<T: Serialize> Serialize for &T {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {}

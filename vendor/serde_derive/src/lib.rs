@@ -1,0 +1,102 @@
+//! No-op `Serialize`/`Deserialize` derives.
+//!
+//! The vendored `serde` stand-in defines both traits as empty markers, so
+//! the derives only need to emit `impl serde::Serialize for Type {}`.
+//! Parsing is done directly on the token stream (no `syn`/`quote`), which
+//! keeps this crate dependency-free for offline builds. Generic parameters
+//! are carried through without bounds, which is sufficient for marker
+//! impls.
+
+use proc_macro::{TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    derive_marker(input, "Serialize")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    derive_marker(input, "Deserialize")
+}
+
+fn derive_marker(input: TokenStream, trait_name: &str) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut name = None;
+    let mut generics_start = None;
+    let mut i = 0;
+    while i < tokens.len() {
+        if let TokenTree::Ident(id) = &tokens[i] {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" || s == "union" {
+                if let Some(TokenTree::Ident(n)) = tokens.get(i + 1) {
+                    name = Some(n.to_string());
+                    generics_start = Some(i + 2);
+                }
+                break;
+            }
+        }
+        i += 1;
+    }
+    let Some(name) = name else {
+        return TokenStream::new();
+    };
+
+    // Collect the `<...>` generic parameter list, if present.
+    let mut params: Vec<String> = Vec::new();
+    if let Some(start) = generics_start {
+        if matches!(&tokens.get(start), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+            let mut depth = 0i32;
+            let mut current = Vec::new();
+            for tt in &tokens[start..] {
+                match tt {
+                    TokenTree::Punct(p) if p.as_char() == '<' => {
+                        depth += 1;
+                        if depth > 1 {
+                            current.push(tt.to_string());
+                        }
+                    }
+                    TokenTree::Punct(p) if p.as_char() == '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            if !current.is_empty() {
+                                params.push(current.join(" "));
+                            }
+                            break;
+                        }
+                        current.push(tt.to_string());
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                        if !current.is_empty() {
+                            params.push(current.join(" "));
+                        }
+                        current = Vec::new();
+                    }
+                    other => current.push(other.to_string()),
+                }
+            }
+        }
+    }
+
+    // Each parameter becomes (decl-without-default, bare-name-for-use).
+    let mut decls = Vec::new();
+    let mut uses = Vec::new();
+    for p in &params {
+        let decl = p.split('=').next().unwrap_or(p).trim().to_string();
+        decls.push(decl.clone());
+        let head = decl.split(':').next().unwrap_or(&decl).trim();
+        let bare = head.strip_prefix("const ").unwrap_or(head).trim();
+        uses.push(bare.to_string());
+    }
+
+    let (impl_generics, ty_generics) = if decls.is_empty() {
+        (String::new(), String::new())
+    } else {
+        (
+            format!("<{}>", decls.join(", ")),
+            format!("<{}>", uses.join(", ")),
+        )
+    };
+    format!("impl{impl_generics} serde::{trait_name} for {name}{ty_generics} {{}}")
+        .parse()
+        .unwrap_or_default()
+}
