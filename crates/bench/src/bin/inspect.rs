@@ -1,0 +1,128 @@
+//! `rpclens-inspect` — drill into persisted run artifacts without
+//! re-simulating.
+//!
+//! ```text
+//! rpclens-inspect top-methods   --store FILE [--component C] [--top N] [--min-samples N]
+//! rpclens-inspect critical-path --store FILE --trace N
+//! rpclens-inspect cycle-tax     --manifest FILE
+//! ```
+//!
+//! `--store` takes a binary trace export written by
+//! `repro --export-store`; `--manifest` takes a telemetry manifest
+//! written by `repro --telemetry`.
+
+use rpclens_bench::inspect;
+use rpclens_obs::RunManifest;
+use rpclens_trace::collector::TraceStore;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: rpclens-inspect <command> [options]\n\
+         \n\
+         commands:\n\
+         \x20 top-methods   --store FILE [--component C] [--top N] [--min-samples N]\n\
+         \x20               rank methods by P99 of one latency component (default: total)\n\
+         \x20 critical-path --store FILE --trace N\n\
+         \x20               render the chain of spans that gated trace N's completion\n\
+         \x20 cycle-tax     --manifest FILE\n\
+         \x20               flamegraph-style text breakdown of the RPC cycle tax"
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("rpclens-inspect: {msg}");
+    std::process::exit(1);
+}
+
+fn load_store(path: &str) -> TraceStore {
+    let bytes =
+        std::fs::read(path).unwrap_or_else(|e| fail(&format!("cannot read store {path}: {e}")));
+    rpclens_trace::export::import(&bytes)
+        .unwrap_or_else(|e| fail(&format!("cannot decode store {path}: {e:?}")))
+}
+
+fn load_manifest(path: &str) -> RunManifest {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("cannot read manifest {path}: {e}")));
+    RunManifest::parse(&text).unwrap_or_else(|e| fail(&format!("invalid manifest {path}: {e}")))
+}
+
+fn next_value<'a>(iter: &mut std::slice::Iter<'a, String>, name: &str) -> &'a str {
+    match iter.next() {
+        Some(v) => v.as_str(),
+        None => fail(&format!("{name} needs a value")),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else { usage() };
+
+    let mut store_path: Option<&str> = None;
+    let mut manifest_path: Option<&str> = None;
+    let mut component: Option<&str> = None;
+    let mut top = 20usize;
+    let mut min_samples = 100usize;
+    let mut trace: Option<usize> = None;
+    let mut iter = args[1..].iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--store" => store_path = Some(next_value(&mut iter, "--store")),
+            "--manifest" => manifest_path = Some(next_value(&mut iter, "--manifest")),
+            "--component" => component = Some(next_value(&mut iter, "--component")),
+            "--top" => {
+                top = next_value(&mut iter, "--top")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--top needs an integer"));
+            }
+            "--min-samples" => {
+                min_samples = next_value(&mut iter, "--min-samples")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--min-samples needs an integer"));
+            }
+            "--trace" => {
+                trace = Some(
+                    next_value(&mut iter, "--trace")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--trace needs an integer")),
+                );
+            }
+            other => fail(&format!("unknown option {other}")),
+        }
+    }
+
+    match command.as_str() {
+        "top-methods" => {
+            let Some(path) = store_path else {
+                fail("top-methods needs --store FILE")
+            };
+            let component = component.map(|name| {
+                inspect::component_by_name(name)
+                    .unwrap_or_else(|| fail(&format!("unknown component {name}")))
+            });
+            let store = load_store(path);
+            print!(
+                "{}",
+                inspect::top_methods(&store, component, top, min_samples)
+            );
+        }
+        "critical-path" => {
+            let (Some(path), Some(index)) = (store_path, trace) else {
+                fail("critical-path needs --store FILE and --trace N")
+            };
+            let store = load_store(path);
+            match inspect::critical_path_text(&store, index) {
+                Ok(text) => print!("{text}"),
+                Err(e) => fail(&e),
+            }
+        }
+        "cycle-tax" => {
+            let Some(path) = manifest_path else {
+                fail("cycle-tax needs --manifest FILE")
+            };
+            print!("{}", inspect::cycle_tax_text(&load_manifest(path)));
+        }
+        _ => usage(),
+    }
+}

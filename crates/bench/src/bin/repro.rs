@@ -9,16 +9,31 @@
 //! With `--out DIR`, each artifact's rendered text is also written to
 //! `DIR/<artifact>.txt`.
 //!
+//! Observability outputs (each may be given without any artifact — the
+//! fleet still runs once and only these are produced):
+//!
+//! - `--telemetry FILE` writes the versioned run manifest as JSON; its
+//!   `deterministic` section is byte-identical for a given seed+scale
+//!   regardless of `--shards`.
+//! - `--baseline FILE` reads a manifest from a previous `--telemetry`
+//!   run and checks the current tail latency against it.
+//! - `--export-store FILE` persists the sampled traces in the binary
+//!   trace-export format for later `rpclens-inspect` queries.
+//!
 //! Each artifact prints its rendered data followed by the
 //! paper-vs-measured expectation checks. The process exits non-zero if
 //! any check misses, so CI can gate on shape fidelity.
 
 use rpclens_bench::{produce, run_at_sharded, scale_by_name, Artifact};
 use rpclens_fleet::driver::SimScale;
+use rpclens_fleet::telemetry::{manifest_for_run, slo_findings, DEFAULT_TAIL_TOLERANCE};
+use rpclens_obs::detect::render_findings;
+use rpclens_obs::{RunManifest, SloConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro <artifact>... | all | list  [--scale smoke|default|paper] [--seed N] [--shards N]\n\
+         \x20      [--out DIR] [--telemetry FILE] [--baseline FILE] [--export-store FILE]\n\
          artifacts: {}",
         Artifact::ALL
             .iter()
@@ -37,6 +52,9 @@ fn main() {
     let mut scale = SimScale::default_scale();
     let mut shards: Option<usize> = None;
     let mut out_dir: Option<std::path::PathBuf> = None;
+    let mut telemetry_path: Option<std::path::PathBuf> = None;
+    let mut baseline_path: Option<std::path::PathBuf> = None;
+    let mut export_path: Option<std::path::PathBuf> = None;
     let mut artifacts: Vec<Artifact> = Vec::new();
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
@@ -65,6 +83,18 @@ fn main() {
                 let Some(dir) = iter.next() else { usage() };
                 out_dir = Some(std::path::PathBuf::from(dir));
             }
+            "--telemetry" => {
+                let Some(path) = iter.next() else { usage() };
+                telemetry_path = Some(std::path::PathBuf::from(path));
+            }
+            "--baseline" => {
+                let Some(path) = iter.next() else { usage() };
+                baseline_path = Some(std::path::PathBuf::from(path));
+            }
+            "--export-store" => {
+                let Some(path) = iter.next() else { usage() };
+                export_path = Some(std::path::PathBuf::from(path));
+            }
             "all" => artifacts.extend(Artifact::ALL),
             "list" => {
                 for a in Artifact::ALL {
@@ -81,11 +111,20 @@ fn main() {
             },
         }
     }
-    if artifacts.is_empty() {
+    let observability_only =
+        telemetry_path.is_some() || baseline_path.is_some() || export_path.is_some();
+    if artifacts.is_empty() && !observability_only {
         usage();
     }
 
-    let needs_run = artifacts.iter().any(|a| a.needs_run());
+    let baseline: Option<RunManifest> = baseline_path.map(|path| {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read baseline {}: {e}", path.display()));
+        RunManifest::parse(&text)
+            .unwrap_or_else(|e| panic!("invalid baseline {}: {e}", path.display()))
+    });
+
+    let needs_run = observability_only || artifacts.iter().any(|a| a.needs_run());
     let run = if needs_run {
         eprintln!(
             "running fleet simulation: scale={} methods={} roots={} seed={}",
@@ -103,6 +142,35 @@ fn main() {
     } else {
         None
     };
+
+    if let Some(run) = &run {
+        if let Some(path) = &telemetry_path {
+            let manifest = manifest_for_run(run);
+            std::fs::write(path, manifest.to_json_string())
+                .unwrap_or_else(|e| panic!("write telemetry {}: {e}", path.display()));
+            eprintln!("wrote run manifest to {}", path.display());
+        }
+        if let Some(path) = &export_path {
+            let bytes = rpclens_trace::export::export(&run.store);
+            std::fs::write(path, &bytes)
+                .unwrap_or_else(|e| panic!("write trace export {}: {e}", path.display()));
+            eprintln!(
+                "wrote {} traces ({} bytes) to {}",
+                run.store.len(),
+                bytes.len(),
+                path.display()
+            );
+        }
+        // End-of-run SLO report: error-budget burn always, plus tail
+        // regression when a baseline manifest was supplied.
+        let findings = slo_findings(
+            run,
+            baseline.as_ref(),
+            &SloConfig::default(),
+            DEFAULT_TAIL_TOLERANCE,
+        );
+        println!("{}", render_findings(&findings));
+    }
 
     let mut total = 0;
     let mut passed = 0;

@@ -2,6 +2,7 @@
 //! the `ablate` binary.
 
 pub mod ablation;
+pub mod inspect;
 
 use rpclens_core::check::ExpectationSet;
 use rpclens_fleet::driver::{run_fleet, FleetConfig, FleetRun, SimScale};

@@ -107,6 +107,21 @@ impl QueueModel {
         };
         SimDuration::from_secs_f64(u * cond_mean * stretch)
     }
+
+    /// Samples one request's waiting time and records it into the
+    /// observability plane's queue telemetry. Identical draw (and rng
+    /// consumption) to [`QueueModel::sample_wait`]; the telemetry is an
+    /// observer, never an input.
+    pub fn sample_wait_observed(
+        &self,
+        rho: f64,
+        rng: &mut Prng,
+        telemetry: &mut rpclens_obs::QueueTelemetry,
+    ) -> SimDuration {
+        let wait = self.sample_wait(rho, rng);
+        telemetry.record(wait.as_nanos());
+        wait
+    }
 }
 
 #[cfg(test)]
@@ -192,6 +207,24 @@ mod tests {
         let p99_s = percentile(&s, 0.99).unwrap();
         let p99_b = percentile(&b, 0.99).unwrap();
         assert!(p99_b > p99_s * 5.0, "smooth {p99_s}, bursty {p99_b}");
+    }
+
+    #[test]
+    fn observed_variant_matches_plain_sampling() {
+        let m = QueueModel::new(4, SimDuration::from_millis(2), 4.0);
+        let mut plain_rng = Prng::seed_from(11);
+        let mut obs_rng = Prng::seed_from(11);
+        let mut telemetry = rpclens_obs::QueueTelemetry::default();
+        let mut total = 0u128;
+        for _ in 0..10_000 {
+            let plain = m.sample_wait(0.8, &mut plain_rng);
+            let observed = m.sample_wait_observed(0.8, &mut obs_rng, &mut telemetry);
+            assert_eq!(plain, observed);
+            total += u128::from(plain.as_nanos());
+        }
+        assert_eq!(telemetry.samples, 10_000);
+        assert_eq!(telemetry.total_wait_ns, total);
+        assert!(telemetry.waits > 0 && telemetry.waits < 10_000);
     }
 
     #[test]

@@ -214,7 +214,7 @@ mod tests {
         let n = 200_000;
         for _ in 0..n {
             let inter = -rng.next_f64_open().ln() / lambda;
-            now = now + SimDuration::from_secs_f64(inter);
+            now += SimDuration::from_secs_f64(inter);
             let service = SimDuration::from_secs_f64(-rng.next_f64_open().ln() / mu);
             p.admit(now, service);
         }

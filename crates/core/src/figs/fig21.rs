@@ -32,7 +32,7 @@ pub fn compute(run: &FleetRun) -> Fig21 {
     let methods = run.profiler.methods_with_samples(100);
     let samples: Vec<(MethodId, Vec<f64>)> = methods
         .iter()
-        .map(|&m| (MethodId(m), run.profiler.method_samples(m).to_vec()))
+        .map(|&m| (MethodId(m), run.profiler.method_samples(m)))
         .collect();
     let heatmap = MethodHeatmap::from_samples(samples, 100);
 

@@ -1220,8 +1220,8 @@ mod tests {
             for _ in 0..100 {
                 let req = m.sample_request_bytes(&mut rng);
                 let resp = m.sample_response_bytes(&mut rng);
-                assert!(req >= 64 && req <= 4 * 1024 * 1024);
-                assert!(resp >= 64 && resp <= 4 * 1024 * 1024);
+                assert!((64..=4 * 1024 * 1024).contains(&req));
+                assert!((64..=4 * 1024 * 1024).contains(&resp));
             }
         }
     }

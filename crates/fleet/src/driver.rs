@@ -29,6 +29,7 @@ use rpclens_cluster::machine::{Machine, MachineConfig, MachineId};
 use rpclens_cluster::mgk::QueueModel;
 use rpclens_netsim::latency::{Network, NetworkConfig};
 use rpclens_netsim::topology::{ClusterId, Topology};
+use rpclens_obs::telemetry::{PhaseTimings, RunTelemetry, ShardCounters, ShardReport};
 use rpclens_profiler::{CycleProfiler, ErrorAccounting};
 use rpclens_rpcstack::component::{LatencyBreakdown, LatencyComponent};
 use rpclens_rpcstack::cost::{
@@ -45,6 +46,7 @@ use rpclens_trace::span::{MethodId, ServiceId, SpanBuilder, SpanRecord, TraceDat
 use rpclens_tsdb::metric::{Labels, MetricDescriptor, MetricValue};
 use rpclens_tsdb::store::TimeSeriesDb;
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Simulation scale presets.
 #[derive(Debug, Clone)]
@@ -209,6 +211,9 @@ pub struct FleetRun {
     pub sites: HashMap<(ServiceId, ClusterId), ServiceSite>,
     /// Total spans simulated.
     pub total_spans: u64,
+    /// Self-telemetry of the run: deterministic counters plus labeled
+    /// wall-clock execution shape (see `rpclens-obs`).
+    pub telemetry: RunTelemetry,
     /// The configuration used.
     pub config: FleetConfig,
 }
@@ -247,6 +252,13 @@ struct TraceCtx {
     root_start: SimTime,
     budget: usize,
     rng: Prng,
+    /// Global sequence number of this trace's root (shard-invariant);
+    /// seeds the profiler's deterministic sample tags.
+    seq: u64,
+    /// Fault-model errors injected while expanding this trace.
+    errors: u64,
+    /// Wire traversals of this trace that hit a congestion episode.
+    congested_wire: u64,
 }
 
 /// Outcome of one placed call as seen by the caller.
@@ -369,6 +381,7 @@ impl Driver {
 
     fn run(self) -> FleetRun {
         let scale = self.config.scale.clone();
+        let mut phases = PhaseTimings::new();
         let mut workload = Workload::new(
             &self.catalog,
             &self.topology,
@@ -378,17 +391,19 @@ impl Driver {
         // Roots are generated once, on the main thread, in arrival order;
         // shards receive contiguous chunks of this one sequence so that a
         // shard-ordered merge reproduces the sequential run exactly.
-        let roots = workload.generate(scale.roots);
+        let roots = phases.time("generate", || workload.generate(scale.roots));
         let collector = TraceCollector::new(scale.trace_sample_rate);
         let shards = self.config.shards.clamp(1, roots.len().max(1));
         let chunk = roots.len().div_ceil(shards).max(1);
 
-        let merged = if shards == 1 {
+        let simulate_start = Instant::now();
+        let outputs: Vec<(Shard<'_>, f64)> = if shards == 1 {
+            let shard_start = Instant::now();
             let mut shard = Shard::new(&self);
             shard.run_roots(&roots, 0, &collector);
-            shard
+            vec![(shard, shard_start.elapsed().as_secs_f64() * 1e3)]
         } else {
-            let outputs: Vec<Shard<'_>> = std::thread::scope(|s| {
+            std::thread::scope(|s| {
                 let handles: Vec<_> = roots
                     .chunks(chunk)
                     .enumerate()
@@ -396,9 +411,10 @@ impl Driver {
                         let world = &self;
                         let collector = &collector;
                         s.spawn(move || {
+                            let shard_start = Instant::now();
                             let mut shard = Shard::new(world);
                             shard.run_roots(slice, i * chunk, collector);
-                            shard
+                            (shard, shard_start.elapsed().as_secs_f64() * 1e3)
                         })
                     })
                     .collect();
@@ -406,18 +422,32 @@ impl Driver {
                     .into_iter()
                     .map(|h| h.join().expect("shard worker panicked"))
                     .collect()
-            });
-            // Fold in shard-id order: every accumulator either commutes
-            // (integer counters, histograms) or is order-sensitive but
-            // folded over contiguous partitions in sequence order (the
-            // trace store), so the result is bit-identical to shards=1.
-            let mut it = outputs.into_iter();
-            let mut acc = it.next().expect("at least one shard");
-            for shard in it {
-                acc.absorb(shard);
-            }
-            acc
+            })
         };
+        phases.record("simulate", simulate_start.elapsed().as_secs_f64() * 1e3);
+        let per_shard: Vec<ShardReport> = outputs
+            .iter()
+            .enumerate()
+            .map(|(i, (shard, wall_ms))| ShardReport {
+                shard: i,
+                roots: shard.counters.roots,
+                spans: shard.counters.spans,
+                wall_ms: *wall_ms,
+            })
+            .collect();
+
+        // Fold in shard-id order: every accumulator either commutes
+        // (integer counters, histograms) or is order-sensitive but
+        // folded over contiguous partitions in sequence order (the
+        // trace store), so the result is bit-identical to shards=1.
+        let merge_start = Instant::now();
+        let mut it = outputs.into_iter();
+        let (mut acc, _) = it.next().expect("at least one shard");
+        for (shard, _) in it {
+            acc.absorb(shard);
+        }
+        phases.record("merge", merge_start.elapsed().as_secs_f64() * 1e3);
+        let merged = acc;
 
         let Shard {
             store,
@@ -426,21 +456,35 @@ impl Driver {
             method_calls,
             method_bytes,
             window_calls,
+            window_errors,
+            window_congested,
+            counters,
             total_spans,
             ..
         } = merged;
+        debug_assert_eq!(counters.spans, total_spans);
 
         // Flush counters and representative exogenous gauges to the TSDB.
+        let tsdb_start = Instant::now();
         let window = rpclens_tsdb::DEFAULT_SAMPLE_PERIOD;
+        let retention = SimDuration::from_hours(24 * 700);
         let mut tsdb = TimeSeriesDb::new(window);
-        tsdb.register(MetricDescriptor::counter(
-            "rpc/server/count",
-            SimDuration::from_hours(24 * 700),
-        ))
-        .expect("fresh tsdb");
+        tsdb.register(MetricDescriptor::counter("rpc/server/count", retention))
+            .expect("fresh tsdb");
         tsdb.register(MetricDescriptor::gauge(
             "machine/cpu/utilization",
-            SimDuration::from_hours(24 * 700),
+            retention,
+        ))
+        .expect("fresh tsdb");
+        // Driver self-telemetry streams: live fleet metrics the
+        // observability plane's detectors read back per window.
+        tsdb.register(MetricDescriptor::counter("driver/rpcs/count", retention))
+            .expect("fresh tsdb");
+        tsdb.register(MetricDescriptor::counter("driver/errors/count", retention))
+            .expect("fresh tsdb");
+        tsdb.register(MetricDescriptor::counter(
+            "driver/wire/congested",
+            retention,
         ))
         .expect("fresh tsdb");
         let mut cumulative: HashMap<ServiceId, u64> = HashMap::new();
@@ -476,6 +520,39 @@ impl Driver {
             }
         }
 
+        // Driver per-window streams, written as cumulative counters (the
+        // Monarch idiom `QueryEngine::rate` expects). All three series are
+        // aligned on the same window set so detectors can join them
+        // point-by-point; the values are deterministic, derived from
+        // root-window accounting only.
+        let mut rpcs_by_window: HashMap<u64, u64> = HashMap::new();
+        for (&(_, w), &c) in &window_calls {
+            *rpcs_by_window.entry(w).or_insert(0) += c;
+        }
+        let mut windows: Vec<u64> = rpcs_by_window.keys().copied().collect();
+        windows.sort_unstable();
+        for (name, deltas) in [
+            ("driver/rpcs/count", &rpcs_by_window),
+            ("driver/errors/count", &window_errors),
+            ("driver/wire/congested", &window_congested),
+        ] {
+            let mut cum = 0u64;
+            for &w in &windows {
+                cum += deltas.get(&w).copied().unwrap_or(0);
+                let at = SimTime::from_nanos(w * window.as_nanos());
+                tsdb.write(name, Labels::empty(), at, MetricValue::Counter(cum))
+                    .expect("registered");
+            }
+        }
+        phases.record("tsdb", tsdb_start.elapsed().as_secs_f64() * 1e3);
+
+        let telemetry = RunTelemetry {
+            counters,
+            per_shard,
+            phases,
+            shards_used: shards,
+        };
+
         FleetRun {
             catalog: self.catalog,
             topology: self.topology,
@@ -487,6 +564,7 @@ impl Driver {
             method_bytes,
             sites: self.sites,
             total_spans,
+            telemetry,
             config: self.config,
         }
     }
@@ -510,6 +588,12 @@ struct Shard<'a> {
     method_bytes: Vec<u64>,
     /// Per-window, per-service call counters for the TSDB.
     window_calls: HashMap<(ServiceId, u64), u64>,
+    /// Per-window injected-error counters (keyed by root window).
+    window_errors: HashMap<u64, u64>,
+    /// Per-window congested-wire-traversal counters (keyed by root window).
+    window_congested: HashMap<u64, u64>,
+    /// Deterministic self-telemetry counters.
+    counters: ShardCounters,
     total_spans: u64,
 }
 
@@ -529,6 +613,9 @@ impl<'a> Shard<'a> {
             method_calls: vec![0; n_methods],
             method_bytes: vec![0; n_methods],
             window_calls: HashMap::new(),
+            window_errors: HashMap::new(),
+            window_congested: HashMap::new(),
+            counters: ShardCounters::new(),
             total_spans: 0,
         }
     }
@@ -548,12 +635,15 @@ impl<'a> Shard<'a> {
                 root_start: root.at,
                 budget: self.world.config.max_trace_spans,
                 rng: self.world.master_rng.substream(seq as u64),
+                seq: seq as u64,
+                errors: 0,
+                congested_wire: 0,
             };
             let client_util = self.world.client_profiles[root.client_cluster.0 as usize]
                 .sample(root.at)
                 .cpu_util;
             let entry_service = self.world.catalog.method(root.method).service;
-            self.place_call(
+            let outcome = self.place_call(
                 &mut ctx,
                 root.method,
                 entry_service,
@@ -564,12 +654,23 @@ impl<'a> Shard<'a> {
                 0,
                 false,
             );
+            self.counters.roots += 1;
+            self.counters
+                .root_latency_us
+                .record(outcome.finish.since(root.at).as_nanos() / 1_000);
             // Window accounting for every span.
             let w = root.at.as_nanos() / window.as_nanos();
             for span in &ctx.spans {
                 *self.window_calls.entry((span.service, w)).or_insert(0) += 1;
             }
+            if ctx.errors > 0 {
+                *self.window_errors.entry(w).or_insert(0) += ctx.errors;
+            }
+            if ctx.congested_wire > 0 {
+                *self.window_congested.entry(w).or_insert(0) += ctx.congested_wire;
+            }
             if collector.should_sample(seq as u64) && !ctx.spans.is_empty() {
+                self.counters.traces_sampled += 1;
                 self.store.add(TraceData::new(root.at, ctx.spans));
             }
         }
@@ -589,6 +690,13 @@ impl<'a> Shard<'a> {
         for (k, v) in other.window_calls {
             *self.window_calls.entry(k).or_insert(0) += v;
         }
+        for (k, v) in other.window_errors {
+            *self.window_errors.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in other.window_congested {
+            *self.window_congested.entry(k).or_insert(0) += v;
+        }
+        self.counters.absorb(&other.counters);
         self.total_spans += other.total_spans;
     }
 
@@ -630,6 +738,7 @@ impl<'a> Shard<'a> {
             return primary.0;
         };
         // Issue the hedge copy after `delay`.
+        self.counters.hedges_issued += 1;
         let hedge_start = start + delay;
         let (hedge_outcome, hedge_idx) = self.simulate_call(
             ctx,
@@ -702,6 +811,8 @@ impl<'a> Shard<'a> {
         }
         ctx.budget -= 1;
         self.total_spans += 1;
+        self.counters.spans += 1;
+        self.counters.max_depth = self.counters.max_depth.max(u64::from(depth));
 
         let spec: MethodSpec = self.world.catalog.method(method).clone();
         let svc = self.world.catalog.service(spec.service).clone();
@@ -748,9 +859,15 @@ impl<'a> Shard<'a> {
 
         // 4. Request network wire.
         let wire_req = self.world.cost.wire_bytes(req_bytes, svc.compressed);
-        let req_net =
-            self.network
-                .one_way_latency(client_cluster, server_cluster, wire_req, t, &mut ctx.rng);
+        let (req_net, req_congested) = self.network.one_way_latency_observed(
+            client_cluster,
+            server_cluster,
+            wire_req,
+            t,
+            &mut ctx.rng,
+        );
+        self.counters.wire.record(req_congested);
+        ctx.congested_wire += u64::from(req_congested);
         breakdown.set(LatencyComponent::RequestNetworkWire, req_net);
         t += req_net;
 
@@ -768,9 +885,11 @@ impl<'a> Shard<'a> {
         // load; only a residual coupling remains.
         let reserved = svc.reserved_cores && self.world.config.reserved_cores_enabled;
         let pool_util = if reserved { util * 0.25 } else { util };
-        let queue_wait = self.world.sites[&site_key]
-            .queue
-            .sample_wait(pool_util, &mut ctx.rng);
+        let queue_wait = self.world.sites[&site_key].queue.sample_wait_observed(
+            pool_util,
+            &mut ctx.rng,
+            &mut self.counters.queue,
+        );
         let srq = wakeup + queue_wait;
         breakdown.set(LatencyComponent::ServerRecvQueue, srq);
         t += srq;
@@ -778,6 +897,10 @@ impl<'a> Shard<'a> {
 
         // 6. Error injection (hedging cancellations come from place_call).
         let injected = self.world.config.errors.draw(&mut ctx.rng);
+        if injected.is_some() {
+            self.counters.errors_injected += 1;
+            ctx.errors += 1;
+        }
 
         // 7. Handler compute.
         let (nominal, fast) = spec.sample_compute(&mut ctx.rng);
@@ -836,13 +959,15 @@ impl<'a> Shard<'a> {
         breakdown.set(LatencyComponent::ResponseProcessing, resp_proc);
         t += resp_proc;
         let wire_resp = self.world.cost.wire_bytes(resp_bytes, svc.compressed);
-        let resp_net = self.network.one_way_latency(
+        let (resp_net, resp_congested) = self.network.one_way_latency_observed(
             server_cluster,
             client_cluster,
             wire_resp,
             t,
             &mut ctx.rng,
         );
+        self.counters.wire.record(resp_congested);
+        ctx.congested_wire += u64::from(resp_congested);
         breakdown.set(LatencyComponent::ResponseNetworkWire, resp_net);
         t += resp_net;
         let crq = self.world.soft_queue.delay(client_util, &mut ctx.rng);
@@ -867,7 +992,13 @@ impl<'a> Shard<'a> {
         );
         cost.merge(&self.world.cost.receiver_cost(req_bytes, class));
         cost.merge(&self.world.cost.sender_cost(resp_bytes, class));
-        self.profiler.record(spec.service.0, method.0, &cost, speed);
+        self.profiler.record(
+            spec.service.0,
+            method.0,
+            &cost,
+            speed,
+            rpclens_profiler::sample_tag(ctx.seq, span_idx),
+        );
         let mut client_cost = self.world.cost.sender_cost(req_bytes, class);
         client_cost.merge(&self.world.cost.receiver_cost(resp_bytes, class));
         self.profiler

@@ -14,6 +14,9 @@
 //!   server queueing coupled to exogenous machine state, nested fan-out,
 //!   hedging, and error injection. Spans stream into the tracer, cycles
 //!   into the profiler, and counters into the TSDB.
+//! - [`telemetry`]: adapters from a completed run to the `rpclens-obs`
+//!   observability plane — run manifests, per-window detector inputs,
+//!   and the end-of-run SLO report.
 //! - [`growth`]: the 700-day fleet growth model behind Fig. 1.
 //! - [`baselines`]: call-graph generators with the published shape
 //!   parameters of the Alibaba, Meta, and DeathStarBench studies that
@@ -25,6 +28,7 @@ pub mod baselines;
 pub mod catalog;
 pub mod driver;
 pub mod growth;
+pub mod telemetry;
 pub mod workload;
 
 /// Convenience re-exports of the most commonly used fleet types.
@@ -33,6 +37,7 @@ pub mod fleet_prelude {
         catalog::{Catalog, CatalogConfig, MethodSpec, ServiceCategory, ServiceSpec},
         driver::{run_fleet, FleetConfig, FleetRun, SimScale},
         growth::{GrowthConfig, GrowthModel},
+        telemetry::{manifest_for_run, slo_findings, window_samples},
         workload::Workload,
     };
 }

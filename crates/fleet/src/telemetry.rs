@@ -1,0 +1,200 @@
+//! Adapters from a completed [`FleetRun`] to the observability plane.
+//!
+//! `rpclens-obs` sits at the bottom of the dependency graph and knows
+//! nothing about catalogs, profilers, or the TSDB; this module is the
+//! glue. It builds the versioned run manifest from a run's telemetry and
+//! rollups, converts the driver's per-window TSDB streams into the plain
+//! [`WindowSample`] rows the detectors consume, and assembles the
+//! end-of-run SLO report.
+//!
+//! Everything here is deterministic: manifests are built from integer
+//! counters only (the `runtime` section carries the labeled wall-clock
+//! fields), and window samples are reconstructed from cumulative
+//! counters the driver wrote in sorted window order.
+
+use crate::driver::FleetRun;
+use rpclens_obs::{
+    error_budget_burn, tail_regression, Finding, RunManifest, SloConfig, WindowSample,
+};
+use rpclens_rpcstack::cost::CycleCategory;
+use rpclens_rpcstack::error::ErrorKind;
+use rpclens_tsdb::metric::{Labels, MetricValue};
+use std::collections::HashMap;
+
+/// Default fractional tolerance for tail-latency regression checks.
+pub const DEFAULT_TAIL_TOLERANCE: f64 = 0.10;
+
+/// Builds the versioned run manifest for a completed run.
+///
+/// Error kinds and cycle categories are emitted in their canonical enum
+/// order (zero entries included) so the rendered bytes never depend on
+/// count-ordering ties.
+pub fn manifest_for_run(run: &FleetRun) -> RunManifest {
+    let counts: HashMap<ErrorKind, u64> = run.errors.kinds_by_count().into_iter().collect();
+    let errors_by_kind: Vec<(String, u64)> = ErrorKind::ALL
+        .iter()
+        .map(|&k| (k.label().to_string(), counts.get(&k).copied().unwrap_or(0)))
+        .collect();
+    let cycles_by_category: Vec<(String, u128)> = CycleCategory::ALL
+        .iter()
+        .map(|&c| (c.label().to_string(), run.profiler.category_cycles(c)))
+        .collect();
+    // Integer cycle-tax computation: ppm of total cycles spent outside
+    // the application category. Avoids float rounding in the manifest.
+    let total = run.profiler.total_cycles();
+    let app = run.profiler.category_cycles(CycleCategory::Application);
+    let tax_ppm = ((total - app) * 1_000_000).checked_div(total).unwrap_or(0) as u64;
+    RunManifest::from_telemetry(
+        &run.telemetry,
+        run.config.scale.seed,
+        run.config.scale.name,
+        run.catalog.num_methods() as u64,
+        run.store.total_spans() as u64,
+        errors_by_kind,
+        cycles_by_category,
+        tax_ppm,
+    )
+}
+
+/// Reconstructs per-window [`WindowSample`] rows from the driver's
+/// cumulative `driver/*` TSDB streams. The driver writes all three
+/// streams on the same window set, so the join is point-by-point.
+pub fn window_samples(run: &FleetRun) -> Vec<WindowSample> {
+    let period = rpclens_tsdb::DEFAULT_SAMPLE_PERIOD.as_nanos();
+    let deltas = |metric: &str| -> HashMap<u64, u64> {
+        let mut out = HashMap::new();
+        if let Some(series) = run.tsdb.series(metric, &Labels::empty()) {
+            let mut prev = 0u64;
+            for (t, v) in series.points() {
+                if let MetricValue::Counter(c) = v {
+                    out.insert(t.as_nanos() / period, c.saturating_sub(prev));
+                    prev = *c;
+                }
+            }
+        }
+        out
+    };
+    let rpcs = deltas("driver/rpcs/count");
+    let errors = deltas("driver/errors/count");
+    let congested = deltas("driver/wire/congested");
+    let mut windows: Vec<u64> = rpcs.keys().copied().collect();
+    windows.sort_unstable();
+    windows
+        .into_iter()
+        .map(|w| WindowSample {
+            window: w,
+            rpcs: rpcs.get(&w).copied().unwrap_or(0),
+            errors: errors.get(&w).copied().unwrap_or(0),
+            congested_wire: congested.get(&w).copied().unwrap_or(0),
+        })
+        .collect()
+}
+
+/// Runs both detectors over a completed run: error-budget burn on the
+/// live per-window streams, and — when a baseline manifest is supplied —
+/// tail-latency regression of the root-latency quantiles against it.
+pub fn slo_findings(
+    run: &FleetRun,
+    baseline: Option<&RunManifest>,
+    slo: &SloConfig,
+    tail_tolerance: f64,
+) -> Vec<Finding> {
+    let mut findings = error_budget_burn(slo, &window_samples(run));
+    if let Some(base) = baseline {
+        let current = manifest_for_run(run);
+        findings.extend(tail_regression(
+            &current.deterministic.root_latency,
+            &base.deterministic.root_latency,
+            tail_tolerance,
+        ));
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{run_fleet, FleetConfig, SimScale};
+    use rpclens_simcore::time::SimDuration;
+
+    fn tiny_run() -> FleetRun {
+        let scale = SimScale {
+            name: "test",
+            total_methods: 320,
+            roots: 4_000,
+            duration: SimDuration::from_hours(24),
+            trace_sample_rate: 1,
+            seed: 19,
+        };
+        run_fleet(FleetConfig::at_scale(scale))
+    }
+
+    #[test]
+    fn manifest_reflects_run_counters() {
+        let run = tiny_run();
+        let m = manifest_for_run(&run);
+        let d = &m.deterministic;
+        assert_eq!(d.seed, 19);
+        assert_eq!(d.scale, "test");
+        assert_eq!(d.roots, 4_000);
+        assert_eq!(d.spans, run.total_spans);
+        assert_eq!(d.trace_stored_spans, run.store.total_spans() as u64);
+        assert_eq!(d.errors_total, run.errors.total_errors());
+        assert_eq!(d.cycles_total, run.profiler.total_cycles());
+        assert_eq!(d.root_latency.count, 4_000);
+        assert!(d.root_latency.p50_us > 0);
+        assert!(d.root_latency.p999_us >= d.root_latency.p99_us);
+        assert!(d.tax_ppm > 0 && d.tax_ppm < 1_000_000, "tax {}", d.tax_ppm);
+        // Canonical, zero-inclusive category lists.
+        assert_eq!(d.errors_by_kind.len(), 8);
+        assert_eq!(d.cycles_by_category.len(), 8);
+        // Runtime section carries the execution shape.
+        assert!(m.runtime.shards >= 1);
+        assert!(!m.runtime.phases.is_empty());
+        // Manifest round-trips through its own JSON.
+        let back = RunManifest::parse(&m.to_json_string()).expect("roundtrip");
+        assert_eq!(back.deterministic, m.deterministic);
+    }
+
+    #[test]
+    fn window_samples_sum_to_run_totals() {
+        let run = tiny_run();
+        let samples = window_samples(&run);
+        // 30-minute windows over a 24 h run: up to 48 populated windows.
+        assert!(samples.len() >= 40, "{} windows", samples.len());
+        let rpcs: u64 = samples.iter().map(|s| s.rpcs).sum();
+        let errors: u64 = samples.iter().map(|s| s.errors).sum();
+        let congested: u64 = samples.iter().map(|s| s.congested_wire).sum();
+        assert_eq!(rpcs, run.total_spans);
+        assert_eq!(errors, run.telemetry.counters.errors_injected);
+        assert_eq!(congested, run.telemetry.counters.wire.congested);
+        assert!(congested > 0, "expected some congested traversals");
+        // Windows are strictly increasing.
+        assert!(samples.windows(2).all(|w| w[0].window < w[1].window));
+    }
+
+    #[test]
+    fn self_baseline_has_no_tail_regression() {
+        let run = tiny_run();
+        let baseline = manifest_for_run(&run);
+        let findings = slo_findings(&run, Some(&baseline), &SloConfig::default(), 0.10);
+        assert!(
+            findings.iter().all(|f| f.detector != "tail-regression"),
+            "self-comparison regressed: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn degraded_baseline_triggers_regression() {
+        let run = tiny_run();
+        let mut baseline = manifest_for_run(&run);
+        // Pretend the baseline was 2x faster at the tail.
+        baseline.deterministic.root_latency.p99_us /= 2;
+        baseline.deterministic.root_latency.p999_us /= 2;
+        let findings = slo_findings(&run, Some(&baseline), &SloConfig::default(), 0.10);
+        assert!(findings
+            .iter()
+            .any(|f| f.detector == "tail-regression"
+                && f.severity == rpclens_obs::Severity::Critical));
+    }
+}

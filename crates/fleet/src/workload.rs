@@ -67,7 +67,7 @@ impl Workload {
             client_clusters,
             duration,
             peak_hour: 14.0,
-            rng: Prng::seed_from(seed).stream(0x3070_AD5),
+            rng: Prng::seed_from(seed).stream(0x0307_0AD5),
         }
     }
 

@@ -150,7 +150,7 @@ impl CongestionProcess {
         while *self.flip_ends.last().expect("trajectory is never empty") <= now {
             // The interval being appended; even indices are calm.
             let next = self.flip_ends.len();
-            let hold = if next % 2 == 0 {
+            let hold = if next.is_multiple_of(2) {
                 self.calm_hold.sample(&mut self.rng)
             } else {
                 self.congested_hold.sample(&mut self.rng)

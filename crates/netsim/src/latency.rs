@@ -10,7 +10,7 @@
 //! The paper validates this decomposition in §3.3.5: median cross-cluster
 //! latency closely tracks wire latency, while tails come from congestion.
 
-use crate::congestion::{CongestionParams, CongestionProcess};
+use crate::congestion::{CongestionParams, CongestionProcess, CongestionState};
 use crate::topology::{ClusterId, PathClass, Topology};
 use rpclens_simcore::rng::Prng;
 use rpclens_simcore::time::{SimDuration, SimTime};
@@ -128,9 +128,25 @@ impl Network {
         now: SimTime,
         rng: &mut Prng,
     ) -> SimDuration {
+        self.one_way_latency_observed(src, dst, bytes, now, rng).0
+    }
+
+    /// Like [`Network::one_way_latency`], but also reports whether the
+    /// path was inside a congestion episode at send time — the signal
+    /// the observability plane counts as congested-wire exposure. The
+    /// returned latency and the rng stream consumed are identical to
+    /// the unobserved variant.
+    pub fn one_way_latency_observed(
+        &mut self,
+        src: ClusterId,
+        dst: ClusterId,
+        bytes: u64,
+        now: SimTime,
+        rng: &mut Prng,
+    ) -> (SimDuration, bool) {
         let base = self.base_latency(src, dst, bytes);
         if !self.cfg.congestion_enabled {
-            return base;
+            return (base, false);
         }
         let class = self.topo.path_class(src, dst);
         let key = ordered(src, dst);
@@ -142,7 +158,8 @@ impl Network {
             };
             CongestionProcess::new(params, path_rng)
         });
-        base + process.queueing_delay(now, rng)
+        let congested = process.state_at(now) == CongestionState::Congested;
+        (base + process.queueing_delay(now, rng), congested)
     }
 
     /// The path class between two clusters (delegates to the topology).
@@ -260,6 +277,32 @@ mod tests {
         net.one_way_latency(b, a, 64, SimTime::ZERO, &mut rng);
         // Both directions share one path entry.
         assert_eq!(net.active_paths(), 1);
+    }
+
+    #[test]
+    fn observed_variant_matches_unobserved_latency() {
+        // The observability plane must not perturb the simulation: the
+        // observed call returns the same latency and consumes the same
+        // rng stream as the plain one.
+        let mut plain_net = network(9);
+        let mut obs_net = network(9);
+        let mut plain_rng = Prng::seed_from(10);
+        let mut obs_rng = Prng::seed_from(10);
+        let ids = plain_net.topology().cluster_ids();
+        let mut saw_congested = false;
+        for i in 0..5000usize {
+            let s = ids[i % ids.len()];
+            let d = ids[(i * 11 + 5) % ids.len()];
+            let t = SimTime::from_nanos(i as u64 * 2_000_000);
+            let plain = plain_net.one_way_latency(s, d, 256, t, &mut plain_rng);
+            let (observed, congested) =
+                obs_net.one_way_latency_observed(s, d, 256, t, &mut obs_rng);
+            assert_eq!(plain, observed);
+            saw_congested |= congested;
+        }
+        assert!(saw_congested, "expected at least one congestion episode");
+        // Streams stayed in lockstep all the way through.
+        assert_eq!(plain_rng.next_u64(), obs_rng.next_u64());
     }
 
     #[test]

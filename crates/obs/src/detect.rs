@@ -1,0 +1,337 @@
+//! SLO and anomaly detectors over per-window metric streams.
+//!
+//! Two detectors, mirroring the alerting patterns the paper's fleet runs
+//! on top of its Monarch-style time series:
+//!
+//! - [`error_budget_burn`] — multi-window burn-rate analysis of the
+//!   error stream against a success-rate SLO, annotated with whether the
+//!   burn coincided with network congestion episodes.
+//! - [`tail_regression`] — root-latency tail comparison against a
+//!   baseline run manifest.
+//!
+//! Detectors take plain slices, not `tsdb` handles, so this crate stays
+//! at the bottom of the dependency graph; `rpclens-fleet` adapts its
+//! time-series streams into [`WindowSample`] rows. Both detectors are
+//! pure functions: same inputs, same findings, in a deterministic order.
+
+use crate::manifest::LatencyQuantiles;
+
+/// SLO parameters for the burn-rate detector.
+#[derive(Debug, Clone, Copy)]
+pub struct SloConfig {
+    /// Success-rate objective in `(0, 1)`, e.g. `0.999`.
+    pub success_target: f64,
+    /// Burn-rate multiple that raises a warning; `burn >= 2 *
+    /// warn_burn_rate` escalates to critical.
+    pub warn_burn_rate: f64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        // 99.9% success objective; warn when errors burn budget at 10x
+        // the sustainable rate (a standard fast-burn page threshold).
+        SloConfig {
+            success_target: 0.999,
+            warn_burn_rate: 10.0,
+        }
+    }
+}
+
+/// One aggregation window of driver counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WindowSample {
+    /// Window index (aligned simulated time / window length).
+    pub window: u64,
+    /// RPCs completed in the window.
+    pub rpcs: u64,
+    /// Errors injected in the window.
+    pub errors: u64,
+    /// Wire traversals in the window that hit a congestion episode.
+    pub congested_wire: u64,
+}
+
+/// How urgent a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational; no action implied.
+    Info,
+    /// Outside tolerance; worth a look.
+    Warn,
+    /// Far outside tolerance; the run regressed materially.
+    Critical,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Critical => "critical",
+        })
+    }
+}
+
+/// One detector result.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Which detector produced this (`error-budget-burn`, `tail-regression`).
+    pub detector: &'static str,
+    /// What the finding is about (a window, a quantile, ...).
+    pub subject: String,
+    /// Urgency.
+    pub severity: Severity,
+    /// Human-readable explanation with the numbers that triggered it.
+    pub detail: String,
+}
+
+/// Scans per-window samples for error-budget burn above the SLO's
+/// sustainable rate. Returns findings in window order; windows with no
+/// traffic are skipped.
+pub fn error_budget_burn(cfg: &SloConfig, windows: &[WindowSample]) -> Vec<Finding> {
+    assert!(
+        cfg.success_target > 0.0 && cfg.success_target < 1.0,
+        "success_target must be in (0,1), got {}",
+        cfg.success_target
+    );
+    let budget = 1.0 - cfg.success_target;
+    let mut findings = Vec::new();
+    for w in windows {
+        if w.rpcs == 0 {
+            continue;
+        }
+        let error_rate = w.errors as f64 / w.rpcs as f64;
+        let burn = error_rate / budget;
+        if burn < cfg.warn_burn_rate {
+            continue;
+        }
+        let severity = if burn >= 2.0 * cfg.warn_burn_rate {
+            Severity::Critical
+        } else {
+            Severity::Warn
+        };
+        let congestion = if w.congested_wire > 0 {
+            format!(", {} congested wire traversals in window", w.congested_wire)
+        } else {
+            String::new()
+        };
+        findings.push(Finding {
+            detector: "error-budget-burn",
+            subject: format!("window {}", w.window),
+            severity,
+            detail: format!(
+                "burn rate {burn:.1}x sustainable ({} errors / {} rpcs vs {:.4}% budget{congestion})",
+                w.errors,
+                w.rpcs,
+                budget * 100.0
+            ),
+        });
+    }
+    findings
+}
+
+/// Compares current root-latency quantiles against a baseline manifest's.
+/// A quantile more than `tolerance` (fractional, e.g. `0.10`) above the
+/// baseline is a warning; more than `2 * tolerance` is critical. An
+/// *improvement* beyond tolerance is reported as info so it is visible
+/// when rebaselining.
+pub fn tail_regression(
+    current: &LatencyQuantiles,
+    baseline: &LatencyQuantiles,
+    tolerance: f64,
+) -> Vec<Finding> {
+    assert!(tolerance > 0.0, "tolerance must be positive");
+    let mut findings = Vec::new();
+    let pairs = [
+        ("p50", current.p50_us, baseline.p50_us),
+        ("p90", current.p90_us, baseline.p90_us),
+        ("p99", current.p99_us, baseline.p99_us),
+        ("p999", current.p999_us, baseline.p999_us),
+    ];
+    for (name, cur, base) in pairs {
+        if base == 0 {
+            continue;
+        }
+        let ratio = cur as f64 / base as f64;
+        let delta = ratio - 1.0;
+        let detail = format!(
+            "{name} {cur}µs vs baseline {base}µs ({:+.1}%)",
+            delta * 100.0
+        );
+        if delta > 2.0 * tolerance {
+            findings.push(Finding {
+                detector: "tail-regression",
+                subject: name.to_string(),
+                severity: Severity::Critical,
+                detail,
+            });
+        } else if delta > tolerance {
+            findings.push(Finding {
+                detector: "tail-regression",
+                subject: name.to_string(),
+                severity: Severity::Warn,
+                detail,
+            });
+        } else if delta < -tolerance {
+            findings.push(Finding {
+                detector: "tail-regression",
+                subject: name.to_string(),
+                severity: Severity::Info,
+                detail: format!("{detail} — improvement; consider rebaselining"),
+            });
+        }
+    }
+    if current.count != baseline.count {
+        findings.push(Finding {
+            detector: "tail-regression",
+            subject: "count".to_string(),
+            severity: Severity::Warn,
+            detail: format!(
+                "sample count changed: {} vs baseline {} — quantiles may not be comparable",
+                current.count, baseline.count
+            ),
+        });
+    }
+    findings
+}
+
+/// Renders findings as a fixed-width text table (or an all-clear line).
+pub fn render_findings(findings: &[Finding]) -> String {
+    if findings.is_empty() {
+        return "SLO check: all clear — no findings.\n".to_string();
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<9} {:<19} {:<10} detail\n",
+        "severity", "detector", "subject"
+    ));
+    out.push_str(&"-".repeat(72));
+    out.push('\n');
+    for f in findings {
+        out.push_str(&format!(
+            "{:<9} {:<19} {:<10} {}\n",
+            f.severity.to_string(),
+            f.detector,
+            f.subject,
+            f.detail
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lat(p50: u64, p90: u64, p99: u64, p999: u64) -> LatencyQuantiles {
+        LatencyQuantiles {
+            count: 1000,
+            sum_us: 0,
+            min_us: 1,
+            p50_us: p50,
+            p90_us: p90,
+            p99_us: p99,
+            p999_us: p999,
+            max_us: p999 * 2,
+        }
+    }
+
+    #[test]
+    fn quiet_windows_raise_nothing() {
+        let cfg = SloConfig::default();
+        let windows = [
+            WindowSample {
+                window: 0,
+                rpcs: 10_000,
+                errors: 5, // 0.05% — half the 0.1% budget, burn 0.5x
+                congested_wire: 0,
+            },
+            WindowSample {
+                window: 1,
+                rpcs: 0, // empty window skipped
+                errors: 0,
+                congested_wire: 0,
+            },
+        ];
+        assert!(error_budget_burn(&cfg, &windows).is_empty());
+    }
+
+    #[test]
+    fn fast_burn_warns_and_escalates() {
+        let cfg = SloConfig::default();
+        let windows = [
+            WindowSample {
+                window: 3,
+                rpcs: 1000,
+                errors: 12, // 1.2% vs 0.1% budget → 12x
+                congested_wire: 40,
+            },
+            WindowSample {
+                window: 4,
+                rpcs: 1000,
+                errors: 30, // 3.0% → 30x ≥ 2*10x → critical
+                congested_wire: 0,
+            },
+        ];
+        let findings = error_budget_burn(&cfg, &windows);
+        assert_eq!(findings.len(), 2);
+        assert_eq!(findings[0].severity, Severity::Warn);
+        assert!(findings[0].detail.contains("congested wire"));
+        assert_eq!(findings[1].severity, Severity::Critical);
+        assert!(!findings[1].detail.contains("congested wire"));
+    }
+
+    #[test]
+    fn tail_regression_grades_by_delta() {
+        let baseline = lat(100, 200, 400, 800);
+        // p50 unchanged, p90 +15% (warn at 10% tol), p99 +25% (critical),
+        // p999 -20% (info/improvement).
+        let current = lat(100, 230, 500, 640);
+        let findings = tail_regression(&current, &baseline, 0.10);
+        let by_subject: Vec<(&str, Severity)> = findings
+            .iter()
+            .map(|f| (f.subject.as_str(), f.severity))
+            .collect();
+        assert_eq!(
+            by_subject,
+            vec![
+                ("p90", Severity::Warn),
+                ("p99", Severity::Critical),
+                ("p999", Severity::Info),
+            ]
+        );
+    }
+
+    #[test]
+    fn count_mismatch_is_flagged() {
+        let baseline = lat(100, 200, 400, 800);
+        let mut current = lat(100, 200, 400, 800);
+        current.count = 999;
+        let findings = tail_regression(&current, &baseline, 0.10);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].subject, "count");
+    }
+
+    #[test]
+    fn zero_baseline_quantile_is_skipped() {
+        let baseline = LatencyQuantiles::default();
+        let current = lat(100, 200, 400, 800);
+        // count 1000 vs 0 mismatch still reported, but no divide-by-zero.
+        let findings = tail_regression(&current, &baseline, 0.10);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].subject, "count");
+    }
+
+    #[test]
+    fn render_is_stable_and_readable() {
+        assert!(render_findings(&[]).contains("all clear"));
+        let f = Finding {
+            detector: "tail-regression",
+            subject: "p99".to_string(),
+            severity: Severity::Critical,
+            detail: "p99 500µs vs baseline 400µs (+25.0%)".to_string(),
+        };
+        let table = render_findings(&[f]);
+        assert!(table.contains("critical"));
+        assert!(table.contains("p99"));
+    }
+}

@@ -1,0 +1,617 @@
+//! Versioned JSON run manifests.
+//!
+//! A manifest is the durable record of one fleet run. It has exactly two
+//! top-level sections:
+//!
+//! - `deterministic` — integers only, a pure function of the master seed.
+//!   The rendered bytes of this section are **identical for any shard
+//!   count** (enforced by `crates/bench/tests/telemetry_determinism.rs`),
+//!   so a manifest doubles as a regression baseline: if the deterministic
+//!   bytes differ between two runs with the same seed and scale, the
+//!   simulation changed.
+//! - `runtime` — wall-clock phase timings and per-shard execution shape.
+//!   Explicitly non-deterministic; excluded from comparisons.
+//!
+//! The `deterministic` section carries a trailing FNV-1a `digest` over
+//! its own rendered bytes (computed before the digest field is appended),
+//! so two manifests can be compared by one integer.
+//!
+//! Schema evolution: bump [`MANIFEST_SCHEMA_VERSION`] whenever a field is
+//! added, removed, or changes meaning. Readers reject other versions
+//! rather than guessing.
+
+use crate::json::{self, Json};
+use crate::telemetry::{QueueTelemetry, RunTelemetry, WireTelemetry};
+
+/// Current manifest schema version. Bump on any field change.
+pub const MANIFEST_SCHEMA_VERSION: u32 = 1;
+
+/// Root-latency summary as integer microsecond quantiles (from the
+/// driver's `LogHistogram`; ~1.6% bucket resolution).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyQuantiles {
+    /// Number of recorded latencies.
+    pub count: u64,
+    /// Sum of recorded latencies, microseconds.
+    pub sum_us: u128,
+    /// Minimum, microseconds.
+    pub min_us: u64,
+    /// Median, microseconds.
+    pub p50_us: u64,
+    /// 90th percentile, microseconds.
+    pub p90_us: u64,
+    /// 99th percentile, microseconds.
+    pub p99_us: u64,
+    /// 99.9th percentile, microseconds.
+    pub p999_us: u64,
+    /// Maximum, microseconds.
+    pub max_us: u64,
+}
+
+impl LatencyQuantiles {
+    /// Extracts quantiles from a histogram of microsecond values.
+    pub fn from_histogram(h: &rpclens_simcore::hist::LogHistogram) -> Self {
+        LatencyQuantiles {
+            count: h.count(),
+            sum_us: h.sum(),
+            min_us: h.min().unwrap_or(0),
+            p50_us: h.quantile(0.5).unwrap_or(0),
+            p90_us: h.quantile(0.9).unwrap_or(0),
+            p99_us: h.quantile(0.99).unwrap_or(0),
+            p999_us: h.quantile(0.999).unwrap_or(0),
+            max_us: h.max().unwrap_or(0),
+        }
+    }
+}
+
+/// The shard-count-invariant section of a manifest. Integers only.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeterministicSection {
+    /// Master seed the run derived everything from.
+    pub seed: u64,
+    /// Scale preset name (`smoke`, `default`, `paper`, ...).
+    pub scale: String,
+    /// Methods in the generated catalog.
+    pub total_methods: u64,
+    /// Workload roots simulated.
+    pub roots: u64,
+    /// Spans (RPC calls) simulated, including hedges.
+    pub spans: u64,
+    /// Roots admitted by the trace sampler.
+    pub traces_sampled: u64,
+    /// Spans retained in the trace store (budget-capped).
+    pub trace_stored_spans: u64,
+    /// Total injected errors across all kinds.
+    pub errors_total: u64,
+    /// Injected errors per kind, in fixed kind order.
+    pub errors_by_kind: Vec<(String, u64)>,
+    /// Hedge (backup) requests issued.
+    pub hedges_issued: u64,
+    /// Deepest call tree observed.
+    pub max_depth: u64,
+    /// Queue-model telemetry.
+    pub queue: QueueTelemetry,
+    /// Wire congestion telemetry.
+    pub wire: WireTelemetry,
+    /// End-to-end root latency summary, microseconds.
+    pub root_latency: LatencyQuantiles,
+    /// Total cycles attributed by the profiler.
+    pub cycles_total: u128,
+    /// Cycles per category, in fixed category order.
+    pub cycles_by_category: Vec<(String, u128)>,
+    /// RPC cycle tax in parts-per-million of total cycles (integer so
+    /// the section stays float-free).
+    pub tax_ppm: u64,
+}
+
+/// Wall-clock and execution-shape section. **Not deterministic.**
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeSection {
+    /// Shards the run used.
+    pub shards: usize,
+    /// Per-shard `(shard, roots, spans, wall_ms)` rows.
+    pub per_shard: Vec<(usize, u64, u64, f64)>,
+    /// `(phase, wall_ms)` rows in execution order.
+    pub phases: Vec<(String, f64)>,
+    /// Total wall-clock milliseconds across phases.
+    pub total_wall_ms: f64,
+}
+
+/// A versioned run manifest; see the module docs for the layout.
+#[derive(Debug, Clone, Default)]
+pub struct RunManifest {
+    /// Schema version; readers reject mismatches.
+    pub schema_version: u32,
+    /// Shard-count-invariant counters.
+    pub deterministic: DeterministicSection,
+    /// Wall-clock execution shape.
+    pub runtime: RuntimeSection,
+}
+
+/// FNV-1a over bytes; the manifest digest primitive.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn named_u64s<'a>(pairs: impl IntoIterator<Item = &'a (String, u64)>) -> Json {
+    Json::Object(
+        pairs
+            .into_iter()
+            .map(|(k, v)| (k.clone(), Json::Uint(u128::from(*v))))
+            .collect(),
+    )
+}
+
+fn named_u128s<'a>(pairs: impl IntoIterator<Item = &'a (String, u128)>) -> Json {
+    Json::Object(
+        pairs
+            .into_iter()
+            .map(|(k, v)| (k.clone(), Json::Uint(*v)))
+            .collect(),
+    )
+}
+
+impl RunManifest {
+    /// Builds a manifest from run telemetry plus the fields only the
+    /// caller knows (seed/scale identity, store/profiler rollups).
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_telemetry(
+        telemetry: &RunTelemetry,
+        seed: u64,
+        scale: &str,
+        total_methods: u64,
+        trace_stored_spans: u64,
+        errors_by_kind: Vec<(String, u64)>,
+        cycles_by_category: Vec<(String, u128)>,
+        tax_ppm: u64,
+    ) -> Self {
+        let c = &telemetry.counters;
+        let deterministic = DeterministicSection {
+            seed,
+            scale: scale.to_string(),
+            total_methods,
+            roots: c.roots,
+            spans: c.spans,
+            traces_sampled: c.traces_sampled,
+            trace_stored_spans,
+            errors_total: errors_by_kind.iter().map(|(_, n)| n).sum(),
+            errors_by_kind,
+            hedges_issued: c.hedges_issued,
+            max_depth: c.max_depth,
+            queue: c.queue.clone(),
+            wire: c.wire.clone(),
+            root_latency: LatencyQuantiles::from_histogram(&c.root_latency_us),
+            cycles_total: cycles_by_category.iter().map(|(_, n)| n).sum(),
+            cycles_by_category,
+            tax_ppm,
+        };
+        let runtime = RuntimeSection {
+            shards: telemetry.shards_used,
+            per_shard: telemetry
+                .per_shard
+                .iter()
+                .map(|s| (s.shard, s.roots, s.spans, s.wall_ms))
+                .collect(),
+            phases: telemetry.phases.phases().to_vec(),
+            total_wall_ms: telemetry.phases.total_ms(),
+        };
+        RunManifest {
+            schema_version: MANIFEST_SCHEMA_VERSION,
+            deterministic,
+            runtime,
+        }
+    }
+
+    /// Renders the `deterministic` section (without the digest field) as
+    /// a JSON value. Field order is fixed; this is the byte-compared
+    /// surface of the determinism contract.
+    fn deterministic_body(&self) -> Json {
+        let d = &self.deterministic;
+        Json::obj([
+            ("seed", Json::Uint(u128::from(d.seed))),
+            ("scale", Json::Str(d.scale.clone())),
+            ("total_methods", Json::Uint(u128::from(d.total_methods))),
+            ("roots", Json::Uint(u128::from(d.roots))),
+            ("spans", Json::Uint(u128::from(d.spans))),
+            ("traces_sampled", Json::Uint(u128::from(d.traces_sampled))),
+            (
+                "trace_stored_spans",
+                Json::Uint(u128::from(d.trace_stored_spans)),
+            ),
+            ("errors_total", Json::Uint(u128::from(d.errors_total))),
+            ("errors_by_kind", named_u64s(&d.errors_by_kind)),
+            ("hedges_issued", Json::Uint(u128::from(d.hedges_issued))),
+            ("max_depth", Json::Uint(u128::from(d.max_depth))),
+            (
+                "queue",
+                Json::obj([
+                    ("samples", Json::Uint(u128::from(d.queue.samples))),
+                    ("waits", Json::Uint(u128::from(d.queue.waits))),
+                    ("total_wait_ns", Json::Uint(d.queue.total_wait_ns)),
+                    ("max_wait_ns", Json::Uint(u128::from(d.queue.max_wait_ns))),
+                ]),
+            ),
+            (
+                "wire",
+                Json::obj([
+                    ("samples", Json::Uint(u128::from(d.wire.samples))),
+                    ("congested", Json::Uint(u128::from(d.wire.congested))),
+                ]),
+            ),
+            (
+                "root_latency",
+                Json::obj([
+                    ("count", Json::Uint(u128::from(d.root_latency.count))),
+                    ("sum_us", Json::Uint(d.root_latency.sum_us)),
+                    ("min_us", Json::Uint(u128::from(d.root_latency.min_us))),
+                    ("p50_us", Json::Uint(u128::from(d.root_latency.p50_us))),
+                    ("p90_us", Json::Uint(u128::from(d.root_latency.p90_us))),
+                    ("p99_us", Json::Uint(u128::from(d.root_latency.p99_us))),
+                    ("p999_us", Json::Uint(u128::from(d.root_latency.p999_us))),
+                    ("max_us", Json::Uint(u128::from(d.root_latency.max_us))),
+                ]),
+            ),
+            ("cycles_total", Json::Uint(d.cycles_total)),
+            ("cycles_by_category", named_u128s(&d.cycles_by_category)),
+            ("tax_ppm", Json::Uint(u128::from(d.tax_ppm))),
+        ])
+    }
+
+    /// The FNV-1a digest of the rendered deterministic section. Equal
+    /// digests ⇒ equal deterministic behaviour.
+    pub fn digest(&self) -> u64 {
+        fnv1a(self.deterministic_body().to_pretty().as_bytes())
+    }
+
+    /// Renders only the deterministic section (digest included) — the
+    /// exact bytes the shard-invariance test compares.
+    pub fn deterministic_json(&self) -> String {
+        let mut body = self.deterministic_body();
+        let digest = self.digest();
+        if let Json::Object(pairs) = &mut body {
+            pairs.push(("digest".to_string(), Json::Uint(u128::from(digest))));
+        }
+        body.to_pretty()
+    }
+
+    /// Renders the complete manifest, both sections, as pretty JSON.
+    pub fn to_json_string(&self) -> String {
+        let mut deterministic = self.deterministic_body();
+        let digest = self.digest();
+        if let Json::Object(pairs) = &mut deterministic {
+            pairs.push(("digest".to_string(), Json::Uint(u128::from(digest))));
+        }
+        let r = &self.runtime;
+        Json::obj([
+            (
+                "schema_version",
+                Json::Uint(u128::from(self.schema_version)),
+            ),
+            ("deterministic", deterministic),
+            (
+                "runtime",
+                Json::obj([
+                    ("shards", Json::Uint(r.shards as u128)),
+                    (
+                        "per_shard",
+                        Json::Array(
+                            r.per_shard
+                                .iter()
+                                .map(|&(shard, roots, spans, wall_ms)| {
+                                    Json::obj([
+                                        ("shard", Json::Uint(shard as u128)),
+                                        ("roots", Json::Uint(u128::from(roots))),
+                                        ("spans", Json::Uint(u128::from(spans))),
+                                        ("wall_ms", Json::Float(wall_ms)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "phases",
+                        Json::Array(
+                            r.phases
+                                .iter()
+                                .map(|(name, ms)| {
+                                    Json::obj([
+                                        ("phase", Json::Str(name.clone())),
+                                        ("wall_ms", Json::Float(*ms)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    ("total_wall_ms", Json::Float(r.total_wall_ms)),
+                ]),
+            ),
+        ])
+        .to_pretty()
+    }
+
+    /// Parses a manifest previously written by [`RunManifest::to_json_string`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on malformed JSON, a schema-version mismatch, or
+    /// a digest that does not match the deterministic fields.
+    pub fn parse(text: &str) -> Result<RunManifest, String> {
+        let root = json::parse(text).map_err(|e| e.to_string())?;
+        let version = root
+            .get("schema_version")
+            .and_then(Json::as_u64)
+            .ok_or("missing schema_version")?;
+        if version != u64::from(MANIFEST_SCHEMA_VERSION) {
+            return Err(format!(
+                "unsupported manifest schema version {version} (expected {MANIFEST_SCHEMA_VERSION})"
+            ));
+        }
+        let det = root.get("deterministic").ok_or("missing deterministic")?;
+        let need_u64 = |section: &Json, key: &str| -> Result<u64, String> {
+            section
+                .get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing or non-integer field '{key}'"))
+        };
+        let need_u128 = |section: &Json, key: &str| -> Result<u128, String> {
+            section
+                .get(key)
+                .and_then(Json::as_u128)
+                .ok_or_else(|| format!("missing or non-integer field '{key}'"))
+        };
+        let queue = det.get("queue").ok_or("missing queue")?;
+        let wire = det.get("wire").ok_or("missing wire")?;
+        let lat = det.get("root_latency").ok_or("missing root_latency")?;
+        let pairs_u64 = |key: &str| -> Result<Vec<(String, u64)>, String> {
+            match det.get(key) {
+                Some(Json::Object(pairs)) => pairs
+                    .iter()
+                    .map(|(k, v)| {
+                        v.as_u64()
+                            .map(|n| (k.clone(), n))
+                            .ok_or_else(|| format!("non-integer value in '{key}'"))
+                    })
+                    .collect(),
+                _ => Err(format!("missing object '{key}'")),
+            }
+        };
+        let pairs_u128 = |key: &str| -> Result<Vec<(String, u128)>, String> {
+            match det.get(key) {
+                Some(Json::Object(pairs)) => pairs
+                    .iter()
+                    .map(|(k, v)| {
+                        v.as_u128()
+                            .map(|n| (k.clone(), n))
+                            .ok_or_else(|| format!("non-integer value in '{key}'"))
+                    })
+                    .collect(),
+                _ => Err(format!("missing object '{key}'")),
+            }
+        };
+        let deterministic = DeterministicSection {
+            seed: need_u64(det, "seed")?,
+            scale: det
+                .get("scale")
+                .and_then(Json::as_str)
+                .ok_or("missing scale")?
+                .to_string(),
+            total_methods: need_u64(det, "total_methods")?,
+            roots: need_u64(det, "roots")?,
+            spans: need_u64(det, "spans")?,
+            traces_sampled: need_u64(det, "traces_sampled")?,
+            trace_stored_spans: need_u64(det, "trace_stored_spans")?,
+            errors_total: need_u64(det, "errors_total")?,
+            errors_by_kind: pairs_u64("errors_by_kind")?,
+            hedges_issued: need_u64(det, "hedges_issued")?,
+            max_depth: need_u64(det, "max_depth")?,
+            queue: QueueTelemetry {
+                samples: need_u64(queue, "samples")?,
+                waits: need_u64(queue, "waits")?,
+                total_wait_ns: need_u128(queue, "total_wait_ns")?,
+                max_wait_ns: need_u64(queue, "max_wait_ns")?,
+            },
+            wire: WireTelemetry {
+                samples: need_u64(wire, "samples")?,
+                congested: need_u64(wire, "congested")?,
+            },
+            root_latency: LatencyQuantiles {
+                count: need_u64(lat, "count")?,
+                sum_us: need_u128(lat, "sum_us")?,
+                min_us: need_u64(lat, "min_us")?,
+                p50_us: need_u64(lat, "p50_us")?,
+                p90_us: need_u64(lat, "p90_us")?,
+                p99_us: need_u64(lat, "p99_us")?,
+                p999_us: need_u64(lat, "p999_us")?,
+                max_us: need_u64(lat, "max_us")?,
+            },
+            cycles_total: need_u128(det, "cycles_total")?,
+            cycles_by_category: pairs_u128("cycles_by_category")?,
+            tax_ppm: need_u64(det, "tax_ppm")?,
+        };
+        let runtime = match root.get("runtime") {
+            Some(rt) => RuntimeSection {
+                shards: rt.get("shards").and_then(Json::as_u64).unwrap_or(0) as usize,
+                per_shard: rt
+                    .get("per_shard")
+                    .and_then(Json::as_array)
+                    .unwrap_or(&[])
+                    .iter()
+                    .filter_map(|row| {
+                        Some((
+                            row.get("shard")?.as_u64()? as usize,
+                            row.get("roots")?.as_u64()?,
+                            row.get("spans")?.as_u64()?,
+                            row.get("wall_ms")?.as_f64()?,
+                        ))
+                    })
+                    .collect(),
+                phases: rt
+                    .get("phases")
+                    .and_then(Json::as_array)
+                    .unwrap_or(&[])
+                    .iter()
+                    .filter_map(|row| {
+                        Some((
+                            row.get("phase")?.as_str()?.to_string(),
+                            row.get("wall_ms")?.as_f64()?,
+                        ))
+                    })
+                    .collect(),
+                total_wall_ms: rt
+                    .get("total_wall_ms")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0),
+            },
+            None => RuntimeSection::default(),
+        };
+        let manifest = RunManifest {
+            schema_version: version as u32,
+            deterministic,
+            runtime,
+        };
+        if let Some(stored) = det.get("digest").and_then(Json::as_u64) {
+            let recomputed = manifest.digest();
+            if stored != recomputed {
+                return Err(format!(
+                    "manifest digest mismatch: stored {stored}, recomputed {recomputed} \
+                     (deterministic fields were edited or the file is corrupt)"
+                ));
+            }
+        }
+        Ok(manifest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::{PhaseTimings, RunTelemetry, ShardCounters, ShardReport};
+
+    fn sample_manifest() -> RunManifest {
+        let mut counters = ShardCounters::new();
+        counters.roots = 1000;
+        counters.spans = 8200;
+        counters.traces_sampled = 31;
+        counters.errors_injected = 12;
+        counters.hedges_issued = 7;
+        counters.max_depth = 5;
+        for i in 0..1000u64 {
+            counters.root_latency_us.record(50 + i * 3 % 9000);
+            counters.queue.record((i % 4) * 250);
+            counters.wire.record(i % 17 == 0);
+        }
+        let telemetry = RunTelemetry {
+            counters,
+            per_shard: vec![
+                ShardReport {
+                    shard: 0,
+                    roots: 500,
+                    spans: 4100,
+                    wall_ms: 1.5,
+                },
+                ShardReport {
+                    shard: 1,
+                    roots: 500,
+                    spans: 4100,
+                    wall_ms: 1.75,
+                },
+            ],
+            phases: {
+                let mut p = PhaseTimings::new();
+                p.record("generate", 0.5);
+                p.record("simulate", 3.25);
+                p.record("merge", 0.125);
+                p
+            },
+            shards_used: 2,
+        };
+        RunManifest::from_telemetry(
+            &telemetry,
+            42,
+            "smoke",
+            320,
+            900,
+            vec![
+                ("deadline".to_string(), 6),
+                ("transport".to_string(), 4),
+                ("cancelled".to_string(), 2),
+            ],
+            vec![
+                ("app".to_string(), 900_000_000_000u128),
+                ("serialization".to_string(), 120_000_000_000u128),
+                ("compression".to_string(), 80_000_000_000u128),
+            ],
+            181_818,
+        )
+    }
+
+    #[test]
+    fn roundtrips_through_json() {
+        let m = sample_manifest();
+        let text = m.to_json_string();
+        let back = RunManifest::parse(&text).expect("parse own output");
+        assert_eq!(back.deterministic, m.deterministic);
+        assert_eq!(back.runtime.shards, 2);
+        assert_eq!(back.runtime.per_shard.len(), 2);
+        assert_eq!(back.runtime.phases.len(), 3);
+        // Re-render of the parse is byte-identical.
+        assert_eq!(back.to_json_string(), text);
+    }
+
+    #[test]
+    fn deterministic_section_excludes_runtime() {
+        let m = sample_manifest();
+        let det = m.deterministic_json();
+        assert!(!det.contains("wall_ms"), "wall clock leaked: {det}");
+        assert!(!det.contains("per_shard"));
+        assert!(!det.contains("shards"));
+        assert!(det.contains("\"digest\""));
+    }
+
+    #[test]
+    fn runtime_changes_do_not_move_the_digest() {
+        let mut a = sample_manifest();
+        let d0 = a.digest();
+        a.runtime.per_shard.clear();
+        a.runtime.phases.clear();
+        a.runtime.shards = 8;
+        a.runtime.total_wall_ms = 99.0;
+        assert_eq!(a.digest(), d0);
+        assert_eq!(
+            a.deterministic_json(),
+            sample_manifest().deterministic_json()
+        );
+    }
+
+    #[test]
+    fn tampered_deterministic_fields_fail_digest_check() {
+        let m = sample_manifest();
+        let text = m.to_json_string();
+        let tampered = text.replacen("\"roots\": 1000", "\"roots\": 1001", 1);
+        assert_ne!(tampered, text, "replacement must hit");
+        let e = RunManifest::parse(&tampered).unwrap_err();
+        assert!(e.contains("digest mismatch"), "{e}");
+    }
+
+    #[test]
+    fn wrong_schema_version_is_rejected() {
+        let m = sample_manifest();
+        let text =
+            m.to_json_string()
+                .replacen("\"schema_version\": 1", "\"schema_version\": 999", 1);
+        let e = RunManifest::parse(&text).unwrap_err();
+        assert!(e.contains("schema version"), "{e}");
+    }
+
+    #[test]
+    fn errors_total_and_cycles_total_are_sums() {
+        let m = sample_manifest();
+        assert_eq!(m.deterministic.errors_total, 12);
+        assert_eq!(m.deterministic.cycles_total, 1_100_000_000_000u128);
+    }
+}

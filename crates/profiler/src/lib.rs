@@ -15,7 +15,69 @@
 
 use rpclens_rpcstack::cost::{CycleCategory, CycleCost};
 use rpclens_rpcstack::error::ErrorKind;
-use std::collections::HashMap;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Derives the deterministic reservoir tag for one recorded sample from
+/// coordinates that identify it globally — in the fleet driver, the root
+/// RPC's global sequence number and the span's index within its trace.
+///
+/// The tag is a pure function of its inputs (a SplitMix64-style mix), so
+/// the same sample gets the same tag no matter which shard simulates it;
+/// the per-method reservoir keeps the `cap` samples with the *smallest*
+/// tags, making sharded merge exactly equal to a single-pass run.
+pub fn sample_tag(root_seq: u64, span_index: u32) -> u64 {
+    let mut z = root_seq
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(u64::from(span_index).wrapping_mul(0xD1B5_4A32_D192_ED03));
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= z >> 27;
+    z = z.wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    z
+}
+
+/// A bounded per-method sample reservoir: keeps the `cap` samples with
+/// the smallest `(tag, value)` keys ever offered.
+///
+/// Bottom-k selection under a total order is order-insensitive, so
+/// inserting a stream's samples one at a time, in any order, or merging
+/// per-shard reservoirs, all yield the identical sample multiset —
+/// unlike the previous first-`cap`-wins truncation, which biased capped
+/// methods toward early (low-sequence) samples.
+#[derive(Debug, Default)]
+struct MethodReservoir {
+    /// Max-heap of `(tag, value_bits)`: the largest retained key sits on
+    /// top, ready to be evicted by any smaller offer.
+    entries: BinaryHeap<(u64, u64)>,
+}
+
+impl MethodReservoir {
+    fn offer(&mut self, cap: usize, tag: u64, value: f64) {
+        let key = (tag, value.to_bits());
+        if self.entries.len() < cap {
+            self.entries.push(key);
+        } else if let Some(&top) = self.entries.peek() {
+            if key < top {
+                self.entries.pop();
+                self.entries.push(key);
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Retained samples in ascending key order (deterministic).
+    fn samples(&self) -> Vec<f64> {
+        let mut keys: Vec<(u64, u64)> = self.entries.iter().copied().collect();
+        keys.sort_unstable();
+        keys.into_iter()
+            .map(|(_, bits)| f64::from_bits(bits))
+            .collect()
+    }
+}
 
 /// Sampling fleet profiler.
 ///
@@ -29,9 +91,10 @@ pub struct CycleProfiler {
     by_category: HashMap<CycleCategory, u128>,
     /// Per-service cycles (service id -> total cycles).
     by_service: HashMap<u16, u128>,
-    /// Per-method normalized-cycle samples (method id -> samples).
-    per_method: HashMap<u32, Vec<f64>>,
-    /// Cap on retained per-method samples (reservoir-free truncation).
+    /// Per-method normalized-cycle sample reservoirs.
+    per_method: HashMap<u32, MethodReservoir>,
+    /// Cap on retained per-method samples (deterministic bottom-k
+    /// reservoir; see [`sample_tag`]).
     per_method_cap: usize,
     total: u128,
 }
@@ -61,8 +124,11 @@ impl CycleProfiler {
     }
 
     /// Records the cycle cost of one RPC executed by `service`/`method`
-    /// on a machine with relative `speed`.
-    pub fn record(&mut self, service: u16, method: u32, cost: &CycleCost, speed: f64) {
+    /// on a machine with relative `speed`. `tag` is the sample's
+    /// deterministic reservoir tag (see [`sample_tag`]); above the
+    /// retention cap, the samples with the smallest tags win, which is a
+    /// uniform, shard-invariant subsample of the method's call stream.
+    pub fn record(&mut self, service: u16, method: u32, cost: &CycleCost, speed: f64, tag: u64) {
         let mut call_total = 0u128;
         for (cat, cycles) in cost.iter() {
             if cycles == 0 {
@@ -73,12 +139,13 @@ impl CycleProfiler {
         }
         *self.by_service.entry(service).or_insert(0) += call_total;
         self.total += call_total;
-        let samples = self.per_method.entry(method).or_default();
-        if samples.len() < self.per_method_cap {
-            // Normalized cycles: what this call would cost on the
-            // baseline CPU generation.
-            samples.push(call_total as f64 / speed.max(1e-6));
-        }
+        // Normalized cycles: what this call would cost on the baseline
+        // CPU generation.
+        self.per_method.entry(method).or_default().offer(
+            self.per_method_cap,
+            tag,
+            call_total as f64 / speed.max(1e-6),
+        );
     }
 
     /// Records stack cycles a service burned acting as a *client* (no
@@ -138,12 +205,13 @@ impl CycleProfiler {
         self.by_service.iter().map(|(&s, &c)| (s, c))
     }
 
-    /// Per-method normalized-cycle samples.
-    pub fn method_samples(&self, method: u32) -> &[f64] {
+    /// Per-method normalized-cycle samples, in ascending reservoir-key
+    /// order (a deterministic, shard-invariant ordering).
+    pub fn method_samples(&self, method: u32) -> Vec<f64> {
         self.per_method
             .get(&method)
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+            .map(MethodReservoir::samples)
+            .unwrap_or_default()
     }
 
     /// Methods with at least `min` samples.
@@ -166,10 +234,11 @@ impl CycleProfiler {
         for (s, c) in other.by_service {
             *self.by_service.entry(s).or_insert(0) += c;
         }
-        for (m, samples) in other.per_method {
+        for (m, reservoir) in other.per_method {
             let entry = self.per_method.entry(m).or_default();
-            let room = self.per_method_cap.saturating_sub(entry.len());
-            entry.extend(samples.into_iter().take(room));
+            for (tag, bits) in reservoir.entries {
+                entry.offer(self.per_method_cap, tag, f64::from_bits(bits));
+            }
         }
         self.total += other.total;
     }
@@ -274,7 +343,7 @@ mod tests {
     #[test]
     fn category_fractions_sum_correctly() {
         let mut p = CycleProfiler::new();
-        p.record(1, 10, &cost(9000, 700, 300), 1.0);
+        p.record(1, 10, &cost(9000, 700, 300), 1.0, sample_tag(0, 0));
         assert_eq!(p.total_cycles(), 10_000);
         assert!((p.category_fraction(CycleCategory::Application) - 0.9).abs() < 1e-12);
         assert!((p.category_fraction(CycleCategory::Compression) - 0.07).abs() < 1e-12);
@@ -293,9 +362,9 @@ mod tests {
     #[test]
     fn per_service_attribution() {
         let mut p = CycleProfiler::new();
-        p.record(1, 10, &cost(100, 0, 0), 1.0);
-        p.record(1, 11, &cost(200, 0, 0), 1.0);
-        p.record(2, 20, &cost(700, 0, 0), 1.0);
+        p.record(1, 10, &cost(100, 0, 0), 1.0, sample_tag(0, 0));
+        p.record(1, 11, &cost(200, 0, 0), 1.0, sample_tag(0, 1));
+        p.record(2, 20, &cost(700, 0, 0), 1.0, sample_tag(0, 2));
         assert_eq!(p.service_cycles(1), 300);
         assert_eq!(p.service_cycles(2), 700);
         assert_eq!(p.service_cycles(3), 0);
@@ -305,15 +374,15 @@ mod tests {
     #[test]
     fn normalized_cycles_divide_by_speed() {
         let mut p = CycleProfiler::new();
-        p.record(1, 5, &cost(1000, 0, 0), 2.0);
-        assert_eq!(p.method_samples(5), &[500.0]);
+        p.record(1, 5, &cost(1000, 0, 0), 2.0, sample_tag(3, 1));
+        assert_eq!(p.method_samples(5), vec![500.0]);
     }
 
     #[test]
     fn per_method_cap_is_enforced() {
         let mut p = CycleProfiler::new().with_per_method_cap(10);
-        for _ in 0..100 {
-            p.record(1, 7, &cost(10, 0, 0), 1.0);
+        for i in 0..100 {
+            p.record(1, 7, &cost(10, 0, 0), 1.0, sample_tag(i, 0));
         }
         assert_eq!(p.method_samples(7).len(), 10);
         // Fleet totals still count everything.
@@ -323,15 +392,63 @@ mod tests {
     #[test]
     fn merge_adds_everything() {
         let mut a = CycleProfiler::new();
-        a.record(1, 1, &cost(100, 10, 0), 1.0);
+        a.record(1, 1, &cost(100, 10, 0), 1.0, sample_tag(0, 0));
         let mut b = CycleProfiler::new();
-        b.record(1, 1, &cost(200, 0, 20), 1.0);
-        b.record(2, 2, &cost(50, 0, 0), 1.0);
+        b.record(1, 1, &cost(200, 0, 20), 1.0, sample_tag(1, 0));
+        b.record(2, 2, &cost(50, 0, 0), 1.0, sample_tag(1, 1));
         a.merge(b);
         assert_eq!(a.total_cycles(), 380);
         assert_eq!(a.service_cycles(1), 330);
         assert_eq!(a.method_samples(1).len(), 2);
         assert_eq!(a.methods_with_samples(1), vec![1, 2]);
+    }
+
+    #[test]
+    fn capped_reservoir_keeps_smallest_tags() {
+        let mut p = CycleProfiler::new().with_per_method_cap(3);
+        // Offer tags in descending order; the reservoir must keep the
+        // three smallest regardless of arrival order.
+        for tag in (0..10u64).rev() {
+            p.record(1, 7, &cost(100 + tag, 0, 0), 1.0, tag);
+        }
+        let samples = p.method_samples(7);
+        assert_eq!(samples, vec![100.0, 101.0, 102.0]);
+    }
+
+    #[test]
+    fn sharded_merge_equals_single_pass_under_cap() {
+        // 200 samples, cap 16: a 2-way sharded run (even/odd split) must
+        // retain exactly the same sample multiset as a single pass.
+        let cap = 16;
+        let mut single = CycleProfiler::new().with_per_method_cap(cap);
+        let mut shard_a = CycleProfiler::new().with_per_method_cap(cap);
+        let mut shard_b = CycleProfiler::new().with_per_method_cap(cap);
+        for seq in 0..200u64 {
+            let c = cost(1000 + seq * 3, seq % 5, 0);
+            let tag = sample_tag(seq, 0);
+            single.record(1, 42, &c, 1.0, tag);
+            if seq % 2 == 0 {
+                shard_a.record(1, 42, &c, 1.0, tag);
+            } else {
+                shard_b.record(1, 42, &c, 1.0, tag);
+            }
+        }
+        let mut merged = CycleProfiler::new().with_per_method_cap(cap);
+        merged.merge(shard_a);
+        merged.merge(shard_b);
+        assert_eq!(merged.method_samples(42), single.method_samples(42));
+        assert_eq!(merged.total_cycles(), single.total_cycles());
+    }
+
+    #[test]
+    fn sample_tag_is_pure_and_spreads() {
+        assert_eq!(sample_tag(7, 3), sample_tag(7, 3));
+        assert_ne!(sample_tag(7, 3), sample_tag(7, 4));
+        assert_ne!(sample_tag(7, 3), sample_tag(8, 3));
+        // Sequential inputs should not produce sequential tags.
+        let a = sample_tag(1, 0);
+        let b = sample_tag(2, 0);
+        assert!(a.abs_diff(b) > 1 << 32);
     }
 
     #[test]

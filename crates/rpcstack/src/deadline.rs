@@ -186,7 +186,7 @@ mod tests {
         assert_eq!(depth, 3);
         // A zero-cost chain is bounded only by the margins.
         let free = p.max_depth(SimDuration::ZERO);
-        assert!(free >= 9 && free <= 10, "depth {free}");
+        assert!((9..=10).contains(&free), "depth {free}");
     }
 
     #[test]

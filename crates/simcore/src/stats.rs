@@ -93,12 +93,12 @@ impl QuantileSummary {
     /// Retrieves a named quantile; `q` must be one of the stored levels.
     pub fn get(&self, q: f64) -> Option<f64> {
         match q {
-            x if x == 0.01 => Some(self.p01),
-            x if x == 0.10 => Some(self.p10),
-            x if x == 0.50 => Some(self.p50),
-            x if x == 0.90 => Some(self.p90),
-            x if x == 0.95 => Some(self.p95),
-            x if x == 0.99 => Some(self.p99),
+            0.01 => Some(self.p01),
+            0.10 => Some(self.p10),
+            0.50 => Some(self.p50),
+            0.90 => Some(self.p90),
+            0.95 => Some(self.p95),
+            0.99 => Some(self.p99),
             _ => None,
         }
     }

@@ -37,7 +37,9 @@ impl TraceCollector {
         if self.rate == 1 {
             return true;
         }
-        trace_id.wrapping_mul(0x9E37_79B9_7F4A_7C15) % self.rate == 0
+        trace_id
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .is_multiple_of(self.rate)
     }
 
     /// The configured sampling rate.

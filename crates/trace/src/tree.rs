@@ -144,8 +144,8 @@ mod tests {
             // Total fanout = number of edges.
             assert_eq!(s.fanout.iter().sum::<u32>() as usize, n - 1);
             // Each child's ancestor count is its parent's plus one.
-            for i in 1..n {
-                let p = parents[i].unwrap() as usize;
+            for (i, parent) in parents.iter().enumerate().skip(1) {
+                let p = parent.unwrap() as usize;
                 assert_eq!(s.ancestors[i], s.ancestors[p] + 1);
             }
             // Sum of descendants equals sum of depths (both count

@@ -230,6 +230,84 @@ mod tests {
     }
 
     #[test]
+    fn rate_of_empty_and_single_point_series_is_empty() {
+        let mut d = TimeSeriesDb::new(SimDuration::from_mins(30));
+        d.register(MetricDescriptor::counter("c", SimDuration::from_hours(10)))
+            .unwrap();
+        // Registered but never written: no series exists yet.
+        let q = QueryEngine::new(&d);
+        assert!(q.select("c", &LabelFilter::any()).is_empty());
+        // One point: a rate needs two points to form a window, so the
+        // result must be empty rather than a spurious zero or NaN.
+        d.write("c", Labels::empty(), mins(0), MetricValue::Counter(42))
+            .unwrap();
+        let s = d.series("c", &Labels::empty()).unwrap();
+        assert!(QueryEngine::rate(s).is_empty());
+        assert!(QueryEngine::gauges(s).is_empty());
+    }
+
+    #[test]
+    fn rate_skips_zero_width_window() {
+        // Two writes into the same sampling window align to the same
+        // timestamp; the dt == 0 pair must not divide by zero.
+        let mut d = TimeSeriesDb::new(SimDuration::from_mins(30));
+        d.register(MetricDescriptor::counter("c", SimDuration::from_hours(10)))
+            .unwrap();
+        d.write("c", Labels::empty(), mins(0), MetricValue::Counter(10))
+            .unwrap();
+        d.write("c", Labels::empty(), mins(10), MetricValue::Counter(25))
+            .unwrap();
+        d.write("c", Labels::empty(), mins(30), MetricValue::Counter(40))
+            .unwrap();
+        let s = d.series("c", &Labels::empty()).unwrap();
+        let rates = QueryEngine::rate(s);
+        assert_eq!(rates.len(), 1, "only the cross-window pair rates");
+        assert!(rates[0].1.is_finite());
+        assert!((rates[0].1 - 15.0 / 1800.0).abs() < 1e-12, "{}", rates[0].1);
+    }
+
+    #[test]
+    fn rate_over_retention_truncated_series_uses_surviving_points() {
+        // Retention of one hour with writes spanning three: the oldest
+        // points are dropped, and rates are computed over what survives —
+        // no phantom delta from the evicted prefix.
+        let mut d = TimeSeriesDb::new(SimDuration::from_mins(30));
+        d.register(MetricDescriptor::counter("c", SimDuration::from_hours(1)))
+            .unwrap();
+        for i in 0..7u64 {
+            d.write(
+                "c",
+                Labels::empty(),
+                mins(i * 30),
+                MetricValue::Counter(i * i * 1000),
+            )
+            .unwrap();
+        }
+        let s = d.series("c", &Labels::empty()).unwrap();
+        let points = s.points();
+        assert!(
+            points.len() < 7,
+            "retention should have evicted old points, kept {}",
+            points.len()
+        );
+        assert_eq!(points.last().unwrap().0, mins(180));
+        let rates = QueryEngine::rate(s);
+        assert_eq!(rates.len(), points.len() - 1);
+        // Each surviving rate is the adjacent-pair delta, not a delta
+        // against any evicted point.
+        for (j, ((t, r), pair)) in rates.iter().zip(points.windows(2)).enumerate() {
+            let expect = match (&pair[0].1, &pair[1].1) {
+                (MetricValue::Counter(a), MetricValue::Counter(b)) => {
+                    (b - a) as f64 / pair[1].0.since(pair[0].0).as_secs_f64()
+                }
+                other => panic!("unexpected values {other:?}"),
+            };
+            assert_eq!(*t, pair[1].0, "rate {j}");
+            assert!((r - expect).abs() < 1e-9, "rate {j}: {r} vs {expect}");
+        }
+    }
+
+    #[test]
     fn gauges_extract_values() {
         let d = db_with_counters();
         let q = QueryEngine::new(&d);

@@ -65,12 +65,18 @@ fn tracer_tsdb_profiler_compose_by_hand() {
     for trace_id in 0..1_000u64 {
         let trace = hand_built_trace(trace_id);
         counter += trace.len() as u64;
-        for span in &trace.spans {
+        for (i, span) in trace.spans.iter().enumerate() {
             errors.record_rpc();
             let mut cost = CycleCost::new();
             cost.add(CycleCategory::Application, span.kilocycles as u64 * 1000);
             cost.add(CycleCategory::Serialization, 10_000);
-            profiler.record(span.service.0, span.method.0, &cost, 1.0);
+            profiler.record(
+                span.service.0,
+                span.method.0,
+                &cost,
+                1.0,
+                rpclens_profiler::sample_tag(trace_id, i as u32),
+            );
         }
         if collector.should_sample(trace_id) {
             store.add(trace);

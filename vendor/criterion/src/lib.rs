@@ -10,7 +10,59 @@
 //! the goal is that `cargo bench` works and produces honest relative
 //! numbers in a network-isolated build environment.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Every result reported in this process, across all groups. The
+/// `criterion_group!` macro builds one `Criterion` per group function, so
+/// a process-wide registry is the only place a `--bench-json` report can
+/// see everything.
+static ALL_RESULTS: Mutex<Vec<(String, u128)>> = Mutex::new(Vec::new());
+
+/// Renders every benchmark result recorded in this process as a JSON
+/// array of `{"name": ..., "mean_ns": ...}` objects.
+pub fn json_report() -> String {
+    let results = ALL_RESULTS.lock().expect("results lock");
+    let mut out = String::from("[\n");
+    for (i, (name, ns)) in results.iter().enumerate() {
+        let escaped: String = name
+            .chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
+                c => vec![c],
+            })
+            .collect();
+        out.push_str(&format!("  {{\"name\": \"{escaped}\", \"mean_ns\": {ns}}}"));
+        if i + 1 < results.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Writes the JSON report when `--bench-json PATH` (or
+/// `--bench-json=PATH`) appears among the process arguments — invoke as
+/// `cargo bench --bench fleet_bench -- --bench-json out.json`. Called
+/// automatically at the end of `criterion_main!`.
+pub fn flush_json_if_requested() {
+    let mut args = std::env::args();
+    let mut path: Option<String> = None;
+    while let Some(arg) = args.next() {
+        if arg == "--bench-json" {
+            path = args.next();
+        } else if let Some(p) = arg.strip_prefix("--bench-json=") {
+            path = Some(p.to_string());
+        }
+    }
+    if let Some(path) = path {
+        std::fs::write(&path, json_report())
+            .unwrap_or_else(|e| panic!("write bench JSON {path}: {e}"));
+        eprintln!("wrote benchmark JSON to {path}");
+    }
+}
 
 /// Re-sampled wall-clock time target per benchmark.
 const TARGET_MEASURE: Duration = Duration::from_millis(400);
@@ -169,6 +221,10 @@ impl BenchmarkGroup<'_> {
                     }
                 }
                 println!("{line}");
+                ALL_RESULTS
+                    .lock()
+                    .expect("results lock")
+                    .push((full.clone(), d.as_nanos()));
                 self.criterion.results.push((full, d));
             }
             None => println!("{full:<56} {:>12}", "no measurement"),
@@ -233,12 +289,15 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares `main` from a list of benchmark groups.
+/// Declares `main` from a list of benchmark groups. After all groups
+/// run, honors a `--bench-json PATH` argument with a machine-readable
+/// report of every result.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::flush_json_if_requested();
         }
     };
 }
@@ -258,6 +317,20 @@ mod tests {
         g.finish();
         assert_eq!(c.results().len(), 1);
         assert!(c.results()[0].1 > Duration::ZERO);
+    }
+
+    #[test]
+    fn json_report_includes_recorded_results() {
+        let mut c = Criterion::default();
+        c.benchmark_group("jsongroup")
+            .bench_function("escaped\"name", |b| b.iter(|| black_box(1u64) + 1));
+        let json = json_report();
+        assert!(json.starts_with("[\n") && json.ends_with("]\n"), "{json}");
+        assert!(
+            json.contains(r#""name": "jsongroup/escaped\"name""#),
+            "{json}"
+        );
+        assert!(json.contains("\"mean_ns\": "), "{json}");
     }
 
     #[test]

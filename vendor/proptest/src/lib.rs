@@ -374,8 +374,6 @@ macro_rules! prop_assume {
 
 #[cfg(test)]
 mod tests {
-    use crate::prelude::*;
-
     proptest! {
         #[test]
         fn ranges_stay_in_bounds(x in 10u64..20, y in -5i32..5, f in 0.25f64..0.75) {
