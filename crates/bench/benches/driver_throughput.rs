@@ -1,0 +1,65 @@
+//! Driver root-throughput benchmark: the tracked perf baseline.
+//!
+//! Measures end-to-end roots/sec of `run_fleet` (catalog + workload
+//! generation + tree expansion + merge + TSDB flush) for the `smoke` and
+//! `default` presets at 1 shard and at one-shard-per-core. The numbers
+//! feed the committed `BENCH_driver.json` trajectory that perf PRs are
+//! judged against; every configuration is bit-identical in output at any
+//! shard count, so this bench measures pure wall-clock cost.
+//!
+//! Refreshing the committed baseline (see README "Benchmarks"):
+//!
+//! ```text
+//! cargo bench -p rpclens-bench --bench driver_throughput -- \
+//!     --bench-json /tmp/driver_bench.json
+//! ```
+//!
+//! then fold the emitted array into the `current` section of
+//! `BENCH_driver.json`. The `baseline` section is the pre-optimization
+//! reference and is only rewritten when a PR intentionally re-baselines.
+//!
+//! CI runs the cheap subset via `DRIVER_BENCH_PRESET=smoke`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rpclens_fleet::driver::{run_fleet, FleetConfig, SimScale};
+
+/// Presets to measure; `DRIVER_BENCH_PRESET=smoke|default` restricts the
+/// run (CI uses `smoke` to keep the non-gating job fast).
+fn presets() -> Vec<SimScale> {
+    match std::env::var("DRIVER_BENCH_PRESET").as_deref() {
+        Ok("smoke") => vec![SimScale::smoke()],
+        Ok("default") => vec![SimScale::default_scale()],
+        _ => vec![SimScale::smoke(), SimScale::default_scale()],
+    }
+}
+
+fn bench_driver_throughput(c: &mut Criterion) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut g = c.benchmark_group("driver_throughput");
+    g.sample_size(10);
+    for scale in presets() {
+        g.throughput(Throughput::Elements(scale.roots));
+        // Always measure the canonical single-shard number (the tracked
+        // baseline), plus the one-shard-per-core configuration when the
+        // host actually has more than one core.
+        let mut shard_counts = vec![1usize];
+        if cores > 1 {
+            shard_counts.push(cores);
+        }
+        for shards in shard_counts {
+            g.bench_function(format!("{}_{}shard", scale.name, shards), |b| {
+                b.iter(|| {
+                    let mut config = FleetConfig::at_scale(scale.clone());
+                    config.shards = shards;
+                    black_box(run_fleet(config))
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_driver_throughput);
+criterion_main!(benches);

@@ -13,6 +13,32 @@ use rpclens_fleet::telemetry::manifest_for_run;
 use rpclens_obs::RunManifest;
 use rpclens_simcore::time::SimDuration;
 
+/// Golden FNV-1a digest of the smoke preset's deterministic manifest
+/// section, recorded from the pre-optimization driver (commit `36d1551`).
+///
+/// The zero-allocation hot path (catalog interning, dense site tables,
+/// trace-buffer reuse) must keep every sampled value and every counter
+/// bit-identical; any drift in rng consumption order, sampler math, or
+/// accumulator folding moves this digest. If this test fails, the change
+/// altered simulation *behaviour*, not just its speed — that requires an
+/// explicit re-baseline with a changelog entry, never a silent edit.
+const SMOKE_GOLDEN_DIGEST: u64 = 4965560232275073350;
+
+#[test]
+fn smoke_manifest_digest_matches_golden_at_1_and_4_shards() {
+    for shards in [1usize, 4] {
+        let mut config = FleetConfig::at_scale(SimScale::smoke());
+        config.shards = shards;
+        let run = run_fleet(config);
+        let manifest = manifest_for_run(&run);
+        assert_eq!(
+            manifest.digest(),
+            SMOKE_GOLDEN_DIGEST,
+            "smoke manifest digest drifted at shards={shards}"
+        );
+    }
+}
+
 fn run_with_shards(shards: usize) -> FleetRun {
     let scale = SimScale {
         name: "determinism",

@@ -97,13 +97,24 @@ impl ExogenousProfile {
         a + (b - a) * frac
     }
 
-    /// Samples the exogenous variables at instant `t`.
-    pub fn sample(&self, t: SimTime) -> ExogenousVars {
+    /// Samples only the CPU utilization at instant `t`.
+    ///
+    /// Exactly the `cpu_util` field of [`ExogenousProfile::sample`] —
+    /// same operations in the same order, so the value is bit-identical —
+    /// without evaluating the three other variables. The fleet driver's
+    /// hot path uses this where it needs utilization alone (pool queueing
+    /// input, ambient client-side load), which skips two `powf`s and six
+    /// hashed noise lookups per call.
+    pub fn cpu_util_at(&self, t: SimTime) -> f64 {
         let hour = (t.as_secs_f64() / 3600.0) % 24.0;
         let diurnal = (std::f64::consts::TAU * (hour - self.peak_hour + 6.0) / 24.0).sin();
-        let cpu_util =
-            (self.base_util + self.diurnal_amp * diurnal + self.noise * self.noise_at(t, 1))
-                .clamp(0.02, 0.98);
+        (self.base_util + self.diurnal_amp * diurnal + self.noise * self.noise_at(t, 1))
+            .clamp(0.02, 0.98)
+    }
+
+    /// Samples the exogenous variables at instant `t`.
+    pub fn sample(&self, t: SimTime) -> ExogenousVars {
+        let cpu_util = self.cpu_util_at(t);
 
         // Memory bandwidth tracks utilization sublinearly with its own
         // noise component.
@@ -180,6 +191,17 @@ mod tests {
         let p = ExogenousProfile::shared(42);
         let t = SimTime::from_nanos(12_345_678_901);
         assert_eq!(p.sample(t), p.sample(t));
+    }
+
+    #[test]
+    fn cpu_util_at_is_bit_identical_to_full_sample() {
+        for seed in [1u64, 42, 9_999] {
+            let p = ExogenousProfile::busy(seed);
+            for i in 0..2_000u64 {
+                let t = SimTime::from_nanos(i * 43_200_000_000 + 17);
+                assert_eq!(p.cpu_util_at(t).to_bits(), p.sample(t).cpu_util.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -14,12 +14,15 @@
 //!   delay.
 //! - [`accounting`]: windowed CPU usage accounting for the load-balancing
 //!   analysis (Fig. 22).
+//! - [`site`]: dense `(u16, u16)`-keyed lookup tables so the driver's
+//!   per-span site access is one vector index instead of a hash probe.
 
 pub mod accounting;
 pub mod exogenous;
 pub mod machine;
 pub mod mgk;
 pub mod pool;
+pub mod site;
 
 /// Convenience re-exports of the most commonly used cluster types.
 pub mod prelude {
@@ -29,5 +32,6 @@ pub mod prelude {
         machine::{Machine, MachineConfig, MachineId},
         mgk::{erlang_c, QueueModel},
         pool::WorkerPool,
+        site::DensePairMap,
     };
 }

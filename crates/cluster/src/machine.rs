@@ -98,7 +98,13 @@ impl Machine {
     /// reserved cores, contention from co-tenants is excluded; only a
     /// small chip-level CPI effect remains.
     pub fn slowdown(&self, t: SimTime) -> f64 {
-        let vars = self.profile.sample(t);
+        self.slowdown_from(&self.profile.sample(t))
+    }
+
+    /// [`Machine::slowdown`] computed from already-sampled exogenous
+    /// state, for callers that need several machine quantities at the
+    /// same instant and want to pay for one profile sample.
+    pub fn slowdown_from(&self, vars: &ExogenousVars) -> f64 {
         if self.config.reserved_cores {
             // Reserved cores escape scheduling/bandwidth contention but
             // still see chip-wide effects (uncore frequency, LLC) that the
@@ -126,7 +132,12 @@ impl Machine {
     /// stream) so that concurrent traces touching the same machine never
     /// perturb each other's samples.
     pub fn wakeup_latency(&self, t: SimTime, rng: &mut Prng) -> SimDuration {
-        let vars = self.profile.sample(t);
+        self.wakeup_latency_from(&self.profile.sample(t), rng)
+    }
+
+    /// [`Machine::wakeup_latency`] computed from already-sampled
+    /// exogenous state; identical draws from `rng`.
+    pub fn wakeup_latency_from(&self, vars: &ExogenousVars, rng: &mut Prng) -> SimDuration {
         let long_rate = if self.config.reserved_cores {
             // Dedicated cores do not contend for runqueue slots.
             0.0005

@@ -16,6 +16,7 @@
 //! - fan-out is bursty (Pareto), making trees wider than deep (Figs. 4-5).
 
 use rpclens_netsim::topology::{ClusterId, Topology};
+use rpclens_rpcstack::cost::MessageClass;
 use rpclens_rpcstack::hedging::HedgePolicy;
 use rpclens_simcore::dist::{LogNormal, Sample};
 use rpclens_simcore::rng::Prng;
@@ -115,6 +116,65 @@ impl FanoutDist {
     }
 }
 
+/// A [`FanoutDist`] with its inverse-CDF constants folded at catalog build
+/// time, so the hot loop performs one uniform draw, one multiply, and one
+/// `powf` instead of re-deriving `max^alpha` on every edge firing.
+///
+/// The precomputed subexpressions (`1 - 1/max^alpha` and `-1/alpha`) take
+/// the same values the per-draw formula produces, so sampling is
+/// bit-identical to [`FanoutDist::sample`] for the same rng state — the
+/// determinism contract the golden-digest test pins down.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FanoutSampler {
+    /// Always exactly `n` (already floored at 1) parallel calls.
+    Fixed(u32),
+    /// Bounded Pareto on `[1, max]` with the inverse CDF precomputed.
+    Pareto {
+        /// `max(max, 1)` as a float (the clamp ceiling).
+        max: f64,
+        /// `1 - 1 / max^alpha` (the uniform-draw coefficient).
+        coef: f64,
+        /// `-1 / alpha` (the inverse-CDF exponent).
+        neg_inv_alpha: f64,
+    },
+}
+
+impl FanoutSampler {
+    /// Precomputes the sampler for one fan-out distribution.
+    pub fn from_dist(dist: FanoutDist) -> Self {
+        match dist {
+            FanoutDist::Fixed(n) => FanoutSampler::Fixed(n.max(1)),
+            FanoutDist::Pareto { max, alpha } => {
+                let max = max.max(1) as f64;
+                let ha = max.powf(alpha);
+                FanoutSampler::Pareto {
+                    max,
+                    coef: 1.0 - 1.0 / ha,
+                    neg_inv_alpha: -1.0 / alpha,
+                }
+            }
+        }
+    }
+
+    /// Samples a fan-out count (≥ 1); bit-identical to the source
+    /// [`FanoutDist::sample`].
+    #[inline]
+    pub fn sample(&self, rng: &mut Prng) -> u32 {
+        match *self {
+            FanoutSampler::Fixed(n) => n,
+            FanoutSampler::Pareto {
+                max,
+                coef,
+                neg_inv_alpha,
+            } => {
+                let u = rng.next_f64_open();
+                let x = (1.0 - u * coef).powf(neg_inv_alpha);
+                (x.min(max)) as u32
+            }
+        }
+    }
+}
+
 /// One call edge in the static call graph.
 #[derive(Debug, Clone, Copy)]
 pub struct CallEdge {
@@ -128,6 +188,20 @@ pub struct CallEdge {
     /// partition/aggregate) or fires and forgets (write-behind, cache
     /// fill). Async children still consume resources and appear in
     /// traces, but do not extend the parent's application time.
+    pub blocking: bool,
+}
+
+/// One call edge as stored in the catalog's shared CSR edge table: the
+/// construction-time [`CallEdge`] with its fan-out sampler precomputed.
+#[derive(Debug, Clone, Copy)]
+pub struct EdgeHot {
+    /// The method invoked downstream.
+    pub target: MethodId,
+    /// Probability the edge fires on a given invocation.
+    pub prob: f64,
+    /// Precomputed parallel fan-out sampler.
+    pub fanout: FanoutSampler,
+    /// Whether the caller blocks on the child (see [`CallEdge`]).
     pub blocking: bool,
 }
 
@@ -153,8 +227,6 @@ pub struct MethodSpec {
     pub resp_size: LogNormal,
     /// Weight of this method as a *root* entry point (0 = never a root).
     pub root_weight: f64,
-    /// Outgoing call edges.
-    pub edges: Vec<CallEdge>,
     /// Hedging policy (enabled on popular leaf storage methods).
     pub hedge: HedgePolicy,
     /// The CPU work one invocation burns (seconds on the baseline CPU).
@@ -173,34 +245,113 @@ pub const MIN_PAYLOAD: f64 = 64.0;
 /// Upper payload clamp.
 pub const MAX_PAYLOAD: f64 = 4.0 * 1024.0 * 1024.0;
 
+/// Shared sampling kernels: [`MethodSpec`] (the cold, name-carrying spec)
+/// and [`MethodHot`] (the `Copy` hot header the driver reads per span) must
+/// draw identically, so both delegate here.
+#[inline]
+fn sample_compute_impl(
+    compute: &LogNormal,
+    fast_compute: &LogNormal,
+    fast_path_prob: f64,
+    rng: &mut Prng,
+) -> (SimDuration, bool) {
+    if rng.chance(fast_path_prob) {
+        (SimDuration::from_secs_f64(fast_compute.sample(rng)), true)
+    } else {
+        (SimDuration::from_secs_f64(compute.sample(rng)), false)
+    }
+}
+
+#[inline]
+fn sample_payload_bytes_impl(size: &LogNormal, rng: &mut Prng) -> u64 {
+    size.sample(rng).clamp(MIN_PAYLOAD, MAX_PAYLOAD) as u64
+}
+
 impl MethodSpec {
     /// Samples the CPU work of one invocation; returns `(work, fast)`
     /// where `fast` means the fast path fired (no children).
     pub fn sample_compute(&self, rng: &mut Prng) -> (SimDuration, bool) {
-        if rng.chance(self.fast_path_prob) {
-            (
-                SimDuration::from_secs_f64(self.fast_compute.sample(rng)),
-                true,
-            )
-        } else {
-            (SimDuration::from_secs_f64(self.compute.sample(rng)), false)
-        }
+        sample_compute_impl(&self.compute, &self.fast_compute, self.fast_path_prob, rng)
     }
 
     /// Samples a request payload size in bytes.
     pub fn sample_request_bytes(&self, rng: &mut Prng) -> u64 {
-        self.req_size.sample(rng).clamp(MIN_PAYLOAD, MAX_PAYLOAD) as u64
+        sample_payload_bytes_impl(&self.req_size, rng)
     }
 
     /// Samples a response payload size in bytes.
     pub fn sample_response_bytes(&self, rng: &mut Prng) -> u64 {
-        self.resp_size.sample(rng).clamp(MIN_PAYLOAD, MAX_PAYLOAD) as u64
+        sample_payload_bytes_impl(&self.resp_size, rng)
+    }
+}
+
+/// The per-method hot header: everything `simulate_call` reads on every
+/// span, packed into one `Copy` struct so the driver borrows it from the
+/// catalog instead of cloning the `String`- and `Vec`-carrying
+/// [`MethodSpec`]. The outgoing edges live in the catalog's shared CSR
+/// edge table, addressed by the `[edge_start, edge_end)` range.
+#[derive(Debug, Clone, Copy)]
+pub struct MethodHot {
+    /// Owning service.
+    pub service: ServiceId,
+    /// Main-path CPU work sampler (seconds).
+    pub compute: LogNormal,
+    /// Probability of the fast path.
+    pub fast_path_prob: f64,
+    /// Fast-path CPU work sampler (seconds).
+    pub fast_compute: LogNormal,
+    /// Request payload size sampler (bytes).
+    pub req_size: LogNormal,
+    /// Response payload size sampler (bytes).
+    pub resp_size: LogNormal,
+    /// Hedging policy.
+    pub hedge: HedgePolicy,
+    /// Per-invocation CPU draw sampler (see [`MethodSpec::cpu_work`]).
+    pub cpu_work: LogNormal,
+    /// Start of this method's slice in the shared edge table.
+    edge_start: u32,
+    /// End of this method's slice in the shared edge table.
+    edge_end: u32,
+}
+
+impl MethodHot {
+    /// Samples the CPU work of one invocation; returns `(work, fast)`.
+    /// Bit-identical to [`MethodSpec::sample_compute`].
+    #[inline]
+    pub fn sample_compute(&self, rng: &mut Prng) -> (SimDuration, bool) {
+        sample_compute_impl(&self.compute, &self.fast_compute, self.fast_path_prob, rng)
     }
 
-    /// Whether the method issues no downstream calls.
-    pub fn is_leaf(&self) -> bool {
-        self.edges.is_empty()
+    /// Samples a request payload size in bytes.
+    #[inline]
+    pub fn sample_request_bytes(&self, rng: &mut Prng) -> u64 {
+        sample_payload_bytes_impl(&self.req_size, rng)
     }
+
+    /// Samples a response payload size in bytes.
+    #[inline]
+    pub fn sample_response_bytes(&self, rng: &mut Prng) -> u64 {
+        sample_payload_bytes_impl(&self.resp_size, rng)
+    }
+}
+
+/// The per-service hot header mirrored from [`ServiceSpec`]: the flags and
+/// probabilities `simulate_call` needs, with the payload handling already
+/// folded into a [`MessageClass`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceHot {
+    /// How the stack treats this service's payloads.
+    pub class: MessageClass,
+    /// Whether payloads are compressed (wire-byte computation).
+    pub compressed: bool,
+    /// Whether the service holds reserved cores.
+    pub reserved_cores: bool,
+    /// Probability a call leaves the client's cluster despite local
+    /// deployment.
+    pub remote_call_prob: f64,
+    /// Probability a call chases single-homed data to an arbitrary
+    /// deployed cluster.
+    pub data_miss_prob: f64,
 }
 
 /// Catalog generation parameters.
@@ -222,11 +373,23 @@ impl Default for CatalogConfig {
 }
 
 /// The full catalog: services, methods, and the Table 1 pinned entries.
+///
+/// Alongside the cold specs, the catalog interns the hot-path view built
+/// once at generation time: `Copy` per-method and per-service headers plus
+/// one flat CSR edge table shared by all methods. The driver's inner loop
+/// reads only these — no clones, no per-span allocation.
 #[derive(Debug, Clone)]
 pub struct Catalog {
     services: Vec<ServiceSpec>,
     methods: Vec<MethodSpec>,
     table1: Vec<Table1Entry>,
+    /// Per-method hot headers, indexed by `MethodId`.
+    hot: Vec<MethodHot>,
+    /// Per-service hot headers, indexed by `ServiceId`.
+    service_hot: Vec<ServiceHot>,
+    /// Flat edge table; each method owns the `[edge_start, edge_end)`
+    /// slice recorded in its hot header.
+    edge_table: Vec<EdgeHot>,
 }
 
 /// One row of the paper's Table 1.
@@ -299,6 +462,38 @@ impl Catalog {
         &self.methods[id.0 as usize]
     }
 
+    /// The hot header of a method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[inline]
+    pub fn hot(&self, id: MethodId) -> &MethodHot {
+        &self.hot[id.0 as usize]
+    }
+
+    /// The hot header of a service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[inline]
+    pub fn service_hot(&self, id: ServiceId) -> ServiceHot {
+        self.service_hot[id.0 as usize]
+    }
+
+    /// The outgoing call edges of a method (a slice of the shared edge
+    /// table).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[inline]
+    pub fn edges(&self, id: MethodId) -> &[EdgeHot] {
+        let h = &self.hot[id.0 as usize];
+        &self.edge_table[h.edge_start as usize..h.edge_end as usize]
+    }
+
     /// Looks up a service by name.
     pub fn service_by_name(&self, name: &str) -> Option<&ServiceSpec> {
         self.services.iter().find(|s| s.name == name)
@@ -326,6 +521,9 @@ struct Builder<'a> {
     rng: Prng,
     services: Vec<ServiceSpec>,
     methods: Vec<MethodSpec>,
+    /// Outgoing edges per method, parallel to `methods`; flattened into
+    /// the catalog's CSR edge table by [`Builder::finish`].
+    edges: Vec<Vec<CallEdge>>,
     table1: Vec<Table1Entry>,
     total_methods: usize,
 }
@@ -337,6 +535,7 @@ impl<'a> Builder<'a> {
             rng: Prng::seed_from(config.seed).stream(0xCA7A_1076),
             services: Vec::new(),
             methods: Vec::new(),
+            edges: Vec::new(),
             table1: Vec::new(),
             total_methods: config.total_methods,
         }
@@ -453,10 +652,10 @@ impl<'a> Builder<'a> {
             req_size,
             resp_size,
             root_weight,
-            edges: Vec::new(),
             hedge,
             cpu_work,
         });
+        self.edges.push(Vec::new());
         id
     }
 
@@ -504,7 +703,7 @@ impl<'a> Builder<'a> {
             } else {
                 *self.rng.choose(&targets)
             };
-            self.methods[src.0 as usize].edges.push(CallEdge {
+            self.edges[src.0 as usize].push(CallEdge {
                 target,
                 prob,
                 fanout,
@@ -942,10 +1141,64 @@ impl<'a> Builder<'a> {
 
         self.add_filler_services();
         self.wire_filler_edges();
+        self.finish()
+    }
+
+    /// Interns the hot-path view: flattens the per-method edge lists into
+    /// one CSR table (with fan-out samplers precomputed) and mirrors the
+    /// per-method / per-service hot headers out of the cold specs.
+    fn finish(self) -> Catalog {
+        let Builder {
+            services,
+            methods,
+            edges,
+            table1,
+            ..
+        } = self;
+        let mut edge_table = Vec::with_capacity(edges.iter().map(Vec::len).sum());
+        let mut hot = Vec::with_capacity(methods.len());
+        for (m, m_edges) in methods.iter().zip(&edges) {
+            let edge_start = edge_table.len() as u32;
+            edge_table.extend(m_edges.iter().map(|e| EdgeHot {
+                target: e.target,
+                prob: e.prob,
+                fanout: FanoutSampler::from_dist(e.fanout),
+                blocking: e.blocking,
+            }));
+            hot.push(MethodHot {
+                service: m.service,
+                compute: m.compute,
+                fast_path_prob: m.fast_path_prob,
+                fast_compute: m.fast_compute,
+                req_size: m.req_size,
+                resp_size: m.resp_size,
+                hedge: m.hedge,
+                cpu_work: m.cpu_work,
+                edge_start,
+                edge_end: edge_table.len() as u32,
+            });
+        }
+        let service_hot = services
+            .iter()
+            .map(|s| ServiceHot {
+                class: MessageClass {
+                    compressed: s.compressed,
+                    encrypted: s.encrypted,
+                    blob: s.blob_payload,
+                },
+                compressed: s.compressed,
+                reserved_cores: s.reserved_cores,
+                remote_call_prob: s.remote_call_prob,
+                data_miss_prob: s.data_miss_prob,
+            })
+            .collect();
         Catalog {
-            services: self.services,
-            methods: self.methods,
-            table1: self.table1,
+            services,
+            methods,
+            table1,
+            hot,
+            service_hot,
+            edge_table,
         }
     }
 
@@ -1036,7 +1289,7 @@ impl<'a> Builder<'a> {
         }
         let method_count = self.methods.len();
         for i in 0..method_count {
-            if !self.methods[i].edges.is_empty() {
+            if !self.edges[i].is_empty() {
                 continue; // Named chains already wired.
             }
             let tier = self.services[self.methods[i].service.0 as usize].tier as usize;
@@ -1049,7 +1302,7 @@ impl<'a> Builder<'a> {
                 // counts above 1,000 while medians stay small.
                 let target = *self.rng.choose(&by_tier[3]);
                 let alpha = 1.0 + self.rng.next_f64() * 0.3;
-                self.methods[i].edges.push(CallEdge {
+                self.edges[i].push(CallEdge {
                     target,
                     prob: 0.30 + self.rng.next_f64() * 0.15,
                     fanout: FanoutDist::Pareto { max: 40, alpha },
@@ -1067,7 +1320,7 @@ impl<'a> Builder<'a> {
                 let target = *self.rng.choose(&by_tier[deeper]);
                 let alpha = 0.75 + self.rng.next_f64() * 0.5;
                 let max = 8 + self.rng.index(56) as u32;
-                self.methods[i].edges.push(CallEdge {
+                self.edges[i].push(CallEdge {
                     target,
                     prob: 0.4 + self.rng.next_f64() * 0.6,
                     fanout: FanoutDist::Pareto { max, alpha },
@@ -1109,7 +1362,7 @@ mod tests {
         assert_eq!(a.num_methods(), b.num_methods());
         for (ma, mb) in a.methods().iter().zip(b.methods()) {
             assert_eq!(ma.name, mb.name);
-            assert_eq!(ma.edges.len(), mb.edges.len());
+            assert_eq!(a.edges(ma.id).len(), b.edges(mb.id).len());
         }
     }
 
@@ -1150,7 +1403,7 @@ mod tests {
         let c = catalog(1000);
         for m in c.methods() {
             let src_tier = c.service(m.service).tier;
-            for e in &m.edges {
+            for e in c.edges(m.id) {
                 let dst_tier = c.service(c.method(e.target).service).tier;
                 assert!(
                     dst_tier >= src_tier,
@@ -1169,7 +1422,7 @@ mod tests {
         let c = catalog(600);
         for m in c.methods() {
             if c.service(m.service).tier >= 3 {
-                for e in &m.edges {
+                for e in c.edges(m.id) {
                     assert!(
                         c.service(c.method(e.target).service).tier >= 3,
                         "{} calls up-stack",
@@ -1185,11 +1438,11 @@ mod tests {
     fn f1_self_edge_exists() {
         let c = catalog(400);
         let f1 = c.service_by_name("F1").unwrap();
-        let has_self = c
-            .methods()
-            .iter()
-            .filter(|m| m.service == f1.id)
-            .any(|m| m.edges.iter().any(|e| c.method(e.target).service == f1.id));
+        let has_self = c.methods().iter().filter(|m| m.service == f1.id).any(|m| {
+            c.edges(m.id)
+                .iter()
+                .any(|e| c.method(e.target).service == f1.id)
+        });
         assert!(has_self, "F1 must call F1 (Table 1)");
     }
 
@@ -1266,6 +1519,74 @@ mod tests {
         }
         assert!(saw_big, "heavy-tail fanout never sampled large");
         assert_eq!(FanoutDist::Fixed(3).sample(&mut rng), 3);
+    }
+
+    #[test]
+    fn fanout_sampler_is_bit_identical_to_dist() {
+        // The precomputed sampler must reproduce FanoutDist::sample
+        // exactly — same draws from the same rng state — or the
+        // golden-digest determinism contract breaks.
+        let dists = [
+            FanoutDist::Fixed(1),
+            FanoutDist::Fixed(7),
+            FanoutDist::Fixed(0), // floored to 1
+            FanoutDist::Pareto {
+                max: 48,
+                alpha: 0.8,
+            },
+            FanoutDist::Pareto { max: 8, alpha: 1.3 },
+            FanoutDist::Pareto {
+                max: 64,
+                alpha: 1.05,
+            },
+        ];
+        for (i, d) in dists.into_iter().enumerate() {
+            let s = FanoutSampler::from_dist(d);
+            let mut rng_a = Prng::seed_from(100 + i as u64);
+            let mut rng_b = Prng::seed_from(100 + i as u64);
+            for _ in 0..20_000 {
+                assert_eq!(d.sample(&mut rng_a), s.sample(&mut rng_b), "{d:?}");
+            }
+            // The streams consumed identically.
+            assert_eq!(rng_a.next_u64(), rng_b.next_u64(), "{d:?}");
+        }
+    }
+
+    #[test]
+    fn hot_headers_mirror_the_cold_specs() {
+        let c = catalog(500);
+        for m in c.methods() {
+            let h = c.hot(m.id);
+            assert_eq!(h.service, m.service);
+            assert_eq!(h.fast_path_prob, m.fast_path_prob);
+            assert_eq!(h.hedge, m.hedge);
+            // The samplers are the same distributions: equal medians.
+            assert_eq!(h.compute.median(), m.compute.median());
+            assert_eq!(h.req_size.median(), m.req_size.median());
+            assert_eq!(h.resp_size.median(), m.resp_size.median());
+            assert_eq!(h.cpu_work.median(), m.cpu_work.median());
+        }
+        for s in c.services() {
+            let h = c.service_hot(s.id);
+            assert_eq!(h.compressed, s.compressed);
+            assert_eq!(h.reserved_cores, s.reserved_cores);
+            assert_eq!(h.remote_call_prob, s.remote_call_prob);
+            assert_eq!(h.data_miss_prob, s.data_miss_prob);
+            assert_eq!(h.class.compressed, s.compressed);
+            assert_eq!(h.class.encrypted, s.encrypted);
+            assert_eq!(h.class.blob, s.blob_payload);
+        }
+        // Every edge-table slice is consistent: concatenating the
+        // per-method slices walks the whole table exactly once.
+        let total: usize = c.methods().iter().map(|m| c.edges(m.id).len()).sum();
+        assert!(total > 0, "catalog has no edges at all");
+        let mut rng = Prng::seed_from(3);
+        for m in c.methods().iter().take(100) {
+            for e in c.edges(m.id) {
+                assert!((e.prob > 0.0) && (e.prob <= 1.0));
+                assert!(e.fanout.sample(&mut rng) >= 1);
+            }
+        }
     }
 
     #[test]

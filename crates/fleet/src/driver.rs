@@ -22,19 +22,18 @@
 //! stored in full; cycles flow to the profiler and errors to the error
 //! accounting.
 
-use crate::catalog::{Catalog, CatalogConfig, MethodSpec};
+use crate::catalog::{Catalog, CatalogConfig, ServiceHot};
 use crate::workload::{RootArrival, Workload};
 use rpclens_cluster::exogenous::ExogenousProfile;
 use rpclens_cluster::machine::{Machine, MachineConfig, MachineId};
 use rpclens_cluster::mgk::QueueModel;
+use rpclens_cluster::site::DensePairMap;
 use rpclens_netsim::latency::{Network, NetworkConfig};
 use rpclens_netsim::topology::{ClusterId, Topology};
 use rpclens_obs::telemetry::{PhaseTimings, RunTelemetry, ShardCounters, ShardReport};
 use rpclens_profiler::{CycleProfiler, ErrorAccounting};
 use rpclens_rpcstack::component::{LatencyBreakdown, LatencyComponent};
-use rpclens_rpcstack::cost::{
-    CycleCategory, CycleCost, MessageClass, StackCostConfig, StackCostModel,
-};
+use rpclens_rpcstack::cost::{CycleCategory, CycleCost, StackCostConfig, StackCostModel};
 use rpclens_rpcstack::error::{ErrorKind, ErrorProfile};
 use rpclens_rpcstack::hedging::resolve_hedge;
 use rpclens_rpcstack::queue::SoftQueue;
@@ -45,7 +44,6 @@ use rpclens_trace::collector::{TraceCollector, TraceStore};
 use rpclens_trace::span::{MethodId, ServiceId, SpanBuilder, SpanRecord, TraceData, ROOT_PARENT};
 use rpclens_tsdb::metric::{Labels, MetricDescriptor, MetricValue};
 use rpclens_tsdb::store::TimeSeriesDb;
-use std::collections::HashMap;
 use std::time::Instant;
 
 /// Simulation scale presets.
@@ -184,7 +182,7 @@ pub struct ServiceSite {
 impl ServiceSite {
     /// The effective utilization of machine `mi` at instant `t`.
     pub fn machine_util(&self, mi: usize, t: SimTime) -> f64 {
-        (self.load.sample(t).cpu_util * self.machine_offsets[mi]).clamp(0.02, 0.98)
+        (self.load.cpu_util_at(t) * self.machine_offsets[mi]).clamp(0.02, 0.98)
     }
 }
 
@@ -207,8 +205,8 @@ pub struct FleetRun {
     pub method_calls: Vec<u64>,
     /// Per-method total bytes moved (request + response).
     pub method_bytes: Vec<u64>,
-    /// Deployment sites, keyed by (service, cluster).
-    pub sites: HashMap<(ServiceId, ClusterId), ServiceSite>,
+    /// Deployment sites, densely keyed by (service, cluster).
+    pub sites: DensePairMap<ServiceSite>,
     /// Total spans simulated.
     pub total_spans: u64,
     /// Self-telemetry of the run: deterministic counters plus labeled
@@ -221,7 +219,7 @@ pub struct FleetRun {
 impl FleetRun {
     /// The site of a service in a cluster, if deployed there.
     pub fn site(&self, service: ServiceId, cluster: ClusterId) -> Option<&ServiceSite> {
-        self.sites.get(&(service, cluster))
+        self.sites.get(service.0, cluster.0)
     }
 
     /// All sites of one service, sorted by cluster id.
@@ -279,10 +277,31 @@ struct Driver {
     topology: Topology,
     cost: StackCostModel,
     soft_queue: SoftQueue,
-    sites: HashMap<(ServiceId, ClusterId), ServiceSite>,
+    sites: DensePairMap<ServiceSite>,
+    /// Precomputed per-service placement state for `choose_cluster`.
+    placement: Vec<SvcPlacement>,
     /// Ambient client-side load profile per cluster.
     client_profiles: Vec<ExogenousProfile>,
+    /// Number of TSDB sample windows covering the simulated duration.
+    n_windows: usize,
     master_rng: Prng,
+}
+
+/// Precomputed cluster-choice state for one service: the deployment
+/// membership mask plus the softmax weight row (over the service's
+/// deployment list) for every possible client cluster. `rtt_estimate` is a
+/// pure function of the topology, so folding the weights at startup leaves
+/// `choose_cluster` with table reads only — and the weights are the exact
+/// f64s the per-call computation produced, keeping cluster choice
+/// bit-identical.
+struct SvcPlacement {
+    /// Bit `c` is set when cluster `c` is in the deployment list.
+    deployed_mask: u64,
+    /// Softmax weights, flattened `[client * deployed_len + j]` where `j`
+    /// indexes the service's sorted deployment list.
+    weights: Vec<f64>,
+    /// Per-client-cluster weight totals (summed in row order).
+    totals: Vec<f64>,
 }
 
 impl Driver {
@@ -302,8 +321,10 @@ impl Driver {
         // Build deployment sites with per-cluster load diversity: each
         // (service, cluster) pair gets its own base utilization, which is
         // what makes Fig. 16's clusters differ and Fig. 22's cross-cluster
-        // CPU usage so spread out.
-        let mut sites = HashMap::new();
+        // CPU usage so spread out. Sites land in a dense (service,
+        // cluster)-indexed table, inserted in (service, deployment) order
+        // so iteration is deterministic.
+        let mut site_entries = Vec::new();
         for svc in catalog.services() {
             for (ci, &cluster) in svc.clusters.iter().enumerate() {
                 let mut site_rng =
@@ -344,8 +365,8 @@ impl Driver {
                 }
                 let queue =
                     QueueModel::new(svc.workers, svc.background_service, svc.background_scv);
-                sites.insert(
-                    (svc.id, cluster),
+                site_entries.push((
+                    (svc.id.0, cluster.0),
                     ServiceSite {
                         service: svc.id,
                         cluster,
@@ -354,9 +375,53 @@ impl Driver {
                         machine_offsets,
                         queue,
                     },
-                );
+                ));
             }
         }
+        let sites = DensePairMap::build(
+            catalog.num_services(),
+            topology.num_clusters(),
+            site_entries,
+        );
+
+        // Precompute the latency-aware cluster-choice weights: the
+        // softmax over negative RTT is time-invariant, so the per-call
+        // work reduces to one row scan. A probe network supplies the
+        // same `rtt_estimate` the per-call path used.
+        let probe_net = Network::new(topology.clone(), config.net.clone(), seed);
+        let n_clusters = topology.num_clusters();
+        let mut placement = Vec::with_capacity(catalog.num_services());
+        for svc in catalog.services() {
+            let mut deployed_mask = 0u64;
+            for c in &svc.clusters {
+                assert!(
+                    (c.0 as usize) < 64,
+                    "cluster id {} exceeds the deployment mask width",
+                    c.0
+                );
+                deployed_mask |= 1u64 << c.0;
+            }
+            let n = svc.clusters.len();
+            let mut weights = Vec::with_capacity(n_clusters * n);
+            let mut totals = Vec::with_capacity(n_clusters);
+            for client in 0..n_clusters {
+                let client = ClusterId(client as u16);
+                let row_start = weights.len();
+                for &c in &svc.clusters {
+                    let rtt_ms = probe_net.rtt_estimate(client, c).as_millis_f64();
+                    weights.push((-rtt_ms / 1.0).exp().max(1e-12));
+                }
+                totals.push(weights[row_start..].iter().sum());
+            }
+            placement.push(SvcPlacement {
+                deployed_mask,
+                weights,
+                totals,
+            });
+        }
+
+        let window = rpclens_tsdb::DEFAULT_SAMPLE_PERIOD;
+        let n_windows = (config.scale.duration.as_nanos() / window.as_nanos() + 1) as usize;
 
         let client_profiles = topology
             .cluster_ids()
@@ -374,9 +439,57 @@ impl Driver {
             cost,
             soft_queue: SoftQueue::default(),
             sites,
+            placement,
             client_profiles,
+            n_windows,
             master_rng,
         }
+    }
+
+    /// The site of a deployed (service, cluster) pair.
+    #[inline]
+    fn site(&self, service: ServiceId, cluster: ClusterId) -> &ServiceSite {
+        self.sites
+            .get(service.0, cluster.0)
+            .expect("call placed on an undeployed site")
+    }
+
+    /// Latency-aware cluster choice: stay local when deployed locally and
+    /// the data is local; otherwise prefer the nearest deployed cluster.
+    ///
+    /// Reads only precomputed state (deployment mask, softmax weight
+    /// rows); draw-for-draw identical to computing the weights inline.
+    fn choose_cluster(
+        &self,
+        service: ServiceId,
+        deployed: &[ClusterId],
+        client: ClusterId,
+        sh: &ServiceHot,
+        rng: &mut Prng,
+    ) -> ClusterId {
+        let placement = &self.placement[service.0 as usize];
+        let local = placement.deployed_mask >> client.0 & 1 == 1;
+        if local && !rng.chance(sh.remote_call_prob) {
+            return client;
+        }
+        // A fraction of locality misses land wherever the data lives,
+        // however far (Fig. 19's intercontinental clients).
+        if rng.chance(sh.data_miss_prob) {
+            return deployed[rng.index(deployed.len())];
+        }
+        // Softmax over negative RTT (the production balancer's
+        // latency-aware behaviour): strongly prefers nearby clusters.
+        let n = deployed.len();
+        let row = &placement.weights[client.0 as usize * n..client.0 as usize * n + n];
+        let total = placement.totals[client.0 as usize];
+        let mut u = rng.next_f64() * total;
+        for (i, w) in row.iter().enumerate() {
+            u -= w;
+            if u <= 0.0 {
+                return deployed[i];
+            }
+        }
+        *deployed.last().expect("non-empty deployment")
     }
 
     fn run(self) -> FleetRun {
@@ -487,20 +600,39 @@ impl Driver {
             retention,
         ))
         .expect("fresh tsdb");
-        let mut cumulative: HashMap<ServiceId, u64> = HashMap::new();
-        let mut keys: Vec<(ServiceId, u64)> = window_calls.keys().copied().collect();
-        keys.sort();
-        for (svc, w) in keys {
-            let c = cumulative.entry(svc).or_insert(0);
-            *c += window_calls[&(svc, w)];
-            let at = SimTime::from_nanos(w * window.as_nanos());
+        // Dense scan over the per-(service, window) grid. A zero cell is
+        // exactly an absent key in the old map (counters only ever
+        // increment), and the scan order (service ascending, then window
+        // ascending) matches the old sorted-key iteration, so the write
+        // stream is byte-identical. The service label is built once per
+        // service instead of once per write.
+        let n_windows = self.n_windows;
+        for svc_idx in 0..self.catalog.num_services() {
+            let row = &window_calls[svc_idx * n_windows..(svc_idx + 1) * n_windows];
+            if row.iter().all(|&c| c == 0) {
+                continue;
+            }
+            let svc = ServiceId(svc_idx as u16);
             let labels = Labels::from_pairs([("service", self.catalog.service(svc).name.clone())]);
-            tsdb.write("rpc/server/count", labels, at, MetricValue::Counter(*c))
+            let mut cum = 0u64;
+            for (w, &c) in row.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                cum += c;
+                let at = SimTime::from_nanos(w as u64 * window.as_nanos());
+                tsdb.write(
+                    "rpc/server/count",
+                    labels.clone(),
+                    at,
+                    MetricValue::Counter(cum),
+                )
                 .expect("registered");
+            }
         }
         for svc in self.catalog.services().iter().take(12) {
             for site in svc.clusters.iter().take(4) {
-                if let Some(s) = self.sites.get(&(svc.id, *site)) {
+                if let Some(s) = self.sites.get(svc.id.0, site.0) {
                     let labels = Labels::from_pairs([
                         ("service", svc.name.clone()),
                         ("cluster", format!("{}", site.0)),
@@ -525,12 +657,17 @@ impl Driver {
         // aligned on the same window set so detectors can join them
         // point-by-point; the values are deterministic, derived from
         // root-window accounting only.
-        let mut rpcs_by_window: HashMap<u64, u64> = HashMap::new();
-        for (&(_, w), &c) in &window_calls {
-            *rpcs_by_window.entry(w).or_insert(0) += c;
+        let mut rpcs_by_window = vec![0u64; n_windows];
+        for row in window_calls.chunks_exact(n_windows) {
+            for (acc, &c) in rpcs_by_window.iter_mut().zip(row) {
+                *acc += c;
+            }
         }
-        let mut windows: Vec<u64> = rpcs_by_window.keys().copied().collect();
-        windows.sort_unstable();
+        // The aligned window set is every window that saw at least one
+        // call; error and congestion deltas are keyed by root window, and
+        // every root produces at least one span, so those windows are a
+        // subset of the call windows.
+        let windows: Vec<usize> = (0..n_windows).filter(|&w| rpcs_by_window[w] > 0).collect();
         for (name, deltas) in [
             ("driver/rpcs/count", &rpcs_by_window),
             ("driver/errors/count", &window_errors),
@@ -538,8 +675,8 @@ impl Driver {
         ] {
             let mut cum = 0u64;
             for &w in &windows {
-                cum += deltas.get(&w).copied().unwrap_or(0);
-                let at = SimTime::from_nanos(w * window.as_nanos());
+                cum += deltas[w];
+                let at = SimTime::from_nanos(w as u64 * window.as_nanos());
                 tsdb.write(name, Labels::empty(), at, MetricValue::Counter(cum))
                     .expect("registered");
             }
@@ -586,12 +723,17 @@ struct Shard<'a> {
     errors: ErrorAccounting,
     method_calls: Vec<u64>,
     method_bytes: Vec<u64>,
-    /// Per-window, per-service call counters for the TSDB.
-    window_calls: HashMap<(ServiceId, u64), u64>,
+    /// Per-window, per-service call counters for the TSDB, indexed
+    /// `service * n_windows + window`.
+    window_calls: Vec<u64>,
     /// Per-window injected-error counters (keyed by root window).
-    window_errors: HashMap<u64, u64>,
+    window_errors: Vec<u64>,
     /// Per-window congested-wire-traversal counters (keyed by root window).
-    window_congested: HashMap<u64, u64>,
+    window_congested: Vec<u64>,
+    /// Reusable span buffer: every trace expands into this arena, so tree
+    /// expansion reuses capacity across roots. Sampled traces copy the
+    /// exact-length spans out; unsampled traces cost no allocation.
+    arena: Vec<SpanRecord>,
     /// Deterministic self-telemetry counters.
     counters: ShardCounters,
     total_spans: u64,
@@ -600,6 +742,7 @@ struct Shard<'a> {
 impl<'a> Shard<'a> {
     fn new(world: &'a Driver) -> Self {
         let n_methods = world.catalog.num_methods();
+        let n_windows = world.n_windows;
         Shard {
             world,
             network: Network::new(
@@ -612,9 +755,10 @@ impl<'a> Shard<'a> {
             errors: ErrorAccounting::new(),
             method_calls: vec![0; n_methods],
             method_bytes: vec![0; n_methods],
-            window_calls: HashMap::new(),
-            window_errors: HashMap::new(),
-            window_congested: HashMap::new(),
+            window_calls: vec![0; world.catalog.num_services() * n_windows],
+            window_errors: vec![0; n_windows],
+            window_congested: vec![0; n_windows],
+            arena: Vec::new(),
             counters: ShardCounters::new(),
             total_spans: 0,
         }
@@ -628,10 +772,14 @@ impl<'a> Shard<'a> {
     /// root produces exactly the same spans no matter which shard runs it.
     fn run_roots(&mut self, roots: &[RootArrival], base_seq: usize, collector: &TraceCollector) {
         let window = rpclens_tsdb::DEFAULT_SAMPLE_PERIOD;
+        let n_windows = self.world.n_windows;
         for (i, root) in roots.iter().enumerate() {
             let seq = base_seq + i;
+            // Expand into the shard's reusable arena: capacity carries
+            // over from previous traces, so the steady state allocates
+            // nothing during tree expansion.
             let mut ctx = TraceCtx {
-                spans: Vec::new(),
+                spans: std::mem::take(&mut self.arena),
                 root_start: root.at,
                 budget: self.world.config.max_trace_spans,
                 rng: self.world.master_rng.substream(seq as u64),
@@ -639,10 +787,9 @@ impl<'a> Shard<'a> {
                 errors: 0,
                 congested_wire: 0,
             };
-            let client_util = self.world.client_profiles[root.client_cluster.0 as usize]
-                .sample(root.at)
-                .cpu_util;
-            let entry_service = self.world.catalog.method(root.method).service;
+            let client_util =
+                self.world.client_profiles[root.client_cluster.0 as usize].cpu_util_at(root.at);
+            let entry_service = self.world.catalog.hot(root.method).service;
             let outcome = self.place_call(
                 &mut ctx,
                 root.method,
@@ -658,21 +805,23 @@ impl<'a> Shard<'a> {
             self.counters
                 .root_latency_us
                 .record(outcome.finish.since(root.at).as_nanos() / 1_000);
-            // Window accounting for every span.
-            let w = root.at.as_nanos() / window.as_nanos();
+            // Window accounting for every span, sampled or not.
+            let w = (root.at.as_nanos() / window.as_nanos()) as usize;
             for span in &ctx.spans {
-                *self.window_calls.entry((span.service, w)).or_insert(0) += 1;
+                self.window_calls[span.service.0 as usize * n_windows + w] += 1;
             }
-            if ctx.errors > 0 {
-                *self.window_errors.entry(w).or_insert(0) += ctx.errors;
-            }
-            if ctx.congested_wire > 0 {
-                *self.window_congested.entry(w).or_insert(0) += ctx.congested_wire;
-            }
-            if collector.should_sample(seq as u64) && !ctx.spans.is_empty() {
+            self.window_errors[w] += ctx.errors;
+            self.window_congested[w] += ctx.congested_wire;
+            // Retention: sampling decides whether the spans are *kept*,
+            // never whether they are simulated. A sampled trace copies
+            // the exact-length span list out of the arena.
+            let mut spans = std::mem::take(&mut ctx.spans);
+            if collector.should_sample(seq as u64) && !spans.is_empty() {
                 self.counters.traces_sampled += 1;
-                self.store.add(TraceData::new(root.at, ctx.spans));
+                self.store.add(TraceData::new(root.at, spans.clone()));
             }
+            spans.clear();
+            self.arena = spans;
         }
     }
 
@@ -687,14 +836,18 @@ impl<'a> Shard<'a> {
         for (a, b) in self.method_bytes.iter_mut().zip(&other.method_bytes) {
             *a += b;
         }
-        for (k, v) in other.window_calls {
-            *self.window_calls.entry(k).or_insert(0) += v;
+        for (a, b) in self.window_calls.iter_mut().zip(&other.window_calls) {
+            *a += b;
         }
-        for (k, v) in other.window_errors {
-            *self.window_errors.entry(k).or_insert(0) += v;
+        for (a, b) in self.window_errors.iter_mut().zip(&other.window_errors) {
+            *a += b;
         }
-        for (k, v) in other.window_congested {
-            *self.window_congested.entry(k).or_insert(0) += v;
+        for (a, b) in self
+            .window_congested
+            .iter_mut()
+            .zip(&other.window_congested)
+        {
+            *a += b;
         }
         self.counters.absorb(&other.counters);
         self.total_spans += other.total_spans;
@@ -715,7 +868,7 @@ impl<'a> Shard<'a> {
         depth: u32,
         detached: bool,
     ) -> CallOutcome {
-        let hedge = self.world.catalog.method(method).hedge;
+        let hedge = self.world.catalog.hot(method).hedge;
         let primary = self.simulate_call(
             ctx,
             method,
@@ -814,51 +967,48 @@ impl<'a> Shard<'a> {
         self.counters.spans += 1;
         self.counters.max_depth = self.counters.max_depth.max(u64::from(depth));
 
-        let spec: MethodSpec = self.world.catalog.method(method).clone();
-        let svc = self.world.catalog.service(spec.service).clone();
+        // Borrow the immutable world through its own lifetime so the
+        // hot header, edge slice, and site borrows stay live across the
+        // `&mut self` recursion below — no clones needed anywhere.
+        let world = self.world;
+        let hot = world.catalog.hot(method);
+        let sh = world.catalog.service_hot(hot.service);
         self.method_calls[method.0 as usize] += 1;
 
         // Reserve the span slot so parents precede children.
         let span_idx = ctx.spans.len() as u32;
         ctx.spans
-            .push(SpanBuilder::new(method, spec.service, client_cluster, client_cluster).build());
+            .push(SpanBuilder::new(method, hot.service, client_cluster, client_cluster).build());
 
         let mut t = start;
         let mut breakdown = LatencyBreakdown::new();
 
         // 1. Client send queue.
-        let csq = self.world.soft_queue.delay(client_util, &mut ctx.rng);
+        let csq = world.soft_queue.delay(client_util, &mut ctx.rng);
         breakdown.set(LatencyComponent::ClientSendQueue, csq);
         t += csq;
 
         // 2. Request stack processing (client serialize + server parse,
         // pipelined).
-        let class = MessageClass {
-            compressed: svc.compressed,
-            encrypted: svc.encrypted,
-            blob: svc.blob_payload,
-        };
-        let req_bytes = spec.sample_request_bytes(&mut ctx.rng);
-        let req_proc = self.world.cost.stack_latency(req_bytes, class, 1.0);
+        let class = sh.class;
+        let req_bytes = hot.sample_request_bytes(&mut ctx.rng);
+        let req_proc = world.cost.stack_latency(req_bytes, class, 1.0);
         breakdown.set(LatencyComponent::RequestProcessing, req_proc);
         t += req_proc;
 
         // 3. Server placement: cluster (latency-aware) then machine.
-        let server_cluster = self.choose_cluster(
-            &svc.clusters,
+        let server_cluster = world.choose_cluster(
+            hot.service,
+            &world.catalog.service(hot.service).clusters,
             client_cluster,
-            svc.remote_call_prob,
-            svc.data_miss_prob,
+            &sh,
             &mut ctx.rng,
         );
-        let site_key = (spec.service, server_cluster);
-        let mi = {
-            let site = &self.world.sites[&site_key];
-            ctx.rng.index(site.machines.len())
-        };
+        let site = world.site(hot.service, server_cluster);
+        let mi = ctx.rng.index(site.machines.len());
 
         // 4. Request network wire.
-        let wire_req = self.world.cost.wire_bytes(req_bytes, svc.compressed);
+        let wire_req = world.cost.wire_bytes(req_bytes, sh.compressed);
         let (req_net, req_congested) = self.network.one_way_latency_observed(
             client_cluster,
             server_cluster,
@@ -873,37 +1023,35 @@ impl<'a> Shard<'a> {
 
         // 5. Server receive queue: scheduler wakeup + M/G/k wait at the
         // machine's current utilization.
-        let (util, wakeup, slowdown, speed) = {
-            let site = &self.world.sites[&site_key];
-            let util = site.machine_util(mi, t);
-            let wakeup = site.machines[mi].wakeup_latency(t, &mut ctx.rng);
-            let slowdown = site.machines[mi].slowdown(t);
-            let speed = site.machines[mi].config().speed;
-            (util, wakeup, slowdown, speed)
-        };
+        let machine = &site.machines[mi];
+        let util = site.machine_util(mi, t);
+        // One profile sample feeds both wakeup and slowdown (the old
+        // path sampled the same (profile, t) twice).
+        let machine_vars = machine.exogenous(t);
+        let wakeup = machine.wakeup_latency_from(&machine_vars, &mut ctx.rng);
+        let slowdown = machine.slowdown_from(&machine_vars);
+        let speed = machine.config().speed;
         // Reserved-core pools are isolated from the machine's ambient
         // load; only a residual coupling remains.
-        let reserved = svc.reserved_cores && self.world.config.reserved_cores_enabled;
+        let reserved = sh.reserved_cores && world.config.reserved_cores_enabled;
         let pool_util = if reserved { util * 0.25 } else { util };
-        let queue_wait = self.world.sites[&site_key].queue.sample_wait_observed(
-            pool_util,
-            &mut ctx.rng,
-            &mut self.counters.queue,
-        );
+        let queue_wait =
+            site.queue
+                .sample_wait_observed(pool_util, &mut ctx.rng, &mut self.counters.queue);
         let srq = wakeup + queue_wait;
         breakdown.set(LatencyComponent::ServerRecvQueue, srq);
         t += srq;
         let handler_start = t;
 
         // 6. Error injection (hedging cancellations come from place_call).
-        let injected = self.world.config.errors.draw(&mut ctx.rng);
+        let injected = world.config.errors.draw(&mut ctx.rng);
         if injected.is_some() {
             self.counters.errors_injected += 1;
             ctx.errors += 1;
         }
 
         // 7. Handler compute.
-        let (nominal, fast) = spec.sample_compute(&mut ctx.rng);
+        let (nominal, fast) = hot.sample_compute(&mut ctx.rng);
         let nominal = match injected {
             Some(kind) => nominal.mul_f64(ErrorProfile::work_fraction(kind)),
             None => nominal,
@@ -912,11 +1060,12 @@ impl<'a> Shard<'a> {
         t += compute_wall;
 
         // 8. Children: parallel fan-out per firing edge; the handler waits
-        // for the slowest child (partition/aggregate).
+        // for the slowest child (partition/aggregate). The edge slice
+        // lives in the catalog's shared CSR table, so recursion borrows
+        // it instead of cloning a `Vec` per span.
         let mut children_end = t;
-        if injected.is_none() && !fast && depth < self.world.config.max_depth {
-            let edges = spec.edges.clone();
-            for edge in edges {
+        if injected.is_none() && !fast && depth < world.config.max_depth {
+            for edge in world.catalog.edges(method) {
                 if !ctx.rng.chance(edge.prob) {
                     continue;
                 }
@@ -928,7 +1077,7 @@ impl<'a> Shard<'a> {
                     let child = self.place_call(
                         ctx,
                         edge.target,
-                        spec.service,
+                        hot.service,
                         server_cluster,
                         util,
                         span_idx,
@@ -948,17 +1097,17 @@ impl<'a> Shard<'a> {
         let mut t = children_end;
 
         // 9. Response path.
-        let resp_bytes = spec.sample_response_bytes(&mut ctx.rng);
+        let resp_bytes = hot.sample_response_bytes(&mut ctx.rng);
         // Reserved-core services run dedicated network threads, so their
         // send queues do not track the machine's overall utilization.
         let send_util = if reserved { util * 0.3 } else { util };
-        let ssq = self.world.soft_queue.delay(send_util, &mut ctx.rng);
+        let ssq = world.soft_queue.delay(send_util, &mut ctx.rng);
         breakdown.set(LatencyComponent::ServerSendQueue, ssq);
         t += ssq;
-        let resp_proc = self.world.cost.stack_latency(resp_bytes, class, slowdown);
+        let resp_proc = world.cost.stack_latency(resp_bytes, class, slowdown);
         breakdown.set(LatencyComponent::ResponseProcessing, resp_proc);
         t += resp_proc;
-        let wire_resp = self.world.cost.wire_bytes(resp_bytes, svc.compressed);
+        let wire_resp = world.cost.wire_bytes(resp_bytes, sh.compressed);
         let (resp_net, resp_congested) = self.network.one_way_latency_observed(
             server_cluster,
             client_cluster,
@@ -970,7 +1119,7 @@ impl<'a> Shard<'a> {
         ctx.congested_wire += u64::from(resp_congested);
         breakdown.set(LatencyComponent::ResponseNetworkWire, resp_net);
         t += resp_net;
-        let crq = self.world.soft_queue.delay(client_util, &mut ctx.rng);
+        let crq = world.soft_queue.delay(client_util, &mut ctx.rng);
         breakdown.set(LatencyComponent::ClientRecvQueue, crq);
         t += crq;
 
@@ -981,26 +1130,26 @@ impl<'a> Shard<'a> {
         // This split is why storage services move most of the fleet's
         // bytes yet burn few of its cycles (Fig. 8).
         let mut cost = CycleCost::new();
-        let cpu_secs = spec.cpu_work.sample(&mut ctx.rng)
+        let cpu_secs = hot.cpu_work.sample(&mut ctx.rng)
             * match injected {
                 Some(kind) => ErrorProfile::work_fraction(kind),
                 None => 1.0,
             };
         cost.add(
             CycleCategory::Application,
-            (cpu_secs * self.world.cost.config().clock_hz) as u64,
+            (cpu_secs * world.cost.config().clock_hz) as u64,
         );
-        cost.merge(&self.world.cost.receiver_cost(req_bytes, class));
-        cost.merge(&self.world.cost.sender_cost(resp_bytes, class));
+        cost.merge(&world.cost.receiver_cost(req_bytes, class));
+        cost.merge(&world.cost.sender_cost(resp_bytes, class));
         self.profiler.record(
-            spec.service.0,
+            hot.service.0,
             method.0,
             &cost,
             speed,
             rpclens_profiler::sample_tag(ctx.seq, span_idx),
         );
-        let mut client_cost = self.world.cost.sender_cost(req_bytes, class);
-        client_cost.merge(&self.world.cost.receiver_cost(resp_bytes, class));
+        let mut client_cost = world.cost.sender_cost(req_bytes, class);
+        client_cost.merge(&world.cost.receiver_cost(resp_bytes, class));
         self.profiler
             .record_client_side(client_service.0, &client_cost);
         self.method_bytes[method.0 as usize] += req_bytes + resp_bytes;
@@ -1012,7 +1161,7 @@ impl<'a> Shard<'a> {
         }
 
         // 12. Finalize the span record.
-        let mut builder = SpanBuilder::new(method, spec.service, client_cluster, server_cluster)
+        let mut builder = SpanBuilder::new(method, hot.service, client_cluster, server_cluster)
             .parent(parent)
             .start_offset(start.since(ctx.root_start))
             .breakdown(breakdown)
@@ -1026,43 +1175,6 @@ impl<'a> Shard<'a> {
 
         (CallOutcome { finish: t }, Some(span_idx))
     }
-
-    /// Latency-aware cluster choice: stay local when deployed locally and
-    /// the data is local; otherwise prefer the nearest deployed cluster.
-    fn choose_cluster(
-        &self,
-        deployed: &[ClusterId],
-        client: ClusterId,
-        remote_prob: f64,
-        data_miss_prob: f64,
-        rng: &mut Prng,
-    ) -> ClusterId {
-        let local = deployed.binary_search(&client).is_ok();
-        if local && !rng.chance(remote_prob) {
-            return client;
-        }
-        // A fraction of locality misses land wherever the data lives,
-        // however far (Fig. 19's intercontinental clients).
-        if rng.chance(data_miss_prob) {
-            return deployed[rng.index(deployed.len())];
-        }
-        // Softmax over negative RTT (the production balancer's
-        // latency-aware behaviour): strongly prefers nearby clusters.
-        let mut weights = Vec::with_capacity(deployed.len());
-        for &c in deployed {
-            let rtt_ms = self.network.rtt_estimate(client, c).as_millis_f64();
-            weights.push((-rtt_ms / 1.0).exp().max(1e-12));
-        }
-        let total: f64 = weights.iter().sum();
-        let mut u = rng.next_f64() * total;
-        for (i, w) in weights.iter().enumerate() {
-            u -= w;
-            if u <= 0.0 {
-                return deployed[i];
-            }
-        }
-        *deployed.last().expect("non-empty deployment")
-    }
 }
 
 #[cfg(test)]
@@ -1070,6 +1182,7 @@ mod tests {
     use super::*;
     use rpclens_simcore::stats::{percentile, sorted_finite};
     use rpclens_trace::query::MethodQuery;
+    use std::collections::HashMap;
 
     fn tiny_run() -> FleetRun {
         let scale = SimScale {

@@ -95,6 +95,11 @@ pub struct CongestionProcess {
     /// `SimTime::ZERO`) and is calm exactly when `i` is even. Grows
     /// monotonically; never truncated, so past intervals stay queryable.
     flip_ends: Vec<SimTime>,
+    /// Interval index of the last `state_at` answer. A lookup hint only:
+    /// queries are near-monotone in practice, so the containing interval
+    /// is usually this one or the next, and the binary search over the
+    /// whole trajectory can be skipped. Never affects the result.
+    cursor: usize,
     rng: Prng,
     calm_hold: Exponential,
     congested_hold: Exponential,
@@ -125,6 +130,7 @@ impl CongestionProcess {
         let mut process = CongestionProcess {
             params,
             flip_ends: Vec::new(),
+            cursor: 0,
             rng,
             calm_hold,
             congested_hold,
@@ -159,7 +165,25 @@ impl CongestionProcess {
                 + SimDuration::from_secs_f64(hold.max(1e-6));
             self.flip_ends.push(end);
         }
-        let i = self.flip_ends.partition_point(|&end| end <= now);
+        // Interval `i` contains `now` iff it starts at or before `now`
+        // and ends after it. Try the cursor hint (last answer, then its
+        // successor) before binary-searching the whole trajectory; all
+        // three branches compute the same index.
+        let c = self.cursor;
+        let i = if c < self.flip_ends.len()
+            && now < self.flip_ends[c]
+            && (c == 0 || self.flip_ends[c - 1] <= now)
+        {
+            c
+        } else if c + 1 < self.flip_ends.len()
+            && now < self.flip_ends[c + 1]
+            && self.flip_ends[c] <= now
+        {
+            c + 1
+        } else {
+            self.flip_ends.partition_point(|&end| end <= now)
+        };
+        self.cursor = i;
         if i % 2 == 0 {
             CongestionState::Calm
         } else {
@@ -319,6 +343,25 @@ mod tests {
                 sparse.state_at(now),
                 "diverged at {now}"
             );
+        }
+    }
+
+    #[test]
+    fn cursor_hint_matches_partition_point() {
+        // Drive the process with a query pattern hostile to the cursor
+        // (large forward and backward jumps); after every answer, the
+        // chosen interval must equal the full binary search's.
+        let mut p = process(CongestionParams::fabric(), 7);
+        let mut mix = 0x243F_6A88_85A3_08D3u64;
+        for _ in 0..50_000 {
+            mix = mix
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let now = SimTime::from_nanos(mix % 200_000_000_000); // 0..200 s.
+            let state = p.state_at(now);
+            let i = p.flip_ends.partition_point(|&end| end <= now);
+            assert_eq!(p.cursor, i, "hint diverged at {now}");
+            assert_eq!(state == CongestionState::Calm, i % 2 == 0);
         }
     }
 

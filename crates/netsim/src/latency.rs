@@ -14,7 +14,6 @@ use crate::congestion::{CongestionParams, CongestionProcess, CongestionState};
 use crate::topology::{ClusterId, PathClass, Topology};
 use rpclens_simcore::rng::Prng;
 use rpclens_simcore::time::{SimDuration, SimTime};
-use std::collections::HashMap;
 
 /// Fixed costs and bandwidths per path class.
 #[derive(Debug, Clone)]
@@ -49,11 +48,26 @@ impl Default for NetworkConfig {
 }
 
 /// The fleet network: topology plus per-path congestion state.
+///
+/// Wire latency is a pure function of the topology, so the
+/// `(fixed + propagation, bandwidth)` pair for every cluster pair is
+/// precomputed at construction — the per-message cost is one table read
+/// and one division instead of a path classification and a great-circle
+/// propagation computation. Congestion processes stay lazily
+/// materialised, in a dense per-pair table rather than a `HashMap`, so
+/// the two wire traversals of every simulated span cost no hashing.
 #[derive(Debug)]
 pub struct Network {
     topo: Topology,
     cfg: NetworkConfig,
-    paths: HashMap<(ClusterId, ClusterId), CongestionProcess>,
+    /// Precomputed `(fixed + propagation, per-flow bandwidth)` for each
+    /// `(src, dst)` pair, indexed `src * num_clusters + dst`.
+    wire: Vec<(SimDuration, f64)>,
+    /// Lazily created congestion state per *unordered* cluster pair,
+    /// indexed `min * num_clusters + max`.
+    paths: Vec<Option<CongestionProcess>>,
+    active_paths: usize,
+    num_clusters: usize,
     path_rng: Prng,
 }
 
@@ -61,10 +75,36 @@ impl Network {
     /// Creates a network over `topo` with per-path congestion processes
     /// seeded from `seed`.
     pub fn new(topo: Topology, cfg: NetworkConfig, seed: u64) -> Self {
+        let num_clusters = topo.num_clusters();
+        let ids = topo.cluster_ids();
+        // The dense tables index by raw cluster id.
+        debug_assert!(ids.iter().enumerate().all(|(i, c)| c.0 as usize == i));
+        let mut wire = Vec::with_capacity(num_clusters * num_clusters);
+        for &src in &ids {
+            for &dst in &ids {
+                let class = topo.path_class(src, dst);
+                let (fixed, bandwidth) = match class {
+                    PathClass::SameCluster => (cfg.same_cluster_base, cfg.cluster_bandwidth),
+                    PathClass::SameDatacenter => (cfg.same_dc_base, cfg.cluster_bandwidth),
+                    _ => (cfg.same_dc_base + cfg.wan_edge_cost, cfg.wan_bandwidth),
+                };
+                let propagation = match class {
+                    PathClass::SameCluster | PathClass::SameDatacenter => SimDuration::ZERO,
+                    _ => topo
+                        .cluster(src)
+                        .location
+                        .propagation_delay(&topo.cluster(dst).location),
+                };
+                wire.push((fixed + propagation, bandwidth));
+            }
+        }
         Network {
             topo,
             cfg,
-            paths: HashMap::new(),
+            wire,
+            paths: (0..num_clusters * num_clusters).map(|_| None).collect(),
+            active_paths: 0,
+            num_clusters,
             path_rng: Prng::seed_from(seed).stream(0x4E45_5457),
         }
     }
@@ -85,25 +125,10 @@ impl Network {
     /// This is what a load balancer can estimate ahead of time, and what
     /// the paper cross-validates cross-cluster medians against.
     pub fn base_latency(&self, src: ClusterId, dst: ClusterId, bytes: u64) -> SimDuration {
-        let class = self.topo.path_class(src, dst);
-        let (fixed, bandwidth) = match class {
-            PathClass::SameCluster => (self.cfg.same_cluster_base, self.cfg.cluster_bandwidth),
-            PathClass::SameDatacenter => (self.cfg.same_dc_base, self.cfg.cluster_bandwidth),
-            _ => (
-                self.cfg.same_dc_base + self.cfg.wan_edge_cost,
-                self.cfg.wan_bandwidth,
-            ),
-        };
-        let propagation = match class {
-            PathClass::SameCluster | PathClass::SameDatacenter => SimDuration::ZERO,
-            _ => self
-                .topo
-                .cluster(src)
-                .location
-                .propagation_delay(&self.topo.cluster(dst).location),
-        };
+        let (fixed_plus_propagation, bandwidth) =
+            self.wire[src.0 as usize * self.num_clusters + dst.0 as usize];
         let transmission = SimDuration::from_secs_f64(bytes as f64 / bandwidth);
-        fixed + propagation + transmission
+        fixed_plus_propagation + transmission
     }
 
     /// An RTT estimate for load-balancing decisions (twice the zero-byte
@@ -148,16 +173,26 @@ impl Network {
         if !self.cfg.congestion_enabled {
             return (base, false);
         }
-        let class = self.topo.path_class(src, dst);
         let key = ordered(src, dst);
-        let path_rng = self.path_rng.stream(path_label(key));
-        let process = self.paths.entry(key).or_insert_with(|| {
-            let params = match class {
-                PathClass::SameCluster | PathClass::SameDatacenter => CongestionParams::fabric(),
-                _ => CongestionParams::wan(),
-            };
-            CongestionProcess::new(params, path_rng)
-        });
+        let slot = &mut self.paths[key.0 .0 as usize * self.num_clusters + key.1 .0 as usize];
+        let process = match slot {
+            Some(process) => process,
+            None => {
+                // The trajectory derives from the path's own label, not
+                // from call order, so lazy creation stays deterministic.
+                let params = match self.topo.path_class(src, dst) {
+                    PathClass::SameCluster | PathClass::SameDatacenter => {
+                        CongestionParams::fabric()
+                    }
+                    _ => CongestionParams::wan(),
+                };
+                self.active_paths += 1;
+                slot.insert(CongestionProcess::new(
+                    params,
+                    self.path_rng.stream(path_label(key)),
+                ))
+            }
+        };
         let congested = process.state_at(now) == CongestionState::Congested;
         (base + process.queueing_delay(now, rng), congested)
     }
@@ -169,7 +204,7 @@ impl Network {
 
     /// Number of paths with materialised congestion state.
     pub fn active_paths(&self) -> usize {
-        self.paths.len()
+        self.active_paths
     }
 }
 

@@ -87,12 +87,13 @@ impl MethodReservoir {
 /// is exact.
 #[derive(Debug)]
 pub struct CycleProfiler {
-    /// Fleet-wide cycles by category.
-    by_category: HashMap<CycleCategory, u128>,
-    /// Per-service cycles (service id -> total cycles).
-    by_service: HashMap<u16, u128>,
-    /// Per-method normalized-cycle sample reservoirs.
-    per_method: HashMap<u32, MethodReservoir>,
+    /// Fleet-wide cycles, indexed by [`CycleCategory::index`].
+    by_category: [u128; 8],
+    /// Per-service cycles, indexed by service id (lazily grown).
+    by_service: Vec<u128>,
+    /// Per-method normalized-cycle sample reservoirs, indexed by method
+    /// id (lazily grown).
+    per_method: Vec<MethodReservoir>,
     /// Cap on retained per-method samples (deterministic bottom-k
     /// reservoir; see [`sample_tag`]).
     per_method_cap: usize,
@@ -109,9 +110,9 @@ impl CycleProfiler {
     /// Creates a profiler retaining up to 10,000 per-method samples.
     pub fn new() -> Self {
         CycleProfiler {
-            by_category: HashMap::new(),
-            by_service: HashMap::new(),
-            per_method: HashMap::new(),
+            by_category: [0; 8],
+            by_service: Vec::new(),
+            per_method: Vec::new(),
             per_method_cap: 10_000,
             total: 0,
         }
@@ -129,19 +130,15 @@ impl CycleProfiler {
     /// retention cap, the samples with the smallest tags win, which is a
     /// uniform, shard-invariant subsample of the method's call stream.
     pub fn record(&mut self, service: u16, method: u32, cost: &CycleCost, speed: f64, tag: u64) {
-        let mut call_total = 0u128;
-        for (cat, cycles) in cost.iter() {
-            if cycles == 0 {
-                continue;
-            }
-            *self.by_category.entry(cat).or_insert(0) += cycles as u128;
-            call_total += cycles as u128;
+        let call_total = self.add_cost(service, cost);
+        let idx = method as usize;
+        if idx >= self.per_method.len() {
+            self.per_method
+                .resize_with(idx + 1, MethodReservoir::default);
         }
-        *self.by_service.entry(service).or_insert(0) += call_total;
-        self.total += call_total;
         // Normalized cycles: what this call would cost on the baseline
         // CPU generation.
-        self.per_method.entry(method).or_default().offer(
+        self.per_method[idx].offer(
             self.per_method_cap,
             tag,
             call_total as f64 / speed.max(1e-6),
@@ -151,16 +148,24 @@ impl CycleProfiler {
     /// Records stack cycles a service burned acting as a *client* (no
     /// per-method sample — Fig. 21 measures server-side method cost).
     pub fn record_client_side(&mut self, service: u16, cost: &CycleCost) {
+        self.add_cost(service, cost);
+    }
+
+    /// Adds one cost to the category and service tables; returns the
+    /// call's total cycles.
+    fn add_cost(&mut self, service: u16, cost: &CycleCost) -> u128 {
         let mut call_total = 0u128;
-        for (cat, cycles) in cost.iter() {
-            if cycles == 0 {
-                continue;
-            }
-            *self.by_category.entry(cat).or_insert(0) += cycles as u128;
+        for (slot, &cycles) in self.by_category.iter_mut().zip(cost.as_array()) {
+            *slot += cycles as u128;
             call_total += cycles as u128;
         }
-        *self.by_service.entry(service).or_insert(0) += call_total;
+        let s = service as usize;
+        if s >= self.by_service.len() {
+            self.by_service.resize(s + 1, 0);
+        }
+        self.by_service[s] += call_total;
         self.total += call_total;
+        call_total
     }
 
     /// Total cycles recorded.
@@ -170,7 +175,7 @@ impl CycleProfiler {
 
     /// Cycles recorded for one category.
     pub fn category_cycles(&self, cat: CycleCategory) -> u128 {
-        self.by_category.get(&cat).copied().unwrap_or(0)
+        self.by_category[cat.index()]
     }
 
     /// Fraction of all cycles in one category, or 0 if nothing recorded.
@@ -197,47 +202,56 @@ impl CycleProfiler {
 
     /// Cycles attributed to one service.
     pub fn service_cycles(&self, service: u16) -> u128 {
-        self.by_service.get(&service).copied().unwrap_or(0)
+        self.by_service.get(service as usize).copied().unwrap_or(0)
     }
 
-    /// All services with recorded cycles.
+    /// All services with nonzero recorded cycles, in ascending id order.
     pub fn services(&self) -> impl Iterator<Item = (u16, u128)> + '_ {
-        self.by_service.iter().map(|(&s, &c)| (s, c))
+        self.by_service
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(s, &c)| (s as u16, c))
     }
 
     /// Per-method normalized-cycle samples, in ascending reservoir-key
     /// order (a deterministic, shard-invariant ordering).
     pub fn method_samples(&self, method: u32) -> Vec<f64> {
         self.per_method
-            .get(&method)
+            .get(method as usize)
             .map(MethodReservoir::samples)
             .unwrap_or_default()
     }
 
-    /// Methods with at least `min` samples.
+    /// Methods with at least `min` (and at least one) samples, in
+    /// ascending id order.
     pub fn methods_with_samples(&self, min: usize) -> Vec<u32> {
-        let mut out: Vec<u32> = self
-            .per_method
+        self.per_method
             .iter()
-            .filter(|(_, v)| v.len() >= min)
-            .map(|(&m, _)| m)
-            .collect();
-        out.sort_unstable();
-        out
+            .enumerate()
+            .filter(|(_, v)| !v.entries.is_empty() && v.len() >= min)
+            .map(|(m, _)| m as u32)
+            .collect()
     }
 
     /// Merges another profiler into this one.
     pub fn merge(&mut self, other: CycleProfiler) {
-        for (cat, c) in other.by_category {
-            *self.by_category.entry(cat).or_insert(0) += c;
+        for (a, b) in self.by_category.iter_mut().zip(other.by_category) {
+            *a += b;
         }
-        for (s, c) in other.by_service {
-            *self.by_service.entry(s).or_insert(0) += c;
+        if other.by_service.len() > self.by_service.len() {
+            self.by_service.resize(other.by_service.len(), 0);
         }
-        for (m, reservoir) in other.per_method {
-            let entry = self.per_method.entry(m).or_default();
+        for (a, &b) in self.by_service.iter_mut().zip(&other.by_service) {
+            *a += b;
+        }
+        if other.per_method.len() > self.per_method.len() {
+            self.per_method
+                .resize_with(other.per_method.len(), MethodReservoir::default);
+        }
+        for (slot, reservoir) in self.per_method.iter_mut().zip(other.per_method) {
             for (tag, bits) in reservoir.entries {
-                entry.offer(self.per_method_cap, tag, f64::from_bits(bits));
+                slot.offer(self.per_method_cap, tag, f64::from_bits(bits));
             }
         }
         self.total += other.total;

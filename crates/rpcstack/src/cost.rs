@@ -63,8 +63,19 @@ impl CycleCategory {
         self != CycleCategory::Application
     }
 
-    fn index(self) -> usize {
-        Self::ALL.iter().position(|&c| c == self).expect("in ALL")
+    /// This category's position in [`CycleCategory::ALL`], the dense
+    /// index used by [`CycleCost`] and the profiler's category table.
+    pub const fn index(self) -> usize {
+        match self {
+            CycleCategory::Compression => 0,
+            CycleCategory::Serialization => 1,
+            CycleCategory::Encryption => 2,
+            CycleCategory::Networking => 3,
+            CycleCategory::RpcLibrary => 4,
+            CycleCategory::Allocation => 5,
+            CycleCategory::Other => 6,
+            CycleCategory::Application => 7,
+        }
     }
 }
 
@@ -114,6 +125,12 @@ impl CycleCost {
     /// Iterates `(category, cycles)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (CycleCategory, u64)> + '_ {
         CycleCategory::ALL.iter().map(move |&c| (c, self.get(c)))
+    }
+
+    /// The raw per-category cycle array, indexed by
+    /// [`CycleCategory::index`].
+    pub fn as_array(&self) -> &[u64; 8] {
+        &self.cycles
     }
 }
 
@@ -374,6 +391,13 @@ mod tests {
 
     fn model() -> StackCostModel {
         StackCostModel::new(StackCostConfig::default())
+    }
+
+    #[test]
+    fn category_index_matches_position_in_all() {
+        for (i, &cat) in CycleCategory::ALL.iter().enumerate() {
+            assert_eq!(cat.index(), i, "{cat:?}");
+        }
     }
 
     #[test]
