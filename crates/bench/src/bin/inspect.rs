@@ -5,6 +5,7 @@
 //! rpclens-inspect top-methods   --store FILE [--component C] [--top N] [--min-samples N]
 //! rpclens-inspect critical-path --store FILE --trace N
 //! rpclens-inspect cycle-tax     --manifest FILE
+//! rpclens-inspect errors        --manifest FILE
 //! ```
 //!
 //! `--store` takes a binary trace export written by
@@ -25,7 +26,10 @@ fn usage() -> ! {
          \x20 critical-path --store FILE --trace N\n\
          \x20               render the chain of spans that gated trace N's completion\n\
          \x20 cycle-tax     --manifest FILE\n\
-         \x20               flamegraph-style text breakdown of the RPC cycle tax"
+         \x20               flamegraph-style text breakdown of the RPC cycle tax\n\
+         \x20 errors        --manifest FILE\n\
+         \x20               Fig. 23 error-class / wasted-cycle breakdown and the\n\
+         \x20               executed resilience counters (fault-scenario manifests)"
     );
     std::process::exit(2);
 }
@@ -122,6 +126,12 @@ fn main() {
                 fail("cycle-tax needs --manifest FILE")
             };
             print!("{}", inspect::cycle_tax_text(&load_manifest(path)));
+        }
+        "errors" => {
+            let Some(path) = manifest_path else {
+                fail("errors needs --manifest FILE")
+            };
+            print!("{}", inspect::errors_text(&load_manifest(path)));
         }
         _ => usage(),
     }

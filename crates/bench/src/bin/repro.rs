@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro all [--scale smoke|default|paper] [--seed N] [--shards N] [--out DIR]
-//! repro fig12 fig13 table1 ...
+//! repro fig12 fig13 table1 ... [--faults none|chaos-smoke|partition|overload-collapse]
 //! repro list
 //! ```
 //!
@@ -20,12 +20,21 @@
 //! - `--export-store FILE` persists the sampled traces in the binary
 //!   trace-export format for later `rpclens-inspect` queries.
 //!
+//! `--faults PRESET` runs the fleet under a named fault scenario (see
+//! `docs/ROBUSTNESS.md`). The default `none` keeps the run byte-identical
+//! to a build without the fault plane; any other preset switches the
+//! error model to causal injection, adds the `robustness` section to the
+//! manifest, and swaps the Fig. 23 checks for their causal
+//! reconciliation variant.
+//!
 //! Each artifact prints its rendered data followed by the
 //! paper-vs-measured expectation checks. The process exits non-zero if
 //! any check misses, so CI can gate on shape fidelity.
 
-use rpclens_bench::{produce, run_at_sharded, scale_by_name, Artifact};
+use rpclens_bench::{produce, run_at_sharded_faults, scale_by_name, Artifact};
+use rpclens_core::figs::fig23;
 use rpclens_fleet::driver::SimScale;
+use rpclens_fleet::faults::FaultScenario;
 use rpclens_fleet::telemetry::{manifest_for_run, slo_findings, DEFAULT_TAIL_TOLERANCE};
 use rpclens_obs::detect::render_findings;
 use rpclens_obs::{RunManifest, SloConfig};
@@ -33,8 +42,10 @@ use rpclens_obs::{RunManifest, SloConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: repro <artifact>... | all | list  [--scale smoke|default|paper] [--seed N] [--shards N]\n\
+         \x20      [--faults {}] \n\
          \x20      [--out DIR] [--telemetry FILE] [--baseline FILE] [--export-store FILE]\n\
          artifacts: {}",
+        FaultScenario::PRESETS.join("|"),
         Artifact::ALL
             .iter()
             .map(|a| a.name())
@@ -50,6 +61,7 @@ fn main() {
         usage();
     }
     let mut scale = SimScale::default_scale();
+    let mut faults = FaultScenario::none();
     let mut shards: Option<usize> = None;
     let mut out_dir: Option<std::path::PathBuf> = None;
     let mut telemetry_path: Option<std::path::PathBuf> = None;
@@ -78,6 +90,14 @@ fn main() {
                     usage()
                 };
                 shards = Some(n);
+            }
+            "--faults" => {
+                let Some(name) = iter.next() else { usage() };
+                let Some(scenario) = FaultScenario::by_name(name) else {
+                    eprintln!("unknown fault scenario {name}");
+                    usage();
+                };
+                faults = scenario;
             }
             "--out" => {
                 let Some(dir) = iter.next() else { usage() };
@@ -127,11 +147,11 @@ fn main() {
     let needs_run = observability_only || artifacts.iter().any(|a| a.needs_run());
     let run = if needs_run {
         eprintln!(
-            "running fleet simulation: scale={} methods={} roots={} seed={}",
-            scale.name, scale.total_methods, scale.roots, scale.seed
+            "running fleet simulation: scale={} methods={} roots={} seed={} faults={}",
+            scale.name, scale.total_methods, scale.roots, scale.seed, faults.name
         );
         let t0 = std::time::Instant::now();
-        let run = run_at_sharded(scale, shards);
+        let run = run_at_sharded_faults(scale, shards, faults);
         eprintln!(
             "simulated {} spans in {} traces ({:.1}s)",
             run.total_spans,
@@ -143,6 +163,8 @@ fn main() {
         None
     };
 
+    let mut total = 0;
+    let mut passed = 0;
     if let Some(run) = &run {
         if let Some(path) = &telemetry_path {
             let manifest = manifest_for_run(run);
@@ -170,15 +192,38 @@ fn main() {
             DEFAULT_TAIL_TOLERANCE,
         );
         println!("{}", render_findings(&findings));
+        // The default chaos scenario must still reconcile with the
+        // Fig. 23 taxonomy: the causal variant of the checks gates every
+        // such invocation, artifact or not. Stress presets (`partition`,
+        // `overload-collapse`) intentionally deviate and are exempt.
+        if faults.reconciles_taxonomy() {
+            let fig = fig23::compute(run);
+            let causal = fig23::causal_checks(&fig);
+            println!("{causal}");
+            total += causal.items.len();
+            passed += causal.passed();
+        }
     }
 
-    let mut total = 0;
-    let mut passed = 0;
     if let Some(dir) = &out_dir {
         std::fs::create_dir_all(dir).expect("create output directory");
     }
     for artifact in artifacts {
-        let (text, checks) = produce(artifact, run.as_ref());
+        // Under a causal fault scenario the static Fig. 23 bands no
+        // longer apply; the reconciliation variant replaces them for the
+        // default chaos preset, and stress presets render the figure
+        // without expectations (their taxonomies deviate by design).
+        let (text, checks) = if artifact == Artifact::Fig23 && faults.name != "none" {
+            let fig = fig23::compute(run.as_ref().expect("fig23 needs a fleet run"));
+            let checks = if faults.reconciles_taxonomy() {
+                fig23::causal_checks(&fig)
+            } else {
+                rpclens_core::check::ExpectationSet::new()
+            };
+            (fig23::render(&fig), checks)
+        } else {
+            produce(artifact, run.as_ref())
+        };
         if let Some(dir) = &out_dir {
             let path = dir.join(format!("{}.txt", artifact.name()));
             std::fs::write(

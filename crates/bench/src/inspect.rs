@@ -189,6 +189,82 @@ pub fn cycle_tax_text(manifest: &RunManifest) -> String {
     out
 }
 
+/// Renders the Fig. 23 error-class breakdown from a run manifest: per
+/// class, the error count, its share of all errors, and — when the
+/// manifest carries a `robustness` section — its share of wasted cycles,
+/// plus the executed resilience-loop counters.
+///
+/// Manifests from fault-free runs have no `robustness` section; those
+/// fall back to the count-only breakdown in the deterministic section so
+/// the command still answers, with a note about what is missing.
+pub fn errors_text(manifest: &RunManifest) -> String {
+    let d = &manifest.deterministic;
+    let mut out = format!(
+        "Error breakdown (seed {}, scale {}): {} errors / {} spans ({:.3}%)\n",
+        d.seed,
+        d.scale,
+        d.errors_total,
+        d.spans,
+        if d.spans > 0 {
+            d.errors_total as f64 / d.spans as f64 * 100.0
+        } else {
+            0.0
+        }
+    );
+    match &manifest.robustness {
+        Some(r) => {
+            out.push_str(&format!("fault scenario: {}\n\n", r.scenario));
+            let total_count: u64 = r.errors.iter().map(|(_, c, _)| c).sum();
+            let total_cycles: u128 = r.errors.iter().map(|(_, _, cy)| cy).sum();
+            out.push_str(&format!(
+                "{:<20} {:>10} {:>12} {:>14}\n",
+                "error", "count", "count share", "cycle share"
+            ));
+            let mut rows: Vec<&(String, u64, u128)> = r.errors.iter().collect();
+            rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            for (label, count, cycles) in rows {
+                let cs = *count as f64 / total_count.max(1) as f64;
+                let cys = *cycles as f64 / total_cycles.max(1) as f64;
+                out.push_str(&format!(
+                    "{label:<20} {count:>10} {:>11.2}% {:>13.2}%\n",
+                    cs * 100.0,
+                    cys * 100.0
+                ));
+            }
+            out.push_str(&format!(
+                "\nresilience loop: {} retries issued, {} denied by budget, {} failovers\n\
+                 causal errors: {} unavailable, {} load-shed, {} deadline-exceeded\n",
+                r.retries_issued,
+                r.retries_denied,
+                r.failovers,
+                r.causal_unavailable,
+                r.load_sheds,
+                r.deadline_exceeded
+            ));
+        }
+        None => {
+            out.push_str("fault scenario: none (no robustness section in manifest)\n\n");
+            let total: u64 = d.errors_by_kind.iter().map(|(_, c)| c).sum();
+            out.push_str(&format!(
+                "{:<20} {:>10} {:>12}\n",
+                "error", "count", "count share"
+            ));
+            let mut rows: Vec<&(String, u64)> = d.errors_by_kind.iter().collect();
+            rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            for (label, count) in rows {
+                out.push_str(&format!(
+                    "{label:<20} {count:>10} {:>11.2}%\n",
+                    *count as f64 / total.max(1) as f64 * 100.0
+                ));
+            }
+            out.push_str(
+                "\nwasted-cycle shares need a fault-scenario manifest (repro --faults ...)\n",
+            );
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -278,6 +354,70 @@ mod tests {
         assert!(text.contains("critical path 2 hops"), "{text}");
         assert!(text.contains("= root completion"), "{text}");
         assert!(critical_path_text(&s, 999).is_err());
+    }
+
+    fn manifest_with_errors() -> RunManifest {
+        use rpclens_obs::telemetry::RunTelemetry;
+        RunManifest::from_telemetry(
+            &RunTelemetry::default(),
+            11,
+            "test",
+            10,
+            1_000,
+            vec![
+                ("Cancelled".to_string(), 45),
+                ("Entity not found".to_string(), 20),
+                ("Unavailable".to_string(), 0),
+            ],
+            vec![("Application".to_string(), 1_000)],
+            5_000,
+        )
+    }
+
+    #[test]
+    fn errors_text_without_robustness_renders_counts_only() {
+        let text = errors_text(&manifest_with_errors());
+        assert!(text.contains("fault scenario: none"), "{text}");
+        // Largest class first, with its share of the 65 total errors.
+        let cancelled = text
+            .lines()
+            .position(|l| l.starts_with("Cancelled"))
+            .unwrap();
+        let nf = text
+            .lines()
+            .position(|l| l.starts_with("Entity not found"))
+            .unwrap();
+        assert!(cancelled < nf, "{text}");
+        assert!(text.contains("69.23%"), "{text}");
+        assert!(text.contains("wasted-cycle shares need"), "{text}");
+    }
+
+    #[test]
+    fn errors_text_renders_robustness_section() {
+        use rpclens_obs::RobustnessSection;
+        let mut m = manifest_with_errors();
+        m.robustness = Some(RobustnessSection {
+            scenario: "chaos-smoke".to_string(),
+            retries_issued: 7,
+            retries_denied: 3,
+            failovers: 5,
+            causal_unavailable: 2,
+            load_sheds: 1,
+            deadline_exceeded: 4,
+            errors: vec![
+                ("Cancelled".to_string(), 45, 900),
+                ("Entity not found".to_string(), 20, 100),
+            ],
+        });
+        let text = errors_text(&m);
+        assert!(text.contains("fault scenario: chaos-smoke"), "{text}");
+        // Cancelled: 45/65 counts, 900/1000 cycles.
+        assert!(text.contains("69.23%"), "{text}");
+        assert!(text.contains("90.00%"), "{text}");
+        assert!(text.contains("7 retries issued"), "{text}");
+        assert!(text.contains("3 denied by budget"), "{text}");
+        assert!(text.contains("5 failovers"), "{text}");
+        assert!(text.contains("4 deadline-exceeded"), "{text}");
     }
 
     #[test]

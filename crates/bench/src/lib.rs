@@ -6,6 +6,7 @@ pub mod inspect;
 
 use rpclens_core::check::ExpectationSet;
 use rpclens_fleet::driver::{run_fleet, FleetConfig, FleetRun, SimScale};
+use rpclens_fleet::faults::FaultScenario;
 use rpclens_fleet::growth::GrowthConfig;
 
 /// Every regenerable artifact.
@@ -269,7 +270,18 @@ pub fn run_at(scale: SimScale) -> FleetRun {
 /// `None` keeps the default (one shard per available core). Output is
 /// bit-identical regardless of the shard count.
 pub fn run_at_sharded(scale: SimScale, shards: Option<usize>) -> FleetRun {
-    let mut config = FleetConfig::at_scale(scale);
+    run_at_sharded_faults(scale, shards, FaultScenario::none())
+}
+
+/// Runs the fleet at a scale preset with an explicit shard count and
+/// fault scenario. `FaultScenario::none()` reproduces [`run_at_sharded`]
+/// bit for bit; any other scenario is still shard-count-invariant.
+pub fn run_at_sharded_faults(
+    scale: SimScale,
+    shards: Option<usize>,
+    faults: FaultScenario,
+) -> FleetRun {
+    let mut config = FleetConfig::at_scale(scale).with_faults(faults);
     if let Some(shards) = shards {
         config.shards = shards;
     }

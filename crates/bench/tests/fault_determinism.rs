@@ -1,0 +1,130 @@
+//! The fault plane's determinism contract, pinned end to end.
+//!
+//! Three guarantees, in order of how expensive they are to regain once
+//! lost:
+//!
+//! 1. `--faults none` is the pre-fault-plane simulator bit for bit: the
+//!    smoke manifest digest stays at its historical golden value at any
+//!    shard count (no new rng draws anywhere on the fault-free path).
+//! 2. A fault scenario is itself shard-count-invariant: episode
+//!    trajectories derive from `(seed, entity)` alone, so chaos-smoke
+//!    produces identical manifests — digest *and* robustness section —
+//!    at 1 and 4 shards.
+//! 3. The chaos-smoke digest matches the committed expectation in
+//!    `crates/bench/FAULT_SMOKE_DIGEST`, the same value the CI
+//!    fault-smoke step greps for. Re-baseline both together, never one.
+
+use rpclens_bench::run_at_sharded_faults;
+use rpclens_core::figs::fig23;
+use rpclens_fleet::driver::{FleetRun, SimScale};
+use rpclens_fleet::faults::FaultScenario;
+use rpclens_fleet::telemetry::{manifest_for_run, slo_findings, DEFAULT_TAIL_TOLERANCE};
+use rpclens_obs::{Severity, SloConfig};
+
+/// Golden digest of the fault-free smoke manifest; must match the value
+/// pinned in `telemetry_determinism.rs`.
+const SMOKE_GOLDEN_DIGEST: u64 = 4965560232275073350;
+
+/// Committed chaos-smoke digest expectation, shared with the CI
+/// fault-smoke gate.
+fn fault_smoke_digest() -> u64 {
+    include_str!("../FAULT_SMOKE_DIGEST")
+        .trim()
+        .parse()
+        .expect("FAULT_SMOKE_DIGEST holds one u64")
+}
+
+fn smoke_run(faults: FaultScenario, shards: usize) -> FleetRun {
+    run_at_sharded_faults(SimScale::smoke(), Some(shards), faults)
+}
+
+#[test]
+fn faults_none_preserves_the_golden_digest() {
+    for shards in [1usize, 4] {
+        let run = smoke_run(FaultScenario::none(), shards);
+        let manifest = manifest_for_run(&run);
+        assert_eq!(
+            manifest.digest(),
+            SMOKE_GOLDEN_DIGEST,
+            "--faults none drifted from the golden smoke digest at shards={shards}"
+        );
+        assert!(
+            manifest.robustness.is_none(),
+            "fault-free manifests must not carry a robustness section"
+        );
+    }
+}
+
+#[test]
+fn chaos_smoke_is_bit_identical_across_shard_counts() {
+    let one = manifest_for_run(&smoke_run(FaultScenario::chaos_smoke(), 1));
+    let four = manifest_for_run(&smoke_run(FaultScenario::chaos_smoke(), 4));
+    // The digested deterministic section and the (undigested but still
+    // deterministic) robustness section must both match exactly.
+    assert_eq!(
+        one.digest(),
+        four.digest(),
+        "chaos-smoke deterministic sections diverge across shard counts"
+    );
+    assert_eq!(one.deterministic, four.deterministic);
+    assert_eq!(
+        one.robustness, four.robustness,
+        "chaos-smoke robustness sections diverge across shard counts"
+    );
+    // Faults actually fired: the scenario is not a silent no-op.
+    let r = one
+        .robustness
+        .as_ref()
+        .expect("chaos-smoke carries robustness");
+    assert_eq!(r.scenario, "chaos-smoke");
+    assert!(r.retries_issued > 0, "no retries executed");
+    assert!(r.failovers > 0, "no failovers executed");
+    assert!(r.causal_unavailable > 0, "no causal unavailability");
+    assert!(r.deadline_exceeded > 0, "no deadline expirations");
+    // And the scenario digest differs from the fault-free golden one.
+    assert_ne!(one.digest(), SMOKE_GOLDEN_DIGEST);
+}
+
+#[test]
+fn chaos_smoke_digest_matches_committed_expectation() {
+    let manifest = manifest_for_run(&smoke_run(FaultScenario::chaos_smoke(), 1));
+    assert_eq!(
+        manifest.digest(),
+        fault_smoke_digest(),
+        "chaos-smoke digest drifted from crates/bench/FAULT_SMOKE_DIGEST; \
+         if the drift is intentional, re-baseline the file and the CI gate together"
+    );
+}
+
+#[test]
+fn chaos_smoke_reconciles_with_fig23() {
+    let run = smoke_run(FaultScenario::chaos_smoke(), 1);
+    let fig = fig23::compute(&run);
+    let checks = fig23::causal_checks(&fig);
+    assert!(checks.all_passed(), "{checks}");
+}
+
+#[test]
+fn overload_collapse_storm_is_clamped_by_the_retry_budget() {
+    let run = smoke_run(FaultScenario::overload_collapse(), 1);
+    let manifest = manifest_for_run(&run);
+    let r = manifest.robustness.as_ref().expect("robustness section");
+    assert!(r.load_sheds > 0, "overload never shed load");
+    assert!(
+        r.retries_denied > 0,
+        "the retry budget never denied a retry under collapse"
+    );
+    // The retry-storm detector must report the amplification as clamped
+    // (Info), not a storm: the token-bucket budget is doing its job.
+    let findings = slo_findings(&run, None, &SloConfig::default(), DEFAULT_TAIL_TOLERANCE);
+    let overall = findings
+        .iter()
+        .find(|f| f.detector == "retry-storm" && f.subject == "overall")
+        .expect("retry-storm overall finding");
+    assert_eq!(overall.severity, Severity::Info, "{overall:?}");
+    assert!(
+        overall.detail.contains("budget clamped"),
+        "{}",
+        overall.detail
+    );
+}

@@ -1,0 +1,259 @@
+//! Trajectory-stored failure episodes.
+//!
+//! The fault-injection plane models every failure source — machine
+//! crash/restart churn, cluster drains, WAN partitions, CPU-overload
+//! surges — as an entity alternating between a *healthy* and a *failed*
+//! state with exponentially distributed holding times, exactly the
+//! renewal structure `rpclens-netsim`'s `CongestionProcess` uses for
+//! congestion episodes. Remembering the flip instants makes the state at
+//! any instant a pure function of `(construction seed, now)`, which is
+//! what keeps fault-injected runs bit-identical at any shard count: each
+//! simulation shard rebuilds the same trajectories from the same seeds
+//! and never consumes a caller draw to query them.
+
+use rpclens_simcore::dist::{Exponential, Sample};
+use rpclens_simcore::rng::Prng;
+use rpclens_simcore::time::{SimDuration, SimTime};
+
+/// Parameters of one failure-episode process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpisodeParams {
+    /// Mean duration of healthy periods between episodes.
+    pub up_mean: SimDuration,
+    /// Mean duration of one failure episode.
+    pub down_mean: SimDuration,
+}
+
+impl EpisodeParams {
+    /// The long-run fraction of time the entity spends failed.
+    pub fn duty_cycle(&self) -> f64 {
+        let up = self.up_mean.as_secs_f64();
+        let down = self.down_mean.as_secs_f64();
+        down / (up + down)
+    }
+}
+
+/// The lazily-evolved failure process for one entity (machine, cluster,
+/// WAN pair, or service site).
+///
+/// # Determinism contract
+///
+/// The process's generator is reserved for the episode *trajectory*: it
+/// is consumed exactly one draw per state flip, strictly in trajectory
+/// order, and the flip instants are remembered. [`EpisodeProcess::active_at`]
+/// is therefore a pure function of `(construction seed, now)` —
+/// independent of who queries the entity, how often, in what order, or
+/// from which simulation shard. Queries never consume caller draws.
+#[derive(Debug, Clone)]
+pub struct EpisodeProcess {
+    params: EpisodeParams,
+    /// `flip_ends[i]` is the instant interval `i` ends. Interval `i`
+    /// covers `[flip_ends[i-1], flip_ends[i])` (interval 0 starts at
+    /// `SimTime::ZERO`) and is healthy exactly when `i` is even. Grows
+    /// monotonically; never truncated, so past intervals stay queryable.
+    flip_ends: Vec<SimTime>,
+    /// Interval index of the last answer; a lookup hint only, queries are
+    /// near-monotone in practice. Never affects the result.
+    cursor: usize,
+    rng: Prng,
+    up_hold: Exponential,
+    down_hold: Exponential,
+}
+
+impl EpisodeProcess {
+    /// Creates a process with its own random stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either mean is non-positive.
+    pub fn new(params: EpisodeParams, rng: Prng) -> Self {
+        let up_hold =
+            Exponential::from_mean(params.up_mean.as_secs_f64()).expect("up mean must be positive");
+        let down_hold = Exponential::from_mean(params.down_mean.as_secs_f64())
+            .expect("down mean must be positive");
+        let mut process = EpisodeProcess {
+            params,
+            flip_ends: Vec::new(),
+            cursor: 0,
+            rng,
+            up_hold,
+            down_hold,
+        };
+        // Sample the first healthy period so nothing fails at t=0.
+        let first = process.up_hold.sample(&mut process.rng);
+        process
+            .flip_ends
+            .push(SimTime::ZERO + SimDuration::from_secs_f64(first.max(1e-6)));
+        process
+    }
+
+    /// Extends the trajectory to cover `now` and returns the index of the
+    /// interval containing it (even = healthy, odd = failed).
+    fn interval_at(&mut self, now: SimTime) -> usize {
+        while *self.flip_ends.last().expect("trajectory is never empty") <= now {
+            let next = self.flip_ends.len();
+            let hold = if next.is_multiple_of(2) {
+                self.up_hold.sample(&mut self.rng)
+            } else {
+                self.down_hold.sample(&mut self.rng)
+            };
+            let end = *self.flip_ends.last().expect("trajectory is never empty")
+                + SimDuration::from_secs_f64(hold.max(1e-6));
+            self.flip_ends.push(end);
+        }
+        // Try the cursor hint (last answer, then its successor) before
+        // binary-searching the whole trajectory; all three branches
+        // compute the same index.
+        let c = self.cursor;
+        let i = if c < self.flip_ends.len()
+            && now < self.flip_ends[c]
+            && (c == 0 || self.flip_ends[c - 1] <= now)
+        {
+            c
+        } else if c + 1 < self.flip_ends.len()
+            && now < self.flip_ends[c + 1]
+            && self.flip_ends[c] <= now
+        {
+            c + 1
+        } else {
+            self.flip_ends.partition_point(|&end| end <= now)
+        };
+        self.cursor = i;
+        i
+    }
+
+    /// Whether the entity is inside a failure episode at `now`.
+    pub fn active_at(&mut self, now: SimTime) -> bool {
+        self.interval_at(now) % 2 == 1
+    }
+
+    /// The ordinal of the episode active at `now` (0 for the first
+    /// episode of the trajectory), or `None` while healthy.
+    ///
+    /// Lets callers classify episodes deterministically without extra
+    /// generator draws — the fleet plane alternates WAN blackouts and
+    /// brownouts on the episode ordinal's parity.
+    pub fn active_episode(&mut self, now: SimTime) -> Option<u64> {
+        let i = self.interval_at(now);
+        (i % 2 == 1).then(|| (i as u64 - 1) / 2)
+    }
+
+    /// The parameters this process was built with.
+    pub fn params(&self) -> &EpisodeParams {
+        &self.params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> EpisodeParams {
+        EpisodeParams {
+            up_mean: SimDuration::from_secs(300),
+            down_mean: SimDuration::from_secs(20),
+        }
+    }
+
+    fn process(seed: u64) -> EpisodeProcess {
+        EpisodeProcess::new(params(), Prng::seed_from(seed))
+    }
+
+    #[test]
+    fn healthy_at_time_zero() {
+        let mut p = process(1);
+        assert!(!p.active_at(SimTime::ZERO));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = process(5);
+        let mut b = process(5);
+        for i in 0..50_000u64 {
+            let now = SimTime::from_nanos(i * 10_000_000);
+            assert_eq!(a.active_at(now), b.active_at(now));
+            assert_eq!(a.active_episode(now), b.active_episode(now));
+        }
+    }
+
+    #[test]
+    fn trajectory_is_independent_of_query_pattern() {
+        // Two copies driven on completely different query patterns — one
+        // dense and monotone, one advanced in a single jump and queried
+        // backwards — must agree at every instant. This is the property
+        // the sharded fleet driver leans on.
+        let mut dense = process(9);
+        let mut sparse = process(9);
+        let mut recorded = Vec::new();
+        for i in 0..200_000u64 {
+            let now = SimTime::from_nanos(i * 500_000); // 0.5 ms grid to 100 s.
+            recorded.push(dense.active_at(now));
+        }
+        sparse.active_at(SimTime::from_nanos(100_000_000_000)); // one jump.
+        for i in (0..200_000u64).rev() {
+            let now = SimTime::from_nanos(i * 500_000);
+            assert_eq!(recorded[i as usize], sparse.active_at(now), "at {now}");
+        }
+    }
+
+    #[test]
+    fn cursor_hint_matches_partition_point() {
+        // Query pattern hostile to the cursor (large forward and backward
+        // jumps); the chosen interval must equal the binary search's.
+        let mut p = process(7);
+        let mut mix = 0x243F_6A88_85A3_08D3u64;
+        for _ in 0..50_000 {
+            mix = mix
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let now = SimTime::from_nanos(mix % 2_000_000_000_000); // 0..2000 s.
+            let active = p.active_at(now);
+            let i = p.flip_ends.partition_point(|&end| end <= now);
+            assert_eq!(p.cursor, i, "hint diverged at {now}");
+            assert_eq!(active, i % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn failed_fraction_matches_duty_cycle() {
+        let mut p = process(3);
+        let mut failed = 0u64;
+        let n = 1_000_000u64;
+        for i in 0..n {
+            // 10 ms grid over 10,000 s ≫ up_mean.
+            if p.active_at(SimTime::from_nanos(i * 10_000_000)) {
+                failed += 1;
+            }
+        }
+        let frac = failed as f64 / n as f64;
+        let expected = params().duty_cycle();
+        assert!(
+            (frac - expected).abs() < expected,
+            "duty cycle {frac}, expected ~{expected}"
+        );
+    }
+
+    #[test]
+    fn episode_ordinals_increase_over_time() {
+        let mut p = process(11);
+        let mut last = None;
+        for i in 0..2_000_000u64 {
+            if let Some(e) = p.active_episode(SimTime::from_nanos(i * 10_000_000)) {
+                if let Some(prev) = last {
+                    assert!(e >= prev, "ordinal went backwards: {prev} -> {e}");
+                }
+                last = Some(e);
+            }
+        }
+        assert!(
+            last.unwrap_or(0) >= 1,
+            "fewer than two episodes in 20,000 s"
+        );
+    }
+
+    #[test]
+    fn time_can_jump_far_ahead() {
+        let mut p = process(6);
+        let _ = p.active_at(SimTime::from_nanos(3_600_000_000_000 * 24));
+    }
+}

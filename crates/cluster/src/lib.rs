@@ -16,9 +16,13 @@
 //!   analysis (Fig. 22).
 //! - [`site`]: dense `(u16, u16)`-keyed lookup tables so the driver's
 //!   per-span site access is one vector index instead of a hash probe.
+//! - [`faults`]: trajectory-stored failure episodes (crash/restart churn,
+//!   drains, partitions, overload surges) queryable at any instant, the
+//!   substrate of the fleet driver's fault-injection plane.
 
 pub mod accounting;
 pub mod exogenous;
+pub mod faults;
 pub mod machine;
 pub mod mgk;
 pub mod pool;
@@ -29,6 +33,7 @@ pub mod prelude {
     pub use crate::{
         accounting::UsageAccumulator,
         exogenous::{ExogenousProfile, ExogenousVars},
+        faults::{EpisodeParams, EpisodeProcess},
         machine::{Machine, MachineConfig, MachineId},
         mgk::{erlang_c, QueueModel},
         pool::WorkerPool,

@@ -23,6 +23,7 @@
 //! accounting.
 
 use crate::catalog::{Catalog, CatalogConfig, ServiceHot};
+use crate::faults::{FaultPlane, FaultScenario, PartitionState};
 use crate::workload::{RootArrival, Workload};
 use rpclens_cluster::exogenous::ExogenousProfile;
 use rpclens_cluster::machine::{Machine, MachineConfig, MachineId};
@@ -34,9 +35,11 @@ use rpclens_obs::telemetry::{PhaseTimings, RunTelemetry, ShardCounters, ShardRep
 use rpclens_profiler::{CycleProfiler, ErrorAccounting};
 use rpclens_rpcstack::component::{LatencyBreakdown, LatencyComponent};
 use rpclens_rpcstack::cost::{CycleCategory, CycleCost, StackCostConfig, StackCostModel};
+use rpclens_rpcstack::deadline::Deadline;
 use rpclens_rpcstack::error::{ErrorKind, ErrorProfile};
 use rpclens_rpcstack::hedging::resolve_hedge;
 use rpclens_rpcstack::queue::SoftQueue;
+use rpclens_rpcstack::retry::{BackoffPolicy, RetryBudget};
 use rpclens_simcore::dist::Sample;
 use rpclens_simcore::rng::Prng;
 use rpclens_simcore::time::{SimDuration, SimTime};
@@ -114,8 +117,17 @@ pub struct FleetConfig {
     pub max_trace_spans: usize,
     /// Hard cap on call depth.
     pub max_depth: u32,
-    /// Error injection profile.
+    /// Error injection profile. With a fault scenario active this should
+    /// be the *residual* profile (semantic classes only) — the mechanical
+    /// classes (`Unavailable`, `NoResource`, `DeadlineExceeded`) are then
+    /// produced causally by the fault plane. [`FleetConfig::with_faults`]
+    /// pairs the two automatically.
     pub errors: ErrorProfile,
+    /// Fault scenario: failure episode sources plus the client resilience
+    /// response (deadlines, budgeted retries with failover). The default
+    /// [`FaultScenario::none`] leaves the driver's draw sequence
+    /// byte-identical to a build without the fault plane.
+    pub faults: FaultScenario,
     /// Whether clients hedge slow requests (disable for ablations).
     pub hedging_enabled: bool,
     /// Whether reserved-core isolation is honoured (disable for
@@ -148,10 +160,21 @@ impl FleetConfig {
             max_trace_spans: 4_000,
             max_depth: 12,
             errors: ErrorProfile::fleet_default(),
+            faults: FaultScenario::none(),
             hedging_enabled: true,
             reserved_cores_enabled: true,
             shards: default_shards(),
         }
+    }
+
+    /// The same configuration under a fault scenario, with the error
+    /// profile switched to the scenario's matching profile (residual
+    /// semantic classes when faults are causal, the full static fleet
+    /// profile under `none`).
+    pub fn with_faults(mut self, scenario: FaultScenario) -> Self {
+        self.errors = scenario.error_profile();
+        self.faults = scenario;
+        self
     }
 }
 
@@ -257,11 +280,53 @@ struct TraceCtx {
     errors: u64,
     /// Wire traversals of this trace that hit a congestion episode.
     congested_wire: u64,
+    /// Per-trace retry budget (present only when the scenario retries).
+    retry_budget: Option<RetryBudget>,
+    /// Retry attempts issued while expanding this trace.
+    retries: u64,
 }
 
 /// Outcome of one placed call as seen by the caller.
 struct CallOutcome {
     finish: SimTime,
+}
+
+/// Placement to steer away from on a retry (load-balancer failover).
+#[derive(Clone, Copy)]
+struct Avoid {
+    /// The failed attempt's server cluster.
+    cluster: ClusterId,
+    /// The failed attempt's machine index within its site.
+    machine: usize,
+    /// Whether the failure condemned the whole cluster (partition,
+    /// drain, overload shed) rather than one machine (crash).
+    cluster_level: bool,
+}
+
+/// Everything one attempt (primary + optional hedge) reports back to the
+/// retry loop: the caller-observed outcome plus the winner's error and
+/// placement, which steer backoff and failover.
+struct AttemptResult {
+    outcome: CallOutcome,
+    /// The winner's final error, if any.
+    error: Option<ErrorKind>,
+    /// The winner's placement `(cluster, machine index)`.
+    server: Option<(ClusterId, usize)>,
+    /// Whether the winner's failure condemned the whole cluster.
+    cluster_level: bool,
+}
+
+/// What one `simulate_call` reports to `place_attempt`.
+struct SimResult {
+    outcome: CallOutcome,
+    /// Span index, or `None` if the span budget was exhausted.
+    span: Option<u32>,
+    /// Final error on this call, if any.
+    error: Option<ErrorKind>,
+    /// Placement `(cluster, machine index)`.
+    server: Option<(ClusterId, usize)>,
+    /// Whether the error condemned the whole cluster.
+    cluster_level: bool,
 }
 
 /// The immutable simulation world, shared by reference across shards.
@@ -571,6 +636,7 @@ impl Driver {
             window_calls,
             window_errors,
             window_congested,
+            window_retries,
             counters,
             total_spans,
             ..
@@ -600,6 +666,8 @@ impl Driver {
             retention,
         ))
         .expect("fresh tsdb");
+        tsdb.register(MetricDescriptor::counter("driver/retries/count", retention))
+            .expect("fresh tsdb");
         // Dense scan over the per-(service, window) grid. A zero cell is
         // exactly an absent key in the old map (counters only ever
         // increment), and the scan order (service ascending, then window
@@ -672,6 +740,7 @@ impl Driver {
             ("driver/rpcs/count", &rpcs_by_window),
             ("driver/errors/count", &window_errors),
             ("driver/wire/congested", &window_congested),
+            ("driver/retries/count", &window_retries),
         ] {
             let mut cum = 0u64;
             for &w in &windows {
@@ -730,6 +799,11 @@ struct Shard<'a> {
     window_errors: Vec<u64>,
     /// Per-window congested-wire-traversal counters (keyed by root window).
     window_congested: Vec<u64>,
+    /// Per-window retry counters (keyed by root window).
+    window_retries: Vec<u64>,
+    /// Fault plane: seed-derived failure episode processes, identical in
+    /// every shard. `None` when the scenario injects nothing.
+    faults: Option<FaultPlane>,
     /// Reusable span buffer: every trace expands into this arena, so tree
     /// expansion reuses capacity across roots. Sampled traces copy the
     /// exact-length spans out; unsampled traces cost no allocation.
@@ -758,6 +832,8 @@ impl<'a> Shard<'a> {
             window_calls: vec![0; world.catalog.num_services() * n_windows],
             window_errors: vec![0; n_windows],
             window_congested: vec![0; n_windows],
+            window_retries: vec![0; n_windows],
+            faults: FaultPlane::new(&world.config.faults, world.config.scale.seed),
             arena: Vec::new(),
             counters: ShardCounters::new(),
             total_spans: 0,
@@ -786,7 +862,23 @@ impl<'a> Shard<'a> {
                 seq: seq as u64,
                 errors: 0,
                 congested_wire: 0,
+                retry_budget: self
+                    .world
+                    .config
+                    .faults
+                    .retry
+                    .map(|rs| RetryBudget::new(rs.budget_ratio, rs.budget_cap)),
+                retries: 0,
             };
+            // Root deadline: log-uniform between the scenario's budget
+            // bounds (spanning interactive to batch callers). Drawn only
+            // when the scenario has deadlines, so `none` adds no draws.
+            let deadline = self.world.config.faults.deadlines.map(|ds| {
+                let lo = ds.min_budget.as_secs_f64();
+                let hi = ds.max_budget.as_secs_f64().max(lo);
+                let budget = lo * (hi / lo).powf(ctx.rng.next_f64());
+                Deadline::after(root.at, SimDuration::from_secs_f64(budget))
+            });
             let client_util =
                 self.world.client_profiles[root.client_cluster.0 as usize].cpu_util_at(root.at);
             let entry_service = self.world.catalog.hot(root.method).service;
@@ -800,6 +892,7 @@ impl<'a> Shard<'a> {
                 root.at,
                 0,
                 false,
+                deadline,
             );
             self.counters.roots += 1;
             self.counters
@@ -812,6 +905,7 @@ impl<'a> Shard<'a> {
             }
             self.window_errors[w] += ctx.errors;
             self.window_congested[w] += ctx.congested_wire;
+            self.window_retries[w] += ctx.retries;
             // Retention: sampling decides whether the spans are *kept*,
             // never whether they are simulated. A sampled trace copies
             // the exact-length span list out of the arena.
@@ -849,12 +943,20 @@ impl<'a> Shard<'a> {
         {
             *a += b;
         }
+        for (a, b) in self.window_retries.iter_mut().zip(&other.window_retries) {
+            *a += b;
+        }
         self.counters.absorb(&other.counters);
         self.total_spans += other.total_spans;
     }
 
-    /// Places a call, wrapping `simulate_call` with hedging for eligible
-    /// leaf methods. Returns the caller-observed outcome.
+    /// Places a call: runs one attempt (primary + optional hedge) and,
+    /// when the scenario retries, wraps it in the client resilience loop
+    /// — jittered exponential backoff gated by the per-trace
+    /// [`RetryBudget`], with load-balancer failover away from the failed
+    /// placement. Returns the caller-observed outcome (the final
+    /// attempt's finish; earlier failed attempts and backoff waits all
+    /// precede it in simulated time).
     #[allow(clippy::too_many_arguments)]
     fn place_call(
         &mut self,
@@ -867,7 +969,93 @@ impl<'a> Shard<'a> {
         start: SimTime,
         depth: u32,
         detached: bool,
+        deadline: Option<Deadline>,
     ) -> CallOutcome {
+        let retry_spec = self.world.config.faults.retry;
+        let mut attempt_start = start;
+        let mut avoid: Option<Avoid> = None;
+        let mut attempt = 0u32;
+        loop {
+            let res = self.place_attempt(
+                ctx,
+                method,
+                client_service,
+                client_cluster,
+                client_util,
+                parent,
+                attempt_start,
+                depth,
+                detached,
+                deadline,
+                avoid,
+            );
+            // No retry configuration: the attempt is the call.
+            let Some(spec) = retry_spec else {
+                return res.outcome;
+            };
+            let Some(err) = res.error else {
+                // Success earns the trace's budget a fractional token.
+                if let Some(budget) = ctx.retry_budget.as_mut() {
+                    budget.on_success();
+                }
+                return res.outcome;
+            };
+            if !BackoffPolicy::retryable(err) {
+                return res.outcome;
+            }
+            let next_attempt = attempt + 1;
+            if next_attempt > spec.backoff.max_attempts {
+                return res.outcome;
+            }
+            // The token bucket is what stops a retry storm: once failures
+            // outpace `ratio` x successes, further retries are denied.
+            if let Some(budget) = ctx.retry_budget.as_mut() {
+                if !budget.try_spend() {
+                    self.counters.resilience.retries_denied += 1;
+                    return res.outcome;
+                }
+            }
+            let delay = spec
+                .backoff
+                .delay(next_attempt, &mut ctx.rng)
+                .unwrap_or(SimDuration::ZERO);
+            let retry_start = res.outcome.finish + delay;
+            // A retry that would start past the deadline is pointless.
+            if let Some(d) = deadline {
+                if d.expired(retry_start) {
+                    return res.outcome;
+                }
+            }
+            self.counters.resilience.retries_issued += 1;
+            ctx.retries += 1;
+            avoid = res.server.map(|(cluster, machine)| Avoid {
+                cluster,
+                machine,
+                cluster_level: res.cluster_level,
+            });
+            attempt_start = retry_start;
+            attempt = next_attempt;
+        }
+    }
+
+    /// One attempt of a call, wrapping `simulate_call` with hedging for
+    /// eligible leaf methods. Reports the winner's error and placement so
+    /// the retry loop can back off and fail over.
+    #[allow(clippy::too_many_arguments)]
+    fn place_attempt(
+        &mut self,
+        ctx: &mut TraceCtx,
+        method: MethodId,
+        client_service: ServiceId,
+        client_cluster: ClusterId,
+        client_util: f64,
+        parent: u32,
+        start: SimTime,
+        depth: u32,
+        detached: bool,
+        deadline: Option<Deadline>,
+        avoid: Option<Avoid>,
+    ) -> AttemptResult {
         let hedge = self.world.catalog.hot(method).hedge;
         let primary = self.simulate_call(
             ctx,
@@ -879,21 +1067,31 @@ impl<'a> Shard<'a> {
             start,
             depth,
             detached,
+            deadline,
+            avoid,
         );
-        let Some(primary_idx) = primary.1 else {
-            return primary.0;
+        let primary_result = AttemptResult {
+            outcome: CallOutcome {
+                finish: primary.outcome.finish,
+            },
+            error: primary.error,
+            server: primary.server,
+            cluster_level: primary.cluster_level,
+        };
+        let Some(primary_idx) = primary.span else {
+            return primary_result;
         };
         if !hedge.enabled || !self.world.config.hedging_enabled {
-            return primary.0;
+            return primary_result;
         }
-        let primary_latency = primary.0.finish.since(start);
+        let primary_latency = primary.outcome.finish.since(start);
         let Some(delay) = hedge.decide(primary_latency, &mut ctx.rng) else {
-            return primary.0;
+            return primary_result;
         };
         // Issue the hedge copy after `delay`.
         self.counters.hedges_issued += 1;
         let hedge_start = start + delay;
-        let (hedge_outcome, hedge_idx) = self.simulate_call(
+        let hedged = self.simulate_call(
             ctx,
             method,
             client_service,
@@ -903,16 +1101,31 @@ impl<'a> Shard<'a> {
             hedge_start,
             depth,
             detached,
+            deadline,
+            avoid,
         );
-        let Some(hedge_idx) = hedge_idx else {
-            return primary.0;
+        let Some(hedge_idx) = hedged.span else {
+            return primary_result;
         };
-        let hedge_latency = hedge_outcome.finish.since(hedge_start);
+        let hedge_latency = hedged.outcome.finish.since(hedge_start);
         let resolution = resolve_hedge(primary_latency, hedge_latency, delay);
         let (loser_idx, loser_run) = if resolution.hedge_won {
             (primary_idx, resolution.loser_run_time)
         } else {
             (hedge_idx, resolution.loser_run_time)
+        };
+        let winner = if resolution.hedge_won {
+            &hedged
+        } else {
+            &primary
+        };
+        let winner_result = AttemptResult {
+            outcome: CallOutcome {
+                finish: start + resolution.winner_latency,
+            },
+            error: winner.error,
+            server: winner.server,
+            cluster_level: winner.cluster_level,
         };
         // Cancel the loser: mark its span, charge the cycles its *whole
         // subtree* performed before the cancellation (the replication
@@ -939,13 +1152,12 @@ impl<'a> Shard<'a> {
             rpclens_rpcstack::error::ErrorProfile::work_fraction(ErrorKind::Cancelled);
         let wasted = (wasted_kilocycles as f64 * 1000.0 * work_fraction) as u64;
         self.errors.record_error(ErrorKind::Cancelled, wasted);
-        CallOutcome {
-            finish: start + resolution.winner_latency,
-        }
+        winner_result
     }
 
-    /// Simulates one call (and its subtree). Returns the outcome and the
-    /// span index, or `None` index if the span budget was exhausted.
+    /// Simulates one call (and its subtree). Reports the outcome, span
+    /// index (`None` if the span budget was exhausted), final error, and
+    /// placement.
     #[allow(clippy::too_many_arguments)]
     fn simulate_call(
         &mut self,
@@ -958,9 +1170,17 @@ impl<'a> Shard<'a> {
         start: SimTime,
         depth: u32,
         detached: bool,
-    ) -> (CallOutcome, Option<u32>) {
+        deadline: Option<Deadline>,
+        avoid: Option<Avoid>,
+    ) -> SimResult {
         if ctx.budget == 0 {
-            return (CallOutcome { finish: start }, None);
+            return SimResult {
+                outcome: CallOutcome { finish: start },
+                span: None,
+                error: None,
+                server: None,
+                cluster_level: false,
+            };
         }
         ctx.budget -= 1;
         self.total_spans += 1;
@@ -996,16 +1216,76 @@ impl<'a> Shard<'a> {
         breakdown.set(LatencyComponent::RequestProcessing, req_proc);
         t += req_proc;
 
-        // 3. Server placement: cluster (latency-aware) then machine.
-        let server_cluster = world.choose_cluster(
-            hot.service,
-            &world.catalog.service(hot.service).clusters,
-            client_cluster,
-            &sh,
-            &mut ctx.rng,
-        );
+        // 3. Server placement: cluster (latency-aware) then machine. A
+        // retry steers away from the failed placement (load-balancer
+        // failover); `avoid` is only ever `Some` when a retry scenario is
+        // active, so the fault-free draw sequence is unchanged.
+        let deployed = &world.catalog.service(hot.service).clusters;
+        let mut server_cluster =
+            world.choose_cluster(hot.service, deployed, client_cluster, &sh, &mut ctx.rng);
+        if let Some(av) = avoid {
+            if av.cluster_level && deployed.len() > 1 {
+                if let Some(pos) = deployed.iter().position(|&c| c == av.cluster) {
+                    let mut j = ctx.rng.index(deployed.len() - 1);
+                    if j >= pos {
+                        j += 1;
+                    }
+                    server_cluster = deployed[j];
+                    self.counters.resilience.failovers += 1;
+                }
+            }
+        }
         let site = world.site(hot.service, server_cluster);
-        let mi = ctx.rng.index(site.machines.len());
+        let mut mi = ctx.rng.index(site.machines.len());
+        if let Some(av) = avoid {
+            if !av.cluster_level
+                && server_cluster == av.cluster
+                && av.machine < site.machines.len()
+                && site.machines.len() > 1
+            {
+                let mut j = ctx.rng.index(site.machines.len() - 1);
+                if j >= av.machine {
+                    j += 1;
+                }
+                mi = j;
+                self.counters.resilience.failovers += 1;
+            }
+        }
+
+        // 3b. Causal availability: a WAN blackout on the path, a drained
+        // cluster, or a crashed machine makes the target `Unavailable` —
+        // the request is sent and bounces with the transport-level error.
+        // A brownout instead adds excess latency to both wire crossings.
+        let mut causal: Option<ErrorKind> = None;
+        let mut cluster_level = false;
+        let mut brownout = SimDuration::ZERO;
+        let mut overload_factor: Option<f64> = None;
+        if let Some(plane) = self.faults.as_mut() {
+            let wan = world
+                .topology
+                .path_class(client_cluster, server_cluster)
+                .is_wan();
+            match plane.partition_state(client_cluster.0, server_cluster.0, wan, t) {
+                PartitionState::Blackout => {
+                    causal = Some(ErrorKind::Unavailable);
+                    cluster_level = true;
+                }
+                PartitionState::Brownout => {
+                    if let Some(spec) = plane.scenario().wan_partition {
+                        brownout = spec.brownout_excess;
+                    }
+                }
+                PartitionState::Connected => {}
+            }
+            if causal.is_none() && plane.cluster_drained(server_cluster.0, t) {
+                causal = Some(ErrorKind::Unavailable);
+                cluster_level = true;
+            }
+            if causal.is_none() && plane.machine_crashed(hot.service.0, server_cluster.0, mi, t) {
+                causal = Some(ErrorKind::Unavailable);
+            }
+            overload_factor = plane.overload_factor(hot.service.0, server_cluster.0, t);
+        }
 
         // 4. Request network wire.
         let wire_req = world.cost.wire_bytes(req_bytes, sh.compressed);
@@ -1018,6 +1298,7 @@ impl<'a> Shard<'a> {
         );
         self.counters.wire.record(req_congested);
         ctx.congested_wire += u64::from(req_congested);
+        let req_net = req_net + brownout;
         breakdown.set(LatencyComponent::RequestNetworkWire, req_net);
         t += req_net;
 
@@ -1034,17 +1315,41 @@ impl<'a> Shard<'a> {
         // Reserved-core pools are isolated from the machine's ambient
         // load; only a residual coupling remains.
         let reserved = sh.reserved_cores && world.config.reserved_cores_enabled;
-        let pool_util = if reserved { util * 0.25 } else { util };
+        let mut pool_util = if reserved { util * 0.25 } else { util };
+        // An overload surge inflates the pool's ambient utilization
+        // (clamped below saturation so the M/G/k wait stays finite).
+        if let Some(factor) = overload_factor {
+            pool_util = (pool_util * factor).min(0.98);
+        }
         let queue_wait =
             site.queue
                 .sample_wait_observed(pool_util, &mut ctx.rng, &mut self.counters.queue);
+        // Load shedding: while surging, waits past the shed threshold are
+        // rejected with `NoResource` instead of being served.
+        let shed = overload_factor.is_some()
+            && self
+                .faults
+                .as_ref()
+                .and_then(|p| p.scenario().overload)
+                .is_some_and(|spec| queue_wait > spec.shed_wait);
         let srq = wakeup + queue_wait;
         breakdown.set(LatencyComponent::ServerRecvQueue, srq);
         t += srq;
         let handler_start = t;
 
-        // 6. Error injection (hedging cancellations come from place_call).
-        let injected = world.config.errors.draw(&mut ctx.rng);
+        // 6. Error injection. Causal errors (unreachable or shedding
+        // targets) pre-empt the residual statistical draw; hedging
+        // cancellations come from place_attempt.
+        let injected = if let Some(kind) = causal {
+            self.counters.resilience.causal_unavailable += 1;
+            Some(kind)
+        } else if shed {
+            self.counters.resilience.load_sheds += 1;
+            cluster_level = true;
+            Some(ErrorKind::NoResource)
+        } else {
+            world.config.errors.draw(&mut ctx.rng)
+        };
         if injected.is_some() {
             self.counters.errors_injected += 1;
             ctx.errors += 1;
@@ -1064,7 +1369,18 @@ impl<'a> Shard<'a> {
         // lives in the catalog's shared CSR table, so recursion borrows
         // it instead of cloning a `Vec` per span.
         let mut children_end = t;
-        if injected.is_none() && !fast && depth < world.config.max_depth {
+        // Deadline propagation: children inherit the remaining budget
+        // minus the hop margin; when the remainder dips below the policy
+        // floor the handler fails fast and skips the fan-out entirely.
+        let mut skip_children = false;
+        let mut child_deadline = None;
+        if let (Some(d), Some(ds)) = (deadline, world.config.faults.deadlines) {
+            match ds.policy.child(d, t) {
+                Some(cd) => child_deadline = Some(cd),
+                None => skip_children = true,
+            }
+        }
+        if injected.is_none() && !fast && !skip_children && depth < world.config.max_depth {
             for edge in world.catalog.edges(method) {
                 if !ctx.rng.chance(edge.prob) {
                     continue;
@@ -1084,6 +1400,7 @@ impl<'a> Shard<'a> {
                         t,
                         depth + 1,
                         !edge.blocking,
+                        child_deadline,
                     );
                     // Fire-and-forget edges do not extend the parent.
                     if edge.blocking {
@@ -1117,11 +1434,26 @@ impl<'a> Shard<'a> {
         );
         self.counters.wire.record(resp_congested);
         ctx.congested_wire += u64::from(resp_congested);
+        let resp_net = resp_net + brownout;
         breakdown.set(LatencyComponent::ResponseNetworkWire, resp_net);
         t += resp_net;
         let crq = world.soft_queue.delay(client_util, &mut ctx.rng);
         breakdown.set(LatencyComponent::ClientRecvQueue, crq);
         t += crq;
+
+        // 9b. Deadline check: the client observes the response only after
+        // its deadline fired — the work was all done (and is charged in
+        // full below, `work_fraction(DeadlineExceeded) = 1.0`), but the
+        // caller sees `DeadlineExceeded`. Causal errors keep precedence.
+        let injected = match (injected, deadline) {
+            (None, Some(d)) if d.expired(t) => {
+                self.counters.resilience.deadline_exceeded += 1;
+                self.counters.errors_injected += 1;
+                ctx.errors += 1;
+                Some(ErrorKind::DeadlineExceeded)
+            }
+            (injected, _) => injected,
+        };
 
         // 10. Cycle accounting: the server burns its application cycles
         // (nominal compute normalized across CPU generations) plus the
@@ -1173,7 +1505,13 @@ impl<'a> Shard<'a> {
         }
         ctx.spans[span_idx as usize] = builder.build();
 
-        (CallOutcome { finish: t }, Some(span_idx))
+        SimResult {
+            outcome: CallOutcome { finish: t },
+            span: Some(span_idx),
+            error: injected,
+            server: Some((server_cluster, mi)),
+            cluster_level,
+        }
     }
 }
 

@@ -1,0 +1,627 @@
+//! The fault-injection plane: named scenarios and the per-shard plane
+//! that answers "is this entity failed right now?".
+//!
+//! A [`FaultScenario`] names which failure sources are active and how
+//! intense they are; [`FaultPlane`] materialises it as lazily-built
+//! [`EpisodeProcess`] trajectories keyed by entity (machine, cluster, WAN
+//! cluster pair, or deployment site). Both halves are deterministic:
+//! entity eligibility and episode trajectories derive from the master
+//! seed via labelled [`Prng`] streams and never consume caller draws, so
+//! every simulation shard reconstructs identical failure timelines and
+//! fault-injected runs stay bit-identical at any shard count (the same
+//! contract `CongestionProcess` gives the network layer).
+//!
+//! The scenario also carries the *client-side response* to failures: the
+//! deadline-draw range and the retry/backoff/budget configuration the
+//! driver's resilience loop executes. See `docs/ROBUSTNESS.md`.
+
+use rpclens_cluster::faults::{EpisodeParams, EpisodeProcess};
+use rpclens_rpcstack::deadline::DeadlinePolicy;
+use rpclens_rpcstack::error::ErrorProfile;
+use rpclens_rpcstack::retry::BackoffPolicy;
+use rpclens_simcore::rng::Prng;
+use rpclens_simcore::time::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// One failure source: which fraction of entities it can strike, and the
+/// episode process governing each eligible entity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpisodeSpec {
+    /// Fraction of entities eligible for this failure source (the
+    /// eligibility draw is deterministic per entity).
+    pub eligible: f64,
+    /// Episode process parameters for each eligible entity.
+    pub params: EpisodeParams,
+}
+
+/// WAN partition source: eligible cluster pairs alternate between full
+/// blackouts (targets unreachable) and brownouts (excess wire latency).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionSpec {
+    /// Pair eligibility and episode process.
+    pub episodes: EpisodeSpec,
+    /// Excess one-way latency added during a brownout episode.
+    pub brownout_excess: SimDuration,
+}
+
+/// CPU-overload source: eligible deployment sites see their ambient
+/// utilization surge, and queue waits beyond the shed threshold are
+/// rejected with `NoResource` (load shedding).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverloadSpec {
+    /// Site eligibility and surge episode process.
+    pub episodes: EpisodeSpec,
+    /// Multiplier applied to the site's ambient utilization during a
+    /// surge (the result is clamped below saturation).
+    pub util_factor: f64,
+    /// Queue waits above this threshold are load-shed while surging.
+    pub shed_wait: SimDuration,
+}
+
+/// Deadline behaviour: roots draw a log-uniform deadline budget and
+/// children inherit the remainder per [`DeadlinePolicy`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeadlineSpec {
+    /// Smallest root budget drawn.
+    pub min_budget: SimDuration,
+    /// Largest root budget drawn.
+    pub max_budget: SimDuration,
+    /// Propagation policy (hop margin, fail-fast floor).
+    pub policy: DeadlinePolicy,
+}
+
+/// Client retry behaviour: jittered exponential backoff gated by a
+/// per-trace token-bucket `RetryBudget`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetrySpec {
+    /// Backoff policy (base, multiplier, cap, max attempts).
+    pub backoff: BackoffPolicy,
+    /// Tokens earned per successful call (`RetryBudget` ratio).
+    pub budget_ratio: f64,
+    /// Burst capacity of the per-trace budget (`RetryBudget` cap).
+    pub budget_cap: f64,
+}
+
+/// A named fault scenario: which failure sources run and how clients
+/// respond. `FaultScenario::none()` disables everything and is the
+/// default — under it the driver's draw sequence is byte-identical to a
+/// build without the fault plane, preserving the golden manifest digest.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultScenario {
+    /// Preset name (recorded in the run manifest).
+    pub name: &'static str,
+    /// Machine crash/restart churn (tasks `Unavailable` while down).
+    pub machine_crash: Option<EpisodeSpec>,
+    /// Whole-cluster drains (every site in the cluster `Unavailable`).
+    pub cluster_drain: Option<EpisodeSpec>,
+    /// WAN partitions/brownouts per cluster pair.
+    pub wan_partition: Option<PartitionSpec>,
+    /// CPU-overload surges with load shedding.
+    pub overload: Option<OverloadSpec>,
+    /// Root deadline draws and propagation.
+    pub deadlines: Option<DeadlineSpec>,
+    /// Client retries with budget and failover.
+    pub retry: Option<RetrySpec>,
+}
+
+impl FaultScenario {
+    /// Every preset name accepted by [`FaultScenario::by_name`].
+    pub const PRESETS: [&'static str; 4] =
+        ["none", "chaos-smoke", "partition", "overload-collapse"];
+
+    /// No faults at all; the pre-fault-plane simulator, bit for bit.
+    pub fn none() -> Self {
+        FaultScenario {
+            name: "none",
+            machine_crash: None,
+            cluster_drain: None,
+            wan_partition: None,
+            overload: None,
+            deadlines: None,
+            retry: None,
+        }
+    }
+
+    /// A little of everything, tuned so the aggregate error taxonomy
+    /// still reconciles with Fig. 23 (cancellations lead, total error
+    /// rate near 2%): rare machine crashes, an occasional cluster drain,
+    /// WAN partition/brownout episodes, mild overload surges, drawn
+    /// deadlines, and budgeted retries with failover.
+    pub fn chaos_smoke() -> Self {
+        FaultScenario {
+            name: "chaos-smoke",
+            machine_crash: Some(EpisodeSpec {
+                eligible: 0.30,
+                params: EpisodeParams {
+                    up_mean: SimDuration::from_hours(6),
+                    down_mean: SimDuration::from_secs(300),
+                },
+            }),
+            cluster_drain: Some(EpisodeSpec {
+                eligible: 0.10,
+                params: EpisodeParams {
+                    up_mean: SimDuration::from_hours(12),
+                    down_mean: SimDuration::from_secs(900),
+                },
+            }),
+            wan_partition: Some(PartitionSpec {
+                episodes: EpisodeSpec {
+                    eligible: 0.20,
+                    params: EpisodeParams {
+                        up_mean: SimDuration::from_hours(4),
+                        down_mean: SimDuration::from_secs(180),
+                    },
+                },
+                brownout_excess: SimDuration::from_millis(30),
+            }),
+            overload: Some(OverloadSpec {
+                episodes: EpisodeSpec {
+                    eligible: 0.10,
+                    params: EpisodeParams {
+                        up_mean: SimDuration::from_hours(6),
+                        down_mean: SimDuration::from_secs(600),
+                    },
+                },
+                util_factor: 1.6,
+                shed_wait: SimDuration::from_millis(30),
+            }),
+            deadlines: Some(DeadlineSpec {
+                min_budget: SimDuration::from_millis(250),
+                max_budget: SimDuration::from_secs(30),
+                policy: DeadlinePolicy::default(),
+            }),
+            retry: Some(RetrySpec {
+                backoff: BackoffPolicy::default(),
+                budget_ratio: 0.2,
+                budget_cap: 2.0,
+            }),
+        }
+    }
+
+    /// WAN-focused scenario: frequent partition/brownout episodes across
+    /// many cluster pairs, with deadlines and budgeted retries but no
+    /// machine churn or overload.
+    pub fn partition() -> Self {
+        FaultScenario {
+            name: "partition",
+            machine_crash: None,
+            cluster_drain: None,
+            wan_partition: Some(PartitionSpec {
+                episodes: EpisodeSpec {
+                    eligible: 0.60,
+                    params: EpisodeParams {
+                        up_mean: SimDuration::from_secs(5_400),
+                        down_mean: SimDuration::from_secs(240),
+                    },
+                },
+                brownout_excess: SimDuration::from_millis(60),
+            }),
+            overload: None,
+            deadlines: Some(DeadlineSpec {
+                min_budget: SimDuration::from_millis(50),
+                max_budget: SimDuration::from_secs(5),
+                policy: DeadlinePolicy::default(),
+            }),
+            retry: Some(RetrySpec {
+                backoff: BackoffPolicy::default(),
+                budget_ratio: 0.2,
+                budget_cap: 2.0,
+            }),
+        }
+    }
+
+    /// The metastable-overload / retry-storm scenario: long, widespread
+    /// CPU surges with aggressive load shedding. The tight per-trace
+    /// retry budget (ratio 0.1, burst 1) is what keeps the retry storm
+    /// clamped — the `retry-storm` detector verifies the amplification
+    /// stays below the configured ratio.
+    pub fn overload_collapse() -> Self {
+        FaultScenario {
+            name: "overload-collapse",
+            machine_crash: None,
+            cluster_drain: None,
+            wan_partition: None,
+            overload: Some(OverloadSpec {
+                episodes: EpisodeSpec {
+                    eligible: 0.50,
+                    params: EpisodeParams {
+                        up_mean: SimDuration::from_hours(2),
+                        down_mean: SimDuration::from_secs(1_800),
+                    },
+                },
+                util_factor: 2.2,
+                shed_wait: SimDuration::from_millis(15),
+            }),
+            deadlines: Some(DeadlineSpec {
+                min_budget: SimDuration::from_millis(50),
+                max_budget: SimDuration::from_secs(10),
+                policy: DeadlinePolicy::default(),
+            }),
+            retry: Some(RetrySpec {
+                backoff: BackoffPolicy::default(),
+                budget_ratio: 0.1,
+                budget_cap: 1.0,
+            }),
+        }
+    }
+
+    /// Resolves a preset by name.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "none" => Some(Self::none()),
+            "chaos-smoke" => Some(Self::chaos_smoke()),
+            "partition" => Some(Self::partition()),
+            "overload-collapse" => Some(Self::overload_collapse()),
+            _ => None,
+        }
+    }
+
+    /// Whether this scenario is expected to reconcile with the paper's
+    /// Fig. 23 error taxonomy. Only the balanced default chaos preset
+    /// makes that promise; `partition` and `overload-collapse` are
+    /// stress scenarios whose taxonomies *intentionally* deviate (that
+    /// deviation is what their detectors exist to flag), so gating them
+    /// on paper-shape reconciliation would be a category error.
+    pub fn reconciles_taxonomy(&self) -> bool {
+        self.name == "chaos-smoke"
+    }
+
+    /// Whether any causal failure source is active.
+    pub fn injects_faults(&self) -> bool {
+        self.machine_crash.is_some()
+            || self.cluster_drain.is_some()
+            || self.wan_partition.is_some()
+            || self.overload.is_some()
+            || self.deadlines.is_some()
+    }
+
+    /// The static error profile this scenario runs with: the full fleet
+    /// default when no causal source is active, otherwise only the
+    /// residual semantic classes (the mechanical classes — cancellation,
+    /// deadline expiry, unavailability, resource exhaustion — are
+    /// produced causally by the driver instead of drawn from a table).
+    pub fn error_profile(&self) -> ErrorProfile {
+        if self.injects_faults() {
+            ErrorProfile::residual_default()
+        } else {
+            ErrorProfile::fleet_default()
+        }
+    }
+}
+
+impl Default for FaultScenario {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// Connectivity of one WAN cluster pair at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionState {
+    /// Normal connectivity.
+    Connected,
+    /// Degraded: messages pass but carry excess latency.
+    Brownout,
+    /// Partitioned: targets across the pair are unreachable.
+    Blackout,
+}
+
+/// Stream labels separating the plane's generator domains from every
+/// other consumer of the master seed (the driver uses `0xD21_4E12`, sites
+/// use `0x5173_0000`, …). Each entity derives its eligibility gate and
+/// its trajectory from *different* labels so the gate draw never shifts
+/// the trajectory.
+const CRASH_LABEL: u64 = 0xFA17_0001;
+const DRAIN_LABEL: u64 = 0xFA17_0002;
+const PARTITION_LABEL: u64 = 0xFA17_0003;
+const OVERLOAD_LABEL: u64 = 0xFA17_0004;
+const GATE_LABEL: u64 = 0xFA17_00FF;
+
+/// The per-shard materialisation of a [`FaultScenario`].
+///
+/// Episode processes are built lazily the first time an entity is
+/// queried; construction reads only `(master seed, entity key)`, so two
+/// planes over the same scenario and seed answer identically regardless
+/// of query order — the property the fault-determinism test pins.
+#[derive(Debug)]
+pub struct FaultPlane {
+    scenario: FaultScenario,
+    seed: u64,
+    crash: HashMap<u64, Option<EpisodeProcess>>,
+    drain: HashMap<u16, Option<EpisodeProcess>>,
+    partition: HashMap<u32, Option<EpisodeProcess>>,
+    overload: HashMap<u32, Option<EpisodeProcess>>,
+}
+
+/// Lazily builds (or fetches) the episode process for one entity.
+/// Ineligible entities are remembered as `None` so the gate draw happens
+/// exactly once per entity.
+fn lazy_episode<'a, K: std::hash::Hash + Eq + Copy>(
+    map: &'a mut HashMap<K, Option<EpisodeProcess>>,
+    key: K,
+    key_bits: u64,
+    domain: u64,
+    seed: u64,
+    spec: &EpisodeSpec,
+) -> Option<&'a mut EpisodeProcess> {
+    map.entry(key)
+        .or_insert_with(|| {
+            let mut gate = Prng::seed_from(seed)
+                .stream(GATE_LABEL ^ domain)
+                .stream(key_bits);
+            if gate.next_f64() < spec.eligible {
+                Some(EpisodeProcess::new(
+                    spec.params,
+                    Prng::seed_from(seed).stream(domain).stream(key_bits),
+                ))
+            } else {
+                None
+            }
+        })
+        .as_mut()
+}
+
+impl FaultPlane {
+    /// Materialises a scenario against the master seed. Returns `None`
+    /// when the scenario injects no causal faults, so the driver's hot
+    /// path can gate on plane presence alone.
+    pub fn new(scenario: &FaultScenario, seed: u64) -> Option<Self> {
+        scenario.injects_faults().then(|| FaultPlane {
+            scenario: *scenario,
+            seed,
+            crash: HashMap::new(),
+            drain: HashMap::new(),
+            partition: HashMap::new(),
+            overload: HashMap::new(),
+        })
+    }
+
+    /// The scenario this plane materialises.
+    pub fn scenario(&self) -> &FaultScenario {
+        &self.scenario
+    }
+
+    /// Whether the task of `service` on machine `machine` of `cluster` is
+    /// inside a crash/restart episode at `now`.
+    pub fn machine_crashed(
+        &mut self,
+        service: u16,
+        cluster: u16,
+        machine: usize,
+        now: SimTime,
+    ) -> bool {
+        let Some(spec) = self.scenario.machine_crash else {
+            return false;
+        };
+        let key = ((service as u64) << 24) | ((cluster as u64) << 8) | machine as u64;
+        match lazy_episode(&mut self.crash, key, key, CRASH_LABEL, self.seed, &spec) {
+            Some(p) => p.active_at(now),
+            None => false,
+        }
+    }
+
+    /// Whether `cluster` is being drained at `now`.
+    pub fn cluster_drained(&mut self, cluster: u16, now: SimTime) -> bool {
+        let Some(spec) = self.scenario.cluster_drain else {
+            return false;
+        };
+        match lazy_episode(
+            &mut self.drain,
+            cluster,
+            cluster as u64,
+            DRAIN_LABEL,
+            self.seed,
+            &spec,
+        ) {
+            Some(p) => p.active_at(now),
+            None => false,
+        }
+    }
+
+    /// Connectivity of the (unordered) cluster pair `a`–`b` at `now`.
+    /// `wan` is the caller-computed path classification; non-WAN pairs
+    /// never partition. Episodes alternate blackout/brownout on their
+    /// ordinal, so no extra generator draw is spent classifying them.
+    pub fn partition_state(&mut self, a: u16, b: u16, wan: bool, now: SimTime) -> PartitionState {
+        let Some(spec) = self.scenario.wan_partition else {
+            return PartitionState::Connected;
+        };
+        if !wan || a == b {
+            return PartitionState::Connected;
+        }
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let key = ((lo as u32) << 16) | hi as u32;
+        match lazy_episode(
+            &mut self.partition,
+            key,
+            key as u64,
+            PARTITION_LABEL,
+            self.seed,
+            &spec.episodes,
+        ) {
+            Some(p) => match p.active_episode(now) {
+                Some(episode) if episode % 2 == 0 => PartitionState::Blackout,
+                Some(_) => PartitionState::Brownout,
+                None => PartitionState::Connected,
+            },
+            None => PartitionState::Connected,
+        }
+    }
+
+    /// The utilization surge multiplier for the deployment site of
+    /// `service` in `cluster` at `now`, or `None` outside any surge.
+    pub fn overload_factor(&mut self, service: u16, cluster: u16, now: SimTime) -> Option<f64> {
+        let spec = self.scenario.overload?;
+        let key = ((service as u32) << 16) | cluster as u32;
+        match lazy_episode(
+            &mut self.overload,
+            key,
+            key as u64,
+            OVERLOAD_LABEL,
+            self.seed,
+            &spec.episodes,
+        ) {
+            Some(p) => p.active_at(now).then_some(spec.util_factor),
+            None => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_resolve_by_name() {
+        for name in FaultScenario::PRESETS {
+            let s = FaultScenario::by_name(name).expect("preset resolves");
+            assert_eq!(s.name, name);
+        }
+        assert!(FaultScenario::by_name("bogus").is_none());
+    }
+
+    #[test]
+    fn none_scenario_has_no_plane_and_full_profile() {
+        let none = FaultScenario::none();
+        assert!(!none.injects_faults());
+        assert!(FaultPlane::new(&none, 7).is_none());
+        assert_eq!(
+            none.error_profile().rates(),
+            ErrorProfile::fleet_default().rates()
+        );
+    }
+
+    #[test]
+    fn active_scenarios_shrink_to_residual_profile() {
+        for name in ["chaos-smoke", "partition", "overload-collapse"] {
+            let s = FaultScenario::by_name(name).unwrap();
+            assert!(s.injects_faults(), "{name}");
+            assert_eq!(
+                s.error_profile().rates(),
+                ErrorProfile::residual_default().rates(),
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn plane_answers_are_independent_of_query_order() {
+        let scenario = FaultScenario::chaos_smoke();
+        let mut forward = FaultPlane::new(&scenario, 7).unwrap();
+        let mut backward = FaultPlane::new(&scenario, 7).unwrap();
+        let instants: Vec<SimTime> = (0..2_000u64)
+            .map(|i| SimTime::from_nanos(i * 43_000_000_000))
+            .collect();
+        let mut recorded = Vec::new();
+        for &t in &instants {
+            for entity in 0..16u16 {
+                recorded.push((
+                    forward.machine_crashed(entity, entity % 5, (entity % 3) as usize, t),
+                    forward.cluster_drained(entity % 8, t),
+                    forward.partition_state(entity % 8, 40 + entity % 8, true, t),
+                    forward.overload_factor(entity, entity % 5, t),
+                ));
+            }
+        }
+        let mut idx = recorded.len();
+        for &t in instants.iter().rev() {
+            for entity in (0..16u16).rev() {
+                idx -= 1;
+                let expect = recorded[idx];
+                // Query in reversed entity order too: lazy construction
+                // must not depend on which entity was touched first.
+                assert_eq!(
+                    backward.overload_factor(entity, entity % 5, t),
+                    expect.3,
+                    "overload at {t}"
+                );
+                assert_eq!(
+                    backward.partition_state(40 + entity % 8, entity % 8, true, t),
+                    expect.2,
+                    "partition at {t} (reversed pair)"
+                );
+                assert_eq!(backward.cluster_drained(entity % 8, t), expect.1);
+                assert_eq!(
+                    backward.machine_crashed(entity, entity % 5, (entity % 3) as usize, t),
+                    expect.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eligibility_fraction_is_respected() {
+        let mut scenario = FaultScenario::chaos_smoke();
+        scenario.machine_crash = Some(EpisodeSpec {
+            eligible: 1.0,
+            ..scenario.machine_crash.unwrap()
+        });
+        let mut plane = FaultPlane::new(&scenario, 7).unwrap();
+        // With eligibility 1.0 every machine eventually crashes.
+        let mut saw_crash = 0;
+        for m in 0..64u64 {
+            for i in 0..2_000u64 {
+                if plane.machine_crashed(
+                    (m % 8) as u16,
+                    (m / 8) as u16,
+                    (m % 3) as usize,
+                    SimTime::from_nanos(i * 43_000_000_000),
+                ) {
+                    saw_crash += 1;
+                    break;
+                }
+            }
+        }
+        assert!(saw_crash > 48, "only {saw_crash}/64 machines ever crashed");
+
+        // With eligibility 0.0…01, practically none do.
+        scenario.machine_crash = Some(EpisodeSpec {
+            eligible: 1e-9,
+            ..scenario.machine_crash.unwrap()
+        });
+        let mut plane = FaultPlane::new(&scenario, 7).unwrap();
+        for m in 0..64u64 {
+            assert!(!plane.machine_crashed(
+                (m % 8) as u16,
+                (m / 8) as u16,
+                (m % 3) as usize,
+                SimTime::from_nanos(86_400_000_000_000)
+            ));
+        }
+    }
+
+    #[test]
+    fn non_wan_pairs_never_partition() {
+        let scenario = FaultScenario::partition();
+        let mut plane = FaultPlane::new(&scenario, 7).unwrap();
+        for i in 0..1_000u64 {
+            let t = SimTime::from_nanos(i * 86_400_000_000);
+            assert_eq!(
+                plane.partition_state(3, 4, false, t),
+                PartitionState::Connected
+            );
+            assert_eq!(
+                plane.partition_state(5, 5, true, t),
+                PartitionState::Connected
+            );
+        }
+    }
+
+    #[test]
+    fn partitions_include_both_blackouts_and_brownouts() {
+        let scenario = FaultScenario::partition();
+        let mut plane = FaultPlane::new(&scenario, 7).unwrap();
+        let mut states = std::collections::BTreeSet::new();
+        for a in 0..8u16 {
+            for b in 40..48u16 {
+                for i in 0..5_000u64 {
+                    let t = SimTime::from_nanos(i * 17_280_000_000);
+                    let s = plane.partition_state(a, b, true, t);
+                    states.insert(format!("{s:?}"));
+                }
+            }
+        }
+        assert!(states.contains("Blackout"), "no blackout seen: {states:?}");
+        assert!(states.contains("Brownout"), "no brownout seen: {states:?}");
+    }
+}

@@ -14,6 +14,10 @@
 //!   server queueing coupled to exogenous machine state, nested fan-out,
 //!   hedging, and error injection. Spans stream into the tracer, cycles
 //!   into the profiler, and counters into the TSDB.
+//! - [`faults`]: the fault-injection plane — named failure scenarios
+//!   (machine churn, drains, WAN partitions, overload surges) plus the
+//!   client resilience configuration (deadlines, budgeted retries) the
+//!   driver executes against them.
 //! - [`telemetry`]: adapters from a completed run to the `rpclens-obs`
 //!   observability plane — run manifests, per-window detector inputs,
 //!   and the end-of-run SLO report.
@@ -27,6 +31,7 @@
 pub mod baselines;
 pub mod catalog;
 pub mod driver;
+pub mod faults;
 pub mod growth;
 pub mod telemetry;
 pub mod workload;
@@ -36,6 +41,7 @@ pub mod fleet_prelude {
     pub use crate::{
         catalog::{Catalog, CatalogConfig, MethodSpec, ServiceCategory, ServiceSpec},
         driver::{run_fleet, FleetConfig, FleetRun, SimScale},
+        faults::{FaultPlane, FaultScenario, PartitionState},
         growth::{GrowthConfig, GrowthModel},
         telemetry::{manifest_for_run, slo_findings, window_samples},
         workload::Workload,

@@ -14,7 +14,9 @@
 
 use crate::driver::FleetRun;
 use rpclens_obs::{
-    error_budget_burn, tail_regression, Finding, RunManifest, SloConfig, WindowSample,
+    error_budget_burn, metastable_overload, retry_storm, tail_regression, Finding,
+    OverloadDetectorConfig, RetryStormConfig, RobustnessSection, RunManifest, SloConfig,
+    WindowSample,
 };
 use rpclens_rpcstack::cost::CycleCategory;
 use rpclens_rpcstack::error::ErrorKind;
@@ -44,7 +46,7 @@ pub fn manifest_for_run(run: &FleetRun) -> RunManifest {
     let total = run.profiler.total_cycles();
     let app = run.profiler.category_cycles(CycleCategory::Application);
     let tax_ppm = ((total - app) * 1_000_000).checked_div(total).unwrap_or(0) as u64;
-    RunManifest::from_telemetry(
+    let mut manifest = RunManifest::from_telemetry(
         &run.telemetry,
         run.config.scale.seed,
         run.config.scale.name,
@@ -53,11 +55,38 @@ pub fn manifest_for_run(run: &FleetRun) -> RunManifest {
         errors_by_kind,
         cycles_by_category,
         tax_ppm,
-    )
+    );
+    // Fault-scenario runs carry the robustness section: the executed
+    // resilience counters plus the Fig. 23 count/wasted-cycle table. It
+    // lives outside the digested deterministic body, so fault-free runs
+    // keep their golden digests.
+    if run.config.faults.injects_faults() || run.config.faults.retry.is_some() {
+        let r = &run.telemetry.counters.resilience;
+        manifest.robustness = Some(RobustnessSection {
+            scenario: run.config.faults.name.to_string(),
+            retries_issued: r.retries_issued,
+            retries_denied: r.retries_denied,
+            failovers: r.failovers,
+            causal_unavailable: r.causal_unavailable,
+            load_sheds: r.load_sheds,
+            deadline_exceeded: r.deadline_exceeded,
+            errors: ErrorKind::ALL
+                .iter()
+                .map(|&k| {
+                    (
+                        k.label().to_string(),
+                        run.errors.count(k),
+                        run.errors.wasted_cycles(k),
+                    )
+                })
+                .collect(),
+        });
+    }
+    manifest
 }
 
 /// Reconstructs per-window [`WindowSample`] rows from the driver's
-/// cumulative `driver/*` TSDB streams. The driver writes all three
+/// cumulative `driver/*` TSDB streams. The driver writes all four
 /// streams on the same window set, so the join is point-by-point.
 pub fn window_samples(run: &FleetRun) -> Vec<WindowSample> {
     let period = rpclens_tsdb::DEFAULT_SAMPLE_PERIOD.as_nanos();
@@ -77,6 +106,7 @@ pub fn window_samples(run: &FleetRun) -> Vec<WindowSample> {
     let rpcs = deltas("driver/rpcs/count");
     let errors = deltas("driver/errors/count");
     let congested = deltas("driver/wire/congested");
+    let retries = deltas("driver/retries/count");
     let mut windows: Vec<u64> = rpcs.keys().copied().collect();
     windows.sort_unstable();
     windows
@@ -86,11 +116,13 @@ pub fn window_samples(run: &FleetRun) -> Vec<WindowSample> {
             rpcs: rpcs.get(&w).copied().unwrap_or(0),
             errors: errors.get(&w).copied().unwrap_or(0),
             congested_wire: congested.get(&w).copied().unwrap_or(0),
+            retries: retries.get(&w).copied().unwrap_or(0),
         })
         .collect()
 }
 
-/// Runs both detectors over a completed run: error-budget burn on the
+/// Runs the detector suite over a completed run: error-budget burn,
+/// retry-storm amplification, and metastable-overload collapse on the
 /// live per-window streams, and — when a baseline manifest is supplied —
 /// tail-latency regression of the root-latency quantiles against it.
 pub fn slo_findings(
@@ -99,7 +131,24 @@ pub fn slo_findings(
     slo: &SloConfig,
     tail_tolerance: f64,
 ) -> Vec<Finding> {
-    let mut findings = error_budget_burn(slo, &window_samples(run));
+    let samples = window_samples(run);
+    let mut findings = error_budget_burn(slo, &samples);
+    // The retry-storm detector judges amplification against the budget
+    // ratio the run was actually configured with.
+    let storm_cfg = RetryStormConfig {
+        budget_ratio: run
+            .config
+            .faults
+            .retry
+            .map(|rs| rs.budget_ratio)
+            .unwrap_or(RetryStormConfig::default().budget_ratio),
+        ..RetryStormConfig::default()
+    };
+    findings.extend(retry_storm(&storm_cfg, &samples));
+    findings.extend(metastable_overload(
+        &OverloadDetectorConfig::default(),
+        &samples,
+    ));
     if let Some(base) = baseline {
         let current = manifest_for_run(run);
         findings.extend(tail_regression(

@@ -64,6 +64,15 @@ impl PathClass {
             PathClass::InterContinent => "different continents",
         }
     }
+
+    /// Whether the path leaves the datacenter and rides the WAN.
+    ///
+    /// WAN paths are the ones exposed to partition and brownout episodes
+    /// in the fault-injection plane; intra-datacenter fabric failures are
+    /// modelled as machine/task churn instead.
+    pub fn is_wan(self) -> bool {
+        !matches!(self, PathClass::SameCluster | PathClass::SameDatacenter)
+    }
 }
 
 /// A geographic region hosting one or more datacenters.
@@ -418,5 +427,14 @@ mod tests {
     fn labels_are_stable() {
         assert_eq!(PathClass::SameRegion.label(), "different DC, same country");
         assert_eq!(PathClass::InterContinent.label(), "different continents");
+    }
+
+    #[test]
+    fn wan_classes_leave_the_datacenter() {
+        assert!(!PathClass::SameCluster.is_wan());
+        assert!(!PathClass::SameDatacenter.is_wan());
+        assert!(PathClass::SameRegion.is_wan());
+        assert!(PathClass::SameContinent.is_wan());
+        assert!(PathClass::InterContinent.is_wan());
     }
 }

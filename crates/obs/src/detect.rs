@@ -1,6 +1,6 @@
 //! SLO and anomaly detectors over per-window metric streams.
 //!
-//! Two detectors, mirroring the alerting patterns the paper's fleet runs
+//! Four detectors, mirroring the alerting patterns the paper's fleet runs
 //! on top of its Monarch-style time series:
 //!
 //! - [`error_budget_burn`] — multi-window burn-rate analysis of the
@@ -8,6 +8,12 @@
 //!   burn coincided with network congestion episodes.
 //! - [`tail_regression`] — root-latency tail comparison against a
 //!   baseline run manifest.
+//! - [`retry_storm`] — retry-amplification analysis: whether the volume
+//!   of retries stayed below the configured `RetryBudget` ratio, overall
+//!   and per window.
+//! - [`metastable_overload`] — goodput-collapse windows: sustained spans
+//!   where most offered work fails or is retried, the signature of a
+//!   metastable overload state.
 //!
 //! Detectors take plain slices, not `tsdb` handles, so this crate stays
 //! at the bottom of the dependency graph; `rpclens-fleet` adapts its
@@ -48,6 +54,9 @@ pub struct WindowSample {
     pub errors: u64,
     /// Wire traversals in the window that hit a congestion episode.
     pub congested_wire: u64,
+    /// Retry attempts issued in the window (each is also counted in
+    /// `rpcs`, like hedges).
+    pub retries: u64,
 }
 
 /// How urgent a finding is.
@@ -194,6 +203,171 @@ pub fn tail_regression(
     findings
 }
 
+/// Parameters for the retry-storm detector.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryStormConfig {
+    /// The configured `RetryBudget` earn ratio; amplification beyond it
+    /// means the budget failed to clamp the storm.
+    pub budget_ratio: f64,
+    /// Minimum retries in a window before its amplification is judged
+    /// (avoids noise from near-empty windows).
+    pub min_window_retries: u64,
+}
+
+impl Default for RetryStormConfig {
+    fn default() -> Self {
+        RetryStormConfig {
+            budget_ratio: 0.1,
+            min_window_retries: 20,
+        }
+    }
+}
+
+/// Analyses retry amplification against the configured retry-budget
+/// ratio. Always emits one overall finding when any retries were issued
+/// (info when the budget held, warn/critical when amplification exceeded
+/// the ratio), plus one finding per window whose local amplification
+/// broke the ratio.
+pub fn retry_storm(cfg: &RetryStormConfig, windows: &[WindowSample]) -> Vec<Finding> {
+    assert!(cfg.budget_ratio > 0.0, "budget_ratio must be positive");
+    let total_retries: u64 = windows.iter().map(|w| w.retries).sum();
+    if total_retries == 0 {
+        return Vec::new();
+    }
+    let total_rpcs: u64 = windows.iter().map(|w| w.rpcs).sum();
+    let primary = total_rpcs.saturating_sub(total_retries).max(1);
+    let overall = total_retries as f64 / primary as f64;
+    let severity = if overall > 2.0 * cfg.budget_ratio {
+        Severity::Critical
+    } else if overall > cfg.budget_ratio {
+        Severity::Warn
+    } else {
+        Severity::Info
+    };
+    let verdict = if overall <= cfg.budget_ratio {
+        "budget clamped the storm"
+    } else {
+        "amplification exceeded the budget ratio"
+    };
+    let mut findings = vec![Finding {
+        detector: "retry-storm",
+        subject: "overall".to_string(),
+        severity,
+        detail: format!(
+            "{total_retries} retries / {primary} primary calls = {overall:.4} amplification \
+             vs budget ratio {:.2} — {verdict}",
+            cfg.budget_ratio
+        ),
+    }];
+    for w in windows {
+        if w.retries < cfg.min_window_retries {
+            continue;
+        }
+        let window_primary = w.rpcs.saturating_sub(w.retries).max(1);
+        let amp = w.retries as f64 / window_primary as f64;
+        if amp <= cfg.budget_ratio {
+            continue;
+        }
+        findings.push(Finding {
+            detector: "retry-storm",
+            subject: format!("window {}", w.window),
+            severity: if amp > 2.0 * cfg.budget_ratio {
+                Severity::Critical
+            } else {
+                Severity::Warn
+            },
+            detail: format!(
+                "{} retries / {window_primary} primary calls = {amp:.4} amplification \
+                 vs budget ratio {:.2}",
+                w.retries, cfg.budget_ratio
+            ),
+        });
+    }
+    findings
+}
+
+/// Parameters for the metastable-overload detector.
+#[derive(Debug, Clone, Copy)]
+pub struct OverloadDetectorConfig {
+    /// A window has collapsed when less than this fraction of its
+    /// offered work succeeds (neither errors nor retry attempts).
+    pub collapse_success_frac: f64,
+    /// Minimum run of consecutive collapsed windows worth reporting —
+    /// metastability is persistence, a single bad window is just load.
+    pub min_consecutive: usize,
+}
+
+impl Default for OverloadDetectorConfig {
+    fn default() -> Self {
+        OverloadDetectorConfig {
+            collapse_success_frac: 0.5,
+            min_consecutive: 2,
+        }
+    }
+}
+
+/// Finds goodput-collapse runs: maximal spans of consecutive windows in
+/// which most offered work failed or was retried. Success fraction is
+/// demand-normalized (`(rpcs - errors - retries) / rpcs`), so diurnal
+/// troughs do not read as collapse. One finding per run of at least
+/// `min_consecutive` windows; a run twice that long escalates to
+/// critical.
+pub fn metastable_overload(cfg: &OverloadDetectorConfig, windows: &[WindowSample]) -> Vec<Finding> {
+    assert!(
+        cfg.collapse_success_frac > 0.0 && cfg.collapse_success_frac < 1.0,
+        "collapse_success_frac must be in (0,1), got {}",
+        cfg.collapse_success_frac
+    );
+    let collapsed = |w: &WindowSample| {
+        if w.rpcs == 0 {
+            return false;
+        }
+        let good = w.rpcs.saturating_sub(w.errors).saturating_sub(w.retries);
+        (good as f64 / w.rpcs as f64) < cfg.collapse_success_frac
+    };
+    let mut findings = Vec::new();
+    let mut i = 0;
+    while i < windows.len() {
+        if !collapsed(&windows[i]) {
+            i += 1;
+            continue;
+        }
+        // Extend the run while windows stay adjacent and collapsed.
+        let mut j = i;
+        while j + 1 < windows.len()
+            && windows[j + 1].window == windows[j].window + 1
+            && collapsed(&windows[j + 1])
+        {
+            j += 1;
+        }
+        let run = &windows[i..=j];
+        let len = run.len();
+        if len >= cfg.min_consecutive {
+            let rpcs: u64 = run.iter().map(|w| w.rpcs).sum();
+            let errors: u64 = run.iter().map(|w| w.errors).sum();
+            let retries: u64 = run.iter().map(|w| w.retries).sum();
+            let good = rpcs.saturating_sub(errors).saturating_sub(retries);
+            let frac = good as f64 / rpcs.max(1) as f64;
+            findings.push(Finding {
+                detector: "metastable-overload",
+                subject: format!("windows {}..{}", run[0].window, run[len - 1].window),
+                severity: if len >= 2 * cfg.min_consecutive {
+                    Severity::Critical
+                } else {
+                    Severity::Warn
+                },
+                detail: format!(
+                    "goodput collapsed for {len} consecutive windows: only {frac:.0}% of \
+                     {rpcs} offered rpcs succeeded ({errors} errors, {retries} retries)",
+                    frac = frac * 100.0
+                ),
+            });
+        }
+        i = j + 1;
+    }
+    findings
+}
+
 /// Renders findings as a fixed-width text table (or an all-clear line).
 pub fn render_findings(findings: &[Finding]) -> String {
     if findings.is_empty() {
@@ -244,12 +418,14 @@ mod tests {
                 rpcs: 10_000,
                 errors: 5, // 0.05% — half the 0.1% budget, burn 0.5x
                 congested_wire: 0,
+                retries: 0,
             },
             WindowSample {
                 window: 1,
                 rpcs: 0, // empty window skipped
                 errors: 0,
                 congested_wire: 0,
+                retries: 0,
             },
         ];
         assert!(error_budget_burn(&cfg, &windows).is_empty());
@@ -264,12 +440,14 @@ mod tests {
                 rpcs: 1000,
                 errors: 12, // 1.2% vs 0.1% budget → 12x
                 congested_wire: 40,
+                retries: 0,
             },
             WindowSample {
                 window: 4,
                 rpcs: 1000,
                 errors: 30, // 3.0% → 30x ≥ 2*10x → critical
                 congested_wire: 0,
+                retries: 0,
             },
         ];
         let findings = error_budget_burn(&cfg, &windows);
@@ -319,6 +497,101 @@ mod tests {
         let findings = tail_regression(&current, &baseline, 0.10);
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].subject, "count");
+    }
+
+    fn w(window: u64, rpcs: u64, errors: u64, retries: u64) -> WindowSample {
+        WindowSample {
+            window,
+            rpcs,
+            errors,
+            congested_wire: 0,
+            retries,
+        }
+    }
+
+    #[test]
+    fn no_retries_means_no_storm_findings() {
+        let cfg = RetryStormConfig::default();
+        assert!(retry_storm(&cfg, &[w(0, 1000, 10, 0)]).is_empty());
+    }
+
+    #[test]
+    fn clamped_retries_report_info_overall() {
+        let cfg = RetryStormConfig::default();
+        // 50 retries over 1000 primary calls: 0.05 < 0.1 ratio.
+        let findings = retry_storm(&cfg, &[w(0, 1050, 60, 50)]);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].subject, "overall");
+        assert_eq!(findings[0].severity, Severity::Info);
+        assert!(findings[0].detail.contains("budget clamped"));
+    }
+
+    #[test]
+    fn storm_escalates_overall_and_flags_windows() {
+        let cfg = RetryStormConfig::default();
+        // Window 3: 300 retries / 1000 primary = 0.30 > 2 x 0.1.
+        let findings = retry_storm(&cfg, &[w(2, 1010, 0, 10), w(3, 1300, 350, 300)]);
+        assert_eq!(findings.len(), 2);
+        assert_eq!(findings[0].subject, "overall");
+        assert_eq!(findings[0].severity, Severity::Warn);
+        assert!(findings[0].detail.contains("exceeded"));
+        assert_eq!(findings[1].subject, "window 3");
+        assert_eq!(findings[1].severity, Severity::Critical);
+    }
+
+    #[test]
+    fn small_windows_are_not_judged_for_amplification() {
+        let cfg = RetryStormConfig::default();
+        // 5 retries < min_window_retries, even though local amp is 5.0.
+        let findings = retry_storm(&cfg, &[w(0, 2000, 0, 0), w(1, 6, 5, 5)]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].subject, "overall");
+    }
+
+    #[test]
+    fn isolated_bad_window_is_not_metastable() {
+        let cfg = OverloadDetectorConfig::default();
+        let findings = metastable_overload(
+            &cfg,
+            &[w(0, 1000, 10, 0), w(1, 1000, 800, 100), w(2, 1000, 10, 0)],
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn sustained_collapse_is_reported_and_escalates() {
+        let cfg = OverloadDetectorConfig::default();
+        // Two collapsed windows -> warn.
+        let findings = metastable_overload(
+            &cfg,
+            &[w(4, 1000, 700, 100), w(5, 1000, 600, 50), w(6, 1000, 5, 0)],
+        );
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].subject, "windows 4..5");
+        assert_eq!(findings[0].severity, Severity::Warn);
+        // Four consecutive collapsed windows -> critical.
+        let long: Vec<WindowSample> = (10..14).map(|i| w(i, 1000, 900, 50)).collect();
+        let findings = metastable_overload(&cfg, &long);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].severity, Severity::Critical);
+        assert!(findings[0].detail.contains("4 consecutive windows"));
+    }
+
+    #[test]
+    fn collapse_runs_must_be_adjacent_windows() {
+        let cfg = OverloadDetectorConfig::default();
+        // Collapsed windows 2 and 4 are separated by a missing window 3,
+        // so neither run reaches min_consecutive.
+        let findings = metastable_overload(&cfg, &[w(2, 1000, 900, 0), w(4, 1000, 900, 0)]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn diurnal_troughs_do_not_read_as_collapse() {
+        let cfg = OverloadDetectorConfig::default();
+        // Low-demand windows with proportionally low errors are healthy.
+        let findings = metastable_overload(&cfg, &[w(0, 20, 1, 0), w(1, 15, 0, 0)]);
+        assert!(findings.is_empty(), "{findings:?}");
     }
 
     #[test]

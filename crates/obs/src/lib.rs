@@ -21,7 +21,8 @@
 //!   execution-shape fields.
 //! - [`detect`] — SLO/anomaly detectors over per-window metric streams:
 //!   error-budget burn (optionally correlated with network congestion
-//!   episodes) and tail-latency regression against a baseline manifest.
+//!   episodes), tail-latency regression against a baseline manifest,
+//!   retry-storm amplification, and metastable-overload collapse.
 //!
 //! The determinism contract of `docs/ARCHITECTURE.md` extends to this
 //! crate: everything outside the manifest's `runtime` section must be
@@ -39,6 +40,11 @@ pub mod json;
 pub mod manifest;
 pub mod telemetry;
 
-pub use detect::{error_budget_burn, tail_regression, Finding, Severity, SloConfig, WindowSample};
-pub use manifest::{LatencyQuantiles, RunManifest, MANIFEST_SCHEMA_VERSION};
-pub use telemetry::{PhaseTimings, QueueTelemetry, RunTelemetry, ShardCounters, WireTelemetry};
+pub use detect::{
+    error_budget_burn, metastable_overload, retry_storm, tail_regression, Finding,
+    OverloadDetectorConfig, RetryStormConfig, Severity, SloConfig, WindowSample,
+};
+pub use manifest::{LatencyQuantiles, RobustnessSection, RunManifest, MANIFEST_SCHEMA_VERSION};
+pub use telemetry::{
+    PhaseTimings, QueueTelemetry, ResilienceTelemetry, RunTelemetry, ShardCounters, WireTelemetry,
+};

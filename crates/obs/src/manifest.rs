@@ -1,6 +1,6 @@
 //! Versioned JSON run manifests.
 //!
-//! A manifest is the durable record of one fleet run. It has exactly two
+//! A manifest is the durable record of one fleet run. It has up to three
 //! top-level sections:
 //!
 //! - `deterministic` — integers only, a pure function of the master seed.
@@ -9,6 +9,12 @@
 //!   so a manifest doubles as a regression baseline: if the deterministic
 //!   bytes differ between two runs with the same seed and scale, the
 //!   simulation changed.
+//! - `robustness` — present only when a fault scenario was active: the
+//!   scenario name, executed-resilience counters (retries, failovers,
+//!   causal errors), and the per-error-kind count/wasted-cycle table
+//!   behind the Fig. 23 breakdown. Deterministic too, but kept *outside*
+//!   [`RunManifest::digest`] so fault-free runs keep their historical
+//!   golden digests byte-for-byte.
 //! - `runtime` — wall-clock phase timings and per-shard execution shape.
 //!   Explicitly non-deterministic; excluded from comparisons.
 //!
@@ -24,7 +30,10 @@ use crate::json::{self, Json};
 use crate::telemetry::{QueueTelemetry, RunTelemetry, WireTelemetry};
 
 /// Current manifest schema version. Bump on any field change.
-pub const MANIFEST_SCHEMA_VERSION: u32 = 1;
+///
+/// History: v1 carried `deterministic` + `runtime`; v2 added the optional
+/// `robustness` section for fault-scenario runs.
+pub const MANIFEST_SCHEMA_VERSION: u32 = 2;
 
 /// Root-latency summary as integer microsecond quantiles (from the
 /// driver's `LogHistogram`; ~1.6% bucket resolution).
@@ -117,6 +126,31 @@ pub struct RuntimeSection {
     pub total_wall_ms: f64,
 }
 
+/// Fault-scenario section: executed-resilience counters and the
+/// per-error-kind breakdown. Present only when a fault scenario was
+/// active; deterministic but excluded from [`RunManifest::digest`] so
+/// fault-free golden digests are stable across schema growth.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RobustnessSection {
+    /// Fault scenario preset name (`chaos-smoke`, `partition`, ...).
+    pub scenario: String,
+    /// Retry attempts issued by the client resilience loop.
+    pub retries_issued: u64,
+    /// Retry attempts denied by the retry-budget token bucket.
+    pub retries_denied: u64,
+    /// Retries redirected to a different replica or cluster.
+    pub failovers: u64,
+    /// `Unavailable` errors with a causal origin (crash/drain/blackout).
+    pub causal_unavailable: u64,
+    /// `NoResource` errors from load-shedding queues under overload.
+    pub load_sheds: u64,
+    /// `DeadlineExceeded` errors from latency crossing a deadline.
+    pub deadline_exceeded: u64,
+    /// Per-error-kind `(kind, count, wasted_cycles)` rows in fixed kind
+    /// order — the Fig. 23 error-class/wasted-work breakdown.
+    pub errors: Vec<(String, u64, u128)>,
+}
+
 /// A versioned run manifest; see the module docs for the layout.
 #[derive(Debug, Clone, Default)]
 pub struct RunManifest {
@@ -124,6 +158,8 @@ pub struct RunManifest {
     pub schema_version: u32,
     /// Shard-count-invariant counters.
     pub deterministic: DeterministicSection,
+    /// Fault-scenario resilience counters; `None` for fault-free runs.
+    pub robustness: Option<RobustnessSection>,
     /// Wall-clock execution shape.
     pub runtime: RuntimeSection,
 }
@@ -203,8 +239,43 @@ impl RunManifest {
         RunManifest {
             schema_version: MANIFEST_SCHEMA_VERSION,
             deterministic,
+            robustness: None,
             runtime,
         }
+    }
+
+    /// Renders the `robustness` section as a JSON value.
+    fn robustness_json(r: &RobustnessSection) -> Json {
+        Json::obj([
+            ("scenario", Json::Str(r.scenario.clone())),
+            ("retries_issued", Json::Uint(u128::from(r.retries_issued))),
+            ("retries_denied", Json::Uint(u128::from(r.retries_denied))),
+            ("failovers", Json::Uint(u128::from(r.failovers))),
+            (
+                "causal_unavailable",
+                Json::Uint(u128::from(r.causal_unavailable)),
+            ),
+            ("load_sheds", Json::Uint(u128::from(r.load_sheds))),
+            (
+                "deadline_exceeded",
+                Json::Uint(u128::from(r.deadline_exceeded)),
+            ),
+            (
+                "errors",
+                Json::Array(
+                    r.errors
+                        .iter()
+                        .map(|(kind, count, wasted)| {
+                            Json::obj([
+                                ("kind", Json::Str(kind.clone())),
+                                ("count", Json::Uint(u128::from(*count))),
+                                ("wasted_cycles", Json::Uint(*wasted)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
     }
 
     /// Renders the `deterministic` section (without the digest field) as
@@ -287,51 +358,54 @@ impl RunManifest {
             pairs.push(("digest".to_string(), Json::Uint(u128::from(digest))));
         }
         let r = &self.runtime;
-        Json::obj([
+        let mut sections: Vec<(String, Json)> = vec![
             (
-                "schema_version",
+                "schema_version".to_string(),
                 Json::Uint(u128::from(self.schema_version)),
             ),
-            ("deterministic", deterministic),
-            (
-                "runtime",
-                Json::obj([
-                    ("shards", Json::Uint(r.shards as u128)),
-                    (
-                        "per_shard",
-                        Json::Array(
-                            r.per_shard
-                                .iter()
-                                .map(|&(shard, roots, spans, wall_ms)| {
-                                    Json::obj([
-                                        ("shard", Json::Uint(shard as u128)),
-                                        ("roots", Json::Uint(u128::from(roots))),
-                                        ("spans", Json::Uint(u128::from(spans))),
-                                        ("wall_ms", Json::Float(wall_ms)),
-                                    ])
-                                })
-                                .collect(),
-                        ),
+            ("deterministic".to_string(), deterministic),
+        ];
+        if let Some(rb) = &self.robustness {
+            sections.push(("robustness".to_string(), Self::robustness_json(rb)));
+        }
+        sections.push((
+            "runtime".to_string(),
+            Json::obj([
+                ("shards", Json::Uint(r.shards as u128)),
+                (
+                    "per_shard",
+                    Json::Array(
+                        r.per_shard
+                            .iter()
+                            .map(|&(shard, roots, spans, wall_ms)| {
+                                Json::obj([
+                                    ("shard", Json::Uint(shard as u128)),
+                                    ("roots", Json::Uint(u128::from(roots))),
+                                    ("spans", Json::Uint(u128::from(spans))),
+                                    ("wall_ms", Json::Float(wall_ms)),
+                                ])
+                            })
+                            .collect(),
                     ),
-                    (
-                        "phases",
-                        Json::Array(
-                            r.phases
-                                .iter()
-                                .map(|(name, ms)| {
-                                    Json::obj([
-                                        ("phase", Json::Str(name.clone())),
-                                        ("wall_ms", Json::Float(*ms)),
-                                    ])
-                                })
-                                .collect(),
-                        ),
+                ),
+                (
+                    "phases",
+                    Json::Array(
+                        r.phases
+                            .iter()
+                            .map(|(name, ms)| {
+                                Json::obj([
+                                    ("phase", Json::Str(name.clone())),
+                                    ("wall_ms", Json::Float(*ms)),
+                                ])
+                            })
+                            .collect(),
                     ),
-                    ("total_wall_ms", Json::Float(r.total_wall_ms)),
-                ]),
-            ),
-        ])
-        .to_pretty()
+                ),
+                ("total_wall_ms", Json::Float(r.total_wall_ms)),
+            ]),
+        ));
+        Json::Object(sections).to_pretty()
     }
 
     /// Parses a manifest previously written by [`RunManifest::to_json_string`].
@@ -346,7 +420,9 @@ impl RunManifest {
             .get("schema_version")
             .and_then(Json::as_u64)
             .ok_or("missing schema_version")?;
-        if version != u64::from(MANIFEST_SCHEMA_VERSION) {
+        // v1 manifests are a strict subset of v2 (no `robustness`
+        // section), so both parse identically.
+        if version != 1 && version != u64::from(MANIFEST_SCHEMA_VERSION) {
             return Err(format!(
                 "unsupported manifest schema version {version} (expected {MANIFEST_SCHEMA_VERSION})"
             ));
@@ -433,6 +509,36 @@ impl RunManifest {
             cycles_by_category: pairs_u128("cycles_by_category")?,
             tax_ppm: need_u64(det, "tax_ppm")?,
         };
+        let robustness = match root.get("robustness") {
+            Some(rb) => Some(RobustnessSection {
+                scenario: rb
+                    .get("scenario")
+                    .and_then(Json::as_str)
+                    .ok_or("missing robustness scenario")?
+                    .to_string(),
+                retries_issued: need_u64(rb, "retries_issued")?,
+                retries_denied: need_u64(rb, "retries_denied")?,
+                failovers: need_u64(rb, "failovers")?,
+                causal_unavailable: need_u64(rb, "causal_unavailable")?,
+                load_sheds: need_u64(rb, "load_sheds")?,
+                deadline_exceeded: need_u64(rb, "deadline_exceeded")?,
+                errors: rb
+                    .get("errors")
+                    .and_then(Json::as_array)
+                    .ok_or("missing robustness errors")?
+                    .iter()
+                    .map(|row| {
+                        Some((
+                            row.get("kind")?.as_str()?.to_string(),
+                            row.get("count")?.as_u64()?,
+                            row.get("wasted_cycles")?.as_u128()?,
+                        ))
+                    })
+                    .collect::<Option<Vec<_>>>()
+                    .ok_or("malformed robustness errors row")?,
+            }),
+            None => None,
+        };
         let runtime = match root.get("runtime") {
             Some(rt) => RuntimeSection {
                 shards: rt.get("shards").and_then(Json::as_u64).unwrap_or(0) as usize,
@@ -472,6 +578,7 @@ impl RunManifest {
         let manifest = RunManifest {
             schema_version: version as u32,
             deterministic,
+            robustness,
             runtime,
         };
         if let Some(stored) = det.get("digest").and_then(Json::as_u64) {
@@ -603,9 +710,55 @@ mod tests {
         let m = sample_manifest();
         let text =
             m.to_json_string()
-                .replacen("\"schema_version\": 1", "\"schema_version\": 999", 1);
+                .replacen("\"schema_version\": 2", "\"schema_version\": 999", 1);
         let e = RunManifest::parse(&text).unwrap_err();
         assert!(e.contains("schema version"), "{e}");
+    }
+
+    #[test]
+    fn v1_manifests_still_parse() {
+        let m = sample_manifest();
+        let text = m
+            .to_json_string()
+            .replacen("\"schema_version\": 2", "\"schema_version\": 1", 1);
+        let back = RunManifest::parse(&text).expect("v1 parses");
+        assert_eq!(back.deterministic, m.deterministic);
+        assert!(back.robustness.is_none());
+    }
+
+    fn sample_robustness() -> RobustnessSection {
+        RobustnessSection {
+            scenario: "chaos-smoke".to_string(),
+            retries_issued: 40,
+            retries_denied: 3,
+            failovers: 25,
+            causal_unavailable: 18,
+            load_sheds: 9,
+            deadline_exceeded: 11,
+            errors: vec![
+                ("unavailable".to_string(), 18, 5_000_000u128),
+                ("no_resource".to_string(), 9, 2_000_000u128),
+            ],
+        }
+    }
+
+    #[test]
+    fn robustness_section_roundtrips_and_leaves_digest_alone() {
+        let mut m = sample_manifest();
+        let d0 = m.digest();
+        m.robustness = Some(sample_robustness());
+        assert_eq!(m.digest(), d0, "robustness must not move the digest");
+        let text = m.to_json_string();
+        assert!(text.contains("\"robustness\""));
+        let back = RunManifest::parse(&text).expect("parse own output");
+        assert_eq!(back.robustness, m.robustness);
+        assert_eq!(back.to_json_string(), text);
+    }
+
+    #[test]
+    fn fault_free_manifests_omit_robustness() {
+        let m = sample_manifest();
+        assert!(!m.to_json_string().contains("robustness"));
     }
 
     #[test]

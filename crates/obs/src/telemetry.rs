@@ -78,6 +78,39 @@ impl WireTelemetry {
     }
 }
 
+/// Resilience telemetry: what the executed retry/failover loop did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResilienceTelemetry {
+    /// Retry attempts actually issued (after budget and backoff gating).
+    pub retries_issued: u64,
+    /// Retry attempts denied by an exhausted [`RetryBudget`] token bucket.
+    ///
+    /// [`RetryBudget`]: https://sre.google/sre-book/handling-overload/
+    pub retries_denied: u64,
+    /// Retries that failed over to a different replica or cluster.
+    pub failovers: u64,
+    /// `Unavailable` errors with a causal origin (crash, drain, blackout)
+    /// rather than a residual statistical draw.
+    pub causal_unavailable: u64,
+    /// `NoResource` errors from load-shedding queues under overload.
+    pub load_sheds: u64,
+    /// `DeadlineExceeded` errors from simulated latency crossing a
+    /// propagated deadline.
+    pub deadline_exceeded: u64,
+}
+
+impl ResilienceTelemetry {
+    /// Folds another shard's resilience telemetry into this one.
+    pub fn absorb(&mut self, other: &ResilienceTelemetry) {
+        self.retries_issued += other.retries_issued;
+        self.retries_denied += other.retries_denied;
+        self.failovers += other.failovers;
+        self.causal_unavailable += other.causal_unavailable;
+        self.load_sheds += other.load_sheds;
+        self.deadline_exceeded += other.deadline_exceeded;
+    }
+}
+
 /// Deterministic per-shard counters; a pure function of the master seed.
 #[derive(Debug, Clone, Default)]
 pub struct ShardCounters {
@@ -97,6 +130,8 @@ pub struct ShardCounters {
     pub queue: QueueTelemetry,
     /// Wire congestion telemetry.
     pub wire: WireTelemetry,
+    /// Executed retry/failover and causal-error telemetry.
+    pub resilience: ResilienceTelemetry,
     /// End-to-end root latency distribution, microseconds.
     pub root_latency_us: LogHistogram,
 }
@@ -120,6 +155,7 @@ impl ShardCounters {
         self.max_depth = self.max_depth.max(other.max_depth);
         self.queue.absorb(&other.queue);
         self.wire.absorb(&other.wire);
+        self.resilience.absorb(&other.resilience);
         self.root_latency_us.merge(&other.root_latency_us);
     }
 }
@@ -207,6 +243,18 @@ mod tests {
             c.max_depth = c.max_depth.max(v % 5);
             c.queue.record((v % 11) * 100);
             c.wire.record(v.is_multiple_of(13));
+            if v.is_multiple_of(3) {
+                c.resilience.retries_issued += 1;
+            }
+            if v.is_multiple_of(17) {
+                c.resilience.retries_denied += 1;
+                c.resilience.load_sheds += 1;
+            }
+            if v.is_multiple_of(19) {
+                c.resilience.failovers += 1;
+                c.resilience.causal_unavailable += 1;
+                c.resilience.deadline_exceeded += 1;
+            }
             c.root_latency_us.record(1 + v * 17 % 100_000);
         }
         c
@@ -235,6 +283,7 @@ mod tests {
             assert_eq!(merged.queue.max_wait_ns, single.queue.max_wait_ns);
             assert_eq!(merged.wire.samples, single.wire.samples);
             assert_eq!(merged.wire.congested, single.wire.congested);
+            assert_eq!(merged.resilience, single.resilience);
             assert_eq!(
                 merged.root_latency_us.count(),
                 single.root_latency_us.count()

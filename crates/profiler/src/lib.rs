@@ -319,6 +319,18 @@ impl ErrorAccounting {
         self.wasted_cycles.get(&kind).copied().unwrap_or(0) as f64 / total as f64
     }
 
+    /// This kind's error count.
+    pub fn count(&self, kind: ErrorKind) -> u64 {
+        self.counts.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// This kind's raw wasted cycles (work-fraction weighted at record
+    /// time), for breakdowns that need absolute magnitudes rather than
+    /// shares — e.g. the exported run manifest's robustness section.
+    pub fn wasted_cycles(&self, kind: ErrorKind) -> u128 {
+        self.wasted_cycles.get(&kind).copied().unwrap_or(0)
+    }
+
     /// All kinds with at least one error, sorted by count descending.
     pub fn kinds_by_count(&self) -> Vec<(ErrorKind, u64)> {
         let mut out: Vec<_> = self.counts.iter().map(|(&k, &c)| (k, c)).collect();

@@ -119,6 +119,25 @@ impl ErrorProfile {
         .expect("default profile is valid")
     }
 
+    /// The residual semantic classes left for table injection when the
+    /// causal fault plane is active: entity-not-found, permission,
+    /// internal, and aborted failures arise from application semantics the
+    /// simulator does not model mechanically. The mechanical classes —
+    /// cancellations (hedging), deadline expiry (drawn deadlines),
+    /// unavailability (crash/drain/partition episodes), and resource
+    /// exhaustion (load shedding under overload surges) — are produced by
+    /// the fleet driver itself, so the aggregate taxonomy still
+    /// reconciles with Fig. 23.
+    pub fn residual_default() -> Self {
+        ErrorProfile::new(vec![
+            (ErrorKind::EntityNotFound, 0.0040),
+            (ErrorKind::NoPermission, 0.0011),
+            (ErrorKind::Internal, 0.0008),
+            (ErrorKind::Aborted, 0.0007),
+        ])
+        .expect("residual profile is valid")
+    }
+
     /// Total probability that an RPC draws an injected error.
     pub fn total_rate(&self) -> f64 {
         self.total
@@ -227,6 +246,38 @@ mod tests {
             .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
             .unwrap();
         assert_eq!(max.0, ErrorKind::EntityNotFound);
+    }
+
+    #[test]
+    fn residual_profile_drops_only_mechanical_classes() {
+        let residual = ErrorProfile::residual_default();
+        let full = ErrorProfile::fleet_default();
+        // Every residual class appears in the full profile at the same
+        // rate, so swapping profiles never changes semantic-error rates.
+        for &(kind, rate) in residual.rates() {
+            let full_rate = full
+                .rates()
+                .iter()
+                .find(|(k, _)| *k == kind)
+                .map(|(_, r)| *r)
+                .expect("residual class present in fleet default");
+            assert_eq!(rate, full_rate, "{kind:?}");
+        }
+        // The classes removed are exactly the mechanically-produced ones.
+        let removed: Vec<ErrorKind> = full
+            .rates()
+            .iter()
+            .filter(|(k, _)| residual.rates().iter().all(|(rk, _)| rk != k))
+            .map(|(k, _)| *k)
+            .collect();
+        assert_eq!(
+            removed,
+            vec![
+                ErrorKind::NoResource,
+                ErrorKind::DeadlineExceeded,
+                ErrorKind::Unavailable
+            ]
+        );
     }
 
     #[test]

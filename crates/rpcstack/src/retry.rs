@@ -211,6 +211,92 @@ mod tests {
         let _ = RetryBudget::new(0.0, 1.0);
     }
 
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            // The budget invariant: the balance never dips below zero and
+            // never exceeds the cap, whatever the earn/spend interleaving.
+            #[test]
+            fn budget_balance_stays_in_bounds(
+                ratio in 0.01f64..=1.0,
+                cap in 0.1f64..=50.0,
+                ops in proptest::collection::vec(any::<bool>(), 0..512),
+            ) {
+                let mut b = RetryBudget::new(ratio, cap);
+                for earn in ops {
+                    if earn {
+                        b.on_success();
+                    } else {
+                        let _ = b.try_spend();
+                    }
+                    prop_assert!(b.balance() >= 0.0, "negative balance {}", b.balance());
+                    prop_assert!(b.balance() <= cap + 1e-9, "balance {} above cap {cap}", b.balance());
+                }
+            }
+
+            // Retry amplification is bounded: however adversarial the
+            // request stream, granted retries never exceed the burst cap
+            // plus ratio x successes (modulo the documented epsilon).
+            #[test]
+            fn retries_bounded_by_ratio_times_successes(
+                ratio in 0.01f64..=1.0,
+                cap in 0.1f64..=20.0,
+                fail in proptest::collection::vec(any::<bool>(), 1..512),
+            ) {
+                let mut b = RetryBudget::new(ratio, cap);
+                let mut successes = 0u64;
+                let mut retries = 0u64;
+                for failed in fail {
+                    if failed {
+                        if b.try_spend() {
+                            retries += 1;
+                        }
+                    } else {
+                        successes += 1;
+                        b.on_success();
+                    }
+                }
+                let bound = cap + ratio * successes as f64 + 1e-6;
+                prop_assert!(
+                    retries as f64 <= bound,
+                    "{retries} retries exceeds cap {cap} + {ratio} x {successes}"
+                );
+            }
+
+            // Backoff delays never exceed the configured cap, and retries
+            // past `max_attempts` are refused outright.
+            #[test]
+            fn backoff_delays_respect_cap(
+                base_ms in 1u64..200,
+                multiplier in 1.0f64..4.0,
+                max_ms in 1u64..2_000,
+                max_attempts in 0u32..8,
+                attempt in 0u32..12,
+                seed: u64,
+            ) {
+                let p = BackoffPolicy {
+                    base: SimDuration::from_millis(base_ms),
+                    multiplier,
+                    max: SimDuration::from_millis(max_ms),
+                    max_attempts,
+                };
+                let mut rng = Prng::seed_from(seed);
+                match p.delay(attempt, &mut rng) {
+                    Some(d) => {
+                        prop_assert!(attempt >= 1 && attempt <= max_attempts);
+                        prop_assert!(
+                            d <= p.max,
+                            "delay {d} above cap {} at attempt {attempt}", p.max
+                        );
+                    }
+                    None => prop_assert!(attempt == 0 || attempt > max_attempts),
+                }
+            }
+        }
+    }
+
     #[test]
     fn steady_state_amplification_matches_ratio() {
         // 1000 requests, 20% failing transiently once: with a 10% budget,
