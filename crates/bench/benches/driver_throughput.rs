@@ -1,11 +1,26 @@
 //! Driver root-throughput benchmark: the tracked perf baseline.
 //!
 //! Measures end-to-end roots/sec of `run_fleet` (catalog + workload
-//! generation + tree expansion + merge + TSDB flush) for the `smoke` and
-//! `default` presets at 1 shard and at one-shard-per-core. The numbers
-//! feed the committed `BENCH_driver.json` trajectory that perf PRs are
-//! judged against; every configuration is bit-identical in output at any
-//! shard count, so this bench measures pure wall-clock cost.
+//! generation + tree expansion + merge + TSDB flush) across the scale
+//! presets, in two execution shapes per preset:
+//!
+//! - `{preset}_1shard` — the canonical sequential number (1 shard,
+//!   1 thread) that `BENCH_driver.json` tracks release over release;
+//! - `{preset}_{N}thread` — N worker-pool threads over one-shard-per-core
+//!   (or N shards if the host has fewer cores), the multi-core scaling
+//!   point. On a single-core host this measures pool overhead, not
+//!   speedup; `docs/PERFORMANCE.md` explains how to read both cases.
+//!
+//! Every configuration is bit-identical in output at any (shards,
+//! threads), so this bench measures pure wall-clock cost.
+//!
+//! Environment knobs:
+//!
+//! - `DRIVER_BENCH_PRESET=smoke|default|paper|fleet|both|all` restricts
+//!   the preset list (`both` = smoke+default, the pre-`fleet` default;
+//!   CI's non-gating job uses `smoke`).
+//! - `DRIVER_BENCH_THREADS=1,4,8` overrides the thread counts measured
+//!   per preset (default: the host's core count, when more than one).
 //!
 //! Refreshing the committed baseline (see README "Benchmarks"):
 //!
@@ -17,19 +32,40 @@
 //! then fold the emitted array into the `current` section of
 //! `BENCH_driver.json`. The `baseline` section is the pre-optimization
 //! reference and is only rewritten when a PR intentionally re-baselines.
-//!
-//! CI runs the cheap subset via `DRIVER_BENCH_PRESET=smoke`.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use rpclens_fleet::driver::{run_fleet, FleetConfig, SimScale};
 
-/// Presets to measure; `DRIVER_BENCH_PRESET=smoke|default` restricts the
-/// run (CI uses `smoke` to keep the non-gating job fast).
+/// Presets to measure; see the module docs for the env contract.
 fn presets() -> Vec<SimScale> {
     match std::env::var("DRIVER_BENCH_PRESET").as_deref() {
         Ok("smoke") => vec![SimScale::smoke()],
         Ok("default") => vec![SimScale::default_scale()],
+        Ok("paper") => vec![SimScale::paper()],
+        Ok("fleet") => vec![SimScale::fleet()],
+        Ok("all") => vec![
+            SimScale::smoke(),
+            SimScale::default_scale(),
+            SimScale::paper(),
+            SimScale::fleet(),
+        ],
         _ => vec![SimScale::smoke(), SimScale::default_scale()],
+    }
+}
+
+/// Thread counts to measure beyond the sequential baseline.
+fn thread_counts(cores: usize) -> Vec<usize> {
+    if let Ok(spec) = std::env::var("DRIVER_BENCH_THREADS") {
+        return spec
+            .split(',')
+            .filter_map(|s| s.trim().parse().ok())
+            .filter(|&t| t > 0)
+            .collect();
+    }
+    if cores > 1 {
+        vec![cores]
+    } else {
+        Vec::new()
     }
 }
 
@@ -41,18 +77,26 @@ fn bench_driver_throughput(c: &mut Criterion) {
     g.sample_size(10);
     for scale in presets() {
         g.throughput(Throughput::Elements(scale.roots));
-        // Always measure the canonical single-shard number (the tracked
-        // baseline), plus the one-shard-per-core configuration when the
-        // host actually has more than one core.
-        let mut shard_counts = vec![1usize];
-        if cores > 1 {
-            shard_counts.push(cores);
-        }
-        for shards in shard_counts {
-            g.bench_function(format!("{}_{}shard", scale.name, shards), |b| {
+        // The canonical single-shard, single-thread number (the tracked
+        // baseline) ...
+        g.bench_function(format!("{}_1shard", scale.name), |b| {
+            b.iter(|| {
+                let mut config = FleetConfig::at_scale(scale.clone());
+                config.shards = 1;
+                config.threads = 1;
+                black_box(run_fleet(config))
+            })
+        });
+        // ... plus the worker-pool configurations: N threads over
+        // one-shard-per-core (at least N shards so every thread has
+        // work to claim).
+        for threads in thread_counts(cores) {
+            let shards = cores.max(threads);
+            g.bench_function(format!("{}_{}thread", scale.name, threads), |b| {
                 b.iter(|| {
                     let mut config = FleetConfig::at_scale(scale.clone());
                     config.shards = shards;
+                    config.threads = threads;
                     black_box(run_fleet(config))
                 })
             });

@@ -1,0 +1,166 @@
+//! `bench-ceiling` — the gating per-RPC cost check and the non-gating
+//! `fleet` wall-clock trend line.
+//!
+//! ```text
+//! bench-ceiling gate  [--baseline PATH] [--runs N]
+//! bench-ceiling trend [--scale fleet|paper|default] [--threads N] [--shards N]
+//! ```
+//!
+//! **`gate`** runs the `smoke` preset sequentially (1 shard, 1 thread)
+//! `N` times (default 3), takes the *best* wall clock — best-of-N is
+//! far more noise-robust on shared CI runners than the mean — and
+//! converts it to nanoseconds per simulated RPC (span). It exits
+//! non-zero if that exceeds the committed ceiling in
+//! `crates/bench/BENCH_driver.json` (`ceiling.smoke_ns_per_rpc`
+//! inflated by `ceiling.regression_tolerance`). The ceiling is
+//! deliberately generous — it catches order-of-magnitude regressions
+//! (an accidental allocation or hash probe back on the hot path), while
+//! honest between-machine variance stays inside the tolerance. Update
+//! the ceiling together with the `current` results when a PR
+//! intentionally changes driver cost.
+//!
+//! **`trend`** runs one preset (default `fleet`) at the default
+//! execution shape, prints wall clock, roots/sec, and the thread count,
+//! and always exits zero: it exists so CI logs accumulate a wall-clock
+//! trend line at fleet scale without gating on shared-runner noise.
+
+use rpclens_bench::run_configured;
+use rpclens_bench::scale_by_name;
+use rpclens_fleet::driver::SimScale;
+use rpclens_fleet::faults::FaultScenario;
+use rpclens_obs::json;
+
+/// The committed baseline, resolved at compile time relative to this
+/// crate; `--baseline PATH` overrides it.
+const DEFAULT_BASELINE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_driver.json");
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench-ceiling gate  [--baseline PATH] [--runs N]\n\
+         \x20      bench-ceiling trend [--scale NAME] [--threads N] [--shards N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut mode: Option<String> = None;
+    let mut baseline = DEFAULT_BASELINE.to_string();
+    let mut runs = 3usize;
+    let mut scale: Option<SimScale> = None;
+    let mut threads: Option<usize> = None;
+    let mut shards: Option<usize> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "gate" | "trend" if mode.is_none() => mode = Some(arg.clone()),
+            "--baseline" => {
+                let Some(path) = iter.next() else { usage() };
+                baseline = path.clone();
+            }
+            "--runs" => {
+                let Some(n) = iter.next().and_then(|s| s.parse().ok()) else {
+                    usage()
+                };
+                runs = n;
+            }
+            "--scale" => {
+                let Some(name) = iter.next() else { usage() };
+                let Some(s) = scale_by_name(name) else {
+                    eprintln!("unknown scale {name}");
+                    usage();
+                };
+                scale = Some(s);
+            }
+            "--threads" => {
+                let Some(n) = iter.next().and_then(|s| s.parse().ok()) else {
+                    usage()
+                };
+                threads = Some(n);
+            }
+            "--shards" => {
+                let Some(n) = iter.next().and_then(|s| s.parse().ok()) else {
+                    usage()
+                };
+                shards = Some(n);
+            }
+            _ => usage(),
+        }
+    }
+    match mode.as_deref() {
+        Some("gate") => gate(&baseline, runs.max(1)),
+        Some("trend") => trend(scale.unwrap_or_else(SimScale::fleet), shards, threads),
+        _ => usage(),
+    }
+}
+
+/// Best-of-N smoke run against the committed per-RPC ceiling.
+fn gate(baseline_path: &str, runs: usize) {
+    let text = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+    let root =
+        json::parse(&text).unwrap_or_else(|e| panic!("parse baseline {baseline_path}: {e:?}"));
+    let ceiling = root
+        .get("ceiling")
+        .expect("baseline has a `ceiling` section");
+    let ceiling_ns = ceiling
+        .get("smoke_ns_per_rpc")
+        .and_then(json::Json::as_f64)
+        .expect("ceiling.smoke_ns_per_rpc");
+    let tolerance = ceiling
+        .get("regression_tolerance")
+        .and_then(json::Json::as_f64)
+        .expect("ceiling.regression_tolerance");
+    let limit = ceiling_ns * (1.0 + tolerance);
+
+    let mut best_ns_per_rpc = f64::INFINITY;
+    let mut spans = 0u64;
+    for i in 0..runs {
+        let t0 = std::time::Instant::now();
+        let run = run_configured(SimScale::smoke(), Some(1), Some(1), FaultScenario::none());
+        let wall_ns = t0.elapsed().as_nanos() as f64;
+        spans = run.total_spans;
+        let ns_per_rpc = wall_ns / run.total_spans.max(1) as f64;
+        eprintln!(
+            "run {}/{}: {:.0} ns/RPC over {} simulated RPCs",
+            i + 1,
+            runs,
+            ns_per_rpc,
+            run.total_spans
+        );
+        best_ns_per_rpc = best_ns_per_rpc.min(ns_per_rpc);
+    }
+    println!(
+        "bench-ceiling: best {best_ns_per_rpc:.0} ns/RPC ({spans} RPCs/run), \
+         ceiling {ceiling_ns:.0} +{:.0}% = {limit:.0} ns/RPC",
+        tolerance * 100.0
+    );
+    if best_ns_per_rpc > limit {
+        eprintln!(
+            "FAIL: per-RPC cost regressed past the committed ceiling; if the \
+             regression is intentional, update `ceiling` in {baseline_path} \
+             alongside the `current` results"
+        );
+        std::process::exit(1);
+    }
+    println!("PASS: within ceiling");
+}
+
+/// One run at the given preset, reported for the CI trend line.
+fn trend(scale: SimScale, shards: Option<usize>, threads: Option<usize>) {
+    let name = scale.name;
+    let roots = scale.roots;
+    let t0 = std::time::Instant::now();
+    let run = run_configured(scale, shards, threads, FaultScenario::none());
+    let secs = t0.elapsed().as_secs_f64();
+    println!(
+        "bench-ceiling trend: scale={} wall={:.1}s roots/sec={:.0} spans={} \
+         shards={} threads={} (non-gating)",
+        name,
+        secs,
+        roots as f64 / secs,
+        run.total_spans,
+        run.telemetry.shards_used,
+        run.telemetry.threads_used,
+    );
+}

@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro all [--scale smoke|default|paper] [--seed N] [--shards N] [--out DIR]
+//! repro all [--scale smoke|default|paper|fleet] [--seed N] [--shards N] [--threads N] [--out DIR]
 //! repro fig12 fig13 table1 ... [--faults none|chaos-smoke|partition|overload-collapse]
 //! repro list
 //! ```
@@ -20,6 +20,13 @@
 //! - `--export-store FILE` persists the sampled traces in the binary
 //!   trace-export format for later `rpclens-inspect` queries.
 //!
+//! `--shards N` splits the root workload into N deterministic chunks and
+//! `--threads N` sets the worker-pool width they execute on (default for
+//! both: one per available core). Both are pure wall-clock knobs —
+//! every output is bit-identical at any combination. The `fleet` scale
+//! (2M roots over the full catalog, 1-in-1024 trace retention) is sized
+//! for multi-core runs; see `docs/PERFORMANCE.md`.
+//!
 //! `--faults PRESET` runs the fleet under a named fault scenario (see
 //! `docs/ROBUSTNESS.md`). The default `none` keeps the run byte-identical
 //! to a build without the fault plane; any other preset switches the
@@ -31,7 +38,7 @@
 //! paper-vs-measured expectation checks. The process exits non-zero if
 //! any check misses, so CI can gate on shape fidelity.
 
-use rpclens_bench::{produce, run_at_sharded_faults, scale_by_name, Artifact};
+use rpclens_bench::{produce, run_configured, scale_by_name, Artifact};
 use rpclens_core::figs::fig23;
 use rpclens_fleet::driver::SimScale;
 use rpclens_fleet::faults::FaultScenario;
@@ -41,7 +48,8 @@ use rpclens_obs::{RunManifest, SloConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <artifact>... | all | list  [--scale smoke|default|paper] [--seed N] [--shards N]\n\
+        "usage: repro <artifact>... | all | list  [--scale smoke|default|paper|fleet] [--seed N]\n\
+         \x20      [--shards N] [--threads N]\n\
          \x20      [--faults {}] \n\
          \x20      [--out DIR] [--telemetry FILE] [--baseline FILE] [--export-store FILE]\n\
          artifacts: {}",
@@ -63,6 +71,7 @@ fn main() {
     let mut scale = SimScale::default_scale();
     let mut faults = FaultScenario::none();
     let mut shards: Option<usize> = None;
+    let mut threads: Option<usize> = None;
     let mut out_dir: Option<std::path::PathBuf> = None;
     let mut telemetry_path: Option<std::path::PathBuf> = None;
     let mut baseline_path: Option<std::path::PathBuf> = None;
@@ -90,6 +99,12 @@ fn main() {
                     usage()
                 };
                 shards = Some(n);
+            }
+            "--threads" => {
+                let Some(n) = iter.next().and_then(|s| s.parse().ok()) else {
+                    usage()
+                };
+                threads = Some(n);
             }
             "--faults" => {
                 let Some(name) = iter.next() else { usage() };
@@ -151,7 +166,7 @@ fn main() {
             scale.name, scale.total_methods, scale.roots, scale.seed, faults.name
         );
         let t0 = std::time::Instant::now();
-        let run = run_at_sharded_faults(scale, shards, faults);
+        let run = run_configured(scale, shards, threads, faults);
         eprintln!(
             "simulated {} spans in {} traces ({:.1}s)",
             run.total_spans,

@@ -256,6 +256,7 @@ pub fn scale_by_name(name: &str) -> Option<SimScale> {
         "smoke" => Some(SimScale::smoke()),
         "default" => Some(SimScale::default_scale()),
         "paper" => Some(SimScale::paper()),
+        "fleet" => Some(SimScale::fleet()),
         _ => None,
     }
 }
@@ -281,9 +282,28 @@ pub fn run_at_sharded_faults(
     shards: Option<usize>,
     faults: FaultScenario,
 ) -> FleetRun {
+    run_configured(scale, shards, None, faults)
+}
+
+/// Runs the fleet with every execution knob explicit: shard count,
+/// worker-pool thread count, and fault scenario.
+///
+/// `None` keeps the respective default (one shard and one thread per
+/// available core). Both knobs are pure wall-clock controls — output is
+/// bit-identical at any (shards, threads) combination, which
+/// `tests/pool_determinism.rs` pins against the golden digests.
+pub fn run_configured(
+    scale: SimScale,
+    shards: Option<usize>,
+    threads: Option<usize>,
+    faults: FaultScenario,
+) -> FleetRun {
     let mut config = FleetConfig::at_scale(scale).with_faults(faults);
     if let Some(shards) = shards {
         config.shards = shards;
+    }
+    if let Some(threads) = threads {
+        config.threads = threads;
     }
     run_fleet(config)
 }
@@ -316,6 +336,16 @@ mod tests {
         assert_eq!(scale_by_name("smoke").unwrap().name, "smoke");
         assert_eq!(scale_by_name("default").unwrap().name, "default");
         assert_eq!(scale_by_name("paper").unwrap().name, "paper");
+        let fleet = scale_by_name("fleet").unwrap();
+        assert_eq!(fleet.name, "fleet");
+        assert!(
+            fleet.roots >= 2_000_000,
+            "fleet preset is millions of roots"
+        );
+        assert!(
+            fleet.trace_sample_rate > 1,
+            "fleet preset must head-sample traces to bound memory"
+        );
         assert!(scale_by_name("x").is_none());
     }
 }

@@ -1,0 +1,158 @@
+//! Documentation link checker: every relative markdown link resolves,
+//! every backtick-quoted repo path exists, and nothing references the
+//! out-of-tree `/root/related/` file sets (replaced by PAPERS.md
+//! citations). Runs as a tier-1 test so stale references fail CI the
+//! same way a broken build does.
+
+use std::path::{Path, PathBuf};
+
+/// Repo root, resolved from this crate's manifest directory.
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root")
+}
+
+/// The markdown files under the link contract. `ISSUE.md`, `PAPER.md`,
+/// and `SNIPPETS.md` are externally generated scratch/reference inputs
+/// and exempt; everything the repo itself maintains is checked.
+fn checked_files(root: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = [
+        "README.md",
+        "DESIGN.md",
+        "EXPERIMENTS.md",
+        "ROADMAP.md",
+        "CHANGES.md",
+        "PAPERS.md",
+    ]
+    .iter()
+    .map(|f| root.join(f))
+    .collect();
+    let docs = root.join("docs");
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&docs)
+        .expect("docs/ directory")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "md"))
+        .collect();
+    entries.sort();
+    files.extend(entries);
+    files
+}
+
+/// Extracts the targets of inline markdown links `[text](target)`.
+fn link_targets(text: &str) -> Vec<String> {
+    let bytes = text.as_bytes();
+    let mut targets = Vec::new();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        if bytes[i] == b']' && bytes[i + 1] == b'(' {
+            if let Some(end) = text[i + 2..].find(')') {
+                targets.push(text[i + 2..i + 2 + end].to_string());
+                i += 2 + end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    targets
+}
+
+/// Extracts backtick-quoted spans that look like in-repo paths: a known
+/// top-level prefix, path-safe characters only.
+fn quoted_repo_paths(text: &str) -> Vec<String> {
+    const PREFIXES: [&str; 4] = ["crates/", "docs/", "vendor/", ".github/"];
+    let mut paths = Vec::new();
+    for span in text.split('`').skip(1).step_by(2) {
+        let is_pathlike = span
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || "._-/".contains(c));
+        if is_pathlike && PREFIXES.iter().any(|p| span.starts_with(p)) {
+            paths.push(span.to_string());
+        }
+    }
+    paths
+}
+
+#[test]
+fn relative_markdown_links_resolve() {
+    let root = repo_root();
+    let mut broken = Vec::new();
+    for file in checked_files(&root) {
+        let text = std::fs::read_to_string(&file)
+            .unwrap_or_else(|e| panic!("read {}: {e}", file.display()));
+        let dir = file.parent().expect("file has a parent");
+        for target in link_targets(&text) {
+            // External links, pure anchors, and intra-page fragments are
+            // out of scope for a filesystem check.
+            if target.starts_with("http") || target.starts_with('#') || target.contains("://") {
+                continue;
+            }
+            let path_part = target.split('#').next().unwrap_or("");
+            if path_part.is_empty() {
+                continue;
+            }
+            if !dir.join(path_part).exists() {
+                broken.push(format!("{}: ({target})", file.display()));
+            }
+        }
+    }
+    assert!(
+        broken.is_empty(),
+        "dead relative links:\n{}",
+        broken.join("\n")
+    );
+}
+
+#[test]
+fn quoted_repo_paths_exist() {
+    let root = repo_root();
+    let mut missing = Vec::new();
+    for file in checked_files(&root) {
+        let text = std::fs::read_to_string(&file)
+            .unwrap_or_else(|e| panic!("read {}: {e}", file.display()));
+        for path in quoted_repo_paths(&text) {
+            if !root.join(&path).exists() {
+                missing.push(format!("{}: `{path}`", file.display()));
+            }
+        }
+    }
+    assert!(
+        missing.is_empty(),
+        "backtick-quoted repo paths that do not exist:\n{}",
+        missing.join("\n")
+    );
+}
+
+#[test]
+fn no_references_to_out_of_tree_related_sets() {
+    let root = repo_root();
+    let mut offenders = Vec::new();
+    for file in checked_files(&root) {
+        let text = std::fs::read_to_string(&file)
+            .unwrap_or_else(|e| panic!("read {}: {e}", file.display()));
+        for (n, line) in text.lines().enumerate() {
+            if line.contains("/root/related") {
+                offenders.push(format!("{}:{}", file.display(), n + 1));
+            }
+        }
+    }
+    assert!(
+        offenders.is_empty(),
+        "docs must cite PAPERS.md entries, not the out-of-tree /root/related \
+         file sets:\n{}",
+        offenders.join("\n")
+    );
+}
+
+#[test]
+fn link_extractors_behave() {
+    let text = "see [a](x.md) and [b](docs/y.md#frag), plus `crates/bench` and \
+                `not/a/prefix` and a [web link](https://example.com).";
+    assert_eq!(
+        link_targets(text),
+        vec!["x.md", "docs/y.md#frag", "https://example.com"]
+    );
+    assert_eq!(quoted_repo_paths(text), vec!["crates/bench"]);
+}

@@ -1,0 +1,139 @@
+//! The worker pool's determinism contract: thread count is invisible.
+//!
+//! PR 1 pinned shard-count invariance (`shard_determinism.rs`,
+//! `telemetry_determinism.rs`); the worker pool adds a second execution
+//! knob, so this file pins the full (shards, threads) matrix against
+//! both committed golden digests — the fault-free smoke manifest digest
+//! and the chaos-smoke digest in `crates/bench/FAULT_SMOKE_DIGEST` —
+//! and property-tests the order-restoring merge (`fleet::pool::OrderedFold`)
+//! directly: whatever order workers *complete* shards in, the fold is
+//! applied in shard-id order, so merged accumulators never depend on
+//! scheduling.
+
+use proptest::prelude::*;
+use rpclens_bench::run_configured;
+use rpclens_fleet::driver::SimScale;
+use rpclens_fleet::faults::FaultScenario;
+use rpclens_fleet::pool::OrderedFold;
+use rpclens_fleet::telemetry::manifest_for_run;
+use rpclens_obs::ShardCounters;
+
+/// Golden fault-free smoke digest; must match the value pinned in
+/// `telemetry_determinism.rs`.
+const SMOKE_GOLDEN_DIGEST: u64 = 4965560232275073350;
+
+/// Committed chaos-smoke digest, shared with the CI fault-smoke gate.
+fn fault_smoke_digest() -> u64 {
+    include_str!("../FAULT_SMOKE_DIGEST")
+        .trim()
+        .parse()
+        .expect("FAULT_SMOKE_DIGEST holds one u64")
+}
+
+/// The acceptance matrix: every (shards, threads) combination in
+/// {1,4}×{1,4} must reproduce both golden digests bit for bit, and the
+/// manifest's runtime section must record the actual execution shape.
+#[test]
+fn golden_digests_hold_across_the_shards_threads_matrix() {
+    for shards in [1usize, 4] {
+        for threads in [1usize, 4] {
+            let run = run_configured(
+                SimScale::smoke(),
+                Some(shards),
+                Some(threads),
+                FaultScenario::none(),
+            );
+            let manifest = manifest_for_run(&run);
+            assert_eq!(
+                manifest.digest(),
+                SMOKE_GOLDEN_DIGEST,
+                "smoke digest drifted at shards={shards} threads={threads}"
+            );
+            // Thread count is execution shape: recorded in the
+            // undigested runtime section, clamped to the shard count.
+            assert_eq!(manifest.runtime.shards, shards);
+            assert_eq!(manifest.runtime.threads, threads.min(shards));
+
+            let faulted = run_configured(
+                SimScale::smoke(),
+                Some(shards),
+                Some(threads),
+                FaultScenario::chaos_smoke(),
+            );
+            let faulted_manifest = manifest_for_run(&faulted);
+            assert_eq!(
+                faulted_manifest.digest(),
+                fault_smoke_digest(),
+                "chaos-smoke digest drifted at shards={shards} threads={threads}"
+            );
+            assert_eq!(
+                faulted_manifest
+                    .robustness
+                    .as_ref()
+                    .expect("chaos-smoke carries robustness")
+                    .scenario,
+                "chaos-smoke"
+            );
+        }
+    }
+}
+
+/// A distinct, recognisable accumulator for shard `i`: real telemetry
+/// counters plus an order-sensitive payload standing in for the trace
+/// store (concatenation order must equal shard-id order).
+fn shard_item(i: usize) -> (ShardCounters, Vec<u64>) {
+    let mut c = ShardCounters::new();
+    let i64 = i as u64;
+    c.roots = 10 + i64;
+    c.spans = 100 + 7 * i64;
+    c.hedges_issued = i64 % 3;
+    c.max_depth = i64 % 9;
+    for k in 0..20u64 {
+        c.root_latency_us.record(1 + (i64 * 37 + k * 11) % 5_000);
+        c.queue.record((i64 + k) % 5 * 250);
+        c.wire.record((i64 + k).is_multiple_of(4));
+    }
+    (c, vec![i64 * 3, i64 * 3 + 1, i64 * 3 + 2])
+}
+
+fn fold_items(acc: &mut (ShardCounters, Vec<u64>), next: (ShardCounters, Vec<u64>)) {
+    acc.0.absorb(&next.0);
+    acc.1.extend(next.1);
+}
+
+proptest! {
+    /// Merged accumulators are independent of worker completion order:
+    /// pushing shards through `OrderedFold` in a random permutation
+    /// yields exactly the sequential in-order fold.
+    #[test]
+    fn ordered_fold_is_completion_order_invariant(
+        keys in proptest::collection::vec(any::<u64>(), 1..24),
+    ) {
+        let n = keys.len();
+        // Derive a completion permutation from the random keys.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| (keys[i], i));
+
+        let mut sequential = OrderedFold::new();
+        for i in 0..n {
+            sequential.push(i, shard_item(i), fold_items);
+        }
+        let expected = sequential.finish();
+
+        let mut shuffled = OrderedFold::new();
+        for &i in &order {
+            shuffled.push(i, shard_item(i), fold_items);
+        }
+        prop_assert_eq!(shuffled.folded(), n);
+        let got = shuffled.finish();
+
+        // Order-sensitive payload merged in shard-id order, not
+        // completion order.
+        prop_assert_eq!(&got.1, &expected.1);
+        let flat: Vec<u64> = (0..n as u64).flat_map(|i| [i * 3, i * 3 + 1, i * 3 + 2]).collect();
+        prop_assert_eq!(&got.1, &flat);
+        // Counters identical field for field (absorb is a sum/max fold,
+        // but equality of the full struct also covers the histograms).
+        prop_assert_eq!(format!("{:?}", got.0), format!("{:?}", expected.0));
+    }
+}

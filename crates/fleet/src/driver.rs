@@ -24,6 +24,7 @@
 
 use crate::catalog::{Catalog, CatalogConfig, ServiceHot};
 use crate::faults::{FaultPlane, FaultScenario, PartitionState};
+use crate::pool;
 use crate::workload::{RootArrival, Workload};
 use rpclens_cluster::exogenous::ExogenousProfile;
 use rpclens_cluster::machine::{Machine, MachineConfig, MachineId};
@@ -47,6 +48,7 @@ use rpclens_trace::collector::{TraceCollector, TraceStore};
 use rpclens_trace::span::{MethodId, ServiceId, SpanBuilder, SpanRecord, TraceData, ROOT_PARENT};
 use rpclens_tsdb::metric::{Labels, MetricDescriptor, MetricValue};
 use rpclens_tsdb::store::TimeSeriesDb;
+use std::sync::Mutex as StdMutex;
 use std::time::Instant;
 
 /// Simulation scale presets.
@@ -102,6 +104,26 @@ impl SimScale {
             seed: 7,
         }
     }
+
+    /// Fleet scale: a simulated day of traffic at cloud scale — two
+    /// million root RPCs over the full 10,000-method population.
+    ///
+    /// Built for the multi-threaded driver: memory stays bounded by
+    /// head-sampling trace retention at 1 in 1,024 trees (sampling is a
+    /// pure retention decision — every tree is still simulated and
+    /// counted; see `docs/PERFORMANCE.md`). All other per-run state is
+    /// fixed-size window/method grids. The memory budget is documented
+    /// in `docs/KNOWN_ISSUES.md`.
+    pub fn fleet() -> Self {
+        SimScale {
+            name: "fleet",
+            total_methods: 10_000,
+            roots: 2_000_000,
+            duration: SimDuration::from_hours(24),
+            trace_sample_rate: 1_024,
+            seed: 7,
+        }
+    }
 }
 
 /// Full driver configuration.
@@ -135,16 +157,26 @@ pub struct FleetConfig {
     pub reserved_cores_enabled: bool,
     /// Number of worker shards the root workload is split across.
     ///
-    /// The run's outputs are bit-identical for every value — shard count
-    /// only trades wall-clock time for cores (see the "Determinism
-    /// contract" section of `docs/ARCHITECTURE.md`). Values are clamped
-    /// to at least 1; the default is one shard per available core.
+    /// Shards are the unit of *determinism*: contiguous root chunks whose
+    /// accumulators merge in shard-id order. The run's outputs are
+    /// bit-identical for every value (see the "Determinism contract"
+    /// section of `docs/ARCHITECTURE.md`). Values are clamped to at
+    /// least 1; the default is one shard per available core.
     pub shards: usize,
+    /// Number of worker threads the shards execute on.
+    ///
+    /// Threads are the unit of *execution*: a bounded pool
+    /// ([`crate::pool`]) on which workers claim shard ids dynamically.
+    /// Like `shards`, this is purely a wall-clock knob — completed
+    /// shards stream through an order-restoring merge, so every output
+    /// is bit-identical at any thread count. Clamped to `1..=shards`;
+    /// the default is one thread per available core.
+    pub threads: usize,
 }
 
-/// One shard per available core, falling back to a single shard when the
-/// parallelism of the host cannot be determined.
-fn default_shards() -> usize {
+/// One shard (or worker thread) per available core, falling back to 1
+/// when the parallelism of the host cannot be determined.
+fn available_cores() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
@@ -163,7 +195,8 @@ impl FleetConfig {
             faults: FaultScenario::none(),
             hedging_enabled: true,
             reserved_cores_enabled: true,
-            shards: default_shards(),
+            shards: available_cores(),
+            threads: available_cores(),
         }
     }
 
@@ -571,61 +604,54 @@ impl Driver {
         // shard-ordered merge reproduces the sequential run exactly.
         let roots = phases.time("generate", || workload.generate(scale.roots));
         let collector = TraceCollector::new(scale.trace_sample_rate);
-        let shards = self.config.shards.clamp(1, roots.len().max(1));
-        let chunk = roots.len().div_ceil(shards).max(1);
+        let requested_shards = self.config.shards.clamp(1, roots.len().max(1));
+        let chunk = roots.len().div_ceil(requested_shards).max(1);
+        // Effective shard count: the number of non-empty root chunks.
+        // Only degenerate configs (more shards than roots per chunk
+        // rounding can fill) make this smaller than requested.
+        let shards = roots.len().div_ceil(chunk).max(1);
+        let threads = self.config.threads.clamp(1, shards);
 
+        // Workers claim shard ids from a shared counter and stream each
+        // completed shard into an order-restoring fold (`crate::pool`):
+        // the accumulator absorbs shard i only after shards 0..i, so the
+        // merged result is bit-identical to the sequential run at any
+        // thread count — every accumulator either commutes (integer
+        // counters, histograms) or is order-sensitive but folded over
+        // contiguous partitions in sequence order (the trace store).
+        // Folding eagerly also bounds memory: at most ~`threads` shard
+        // accumulators are resident at once, not `shards` of them.
         let simulate_start = Instant::now();
-        let outputs: Vec<(Shard<'_>, f64)> = if shards == 1 {
-            let shard_start = Instant::now();
-            let mut shard = Shard::new(&self);
-            shard.run_roots(&roots, 0, &collector);
-            vec![(shard, shard_start.elapsed().as_secs_f64() * 1e3)]
-        } else {
-            std::thread::scope(|s| {
-                let handles: Vec<_> = roots
-                    .chunks(chunk)
-                    .enumerate()
-                    .map(|(i, slice)| {
-                        let world = &self;
-                        let collector = &collector;
-                        s.spawn(move || {
-                            let shard_start = Instant::now();
-                            let mut shard = Shard::new(world);
-                            shard.run_roots(slice, i * chunk, collector);
-                            (shard, shard_start.elapsed().as_secs_f64() * 1e3)
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("shard worker panicked"))
-                    .collect()
-            })
-        };
+        let reports: StdMutex<Vec<ShardReport>> = StdMutex::new(Vec::with_capacity(shards));
+        let merge_ms = StdMutex::new(0.0f64);
+        let merged = pool::run_shards(
+            shards,
+            threads,
+            |id| {
+                let shard_start = Instant::now();
+                let mut shard = Shard::new(&self);
+                let lo = id * chunk;
+                let hi = (lo + chunk).min(roots.len());
+                shard.run_roots(&roots[lo..hi], lo, &collector);
+                reports.lock().expect("report lock").push(ShardReport {
+                    shard: id,
+                    roots: shard.counters.roots,
+                    spans: shard.counters.spans,
+                    wall_ms: shard_start.elapsed().as_secs_f64() * 1e3,
+                });
+                shard
+            },
+            |acc, next| {
+                let merge_start = Instant::now();
+                acc.absorb(next);
+                *merge_ms.lock().expect("merge-time lock") +=
+                    merge_start.elapsed().as_secs_f64() * 1e3;
+            },
+        );
         phases.record("simulate", simulate_start.elapsed().as_secs_f64() * 1e3);
-        let per_shard: Vec<ShardReport> = outputs
-            .iter()
-            .enumerate()
-            .map(|(i, (shard, wall_ms))| ShardReport {
-                shard: i,
-                roots: shard.counters.roots,
-                spans: shard.counters.spans,
-                wall_ms: *wall_ms,
-            })
-            .collect();
-
-        // Fold in shard-id order: every accumulator either commutes
-        // (integer counters, histograms) or is order-sensitive but
-        // folded over contiguous partitions in sequence order (the
-        // trace store), so the result is bit-identical to shards=1.
-        let merge_start = Instant::now();
-        let mut it = outputs.into_iter();
-        let (mut acc, _) = it.next().expect("at least one shard");
-        for (shard, _) in it {
-            acc.absorb(shard);
-        }
-        phases.record("merge", merge_start.elapsed().as_secs_f64() * 1e3);
-        let merged = acc;
+        phases.record("merge", merge_ms.into_inner().expect("merge-time lock"));
+        let mut per_shard = reports.into_inner().expect("report lock");
+        per_shard.sort_by_key(|r| r.shard);
 
         let Shard {
             store,
@@ -682,21 +708,18 @@ impl Driver {
             }
             let svc = ServiceId(svc_idx as u16);
             let labels = Labels::from_pairs([("service", self.catalog.service(svc).name.clone())]);
-            let mut cum = 0u64;
-            for (w, &c) in row.iter().enumerate() {
-                if c == 0 {
-                    continue;
-                }
-                cum += c;
-                let at = SimTime::from_nanos(w as u64 * window.as_nanos());
-                tsdb.write(
-                    "rpc/server/count",
-                    labels.clone(),
-                    at,
-                    MetricValue::Counter(cum),
-                )
-                .expect("registered");
-            }
+            // Skip-zero cumulative stream: a zero cell is exactly an
+            // absent key in the pre-dense-grid map, and the streaming
+            // flush resolves the series once instead of per point.
+            tsdb.write_cumulative(
+                "rpc/server/count",
+                labels,
+                row.iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c != 0)
+                    .map(|(w, &c)| (w, c)),
+            )
+            .expect("registered");
         }
         for svc in self.catalog.services().iter().take(12) {
             for site in svc.clusters.iter().take(4) {
@@ -742,13 +765,12 @@ impl Driver {
             ("driver/wire/congested", &window_congested),
             ("driver/retries/count", &window_retries),
         ] {
-            let mut cum = 0u64;
-            for &w in &windows {
-                cum += deltas[w];
-                let at = SimTime::from_nanos(w as u64 * window.as_nanos());
-                tsdb.write(name, Labels::empty(), at, MetricValue::Counter(cum))
-                    .expect("registered");
-            }
+            tsdb.write_cumulative(
+                name,
+                Labels::empty(),
+                windows.iter().map(|&w| (w, deltas[w])),
+            )
+            .expect("registered");
         }
         phases.record("tsdb", tsdb_start.elapsed().as_secs_f64() * 1e3);
 
@@ -757,6 +779,7 @@ impl Driver {
             per_shard,
             phases,
             shards_used: shards,
+            threads_used: threads,
         };
 
         FleetRun {

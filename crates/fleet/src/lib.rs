@@ -14,6 +14,10 @@
 //!   server queueing coupled to exogenous machine state, nested fan-out,
 //!   hedging, and error injection. Spans stream into the tracer, cycles
 //!   into the profiler, and counters into the TSDB.
+//! - [`pool`]: the dependency-free worker pool the driver runs shards
+//!   on — a bounded set of threads claiming shard ids from a shared
+//!   counter, with an order-restoring streaming merge ([`pool::OrderedFold`])
+//!   so results stay bit-identical at any `--threads` value.
 //! - [`faults`]: the fault-injection plane — named failure scenarios
 //!   (machine churn, drains, WAN partitions, overload surges) plus the
 //!   client resilience configuration (deadlines, budgeted retries) the
@@ -33,6 +37,7 @@ pub mod catalog;
 pub mod driver;
 pub mod faults;
 pub mod growth;
+pub mod pool;
 pub mod telemetry;
 pub mod workload;
 

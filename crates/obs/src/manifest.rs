@@ -118,6 +118,10 @@ pub struct DeterministicSection {
 pub struct RuntimeSection {
     /// Shards the run used.
     pub shards: usize,
+    /// Worker-pool threads the shards executed on. `0` when parsing a
+    /// manifest written before the pool existed (schema unchanged:
+    /// `runtime` fields are additive and never digested).
+    pub threads: usize,
     /// Per-shard `(shard, roots, spans, wall_ms)` rows.
     pub per_shard: Vec<(usize, u64, u64, f64)>,
     /// `(phase, wall_ms)` rows in execution order.
@@ -228,6 +232,7 @@ impl RunManifest {
         };
         let runtime = RuntimeSection {
             shards: telemetry.shards_used,
+            threads: telemetry.threads_used,
             per_shard: telemetry
                 .per_shard
                 .iter()
@@ -372,6 +377,7 @@ impl RunManifest {
             "runtime".to_string(),
             Json::obj([
                 ("shards", Json::Uint(r.shards as u128)),
+                ("threads", Json::Uint(r.threads as u128)),
                 (
                     "per_shard",
                     Json::Array(
@@ -542,6 +548,7 @@ impl RunManifest {
         let runtime = match root.get("runtime") {
             Some(rt) => RuntimeSection {
                 shards: rt.get("shards").and_then(Json::as_u64).unwrap_or(0) as usize,
+                threads: rt.get("threads").and_then(Json::as_u64).unwrap_or(0) as usize,
                 per_shard: rt
                     .get("per_shard")
                     .and_then(Json::as_array)
@@ -636,6 +643,7 @@ mod tests {
                 p
             },
             shards_used: 2,
+            threads_used: 2,
         };
         RunManifest::from_telemetry(
             &telemetry,
@@ -664,6 +672,7 @@ mod tests {
         let back = RunManifest::parse(&text).expect("parse own output");
         assert_eq!(back.deterministic, m.deterministic);
         assert_eq!(back.runtime.shards, 2);
+        assert_eq!(back.runtime.threads, 2);
         assert_eq!(back.runtime.per_shard.len(), 2);
         assert_eq!(back.runtime.phases.len(), 3);
         // Re-render of the parse is byte-identical.
@@ -677,6 +686,7 @@ mod tests {
         assert!(!det.contains("wall_ms"), "wall clock leaked: {det}");
         assert!(!det.contains("per_shard"));
         assert!(!det.contains("shards"));
+        assert!(!det.contains("threads"));
         assert!(det.contains("\"digest\""));
     }
 
@@ -687,6 +697,7 @@ mod tests {
         a.runtime.per_shard.clear();
         a.runtime.phases.clear();
         a.runtime.shards = 8;
+        a.runtime.threads = 8;
         a.runtime.total_wall_ms = 99.0;
         assert_eq!(a.digest(), d0);
         assert_eq!(

@@ -225,6 +225,10 @@ pub struct RunTelemetry {
     /// Number of shards the run used (execution shape, not part of the
     /// deterministic section).
     pub shards_used: usize,
+    /// Number of worker-pool threads the shards executed on (execution
+    /// shape, not part of the deterministic section). `0` in telemetry
+    /// predating the worker pool.
+    pub threads_used: usize,
 }
 
 #[cfg(test)]

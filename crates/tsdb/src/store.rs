@@ -5,7 +5,7 @@
 //! is enforced lazily at write time, the way a streaming monitoring
 //! database ages out old data.
 
-use crate::metric::{Labels, MetricDescriptor, MetricValue};
+use crate::metric::{Labels, MetricDescriptor, MetricKind, MetricValue};
 use rpclens_simcore::time::{SimDuration, SimTime};
 use std::collections::HashMap;
 
@@ -148,6 +148,62 @@ impl TimeSeriesDb {
         let series = self.series.entry((name.to_string(), labels)).or_default();
         series.push(aligned, value);
         series.enforce_retention(aligned, retention);
+        Ok(())
+    }
+
+    /// Streams one cumulative counter series from per-window deltas.
+    ///
+    /// The driver's end-of-run flush writes its window grids as
+    /// cumulative counters (the Monarch idiom `QueryEngine::rate`
+    /// expects): point *k* carries the running sum of all deltas up to
+    /// and including window *k*. Going through [`TimeSeriesDb::write`]
+    /// costs a metric lookup and a label clone per point; this helper
+    /// resolves the series once and streams every `(window_index,
+    /// delta)` pair into it. Point times are `window_index *
+    /// sample_period` — aligned by construction — and the pairs must
+    /// arrive in ascending window order, which an index scan over a
+    /// dense delta grid produces naturally. Pairs with a zero delta
+    /// still emit a point (callers that want skip-zero semantics filter
+    /// before streaming). An empty iterator writes nothing and does not
+    /// create the series.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the metric is unregistered or is not a
+    /// counter.
+    pub fn write_cumulative(
+        &mut self,
+        name: &str,
+        labels: Labels,
+        windows: impl IntoIterator<Item = (usize, u64)>,
+    ) -> Result<(), String> {
+        let desc = self
+            .metrics
+            .get(name)
+            .ok_or_else(|| format!("metric {name} not registered"))?;
+        if desc.kind != MetricKind::Counter {
+            return Err(format!(
+                "metric {name} is {:?}, cumulative writes need a counter",
+                desc.kind
+            ));
+        }
+        let retention = desc.retention;
+        let period_ns = self.sample_period.as_nanos();
+        let mut windows = windows.into_iter();
+        let Some(first) = windows.next() else {
+            return Ok(());
+        };
+        let series = self.series.entry((name.to_string(), labels)).or_default();
+        let mut cum = 0u64;
+        let mut last = SimTime::ZERO;
+        for (w, delta) in std::iter::once(first).chain(windows) {
+            cum += delta;
+            last = SimTime::from_nanos(w as u64 * period_ns);
+            series.push(last, MetricValue::Counter(cum));
+        }
+        // Retention once at the newest point: for a monotone time
+        // sequence this drains exactly what per-point enforcement would.
+        series.enforce_retention(last, retention);
         Ok(())
     }
 
@@ -338,6 +394,95 @@ mod tests {
         // Aligned down to the 30-minute boundary.
         assert_eq!(s.points()[0].0, mins(30));
         assert_eq!(s.latest().unwrap().1.as_gauge(), Some(0.5));
+    }
+
+    #[test]
+    fn write_cumulative_matches_per_point_writes() {
+        // The streaming flush must produce byte-identical series to the
+        // write-per-point loop it replaced in the driver.
+        let deltas: Vec<u64> = vec![3, 0, 7, 0, 0, 11, 2];
+        let retention = SimDuration::from_hours(24);
+        let mut streamed = db();
+        streamed
+            .register(MetricDescriptor::counter("c", retention))
+            .unwrap();
+        streamed
+            .write_cumulative(
+                "c",
+                Labels::empty(),
+                deltas.iter().enumerate().map(|(w, &d)| (w, d)),
+            )
+            .unwrap();
+        let mut looped = db();
+        looped
+            .register(MetricDescriptor::counter("c", retention))
+            .unwrap();
+        let mut cum = 0u64;
+        for (w, &d) in deltas.iter().enumerate() {
+            cum += d;
+            let at = SimTime::from_nanos(w as u64 * SimDuration::from_mins(30).as_nanos());
+            looped
+                .write("c", Labels::empty(), at, MetricValue::Counter(cum))
+                .unwrap();
+        }
+        let a = streamed.series("c", &Labels::empty()).unwrap();
+        let b = looped.series("c", &Labels::empty()).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (pa, pb) in a.points().iter().zip(b.points()) {
+            assert_eq!(pa.0, pb.0);
+            assert_eq!(pa.1.as_counter(), pb.1.as_counter());
+        }
+        // Every listed window emitted a point, including zero deltas.
+        assert_eq!(a.len(), deltas.len());
+        assert_eq!(a.latest().unwrap().1.as_counter(), Some(23));
+    }
+
+    #[test]
+    fn write_cumulative_skip_zero_filter_and_empty_iterator() {
+        let mut d = db();
+        d.register(MetricDescriptor::counter("c", SimDuration::from_hours(24)))
+            .unwrap();
+        // Skip-zero semantics live in the caller's filter.
+        let deltas: Vec<u64> = vec![0, 5, 0, 2];
+        d.write_cumulative(
+            "c",
+            Labels::empty(),
+            deltas
+                .iter()
+                .enumerate()
+                .filter(|(_, &d)| d != 0)
+                .map(|(w, &d)| (w, d)),
+        )
+        .unwrap();
+        let s = d.series("c", &Labels::empty()).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.points()[0].0, mins(30));
+        assert_eq!(s.points()[0].1.as_counter(), Some(5));
+        assert_eq!(s.points()[1].0, mins(90));
+        assert_eq!(s.points()[1].1.as_counter(), Some(7));
+        // An empty stream writes nothing and creates no series.
+        d.write_cumulative(
+            "c",
+            Labels::from_pairs([("svc", "idle")]),
+            std::iter::empty(),
+        )
+        .unwrap();
+        assert!(d
+            .series("c", &Labels::from_pairs([("svc", "idle")]))
+            .is_none());
+    }
+
+    #[test]
+    fn write_cumulative_rejects_gauges_and_unregistered() {
+        let mut d = db();
+        assert!(d
+            .write_cumulative("nope", Labels::empty(), [(0usize, 1u64)])
+            .is_err());
+        d.register(MetricDescriptor::gauge("g", SimDuration::from_hours(1)))
+            .unwrap();
+        assert!(d
+            .write_cumulative("g", Labels::empty(), [(0usize, 1u64)])
+            .is_err());
     }
 
     #[test]
