@@ -6,6 +6,7 @@
 //! rpclens-inspect critical-path --store FILE --trace N
 //! rpclens-inspect cycle-tax     --manifest FILE
 //! rpclens-inspect errors        --manifest FILE
+//! rpclens-inspect wire          --artifact FILE
 //! ```
 //!
 //! `--store` takes a binary trace export written by
@@ -29,7 +30,10 @@ fn usage() -> ! {
          \x20               flamegraph-style text breakdown of the RPC cycle tax\n\
          \x20 errors        --manifest FILE\n\
          \x20               Fig. 23 error-class / wasted-cycle breakdown and the\n\
-         \x20               executed resilience counters (fault-scenario manifests)"
+         \x20               executed resilience counters (fault-scenario manifests)\n\
+         \x20 wire          --artifact FILE\n\
+         \x20               measured-vs-modeled RPC stack components from a\n\
+         \x20               wire-validation artifact (written by rpclens-wire bench)"
     );
     std::process::exit(2);
 }
@@ -65,6 +69,7 @@ fn main() {
 
     let mut store_path: Option<&str> = None;
     let mut manifest_path: Option<&str> = None;
+    let mut artifact_path: Option<&str> = None;
     let mut component: Option<&str> = None;
     let mut top = 20usize;
     let mut min_samples = 100usize;
@@ -74,6 +79,7 @@ fn main() {
         match arg.as_str() {
             "--store" => store_path = Some(next_value(&mut iter, "--store")),
             "--manifest" => manifest_path = Some(next_value(&mut iter, "--manifest")),
+            "--artifact" => artifact_path = Some(next_value(&mut iter, "--artifact")),
             "--component" => component = Some(next_value(&mut iter, "--component")),
             "--top" => {
                 top = next_value(&mut iter, "--top")
@@ -132,6 +138,19 @@ fn main() {
                 fail("errors needs --manifest FILE")
             };
             print!("{}", inspect::errors_text(&load_manifest(path)));
+        }
+        "wire" => {
+            let Some(path) = artifact_path else {
+                fail("wire needs --artifact FILE")
+            };
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fail(&format!("cannot read artifact {path}: {e}")));
+            let artifact = rpclens_obs::json::parse(&text)
+                .unwrap_or_else(|e| fail(&format!("invalid artifact {path}: {e:?}")));
+            match rpclens_bench::wire::wire_text(&artifact) {
+                Ok(rendered) => print!("{rendered}"),
+                Err(e) => fail(&e),
+            }
         }
         _ => usage(),
     }

@@ -3,6 +3,7 @@
 
 pub mod ablation;
 pub mod inspect;
+pub mod wire;
 
 use rpclens_core::check::ExpectationSet;
 use rpclens_fleet::driver::{run_fleet, FleetConfig, FleetRun, SimScale};

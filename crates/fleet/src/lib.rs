@@ -38,6 +38,7 @@ pub mod driver;
 pub mod faults;
 pub mod growth;
 pub mod pool;
+pub mod servable;
 pub mod telemetry;
 pub mod workload;
 

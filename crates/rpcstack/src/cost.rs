@@ -363,6 +363,25 @@ impl StackCostModel {
         self.cycles_to_time((cycles as f64 * self.cfg.pipeline_factor) as u64, slowdown)
     }
 
+    /// Converts cycles to nanoseconds at the baseline clock.
+    pub fn cycles_to_ns(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.cfg.clock_hz * 1e9
+    }
+
+    /// Modeled per-component nanoseconds for the *sender* side of one
+    /// message, at the baseline clock. This is the Fig. 9/20-style
+    /// breakdown the wire validation harness compares measured component
+    /// timings against (see `rpclens-wire`).
+    pub fn sender_component_ns(&self, payload_bytes: u64, class: MessageClass) -> ComponentNanos {
+        ComponentNanos::from_cost(self, &self.sender_cost(payload_bytes, class))
+    }
+
+    /// Modeled per-component nanoseconds for the *receiver* side of one
+    /// message, at the baseline clock.
+    pub fn receiver_component_ns(&self, payload_bytes: u64, class: MessageClass) -> ComponentNanos {
+        ComponentNanos::from_cost(self, &self.receiver_cost(payload_bytes, class))
+    }
+
     /// Convenience: the stack processing *time* for one message direction
     /// with structured (non-blob) payloads.
     pub fn processing_time(
@@ -384,6 +403,43 @@ impl StackCostModel {
     }
 }
 
+/// A modeled per-component time breakdown for one side of one message,
+/// in nanoseconds at the baseline clock. Categories follow
+/// [`CycleCategory`]; `tax_ns` is the serial sum (no pipeline discount),
+/// which is the right comparison target for a single-threaded
+/// measurement harness.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComponentNanos {
+    /// Serialization / parsing time.
+    pub serialize_ns: f64,
+    /// Compression / decompression time.
+    pub compress_ns: f64,
+    /// Encryption / decryption time.
+    pub encrypt_ns: f64,
+    /// Network stack time (packetization, syscalls).
+    pub network_ns: f64,
+    /// RPC library dispatch and buffer management time.
+    pub library_ns: f64,
+    /// Allocation time.
+    pub alloc_ns: f64,
+    /// Total tax time (everything but application work), serial.
+    pub tax_ns: f64,
+}
+
+impl ComponentNanos {
+    fn from_cost(model: &StackCostModel, cost: &CycleCost) -> Self {
+        ComponentNanos {
+            serialize_ns: model.cycles_to_ns(cost.get(CycleCategory::Serialization)),
+            compress_ns: model.cycles_to_ns(cost.get(CycleCategory::Compression)),
+            encrypt_ns: model.cycles_to_ns(cost.get(CycleCategory::Encryption)),
+            network_ns: model.cycles_to_ns(cost.get(CycleCategory::Networking)),
+            library_ns: model.cycles_to_ns(cost.get(CycleCategory::RpcLibrary)),
+            alloc_ns: model.cycles_to_ns(cost.get(CycleCategory::Allocation)),
+            tax_ns: model.cycles_to_ns(cost.tax()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -391,6 +447,42 @@ mod tests {
 
     fn model() -> StackCostModel {
         StackCostModel::new(StackCostConfig::default())
+    }
+
+    #[test]
+    fn component_nanos_sum_to_the_tax() {
+        let m = model();
+        for bytes in [64u64, 1024, 65_536] {
+            let n = m.sender_component_ns(bytes, MessageClass::structured());
+            let sum = n.serialize_ns
+                + n.compress_ns
+                + n.encrypt_ns
+                + n.network_ns
+                + n.library_ns
+                + n.alloc_ns;
+            assert!(
+                (sum - n.tax_ns).abs() < 1.0,
+                "{bytes}: {sum} vs {}",
+                n.tax_ns
+            );
+        }
+    }
+
+    #[test]
+    fn cycles_to_ns_uses_the_baseline_clock() {
+        // 3 GHz clock: 3 cycles = 1 ns.
+        let m = model();
+        assert!((m.cycles_to_ns(3_000) - 1_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn receiver_components_are_cheaper_than_sender() {
+        // Parsing < encoding, decompression < compression.
+        let m = model();
+        let s = m.sender_component_ns(16 * 1024, MessageClass::structured());
+        let r = m.receiver_component_ns(16 * 1024, MessageClass::structured());
+        assert!(r.serialize_ns < s.serialize_ns);
+        assert!(r.compress_ns < s.compress_ns);
     }
 
     #[test]

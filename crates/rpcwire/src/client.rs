@@ -1,0 +1,353 @@
+//! The wire client: request/reply matching plus seeded-jitter
+//! retransmission.
+//!
+//! A [`WireClient`] owns a point-to-point [`Transport`] to one server and
+//! a monotonically increasing request-id counter. Each call:
+//!
+//! 1. serializes, optionally compresses, and frames the request;
+//! 2. sends it and waits up to the current retransmission timeout;
+//! 3. on expiry, resends the *identical* datagram (same request id — the
+//!    server's dedup cache depends on that) with exponential backoff and
+//!    seeded jitter, like `rpcstack::retry`'s `BackoffPolicy`;
+//! 4. on receipt, matches `(client_id, request_id)` and discards stale
+//!    or duplicate replies.
+//!
+//! The deterministic step API ([`WireClient::start_call`] /
+//! [`WireClient::try_complete`] / [`WireClient::retransmit`]) exposes the
+//! same state machine without timers, so single-threaded tests can
+//! interleave client and server at exact points in a fault schedule.
+
+use crate::message::{self, Message, Response, Status, WireError};
+use crate::transport::{Transport, MAX_DATAGRAM};
+use bytes::Bytes;
+use rpclens_simcore::rng::Prng;
+use std::time::Duration;
+
+/// Retransmission-timer policy: exponential backoff with seeded jitter.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// First-attempt timeout.
+    pub initial_timeout: Duration,
+    /// Multiplier applied per expiry.
+    pub multiplier: f64,
+    /// Cap on any single timeout.
+    pub max_timeout: Duration,
+    /// Jitter fraction: each timeout is scaled by a seeded uniform draw
+    /// from `[1 - jitter, 1 + jitter]`, decorrelating retransmission
+    /// storms across clients.
+    pub jitter: f64,
+    /// Total transmissions allowed (first send plus retransmissions).
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            initial_timeout: Duration::from_millis(20),
+            multiplier: 2.0,
+            max_timeout: Duration::from_millis(500),
+            jitter: 0.25,
+            max_attempts: 16,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The timeout to arm for `attempt` (0-based), drawing jitter from
+    /// `rng`. Deterministic for a given rng state.
+    pub fn timeout_for(&self, attempt: u32, rng: &mut Prng) -> Duration {
+        let base =
+            self.initial_timeout.as_secs_f64() * self.multiplier.powi(attempt.min(24) as i32);
+        let capped = base.min(self.max_timeout.as_secs_f64());
+        let scale = 1.0 + self.jitter * (2.0 * rng.next_f64() - 1.0);
+        Duration::from_secs_f64((capped * scale).max(1e-6))
+    }
+}
+
+/// Counters for one client.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Calls started.
+    pub calls: u64,
+    /// Calls that completed with a decoded response.
+    pub completed: u64,
+    /// Retransmissions sent (beyond each call's first datagram).
+    pub retransmissions: u64,
+    /// Replies discarded as duplicates or stale (matching an old id).
+    pub stale_replies: u64,
+    /// Received datagrams that failed to decode.
+    pub decode_errors: u64,
+    /// Calls that exhausted every attempt.
+    pub timeouts: u64,
+}
+
+/// An in-flight call: the immutable datagram plus matching state.
+#[derive(Debug, Clone)]
+pub struct PendingCall {
+    /// The request id the reply must carry.
+    pub request_id: u64,
+    /// The exact bytes (re)transmitted.
+    pub datagram: Bytes,
+    /// Transmissions so far.
+    pub attempts: u32,
+}
+
+/// The wire client. See the module docs.
+pub struct WireClient<T: Transport> {
+    transport: T,
+    client_id: u64,
+    next_request_id: u64,
+    policy: RetryPolicy,
+    rng: Prng,
+    stats: ClientStats,
+    buf: Vec<u8>,
+}
+
+impl<T: Transport> WireClient<T> {
+    /// Creates a client. `client_id` namespaces its request ids on the
+    /// server; `seed` drives retransmission jitter.
+    pub fn new(transport: T, client_id: u64, policy: RetryPolicy, seed: u64) -> WireClient<T> {
+        WireClient {
+            transport,
+            client_id,
+            next_request_id: 1,
+            policy,
+            rng: Prng::seed_from(seed).stream(0x00C1_1E47),
+            stats: ClientStats::default(),
+            buf: vec![0u8; MAX_DATAGRAM + 4096],
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// This client's identity.
+    pub fn client_id(&self) -> u64 {
+        self.client_id
+    }
+
+    /// The underlying transport.
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
+    }
+
+    /// Builds and sends a request datagram, returning the pending call.
+    /// Part of the deterministic step API.
+    pub fn start_call(
+        &mut self,
+        method: u64,
+        body: &[u8],
+        compress: bool,
+    ) -> Result<PendingCall, WireError> {
+        let request_id = self.next_request_id;
+        self.next_request_id += 1;
+        let datagram = message::encode_request(method, self.client_id, request_id, body, compress);
+        self.transport.send(&datagram)?;
+        self.stats.calls += 1;
+        Ok(PendingCall {
+            request_id,
+            datagram,
+            attempts: 1,
+        })
+    }
+
+    /// Sends a pre-framed datagram as a new call (the validation harness
+    /// frames requests itself to time each encoding stage separately).
+    pub fn start_prepared(
+        &mut self,
+        request_id: u64,
+        datagram: Bytes,
+    ) -> Result<PendingCall, WireError> {
+        self.transport.send(&datagram)?;
+        self.stats.calls += 1;
+        Ok(PendingCall {
+            request_id,
+            datagram,
+            attempts: 1,
+        })
+    }
+
+    /// Allocates the next request id (for externally framed calls).
+    pub fn allocate_request_id(&mut self) -> u64 {
+        let id = self.next_request_id;
+        self.next_request_id += 1;
+        id
+    }
+
+    /// Resends the identical datagram. Part of the step API; the
+    /// blocking loop calls it on timer expiry.
+    pub fn retransmit(&mut self, call: &mut PendingCall) -> Result<(), WireError> {
+        self.transport.send(&call.datagram)?;
+        call.attempts += 1;
+        self.stats.retransmissions += 1;
+        Ok(())
+    }
+
+    /// Drains received datagrams for up to `timeout`, returning the
+    /// response matching `call` if one arrives. Stale replies and
+    /// undecodable datagrams are counted and discarded.
+    pub fn try_complete(
+        &mut self,
+        call: &PendingCall,
+        timeout: Duration,
+    ) -> Result<Option<Response>, WireError> {
+        loop {
+            let mut buf = std::mem::take(&mut self.buf);
+            let received = self.transport.recv(&mut buf, timeout);
+            self.buf = buf;
+            let Some(len) = received? else {
+                return Ok(None);
+            };
+            match message::decode(&self.buf[..len]) {
+                Ok(Message::Response(resp))
+                    if resp.client_id == self.client_id && resp.request_id == call.request_id =>
+                {
+                    self.stats.completed += 1;
+                    if resp.status != Status::Ok {
+                        return Err(WireError::Server(resp.status));
+                    }
+                    return Ok(Some(resp));
+                }
+                Ok(_) => {
+                    // A duplicate of an earlier reply, or something
+                    // addressed elsewhere: ignore.
+                    self.stats.stale_replies += 1;
+                }
+                Err(_) => {
+                    self.stats.decode_errors += 1;
+                }
+            }
+        }
+    }
+
+    /// The blocking convenience call: start, then alternate waiting and
+    /// retransmitting under the retry policy until a reply or exhaustion.
+    pub fn call(
+        &mut self,
+        method: u64,
+        body: &[u8],
+        compress: bool,
+    ) -> Result<Response, WireError> {
+        let mut pending = self.start_call(method, body, compress)?;
+        self.drive(&mut pending)
+    }
+
+    /// Drives a pending call to completion under the retry policy.
+    pub fn drive(&mut self, pending: &mut PendingCall) -> Result<Response, WireError> {
+        loop {
+            let timeout = self.policy.timeout_for(pending.attempts - 1, &mut self.rng);
+            if let Some(resp) = self.try_complete(pending, timeout)? {
+                return Ok(resp);
+            }
+            if pending.attempts >= self.policy.max_attempts {
+                self.stats.timeouts += 1;
+                return Err(WireError::TimedOut {
+                    attempts: pending.attempts,
+                });
+            }
+            self.retransmit(pending)?;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{Semantics, WireServer};
+    use crate::transport::MemLink;
+
+    #[test]
+    fn jittered_timeouts_back_off_and_stay_bounded() {
+        let policy = RetryPolicy::default();
+        let mut rng = Prng::seed_from(5);
+        let mut previous_cap = Duration::ZERO;
+        for attempt in 0..12 {
+            let t = policy.timeout_for(attempt, &mut rng);
+            let cap =
+                Duration::from_secs_f64(policy.max_timeout.as_secs_f64() * (1.0 + policy.jitter));
+            assert!(t <= cap, "attempt {attempt}: {t:?} over cap");
+            let nominal = Duration::from_secs_f64(
+                (policy.initial_timeout.as_secs_f64() * policy.multiplier.powi(attempt as i32))
+                    .min(policy.max_timeout.as_secs_f64()),
+            );
+            // Within the jitter band of the nominal value.
+            assert!(t.as_secs_f64() >= nominal.as_secs_f64() * (1.0 - policy.jitter) - 1e-9);
+            assert!(t.as_secs_f64() <= nominal.as_secs_f64() * (1.0 + policy.jitter) + 1e-9);
+            previous_cap = previous_cap.max(t);
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let policy = RetryPolicy::default();
+        let draw = |seed: u64| {
+            let mut rng = Prng::seed_from(seed);
+            (0..8)
+                .map(|a| policy.timeout_for(a, &mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(9), draw(9));
+        assert_ne!(draw(9), draw(10));
+    }
+
+    #[test]
+    fn call_completes_against_a_polled_server() {
+        let (client_end, server_end) = MemLink::pair();
+        let mut server = WireServer::new(
+            server_end,
+            |req: &message::Request| (Status::Ok, req.body.to_vec()),
+            Semantics::AtMostOnce,
+        );
+        let mut client = WireClient::new(client_end, 42, RetryPolicy::default(), 1);
+        let mut pending = client.start_call(5, b"hello", true).unwrap();
+        // Nothing served yet: zero-timeout completion attempt fails.
+        assert!(client
+            .try_complete(&pending, Duration::ZERO)
+            .unwrap()
+            .is_none());
+        server.poll().unwrap();
+        let resp = client
+            .try_complete(&pending, Duration::ZERO)
+            .unwrap()
+            .expect("reply pending");
+        assert_eq!(&resp.body[..], b"hello");
+        assert_eq!(resp.request_id, pending.request_id);
+        // Retransmit after completion: server dedups, client discards the
+        // duplicate reply as stale for the *next* call.
+        client.retransmit(&mut pending).unwrap();
+        server.poll().unwrap();
+        let mut second = client.start_call(5, b"again", true).unwrap();
+        server.poll().unwrap();
+        let resp2 = client.drive(&mut second).unwrap();
+        assert_eq!(&resp2.body[..], b"again");
+        assert_eq!(client.stats().stale_replies, 1);
+    }
+
+    #[test]
+    fn request_ids_are_unique_and_increasing() {
+        let (client_end, _server_end) = MemLink::pair();
+        let mut client = WireClient::new(client_end, 1, RetryPolicy::default(), 2);
+        let a = client.start_call(1, b"", false).unwrap();
+        let b = client.start_call(1, b"", false).unwrap();
+        assert!(b.request_id > a.request_id);
+    }
+
+    #[test]
+    fn server_error_statuses_surface_as_errors() {
+        let (client_end, server_end) = MemLink::pair();
+        let mut server = WireServer::new(
+            server_end,
+            |_req: &message::Request| (Status::Rejected, Vec::new()),
+            Semantics::AtMostOnce,
+        );
+        let mut client = WireClient::new(client_end, 42, RetryPolicy::default(), 1);
+        let pending = client.start_call(5, b"load", false).unwrap();
+        server.poll().unwrap();
+        match client.try_complete(&pending, Duration::ZERO) {
+            Err(WireError::Server(Status::Rejected)) => {}
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+}

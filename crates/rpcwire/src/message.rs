@@ -1,0 +1,500 @@
+//! The request/response envelope carried inside codec frames.
+//!
+//! Every datagram is one [`rpclens_rpcstack::codec`] frame (magic,
+//! version, varint header fields, CRC32 trailer). This module defines how
+//! the runtime uses the frame header for request/reply matching and what
+//! the frame payload carries:
+//!
+//! - `header.method_id` — the catalog method being invoked;
+//! - `header.trace_id`  — the client's identity (its matching namespace);
+//! - `header.span_id`   — the per-client request id; a retransmission
+//!   reuses it byte-for-byte, which is what lets the server's dedup cache
+//!   recognise duplicates;
+//! - `flags.RESPONSE`   — direction; `flags.COMPRESSED` — the body went
+//!   through [`crate::compress`]; `flags.ERROR` — the response carries a
+//!   [`Status`] other than [`Status::Ok`].
+//!
+//! Request payload: `varint(raw_len) ++ body`. Response payload:
+//! `varint(status) ++ varint(decode_ns) ++ varint(exec_ns) ++
+//! varint(raw_len) ++ body`. `raw_len` is the *uncompressed* body length
+//! so the receiver can size (and verify) decompression; the server's
+//! `decode_ns`/`exec_ns` ride back to the client so the wire validation
+//! can subtract server-side work from measured round trips.
+
+use crate::compress;
+use bytes::{Bytes, BytesMut};
+use rpclens_rpcstack::codec::{
+    self, get_varint, put_varint, DecodeError, Flags, RpcFrame, RpcHeader,
+};
+
+/// Response status carried in the response envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// The call executed and the body holds the result.
+    Ok,
+    /// The server has no handler for the requested method.
+    NoSuchMethod,
+    /// The request envelope or body failed to decode.
+    BadRequest,
+    /// The server is shedding load and refused to execute.
+    Rejected,
+}
+
+impl Status {
+    /// Wire code for the status.
+    pub fn code(self) -> u64 {
+        match self {
+            Status::Ok => 0,
+            Status::NoSuchMethod => 1,
+            Status::BadRequest => 2,
+            Status::Rejected => 3,
+        }
+    }
+
+    /// Parses a wire code.
+    pub fn from_code(code: u64) -> Option<Status> {
+        match code {
+            0 => Some(Status::Ok),
+            1 => Some(Status::NoSuchMethod),
+            2 => Some(Status::BadRequest),
+            3 => Some(Status::Rejected),
+            _ => None,
+        }
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::NoSuchMethod => "no-such-method",
+            Status::BadRequest => "bad-request",
+            Status::Rejected => "rejected",
+        }
+    }
+}
+
+/// A decoded request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Catalog method id.
+    pub method: u64,
+    /// The calling client's identity.
+    pub client_id: u64,
+    /// Per-client request id (retransmissions reuse it).
+    pub request_id: u64,
+    /// Decompressed body bytes.
+    pub body: Bytes,
+    /// Whether the body crossed the wire compressed.
+    pub was_compressed: bool,
+    /// Body length as it crossed the wire (compressed size when
+    /// `was_compressed`).
+    pub wire_body_len: usize,
+}
+
+/// A decoded response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Catalog method id (echoed from the request).
+    pub method: u64,
+    /// The client the response addresses.
+    pub client_id: u64,
+    /// The request this responds to.
+    pub request_id: u64,
+    /// Outcome.
+    pub status: Status,
+    /// Nanoseconds the server spent decoding the request.
+    pub server_decode_ns: u64,
+    /// Nanoseconds the server spent executing the handler.
+    pub server_exec_ns: u64,
+    /// Decompressed body bytes.
+    pub body: Bytes,
+    /// Whether the body crossed the wire compressed.
+    pub was_compressed: bool,
+    /// Body length as it crossed the wire.
+    pub wire_body_len: usize,
+}
+
+/// Errors surfaced by the wire runtime.
+#[derive(Debug)]
+pub enum WireError {
+    /// Frame-level decode failure (bad magic/CRC/truncation).
+    Frame(DecodeError),
+    /// Envelope-level decode failure.
+    Envelope(&'static str),
+    /// Body decompression failure.
+    Compress(compress::CompressError),
+    /// Transport I/O failure.
+    Io(std::io::Error),
+    /// The call exhausted its retransmission budget.
+    TimedOut {
+        /// Attempts made (including the first transmission).
+        attempts: u32,
+    },
+    /// The server answered with a non-[`Status::Ok`] status.
+    Server(Status),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Frame(e) => write!(f, "frame decode: {e}"),
+            WireError::Envelope(what) => write!(f, "envelope decode: {what}"),
+            WireError::Compress(e) => write!(f, "decompression: {e}"),
+            WireError::Io(e) => write!(f, "transport: {e}"),
+            WireError::TimedOut { attempts } => {
+                write!(f, "no reply after {attempts} attempts")
+            }
+            WireError::Server(s) => write!(f, "server status {}", s.label()),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// A body prepared for the wire: possibly compressed, with the metadata
+/// the envelope needs. Produced by [`encode_body`].
+#[derive(Debug, Clone)]
+pub struct WireBody {
+    /// The bytes that will cross the wire.
+    pub bytes: Vec<u8>,
+    /// The uncompressed length (`raw_len` in the envelope).
+    pub raw_len: usize,
+    /// Whether `bytes` is compressed.
+    pub compressed: bool,
+}
+
+/// Runs the body through compression if requested, keeping the original
+/// whenever compression does not actually shrink it.
+pub fn encode_body(body: &[u8], try_compress: bool) -> WireBody {
+    if try_compress {
+        let packed = compress::compress(body);
+        if packed.len() < body.len() {
+            return WireBody {
+                bytes: packed,
+                raw_len: body.len(),
+                compressed: true,
+            };
+        }
+    }
+    WireBody {
+        bytes: body.to_vec(),
+        raw_len: body.len(),
+        compressed: false,
+    }
+}
+
+/// Serializes a request envelope (everything but the frame) into payload
+/// bytes.
+pub fn serialize_request(body: &WireBody) -> Bytes {
+    let mut payload = BytesMut::with_capacity(body.bytes.len() + 4);
+    put_varint(&mut payload, body.raw_len as u64);
+    payload.extend_from_slice(&body.bytes);
+    payload.freeze()
+}
+
+/// Frames a serialized request payload into the final datagram bytes.
+pub fn frame_request(
+    method: u64,
+    client_id: u64,
+    request_id: u64,
+    payload: Bytes,
+    compressed: bool,
+) -> Bytes {
+    let mut flags = Flags::default();
+    if compressed {
+        flags = flags.with(Flags::COMPRESSED);
+    }
+    codec::encode_frame(&RpcFrame {
+        header: RpcHeader {
+            method_id: method,
+            trace_id: client_id,
+            span_id: request_id,
+            parent_span_id: 0,
+            deadline_ns: 0,
+            flags,
+        },
+        payload,
+    })
+}
+
+/// Convenience: encode + serialize + frame a request in one call.
+pub fn encode_request(
+    method: u64,
+    client_id: u64,
+    request_id: u64,
+    body: &[u8],
+    try_compress: bool,
+) -> Bytes {
+    let wire_body = encode_body(body, try_compress);
+    let payload = serialize_request(&wire_body);
+    frame_request(method, client_id, request_id, payload, wire_body.compressed)
+}
+
+/// Encodes a response datagram.
+#[allow(clippy::too_many_arguments)]
+pub fn encode_response(
+    method: u64,
+    client_id: u64,
+    request_id: u64,
+    status: Status,
+    server_decode_ns: u64,
+    server_exec_ns: u64,
+    body: &[u8],
+    try_compress: bool,
+) -> Bytes {
+    let wire_body = encode_body(body, try_compress);
+    let mut payload = BytesMut::with_capacity(wire_body.bytes.len() + 16);
+    put_varint(&mut payload, status.code());
+    put_varint(&mut payload, server_decode_ns);
+    put_varint(&mut payload, server_exec_ns);
+    put_varint(&mut payload, wire_body.raw_len as u64);
+    payload.extend_from_slice(&wire_body.bytes);
+    let payload = payload.freeze();
+    let mut flags = Flags::default().with(Flags::RESPONSE);
+    if wire_body.compressed {
+        flags = flags.with(Flags::COMPRESSED);
+    }
+    if status != Status::Ok {
+        flags = flags.with(Flags::ERROR);
+    }
+    codec::encode_frame(&RpcFrame {
+        header: RpcHeader {
+            method_id: method,
+            trace_id: client_id,
+            span_id: request_id,
+            parent_span_id: 0,
+            deadline_ns: 0,
+            flags,
+        },
+        payload,
+    })
+}
+
+fn decode_wire_body(rest: &[u8], raw_len: u64, compressed: bool) -> Result<Bytes, WireError> {
+    if raw_len > 64 * 1024 * 1024 {
+        return Err(WireError::Envelope("declared body length implausible"));
+    }
+    if compressed {
+        let raw = compress::decompress(rest, raw_len as usize).map_err(WireError::Compress)?;
+        Ok(Bytes::from(raw))
+    } else {
+        if rest.len() != raw_len as usize {
+            return Err(WireError::Envelope("body length mismatch"));
+        }
+        Ok(Bytes::copy_from_slice(rest))
+    }
+}
+
+/// The direction a decoded datagram turned out to be.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// A request datagram.
+    Request(Request),
+    /// A response datagram.
+    Response(Response),
+}
+
+/// Decodes one datagram: frame (CRC verified) then envelope then body.
+pub fn decode(datagram: &[u8]) -> Result<Message, WireError> {
+    let frame = codec::decode_frame(datagram).map_err(WireError::Frame)?;
+    let compressed = frame.header.flags.contains(Flags::COMPRESSED);
+    let mut cursor: &[u8] = &frame.payload;
+    if frame.header.flags.contains(Flags::RESPONSE) {
+        let status_code = get_varint(&mut cursor).map_err(WireError::Frame)?;
+        let status =
+            Status::from_code(status_code).ok_or(WireError::Envelope("unknown status code"))?;
+        let server_decode_ns = get_varint(&mut cursor).map_err(WireError::Frame)?;
+        let server_exec_ns = get_varint(&mut cursor).map_err(WireError::Frame)?;
+        let raw_len = get_varint(&mut cursor).map_err(WireError::Frame)?;
+        let wire_body_len = cursor.len();
+        let body = decode_wire_body(cursor, raw_len, compressed)?;
+        Ok(Message::Response(Response {
+            method: frame.header.method_id,
+            client_id: frame.header.trace_id,
+            request_id: frame.header.span_id,
+            status,
+            server_decode_ns,
+            server_exec_ns,
+            body,
+            was_compressed: compressed,
+            wire_body_len,
+        }))
+    } else {
+        let raw_len = get_varint(&mut cursor).map_err(WireError::Frame)?;
+        let wire_body_len = cursor.len();
+        let body = decode_wire_body(cursor, raw_len, compressed)?;
+        Ok(Message::Request(Request {
+            method: frame.header.method_id,
+            client_id: frame.header.trace_id,
+            request_id: frame.header.span_id,
+            body,
+            was_compressed: compressed,
+            wire_body_len,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn request_roundtrips() {
+        let body = b"a small structured payload, repeated: payload payload payload";
+        let datagram = encode_request(42, 7, 1001, body, true);
+        match decode(&datagram).unwrap() {
+            Message::Request(req) => {
+                assert_eq!(req.method, 42);
+                assert_eq!(req.client_id, 7);
+                assert_eq!(req.request_id, 1001);
+                assert_eq!(&req.body[..], &body[..]);
+                assert!(req.was_compressed, "repetitive body should compress");
+                assert!(req.wire_body_len < body.len());
+            }
+            other => panic!("expected request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn incompressible_body_is_sent_raw() {
+        // High-entropy body: compression cannot shrink it, so the wire
+        // carries the original and the COMPRESSED flag stays clear.
+        let body: Vec<u8> = (0..=255u8).collect();
+        let datagram = encode_request(1, 1, 1, &body, true);
+        match decode(&datagram).unwrap() {
+            Message::Request(req) => {
+                assert!(!req.was_compressed);
+                assert_eq!(req.wire_body_len, body.len());
+                assert_eq!(&req.body[..], &body[..]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_roundtrips_with_timings_and_status() {
+        let body = vec![9u8; 500];
+        let datagram = encode_response(3, 8, 55, Status::Ok, 1234, 56789, &body, true);
+        match decode(&datagram).unwrap() {
+            Message::Response(resp) => {
+                assert_eq!(resp.status, Status::Ok);
+                assert_eq!(resp.server_decode_ns, 1234);
+                assert_eq!(resp.server_exec_ns, 56789);
+                assert_eq!(resp.request_id, 55);
+                assert_eq!(&resp.body[..], &body[..]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_statuses_set_the_error_flag() {
+        let datagram = encode_response(3, 8, 55, Status::NoSuchMethod, 0, 0, b"", false);
+        let frame = rpclens_rpcstack::codec::decode_frame(&datagram).unwrap();
+        assert!(frame.header.flags.contains(Flags::ERROR));
+        match decode(&datagram).unwrap() {
+            Message::Response(resp) => assert_eq!(resp.status, Status::NoSuchMethod),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_is_rejected_at_every_cut() {
+        let datagram = encode_request(9, 9, 9, b"body bytes body bytes body bytes", true);
+        for cut in 0..datagram.len() {
+            assert!(decode(&datagram[..cut]).is_err(), "cut {cut} decoded");
+        }
+    }
+
+    #[test]
+    fn corruption_is_rejected_everywhere() {
+        let datagram = encode_request(9, 9, 9, &vec![3u8; 300], true);
+        for idx in 0..datagram.len() {
+            let mut corrupted = datagram.to_vec();
+            corrupted[idx] ^= 0x40;
+            assert!(decode(&corrupted).is_err(), "flip at {idx} decoded");
+        }
+    }
+
+    #[test]
+    fn status_codes_roundtrip() {
+        for s in [
+            Status::Ok,
+            Status::NoSuchMethod,
+            Status::BadRequest,
+            Status::Rejected,
+        ] {
+            assert_eq!(Status::from_code(s.code()), Some(s));
+        }
+        assert_eq!(Status::from_code(99), None);
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_requests_roundtrip(
+            method: u64,
+            client_id: u64,
+            request_id: u64,
+            compress_it: bool,
+            body in proptest::collection::vec(any::<u8>(), 0..2048),
+        ) {
+            let datagram = encode_request(method, client_id, request_id, &body, compress_it);
+            match decode(&datagram).unwrap() {
+                Message::Request(req) => {
+                    prop_assert_eq!(req.method, method);
+                    prop_assert_eq!(req.client_id, client_id);
+                    prop_assert_eq!(req.request_id, request_id);
+                    prop_assert_eq!(&req.body[..], &body[..]);
+                }
+                other => prop_assert!(false, "expected request, got {:?}", other),
+            }
+        }
+
+        #[test]
+        fn arbitrary_responses_roundtrip(
+            method: u64,
+            request_id: u64,
+            decode_ns: u64,
+            exec_ns: u64,
+            status_code in 0u64..4,
+            compress_it: bool,
+            body in proptest::collection::vec(any::<u8>(), 0..2048),
+        ) {
+            let status = Status::from_code(status_code).unwrap();
+            let datagram = encode_response(
+                method, 77, request_id, status, decode_ns, exec_ns, &body, compress_it,
+            );
+            match decode(&datagram).unwrap() {
+                Message::Response(resp) => {
+                    prop_assert_eq!(resp.method, method);
+                    prop_assert_eq!(resp.request_id, request_id);
+                    prop_assert_eq!(resp.status, status);
+                    prop_assert_eq!(resp.server_decode_ns, decode_ns);
+                    prop_assert_eq!(resp.server_exec_ns, exec_ns);
+                    prop_assert_eq!(&resp.body[..], &body[..]);
+                }
+                other => prop_assert!(false, "expected response, got {:?}", other),
+            }
+        }
+
+        #[test]
+        fn single_byte_corruption_never_decodes(
+            body in proptest::collection::vec(any::<u8>(), 1..512),
+            idx: usize,
+            bit in 0u8..8,
+        ) {
+            let datagram = encode_request(5, 6, 7, &body, true);
+            let mut corrupted = datagram.to_vec();
+            let at = idx % corrupted.len();
+            corrupted[at] ^= 1 << bit;
+            prop_assert!(decode(&corrupted).is_err());
+        }
+    }
+}

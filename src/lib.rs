@@ -40,6 +40,7 @@ pub use rpclens_fleet as fleet;
 pub use rpclens_netsim as netsim;
 pub use rpclens_profiler as profiler;
 pub use rpclens_rpcstack as rpcstack;
+pub use rpclens_rpcwire as rpcwire;
 pub use rpclens_simcore as simcore;
 pub use rpclens_trace as trace;
 pub use rpclens_tsdb as tsdb;
