@@ -7,6 +7,7 @@
 //! rpclens-inspect cycle-tax     --manifest FILE
 //! rpclens-inspect errors        --manifest FILE
 //! rpclens-inspect wire          --artifact FILE
+//! rpclens-inspect trace         --store FILE [--trace N] [--seed S] [--methods M]
 //! ```
 //!
 //! `--store` takes a binary trace export written by
@@ -33,7 +34,11 @@ fn usage() -> ! {
          \x20               executed resilience counters (fault-scenario manifests)\n\
          \x20 wire          --artifact FILE\n\
          \x20               measured-vs-modeled RPC stack components from a\n\
-         \x20               wire-validation artifact (written by rpclens-wire bench)"
+         \x20               wire-validation artifact (written by rpclens-wire bench)\n\
+         \x20 trace         --store FILE [--trace N] [--seed S] [--methods M]\n\
+         \x20               waterfall + critical path + per-method measured-vs-modeled\n\
+         \x20               deltas from a measured wire-trace capture\n\
+         \x20               (written by rpclens-wire bench --trace-out)"
     );
     std::process::exit(2);
 }
@@ -74,6 +79,8 @@ fn main() {
     let mut top = 20usize;
     let mut min_samples = 100usize;
     let mut trace: Option<usize> = None;
+    let mut seed = 42u64;
+    let mut methods = 400usize;
     let mut iter = args[1..].iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -97,6 +104,16 @@ fn main() {
                         .parse()
                         .unwrap_or_else(|_| fail("--trace needs an integer")),
                 );
+            }
+            "--seed" => {
+                seed = next_value(&mut iter, "--seed")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--seed needs an integer"));
+            }
+            "--methods" => {
+                methods = next_value(&mut iter, "--methods")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--methods needs an integer"));
             }
             other => fail(&format!("unknown option {other}")),
         }
@@ -138,6 +155,27 @@ fn main() {
                 fail("errors needs --manifest FILE")
             };
             print!("{}", inspect::errors_text(&load_manifest(path)));
+        }
+        "trace" => {
+            let Some(path) = store_path else {
+                fail("trace needs --store FILE (a rpclens-wire bench --trace-out artifact)")
+            };
+            let store = load_store(path);
+            let index = trace.unwrap_or(0);
+            match rpclens_bench::wiretrace::waterfall_text(&store, index) {
+                Ok(text) => print!("{text}"),
+                Err(e) => fail(&e),
+            }
+            println!();
+            match inspect::critical_path_text(&store, index) {
+                Ok(text) => print!("{text}"),
+                Err(e) => fail(&e),
+            }
+            println!();
+            print!(
+                "{}",
+                rpclens_bench::wiretrace::method_delta_text(&store, seed, methods)
+            );
         }
         "wire" => {
             let Some(path) = artifact_path else {

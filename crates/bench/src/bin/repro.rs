@@ -20,6 +20,10 @@
 //! - `--export-store FILE` persists the sampled traces in the binary
 //!   trace-export format for later `rpclens-inspect` queries.
 //!
+//! `--progress` streams per-shard completion lines to stderr (cumulative
+//! roots/s and spans/s) while the fleet runs. Progress output never
+//! feeds an artifact, so every digest is unaffected.
+//!
 //! `--shards N` splits the root workload into N deterministic chunks and
 //! `--threads N` sets the worker-pool width they execute on (default for
 //! both: one per available core). Both are pure wall-clock knobs —
@@ -38,18 +42,18 @@
 //! paper-vs-measured expectation checks. The process exits non-zero if
 //! any check misses, so CI can gate on shape fidelity.
 
-use rpclens_bench::{produce, run_configured, scale_by_name, Artifact};
+use rpclens_bench::{produce, run_configured_opts, scale_by_name, Artifact};
 use rpclens_core::figs::fig23;
 use rpclens_fleet::driver::SimScale;
 use rpclens_fleet::faults::FaultScenario;
-use rpclens_fleet::telemetry::{manifest_for_run, slo_findings, DEFAULT_TAIL_TOLERANCE};
+use rpclens_fleet::telemetry::{detector_bands, manifest_for_run, slo_findings};
 use rpclens_obs::detect::render_findings;
-use rpclens_obs::{RunManifest, SloConfig};
+use rpclens_obs::RunManifest;
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro <artifact>... | all | list  [--scale smoke|default|paper|fleet] [--seed N]\n\
-         \x20      [--shards N] [--threads N]\n\
+         \x20      [--shards N] [--threads N] [--progress]\n\
          \x20      [--faults {}] \n\
          \x20      [--out DIR] [--telemetry FILE] [--baseline FILE] [--export-store FILE]\n\
          artifacts: {}",
@@ -76,6 +80,7 @@ fn main() {
     let mut telemetry_path: Option<std::path::PathBuf> = None;
     let mut baseline_path: Option<std::path::PathBuf> = None;
     let mut export_path: Option<std::path::PathBuf> = None;
+    let mut progress = false;
     let mut artifacts: Vec<Artifact> = Vec::new();
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
@@ -130,6 +135,7 @@ fn main() {
                 let Some(path) = iter.next() else { usage() };
                 export_path = Some(std::path::PathBuf::from(path));
             }
+            "--progress" => progress = true,
             "all" => artifacts.extend(Artifact::ALL),
             "list" => {
                 for a in Artifact::ALL {
@@ -166,7 +172,7 @@ fn main() {
             scale.name, scale.total_methods, scale.roots, scale.seed, faults.name
         );
         let t0 = std::time::Instant::now();
-        let run = run_configured(scale, shards, threads, faults);
+        let run = run_configured_opts(scale, shards, threads, faults, progress);
         eprintln!(
             "simulated {} spans in {} traces ({:.1}s)",
             run.total_spans,
@@ -199,13 +205,11 @@ fn main() {
             );
         }
         // End-of-run SLO report: error-budget burn always, plus tail
-        // regression when a baseline manifest was supplied.
-        let findings = slo_findings(
-            run,
-            baseline.as_ref(),
-            &SloConfig::default(),
-            DEFAULT_TAIL_TOLERANCE,
-        );
+        // regression when a baseline manifest was supplied. Detector
+        // bands are scaled to the preset so sparse smoke-scale windows
+        // don't page on binomial sampling noise.
+        let (slo, tail_tolerance) = detector_bands(&run.config.scale);
+        let findings = slo_findings(run, baseline.as_ref(), &slo, tail_tolerance);
         println!("{}", render_findings(&findings));
         // The default chaos scenario must still reconcile with the
         // Fig. 23 taxonomy: the causal variant of the checks gates every

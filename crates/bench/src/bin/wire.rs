@@ -4,6 +4,7 @@
 //! rpclens-wire bench [--requests N] [--seed S] [--methods M]
 //!                    [--semantics at-least-once|at-most-once]
 //!                    [--transport udp|mem] [--out FILE]
+//!                    [--trace-out FILE] [--hops N] [--fanout K]
 //! rpclens-wire serve [--addr HOST:PORT] [--seed S] [--methods M]
 //!                    [--semantics ...]
 //! ```
@@ -14,10 +15,18 @@
 //! Fig. 9/20 cost models. It exits non-zero if any request is lost —
 //! at-least-once must never lose one. `serve` runs a standalone catalog
 //! server for cross-process experiments.
+//!
+//! `--trace-out FILE` additionally runs a *traced* capture and writes
+//! the measured causal trees as a checksummed `trace::export` artifact
+//! (`rpclens-inspect trace` reads it back). Over `--transport mem` the
+//! capture runs a `--hops`-deep multi-hop chain on a virtual clock and
+//! is byte-identical for a given seed; over UDP it is a single-hop
+//! wall-clock measurement (`--hops`/`--fanout` are ignored).
 
 use rpclens_bench::wire::{
     self, run_over_memlink, run_over_udp, serve_udp_forever, WireBenchConfig,
 };
+use rpclens_bench::wiretrace::{self, TraceBenchConfig};
 use rpclens_rpcwire::server::Semantics;
 
 fn usage() -> ! {
@@ -27,7 +36,9 @@ fn usage() -> ! {
          commands:\n\
          \x20 bench  [--requests N] [--seed S] [--methods M] [--semantics SEM]\n\
          \x20        [--transport udp|mem] [--out FILE]\n\
-         \x20        round-trip N catalog RPCs and emit the measured-vs-modeled artifact\n\
+         \x20        [--trace-out FILE] [--hops N] [--fanout K]\n\
+         \x20        round-trip N catalog RPCs and emit the measured-vs-modeled artifact;\n\
+         \x20        --trace-out also captures measured causal trees (trace::export)\n\
          \x20 serve  [--addr HOST:PORT] [--seed S] [--methods M] [--semantics SEM]\n\
          \x20        stand up a catalog server on UDP (default 127.0.0.1:0)\n\
          \n\
@@ -55,6 +66,9 @@ fn main() {
     let mut config = WireBenchConfig::default();
     let mut transport = "udp";
     let mut out_path: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut hops = 2u32;
+    let mut fanout = 2u32;
     let mut addr = "127.0.0.1:0".to_string();
     let mut iter = args[1..].iter();
     while let Some(arg) = iter.next() {
@@ -83,6 +97,20 @@ fn main() {
             }
             "--transport" => transport = next_value(&mut iter, "--transport"),
             "--out" => out_path = Some(next_value(&mut iter, "--out").to_string()),
+            "--trace-out" => trace_out = Some(next_value(&mut iter, "--trace-out").to_string()),
+            "--hops" => {
+                hops = next_value(&mut iter, "--hops")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--hops needs an integer >= 1"));
+                if hops == 0 {
+                    fail("--hops needs an integer >= 1");
+                }
+            }
+            "--fanout" => {
+                fanout = next_value(&mut iter, "--fanout")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--fanout needs an integer"));
+            }
             "--addr" => addr = next_value(&mut iter, "--addr").to_string(),
             other => fail(&format!("unknown option {other}")),
         }
@@ -108,6 +136,25 @@ fn main() {
                 "{}",
                 wire::wire_text(&artifact).unwrap_or_else(|e| fail(&e))
             );
+            if let Some(path) = trace_out {
+                let trace_config = TraceBenchConfig {
+                    requests: config.requests,
+                    seed: config.seed,
+                    total_methods: config.total_methods,
+                    hops,
+                    fanout,
+                };
+                let traced = match transport {
+                    "udp" => wiretrace::run_traced_udp(&trace_config),
+                    "mem" => wiretrace::run_traced_memlink(&trace_config),
+                    _ => unreachable!("transport validated above"),
+                }
+                .unwrap_or_else(|e| fail(&format!("traced capture failed: {e}")));
+                std::fs::write(&path, &traced.export)
+                    .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+                eprintln!("wrote {path}");
+                eprint!("{}", wiretrace::trace_summary_text(&traced));
+            }
             if report.lost > 0 {
                 fail(&format!(
                     "{} of {} requests lost",

@@ -4,6 +4,7 @@
 pub mod ablation;
 pub mod inspect;
 pub mod wire;
+pub mod wiretrace;
 
 use rpclens_core::check::ExpectationSet;
 use rpclens_fleet::driver::{run_fleet, FleetConfig, FleetRun, SimScale};
@@ -299,6 +300,20 @@ pub fn run_configured(
     threads: Option<usize>,
     faults: FaultScenario,
 ) -> FleetRun {
+    run_configured_opts(scale, shards, threads, faults, false)
+}
+
+/// [`run_configured`] plus the progress switch: when `progress` is set
+/// the driver reports per-shard completion on stderr (roots/s, spans/s,
+/// wall clock). Progress output never feeds an artifact, so digests are
+/// unaffected.
+pub fn run_configured_opts(
+    scale: SimScale,
+    shards: Option<usize>,
+    threads: Option<usize>,
+    faults: FaultScenario,
+    progress: bool,
+) -> FleetRun {
     let mut config = FleetConfig::at_scale(scale).with_faults(faults);
     if let Some(shards) = shards {
         config.shards = shards;
@@ -306,6 +321,7 @@ pub fn run_configured(
     if let Some(threads) = threads {
         config.threads = threads;
     }
+    config.progress = progress;
     run_fleet(config)
 }
 

@@ -1,0 +1,1247 @@
+//! Wire-level distributed tracing: measured causal trees from the
+//! executable RPC runtime, analysed by the simulator's own pipeline.
+//!
+//! The fleet simulator *generates* span trees; `rpclens-rpcwire`
+//! *executes* RPCs. This harness closes the loop: it runs a multi-hop
+//! chain of wire servers over in-memory links, propagates a
+//! [`TraceContext`] through every request envelope, and records every
+//! [`SpanEvent`] into a recorder that reassembles genuine causal trees
+//! as `rpclens-trace` [`TraceData`] — so `critical_path`, `query`, and
+//! the checksummed `trace::export` format work unchanged on *measured*
+//! traces.
+//!
+//! **Determinism.** The wire runtime never timestamps events; the sink
+//! does (see `rpclens_rpcwire::sink`). Over [`MemLink`] this recorder
+//! runs a *virtual* clock: each event advances global time by
+//! [`StackCostModel`]-priced charges rounded to the span store's 100 ns
+//! tick, so the entire capture — every byte of the export — is a pure
+//! function of the seed. `tests/wire_trace_determinism.rs` pins the
+//! export digest. Over UDP the recorder uses a wall clock and
+//! reconstructs single-hop spans client-side from piggybacked server
+//! timings; that capture is honest but not reproducible.
+//!
+//! **Component mapping (virtual mode).** Lifecycle charges telescope
+//! exactly to `end - start` per span:
+//!
+//! | event        | component charged                                     |
+//! |--------------|-------------------------------------------------------|
+//! | `ClientSend` | RequestProcessing ← sender serialize+compress+library+alloc |
+//! | `ServerRecv` | RequestNetworkWire ← both ends' network; RequestProcessing ← receiver serialize+compress |
+//! | `ServerExec` | ServerApplication ← synthetic app charge *plus* all nested children's wall time |
+//! | `ServerSend` | ResponseProcessing ← sender serialize+compress+library+alloc (response) |
+//! | `ClientRecv` | ResponseNetworkWire ← both ends' network; ClientRecvQueue ← receiver serialize+compress |
+//!
+//! Queue components stay zero in this uncontended single-threaded
+//! harness, so ClientRecvQueue is reused for client-side response
+//! decode (documented in `docs/OBSERVABILITY.md`). The application
+//! charge is a deterministic proxy (`2 µs + 2 ns/response byte`), not a
+//! measurement — virtual mode validates the *pipeline*, UDP mode
+//! measures the *wire*.
+
+use rpclens_fleet::catalog::{Catalog, CatalogConfig};
+use rpclens_fleet::servable::{ServableMethod, ServableTable};
+use rpclens_netsim::topology::{ClusterId, Topology};
+use rpclens_obs::detect::{self, Finding, SloConfig, WindowSample};
+use rpclens_obs::manifest::{fnv1a, LatencyQuantiles};
+use rpclens_rpcstack::component::{LatencyBreakdown, LatencyComponent};
+use rpclens_rpcstack::cost::{MessageClass, StackCostConfig, StackCostModel};
+use rpclens_rpcstack::error::ErrorKind;
+use rpclens_rpcwire::client::{RetryPolicy, WireClient};
+use rpclens_rpcwire::message::{Request, Status, TraceContext, WireError};
+use rpclens_rpcwire::payload;
+use rpclens_rpcwire::server::{Handler, Semantics, WireServer};
+use rpclens_rpcwire::sink::{SpanEvent, SpanEventKind, SpanSink};
+use rpclens_rpcwire::transport::{MemLink, UdpServerSocket, UdpTransport};
+use rpclens_simcore::rng::Prng;
+use rpclens_simcore::time::{SimDuration, SimTime};
+use rpclens_trace::collector::TraceStore;
+use rpclens_trace::span::{MethodId, ServiceId, SpanBuilder, TraceData};
+use rpclens_tsdb::metric::{Labels, MetricDescriptor, MetricValue};
+use rpclens_tsdb::store::TimeSeriesDb;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The span store's quantum; every virtual charge is a multiple so
+/// quantization into [`SpanBuilder`] is lossless.
+const TICK_NS: u64 = 100;
+
+/// Client id of the root (hop-0) client; nested hops use `BASE + depth`.
+const CLIENT_ID_BASE: u64 = 0xBE7C;
+
+/// Configuration for one traced run.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceBenchConfig {
+    /// Root RPCs to issue.
+    pub requests: u32,
+    /// Seed for workload sampling, payloads, and jitter.
+    pub seed: u64,
+    /// Catalog size (methods).
+    pub total_methods: usize,
+    /// Server hops in the chain (≥ 1). Hop 0 serves the root client;
+    /// each hop below the last fans out to the next.
+    pub hops: u32,
+    /// Nested calls each non-leaf hop issues per request.
+    pub fanout: u32,
+}
+
+impl Default for TraceBenchConfig {
+    fn default() -> Self {
+        TraceBenchConfig {
+            requests: 256,
+            seed: 42,
+            total_methods: 400,
+            hops: 2,
+            fanout: 2,
+        }
+    }
+}
+
+/// Per-method identity the recorder needs beyond [`ServableTable`]:
+/// message class for pricing and the owning service for span records.
+struct MethodMeta {
+    classes: Vec<MessageClass>,
+    services: Vec<ServiceId>,
+}
+
+impl MethodMeta {
+    fn class_of(&self, method: u64) -> MessageClass {
+        self.classes
+            .get(method as usize)
+            .copied()
+            .unwrap_or_else(MessageClass::structured)
+    }
+
+    fn service_of(&self, method: u64) -> ServiceId {
+        self.services
+            .get(method as usize)
+            .copied()
+            .unwrap_or(ServiceId(0))
+    }
+}
+
+/// Builds the servable table plus recorder metadata from one catalog.
+fn build_catalog(config: &TraceBenchConfig) -> (ServableTable, MethodMeta) {
+    let topology = Topology::default_world(config.seed);
+    let catalog = Catalog::generate(
+        &CatalogConfig {
+            total_methods: config.total_methods,
+            seed: config.seed,
+        },
+        &topology,
+    );
+    let table = ServableTable::from_catalog(&catalog);
+    let services = catalog.methods().iter().map(|m| m.service).collect();
+    let classes = table.methods().iter().map(|m| m.class).collect();
+    (table, MethodMeta { classes, services })
+}
+
+/// How the recorder assigns time (see the module docs).
+enum ClockMode {
+    /// Deterministic: advance by modeled charges, tick-rounded.
+    Virtual,
+    /// Wall clock anchored at recorder construction (UDP runs).
+    Wall(Instant),
+}
+
+/// One span currently in flight.
+struct OpenSpan {
+    slot: usize,
+    method: u64,
+    ctx: TraceContext,
+    start_ns: u64,
+    handler_start_ns: u64,
+    /// Per-component nanoseconds in [`LatencyComponent::ALL`] order.
+    components: [u64; 9],
+    req_raw: u64,
+    resp_raw: u64,
+    status: Status,
+}
+
+/// Running wire counters, snapshotted per completed root.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireCounters {
+    /// Root RPCs completed.
+    pub roots: u64,
+    /// Spans closed (all hops).
+    pub spans: u64,
+    /// Root RPCs that completed with a non-Ok status.
+    pub errors: u64,
+    /// Client retransmissions observed (all hops).
+    pub retransmissions: u64,
+    /// Stale replies discarded (all hops).
+    pub stale_replies: u64,
+    /// Server dedup-cache replays (all hops).
+    pub dedup_hits: u64,
+    /// Datagrams dropped on decode (either side).
+    pub decode_errors: u64,
+}
+
+/// Cumulative counters at one point in (virtual or wall) time.
+struct CounterSample {
+    at_ns: u64,
+    counters: WireCounters,
+}
+
+/// The span-sink recorder: assigns time, reassembles causal trees, and
+/// accumulates the counters the tsdb streams. Share it between hops as
+/// `Rc<RefCell<WireTraceRecorder>>` (which implements [`SpanSink`]).
+pub struct WireTraceRecorder {
+    model: StackCostModel,
+    meta: MethodMeta,
+    mode: ClockMode,
+    now_ns: u64,
+    /// In-flight spans keyed by `(trace_id, span_id)`.
+    open: HashMap<(u64, u64), OpenSpan>,
+    /// Current trace's spans, slotted in open order (parents precede
+    /// children in the single-threaded schedule).
+    slots: Vec<Option<rpclens_trace::span::SpanRecord>>,
+    /// span_id → slot for the current trace (parent index lookup).
+    slot_of: HashMap<u64, u32>,
+    trace_start_ns: u64,
+    /// Modeled stack+app nanoseconds accumulated over the current trace.
+    modeled_trace_ns: u64,
+    span_counter: u64,
+    trace_counter: u64,
+    store: TraceStore,
+    counters: WireCounters,
+    samples: Vec<CounterSample>,
+    rtts_us: Vec<u64>,
+    modeled_rtts_us: Vec<u64>,
+}
+
+impl WireTraceRecorder {
+    fn new(meta: MethodMeta, mode: ClockMode) -> WireTraceRecorder {
+        WireTraceRecorder {
+            model: StackCostModel::new(StackCostConfig::default()),
+            meta,
+            mode,
+            now_ns: 0,
+            open: HashMap::new(),
+            slots: Vec::new(),
+            slot_of: HashMap::new(),
+            trace_start_ns: 0,
+            modeled_trace_ns: 0,
+            span_counter: 0,
+            trace_counter: 0,
+            store: TraceStore::new(),
+            counters: WireCounters::default(),
+            samples: Vec::new(),
+            rtts_us: Vec::new(),
+            modeled_rtts_us: Vec::new(),
+        }
+    }
+
+    fn now(&self) -> u64 {
+        match self.mode {
+            ClockMode::Virtual => self.now_ns,
+            ClockMode::Wall(anchor) => {
+                u64::try_from(anchor.elapsed().as_nanos()).unwrap_or(u64::MAX)
+            }
+        }
+    }
+
+    /// Rounds a modeled charge to the span store's tick so quantization
+    /// into the trace substrate is lossless.
+    fn tick(ns: f64) -> u64 {
+        ((ns.max(0.0) / TICK_NS as f64).round() as u64).max(1) * TICK_NS
+    }
+
+    /// Advances the virtual clock, attributing the charge to `component`
+    /// of the span keyed `key` (no-op attribution if the span is gone,
+    /// e.g. a stale reply after completion). Wall mode ignores charges.
+    fn charge(&mut self, key: (u64, u64), component: LatencyComponent, ns: u64) {
+        if matches!(self.mode, ClockMode::Wall(_)) {
+            return;
+        }
+        self.now_ns += ns;
+        self.modeled_trace_ns += ns;
+        if let Some(open) = self.open.get_mut(&key) {
+            let idx = LatencyComponent::ALL
+                .iter()
+                .position(|&c| c == component)
+                .expect("component in ALL");
+            open.components[idx] += ns;
+        }
+    }
+
+    /// Starts a fresh trace: hands out `(trace_id, root span id)`.
+    pub fn begin_trace(&mut self) -> (u64, u64) {
+        self.trace_counter += 1;
+        self.span_counter = 1;
+        self.slots.clear();
+        self.slot_of.clear();
+        self.modeled_trace_ns = 0;
+        (self.trace_counter, 1)
+    }
+
+    /// Allocates the next span id within the current trace.
+    pub fn next_span_id(&mut self) -> u64 {
+        self.span_counter += 1;
+        self.span_counter
+    }
+
+    fn open_span(&mut self, event: &SpanEvent, ctx: TraceContext) {
+        let slot = self.slots.len();
+        self.slots.push(None);
+        self.slot_of.insert(ctx.span_id, slot as u32);
+        if ctx.is_root() {
+            self.trace_start_ns = self.now();
+        }
+        self.open.insert(
+            (ctx.trace_id, ctx.span_id),
+            OpenSpan {
+                slot,
+                method: event.method,
+                ctx,
+                start_ns: self.now(),
+                handler_start_ns: 0,
+                components: [0; 9],
+                req_raw: event.raw_bytes as u64,
+                resp_raw: 0,
+                status: Status::Ok,
+            },
+        );
+    }
+
+    fn close_span(&mut self, key: (u64, u64), event: &SpanEvent) {
+        // Wall mode never sees server events; reconstruct the span's
+        // components from the piggybacked timings here instead.
+        if matches!(self.mode, ClockMode::Wall(_)) {
+            let now = self.now();
+            if let Some(open) = self.open.get_mut(&key) {
+                let rtt = now.saturating_sub(open.start_ns);
+                let server = event.server_decode_ns + event.server_exec_ns;
+                let residual = rtt.saturating_sub(server);
+                let idx = |c: LatencyComponent| {
+                    LatencyComponent::ALL.iter().position(|&x| x == c).unwrap()
+                };
+                open.components[idx(LatencyComponent::RequestProcessing)] = event.server_decode_ns;
+                open.components[idx(LatencyComponent::ServerApplication)] = event.server_exec_ns;
+                open.components[idx(LatencyComponent::RequestNetworkWire)] = residual / 2;
+                open.components[idx(LatencyComponent::ResponseNetworkWire)] =
+                    residual - residual / 2;
+            }
+        }
+        let Some(open) = self.open.remove(&key) else {
+            return;
+        };
+        self.counters.spans += 1;
+        let mut breakdown = LatencyBreakdown::new();
+        for (i, &c) in LatencyComponent::ALL.iter().enumerate() {
+            breakdown.set(c, SimDuration::from_nanos(open.components[i]));
+        }
+        let status = event.status.unwrap_or(open.status);
+        let depth = open.ctx.depth as u16;
+        let mut builder = SpanBuilder::new(
+            MethodId(open.method as u32),
+            self.meta.service_of(open.method),
+            ClusterId(depth),
+            ClusterId(depth + 1),
+        )
+        .start_offset(SimDuration::from_nanos(
+            open.start_ns.saturating_sub(self.trace_start_ns),
+        ))
+        .breakdown(breakdown)
+        .sizes(open.req_raw, event.raw_bytes as u64);
+        if !open.ctx.is_root() {
+            if let Some(&parent_slot) = self.slot_of.get(&open.ctx.parent_span_id) {
+                builder = builder.parent(parent_slot);
+            }
+        }
+        if let Some(kind) = status_to_error(status) {
+            builder = builder.error(kind);
+        }
+        self.slots[open.slot] = Some(builder.build());
+        if open.ctx.is_root() {
+            self.finish_trace(open.start_ns, status);
+        }
+    }
+
+    fn finish_trace(&mut self, root_start_ns: u64, root_status: Status) {
+        let spans: Vec<_> = self.slots.drain(..).flatten().collect();
+        self.slot_of.clear();
+        if spans.is_empty() {
+            return;
+        }
+        let total_ns = spans[0].total_latency().as_nanos();
+        self.rtts_us.push(total_ns / 1_000);
+        self.modeled_rtts_us.push(self.modeled_trace_ns / 1_000);
+        self.store
+            .add(TraceData::new(SimTime::from_nanos(root_start_ns), spans));
+        self.counters.roots += 1;
+        if root_status != Status::Ok {
+            self.counters.errors += 1;
+        }
+        self.samples.push(CounterSample {
+            at_ns: self.now(),
+            counters: self.counters,
+        });
+    }
+}
+
+fn status_to_error(status: Status) -> Option<ErrorKind> {
+    match status {
+        Status::Ok => None,
+        Status::NoSuchMethod => Some(ErrorKind::EntityNotFound),
+        Status::BadRequest => Some(ErrorKind::Internal),
+        Status::Rejected => Some(ErrorKind::Unavailable),
+    }
+}
+
+impl SpanSink for WireTraceRecorder {
+    fn record(&mut self, event: &SpanEvent) {
+        let Some(ctx) = event.context else {
+            // Untraced traffic (or an undecodable datagram): count, but
+            // no span to attribute to.
+            if event.kind == SpanEventKind::ServerDecodeError
+                || event.kind == SpanEventKind::ClientDecodeError
+            {
+                self.counters.decode_errors += 1;
+            }
+            return;
+        };
+        let key = (ctx.trace_id, ctx.span_id);
+        let class = self.meta.class_of(event.method);
+        let req_send = self
+            .model
+            .sender_component_ns(event.raw_bytes as u64, class);
+        match event.kind {
+            SpanEventKind::ClientSend => {
+                self.open_span(event, ctx);
+                let prep = req_send.serialize_ns
+                    + req_send.compress_ns
+                    + req_send.library_ns
+                    + req_send.alloc_ns;
+                self.charge(key, LatencyComponent::RequestProcessing, Self::tick(prep));
+            }
+            SpanEventKind::ClientRetransmit => {
+                self.counters.retransmissions += 1;
+                let net = self
+                    .model
+                    .sender_component_ns(event.wire_bytes as u64, class)
+                    .network_ns;
+                self.charge(key, LatencyComponent::RequestNetworkWire, Self::tick(net));
+            }
+            SpanEventKind::ServerRecv => {
+                let req_raw = self
+                    .open
+                    .get(&key)
+                    .map(|o| o.req_raw)
+                    .unwrap_or(event.raw_bytes as u64);
+                let send = self.model.sender_component_ns(req_raw, class);
+                let recv = self.model.receiver_component_ns(req_raw, class);
+                self.charge(
+                    key,
+                    LatencyComponent::RequestNetworkWire,
+                    Self::tick(send.network_ns + recv.network_ns),
+                );
+                self.charge(
+                    key,
+                    LatencyComponent::RequestProcessing,
+                    Self::tick(recv.serialize_ns + recv.compress_ns),
+                );
+                let now = self.now();
+                if let Some(open) = self.open.get_mut(&key) {
+                    open.handler_start_ns = now;
+                }
+            }
+            SpanEventKind::ServerExec => {
+                // Synthetic deterministic application charge; nested
+                // children's time lands here too via the interval.
+                let app = 2_000 + 2 * event.raw_bytes as u64;
+                self.charge(
+                    key,
+                    LatencyComponent::ServerApplication,
+                    Self::tick(app as f64),
+                );
+                let now = self.now();
+                if let Some(open) = self.open.get_mut(&key) {
+                    open.resp_raw = event.raw_bytes as u64;
+                    open.status = event.status.unwrap_or(Status::Ok);
+                    if matches!(self.mode, ClockMode::Virtual) {
+                        // Re-point ServerApplication at the whole handler
+                        // interval (covers nested calls).
+                        let idx = LatencyComponent::ALL
+                            .iter()
+                            .position(|&c| c == LatencyComponent::ServerApplication)
+                            .unwrap();
+                        open.components[idx] = now.saturating_sub(open.handler_start_ns);
+                    }
+                }
+            }
+            SpanEventKind::ServerSend => {
+                let resp_raw = self.open.get(&key).map(|o| o.resp_raw).unwrap_or(0);
+                let send = self.model.sender_component_ns(resp_raw, class);
+                let prep = send.serialize_ns + send.compress_ns + send.library_ns + send.alloc_ns;
+                self.charge(key, LatencyComponent::ResponseProcessing, Self::tick(prep));
+            }
+            SpanEventKind::ClientRecv => {
+                let resp_raw = event.raw_bytes as u64;
+                let send = self.model.sender_component_ns(resp_raw, class);
+                let recv = self.model.receiver_component_ns(resp_raw, class);
+                self.charge(
+                    key,
+                    LatencyComponent::ResponseNetworkWire,
+                    Self::tick(send.network_ns + recv.network_ns),
+                );
+                self.charge(
+                    key,
+                    LatencyComponent::ClientRecvQueue,
+                    Self::tick(recv.serialize_ns + recv.compress_ns),
+                );
+                self.close_span(key, event);
+            }
+            SpanEventKind::ClientStale => {
+                self.counters.stale_replies += 1;
+                self.charge(key, LatencyComponent::ClientRecvQueue, TICK_NS);
+            }
+            SpanEventKind::ServerDedupHit => {
+                self.counters.dedup_hits += 1;
+                self.charge(key, LatencyComponent::ServerRecvQueue, TICK_NS);
+            }
+            SpanEventKind::ClientDecodeError | SpanEventKind::ServerDecodeError => {
+                self.counters.decode_errors += 1;
+            }
+            SpanEventKind::ClientTimeout => {
+                // The span never completed; drop it so the trace (if the
+                // root survives) stays parent-consistent.
+                self.open.remove(&key);
+            }
+        }
+    }
+}
+
+/// Shared recorder handle hops clone into their clients and servers.
+pub type SharedRecorder = Rc<RefCell<WireTraceRecorder>>;
+
+/// One nested hop owned by the previous hop's handler.
+struct NextHop {
+    client: WireClient<MemLink, SharedRecorder>,
+    server: WireServer<MemLink, HopHandler, SharedRecorder>,
+}
+
+/// A hop's handler: serves the catalog like `wire::CatalogHandler` and,
+/// below the last hop, re-propagates the trace context into `fanout`
+/// nested calls per request.
+pub struct HopHandler {
+    table: Arc<ServableTable>,
+    seed: u64,
+    depth: u32,
+    fanout: u32,
+    next: Option<Box<NextHop>>,
+    recorder: SharedRecorder,
+    body: Vec<u8>,
+}
+
+impl HopHandler {
+    fn method(&self, wire_id: u64) -> Option<&ServableMethod> {
+        u32::try_from(wire_id)
+            .ok()
+            .and_then(|id| self.table.get(MethodId(id)))
+    }
+
+    /// Issues one nested, traced call on the next hop and drives it to
+    /// completion (the link is lossless; the poll loop mirrors
+    /// `wire::run_over_memlink`).
+    fn call_next(&mut self, ctx: &TraceContext, request_id_salt: u64) -> Result<(), WireError> {
+        let next = self.next.as_mut().expect("call_next below the last hop");
+        let mut rng = Prng::seed_from(self.seed ^ u64::from(self.depth))
+            .stream(0xFA_0001)
+            .substream(request_id_salt);
+        let method = self.table.sample_root(&mut rng);
+        let len = payload::sample_wire_len(&method.req_size, &mut rng);
+        payload::fill_body(&mut rng, len, &mut self.body);
+        let child_ctx = ctx.child(self.recorder.borrow_mut().next_span_id());
+        let body = std::mem::take(&mut self.body);
+        let mut pending = next.client.start_call_traced(
+            method.method.0 as u64,
+            &body,
+            method.class.compressed,
+            Some(child_ctx),
+        )?;
+        self.body = body;
+        loop {
+            next.server.poll().map_err(WireError::Io)?;
+            match next.client.try_complete(&pending, Duration::ZERO) {
+                Ok(Some(_)) => return Ok(()),
+                Ok(None) => next.client.retransmit(&mut pending)?,
+                // Error statuses already closed the span with the error
+                // recorded; the parent proceeds.
+                Err(WireError::Server(_)) => return Ok(()),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl Handler for HopHandler {
+    fn handle(&mut self, request: &Request) -> (Status, Vec<u8>) {
+        if self.method(request.method).is_none() {
+            return (Status::NoSuchMethod, Vec::new());
+        }
+        if self.next.is_some() {
+            if let Some(ctx) = request.trace {
+                for f in 0..self.fanout {
+                    let salt = request.request_id ^ (u64::from(f) << 48);
+                    if self.call_next(&ctx, salt).is_err() {
+                        return (Status::Rejected, Vec::new());
+                    }
+                }
+            }
+        }
+        let mut rng = Prng::seed_from(self.seed ^ request.client_id)
+            .stream(request.method)
+            .substream(request.request_id);
+        let method = self.method(request.method).expect("checked above");
+        let resp_len = payload::sample_wire_len(&method.resp_size, &mut rng);
+        payload::fill_body(&mut rng, resp_len, &mut self.body);
+        (Status::Ok, std::mem::take(&mut self.body))
+    }
+
+    fn compress_response(&self, method: u64) -> bool {
+        self.method(method).is_some_and(|m| m.class.compressed)
+    }
+}
+
+/// Builds the hop chain recursively: the returned server serves `link`
+/// at `depth` and owns (via its handler) everything below it.
+fn build_hop(
+    table: &Arc<ServableTable>,
+    recorder: &SharedRecorder,
+    config: &TraceBenchConfig,
+    depth: u32,
+    link: MemLink,
+) -> WireServer<MemLink, HopHandler, SharedRecorder> {
+    let next = if depth + 1 < config.hops {
+        let (client_end, server_end) = MemLink::pair();
+        let server = build_hop(table, recorder, config, depth + 1, server_end);
+        let client = WireClient::new(
+            client_end,
+            CLIENT_ID_BASE + u64::from(depth) + 1,
+            RetryPolicy::default(),
+            config.seed ^ u64::from(depth),
+        )
+        .with_span_sink(recorder.clone());
+        Some(Box::new(NextHop { client, server }))
+    } else {
+        None
+    };
+    let handler = HopHandler {
+        table: table.clone(),
+        seed: config.seed,
+        depth,
+        fanout: config.fanout,
+        next,
+        recorder: recorder.clone(),
+        body: Vec::new(),
+    };
+    WireServer::new(link, handler, Semantics::AtMostOnce).with_span_sink(recorder.clone())
+}
+
+/// The outcome of a traced run.
+pub struct TraceBenchReport {
+    /// Config echo.
+    pub config: TraceBenchConfig,
+    /// Transport label (`"memlink"` or `"udp-loopback"`).
+    pub transport: &'static str,
+    /// The measured causal trees.
+    pub store: TraceStore,
+    /// The checksummed `trace::export` bytes of `store`.
+    pub export: Vec<u8>,
+    /// FNV-1a digest of `export` (the determinism pin).
+    pub digest: u64,
+    /// Final wire counters.
+    pub counters: WireCounters,
+    /// Measured root-RPC latency quantiles (virtual or wall ns → µs).
+    pub measured: LatencyQuantiles,
+    /// Modeled quantiles over the same roots (the detector baseline).
+    pub modeled: LatencyQuantiles,
+    /// Findings from the error-budget-burn and tail-regression
+    /// detectors over the `wire/*` streams.
+    pub findings: Vec<Finding>,
+    /// Number of `wire/*` series streamed into the tsdb.
+    pub tsdb_series: usize,
+}
+
+fn quantiles_from_us(mut us: Vec<u64>) -> LatencyQuantiles {
+    us.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if us.is_empty() {
+            0
+        } else {
+            us[((us.len() as f64 - 1.0) * p).round() as usize]
+        }
+    };
+    LatencyQuantiles {
+        count: us.len() as u64,
+        sum_us: us.iter().map(|&v| v as u128).sum(),
+        min_us: us.first().copied().unwrap_or(0),
+        p50_us: pct(0.50),
+        p90_us: pct(0.90),
+        p99_us: pct(0.99),
+        p999_us: pct(0.999),
+        max_us: us.last().copied().unwrap_or(0),
+    }
+}
+
+/// A `wire/*` metric name paired with its [`WireCounters`] accessor.
+type WireMetric = (&'static str, fn(&WireCounters) -> u64);
+
+/// The `wire/*` metric names streamed into the tsdb.
+const WIRE_METRICS: [WireMetric; 6] = [
+    ("wire/rpcs/count", |c| c.roots),
+    ("wire/spans/count", |c| c.spans),
+    ("wire/errors/count", |c| c.errors),
+    ("wire/retransmissions/count", |c| c.retransmissions),
+    ("wire/stale_replies/count", |c| c.stale_replies),
+    ("wire/dedup_hits/count", |c| c.dedup_hits),
+];
+
+/// Streams the recorder's cumulative counter samples into a fresh tsdb
+/// as `wire/*` series and runs the standing detectors over them,
+/// exactly as the fleet telemetry path would.
+fn analyse(recorder: &WireTraceRecorder) -> (Vec<Finding>, usize, TimeSeriesDb) {
+    let total_ns = recorder.samples.last().map(|s| s.at_ns).unwrap_or(0).max(1);
+    // 16 windows over the run, tick-aligned so virtual timestamps land
+    // deterministically.
+    let period = SimDuration::from_nanos(((total_ns / 16).max(TICK_NS) / TICK_NS) * TICK_NS);
+    let mut db = TimeSeriesDb::new(period);
+    let retention = SimDuration::from_nanos(u64::MAX / 2);
+    for (name, _) in WIRE_METRICS {
+        db.register(MetricDescriptor::counter(name, retention))
+            .expect("fresh db registers cleanly");
+    }
+    for sample in &recorder.samples {
+        let at = SimTime::from_nanos(sample.at_ns);
+        for (name, get) in WIRE_METRICS {
+            db.write(
+                name,
+                Labels::empty(),
+                at,
+                MetricValue::Counter(get(&sample.counters)),
+            )
+            .expect("registered metric accepts counters");
+        }
+    }
+    // Reconstruct per-window rows from the streamed series (the same
+    // delta-of-cumulative walk `QueryEngine::rate` does).
+    let deltas = |name: &str| -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        if let Some(series) = db.series(name, &Labels::empty()) {
+            let mut prev = 0u64;
+            for (t, v) in series.points() {
+                if let Some(c) = v.as_counter() {
+                    out.push((t.as_nanos() / period.as_nanos().max(1), c - prev));
+                    prev = c;
+                }
+            }
+        }
+        out
+    };
+    let rpcs = deltas("wire/rpcs/count");
+    let errors: HashMap<u64, u64> = deltas("wire/errors/count").into_iter().collect();
+    let retries: HashMap<u64, u64> = deltas("wire/retransmissions/count").into_iter().collect();
+    let windows: Vec<WindowSample> = rpcs
+        .iter()
+        .map(|&(w, rpcs)| WindowSample {
+            window: w,
+            rpcs,
+            errors: errors.get(&w).copied().unwrap_or(0),
+            congested_wire: 0,
+            retries: retries.get(&w).copied().unwrap_or(0),
+        })
+        .collect();
+    let mut findings = detect::error_budget_burn(&SloConfig::default(), &windows);
+    let measured = quantiles_from_us(recorder.rtts_us.clone());
+    let modeled = quantiles_from_us(recorder.modeled_rtts_us.clone());
+    // Measured vs modeled tails: in virtual mode these agree to
+    // quantization, so any finding is a real pipeline bug. Wall-clock
+    // captures have no modeled baseline (charges are skipped), so the
+    // comparison would be vacuous there.
+    if matches!(recorder.mode, ClockMode::Virtual) {
+        findings.extend(detect::tail_regression(&measured, &modeled, 0.25));
+    }
+    (findings, db.num_series(), db)
+}
+
+/// Runs the traced multi-hop bench over in-memory links with the
+/// virtual clock: the full capture is a pure function of the config.
+pub fn run_traced_memlink(config: &TraceBenchConfig) -> Result<TraceBenchReport, WireError> {
+    assert!(config.hops >= 1, "need at least one hop");
+    let (table, meta) = build_catalog(config);
+    let table = Arc::new(table);
+    let recorder: SharedRecorder = Rc::new(RefCell::new(WireTraceRecorder::new(
+        meta,
+        ClockMode::Virtual,
+    )));
+    let (client_end, server_end) = MemLink::pair();
+    let mut server = build_hop(&table, &recorder, config, 0, server_end);
+    let mut client = WireClient::new(
+        client_end,
+        CLIENT_ID_BASE,
+        RetryPolicy::default(),
+        config.seed,
+    )
+    .with_span_sink(recorder.clone());
+    let mut workload_rng = Prng::seed_from(config.seed).stream(0x317E);
+    let mut body = Vec::new();
+
+    for _ in 0..config.requests {
+        let method = table.sample_root(&mut workload_rng);
+        let len = payload::sample_wire_len(&method.req_size, &mut workload_rng);
+        payload::fill_body(&mut workload_rng, len, &mut body);
+        let (trace_id, span_id) = recorder.borrow_mut().begin_trace();
+        let ctx = TraceContext {
+            trace_id,
+            span_id,
+            parent_span_id: 0,
+            sampled: true,
+            depth: 0,
+        };
+        let mut pending = client.start_call_traced(
+            method.method.0 as u64,
+            &body,
+            method.class.compressed,
+            Some(ctx),
+        )?;
+        loop {
+            server.poll().map_err(WireError::Io)?;
+            match client.try_complete(&pending, Duration::ZERO) {
+                Ok(Some(_)) => break,
+                Ok(None) => client.retransmit(&mut pending)?,
+                Err(WireError::Server(_)) => break,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    // Release the hop chain's recorder handles before unwrapping.
+    drop(client);
+    drop(server);
+    finish_report(config, "memlink", recorder)
+}
+
+/// Runs a traced single-hop bench over real UDP loopback with a wall
+/// clock: spans are reconstructed client-side from piggybacked server
+/// timings (`hops` and `fanout` are ignored — the UDP server cannot
+/// share the single-threaded recorder).
+pub fn run_traced_udp(config: &TraceBenchConfig) -> Result<TraceBenchReport, WireError> {
+    let (table, meta) = build_catalog(config);
+    let table = Arc::new(table);
+    let recorder: SharedRecorder = Rc::new(RefCell::new(WireTraceRecorder::new(
+        meta,
+        ClockMode::Wall(Instant::now()),
+    )));
+    let server_socket = UdpServerSocket::bind("127.0.0.1:0").map_err(WireError::Io)?;
+    let server_addr = server_socket.local_addr().map_err(WireError::Io)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let server_thread = {
+        let table = table.clone();
+        let stop = stop.clone();
+        let seed = config.seed;
+        std::thread::spawn(move || {
+            let handler = crate::wire::CatalogHandler::new(table, seed);
+            let mut server = WireServer::new(server_socket, handler, Semantics::AtMostOnce);
+            server
+                .serve(Duration::from_millis(5), |_| stop.load(Ordering::Relaxed))
+                .expect("wire server failed");
+        })
+    };
+
+    let transport = UdpTransport::connect(server_addr).map_err(WireError::Io)?;
+    let mut client = WireClient::new(
+        transport,
+        CLIENT_ID_BASE,
+        RetryPolicy::default(),
+        config.seed,
+    )
+    .with_span_sink(recorder.clone());
+    let mut workload_rng = Prng::seed_from(config.seed).stream(0x317E);
+    let mut body = Vec::new();
+    for _ in 0..config.requests {
+        let method = table.sample_root(&mut workload_rng);
+        let len = payload::sample_wire_len(&method.req_size, &mut workload_rng);
+        payload::fill_body(&mut workload_rng, len, &mut body);
+        let (trace_id, span_id) = recorder.borrow_mut().begin_trace();
+        let ctx = TraceContext {
+            trace_id,
+            span_id,
+            parent_span_id: 0,
+            sampled: true,
+            depth: 0,
+        };
+        let mut pending = client.start_call_traced(
+            method.method.0 as u64,
+            &body,
+            method.class.compressed,
+            Some(ctx),
+        )?;
+        match client.drive(&mut pending) {
+            Ok(_) | Err(WireError::Server(_)) => {}
+            // Lost calls under loopback churn: the span stays open and
+            // is dropped by the ClientTimeout event; keep going.
+            Err(WireError::TimedOut { .. }) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    server_thread.join().expect("server thread panicked");
+    drop(client);
+    finish_report(config, "udp-loopback", recorder)
+}
+
+fn finish_report(
+    config: &TraceBenchConfig,
+    transport: &'static str,
+    recorder: SharedRecorder,
+) -> Result<TraceBenchReport, WireError> {
+    let recorder = Rc::try_unwrap(recorder)
+        .map_err(|_| ())
+        .expect("all hop handles dropped")
+        .into_inner();
+    let (findings, tsdb_series, _db) = analyse(&recorder);
+    let export = rpclens_trace::export::export(&recorder.store);
+    let digest = fnv1a(&export);
+    Ok(TraceBenchReport {
+        config: *config,
+        transport,
+        store: recorder.store,
+        export,
+        digest,
+        counters: recorder.counters,
+        measured: quantiles_from_us(recorder.rtts_us),
+        modeled: quantiles_from_us(recorder.modeled_rtts_us),
+        findings,
+        tsdb_series,
+    })
+}
+
+/// Renders one measured trace as an indented waterfall: each span's
+/// bar is positioned by start offset and scaled by duration within the
+/// root's interval, indented by tree depth.
+pub fn waterfall_text(store: &TraceStore, index: usize) -> Result<String, String> {
+    use std::fmt::Write as _;
+    let traces = store.traces();
+    let trace = traces
+        .get(index)
+        .ok_or_else(|| format!("trace {index} out of range (store has {})", traces.len()))?;
+    let stats = rpclens_trace::tree::TreeStats::compute(trace);
+    let total_ns = trace
+        .spans
+        .iter()
+        .map(|s| s.start_offset().as_nanos() + s.total_latency().as_nanos())
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    const WIDTH: usize = 48;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "trace {index}: {} spans, {} deep, {:.1} us end to end",
+        trace.len(),
+        stats.max_depth + 1,
+        total_ns as f64 / 1_000.0
+    )
+    .unwrap();
+    for (i, span) in trace.spans.iter().enumerate() {
+        let start = span.start_offset().as_nanos();
+        let dur = span.total_latency().as_nanos();
+        let lead = (start as usize * WIDTH) / total_ns as usize;
+        let bar = ((dur as usize * WIDTH) / total_ns as usize).max(1);
+        let bar = bar.min(WIDTH - lead.min(WIDTH - 1));
+        let status = match span.error {
+            None => "ok",
+            Some(_) => "err",
+        };
+        writeln!(
+            out,
+            "  [{: <width$}] {:indent$}m{:<5} svc{:<4} {:>9.1} us {}",
+            format!("{}{}", ".".repeat(lead), "#".repeat(bar)),
+            "",
+            span.method.0,
+            span.service.0,
+            dur as f64 / 1_000.0,
+            status,
+            width = WIDTH,
+            indent = stats.ancestors[i] as usize * 2,
+        )
+        .unwrap();
+    }
+    Ok(out)
+}
+
+/// Renders the per-method measured-vs-modeled comparison over a whole
+/// measured store: the model re-prices each span's actual request and
+/// response bytes through [`StackCostModel`] (plus the deterministic
+/// app proxy), so the delta isolates what the wire added beyond the
+/// analytical stack.
+pub fn method_delta_text(store: &TraceStore, seed: u64, total_methods: usize) -> String {
+    use std::fmt::Write as _;
+    let config = TraceBenchConfig {
+        seed,
+        total_methods,
+        ..TraceBenchConfig::default()
+    };
+    let (_table, meta) = build_catalog(&config);
+    let model = StackCostModel::new(StackCostConfig::default());
+    // method → (count, measured ns sum, modeled ns sum)
+    let mut rows: HashMap<u32, (u64, u64, u64)> = HashMap::new();
+    for trace in store.traces() {
+        for span in &trace.spans {
+            let class = meta.class_of(span.method.0 as u64);
+            let req = span.request_bytes as u64;
+            let resp = span.response_bytes as u64;
+            let s_req = model.sender_component_ns(req, class);
+            let r_req = model.receiver_component_ns(req, class);
+            let s_resp = model.sender_component_ns(resp, class);
+            let r_resp = model.receiver_component_ns(resp, class);
+            let stack = s_req.serialize_ns
+                + s_req.compress_ns
+                + s_req.library_ns
+                + s_req.alloc_ns
+                + s_req.network_ns
+                + r_req.network_ns
+                + r_req.serialize_ns
+                + r_req.compress_ns
+                + s_resp.serialize_ns
+                + s_resp.compress_ns
+                + s_resp.library_ns
+                + s_resp.alloc_ns
+                + s_resp.network_ns
+                + r_resp.network_ns
+                + r_resp.serialize_ns
+                + r_resp.compress_ns;
+            let modeled = stack as u64 + 2_000 + 2 * resp;
+            let row = rows.entry(span.method.0).or_default();
+            row.0 += 1;
+            row.1 += span.total_latency().as_nanos();
+            row.2 += modeled;
+        }
+    }
+    let mut sorted: Vec<_> = rows.into_iter().collect();
+    sorted.sort_by(|a, b| b.1 .0.cmp(&a.1 .0).then(a.0.cmp(&b.0)));
+    let mut out = String::from(
+        "measured vs modeled per method (spans, mean us; delta = measured - modeled)\n",
+    );
+    writeln!(
+        out,
+        "  {:>7} {:>7} {:>12} {:>12} {:>9}",
+        "method", "spans", "measured", "modeled", "delta%"
+    )
+    .unwrap();
+    for (method, (count, measured_ns, modeled_ns)) in sorted.into_iter().take(20) {
+        let measured = measured_ns as f64 / count as f64 / 1_000.0;
+        let modeled = modeled_ns as f64 / count as f64 / 1_000.0;
+        let delta = if modeled > 0.0 {
+            (measured - modeled) / modeled * 100.0
+        } else {
+            0.0
+        };
+        writeln!(
+            out,
+            "  {:>7} {:>7} {:>12.1} {:>12.1} {:>+9.1}",
+            method, count, measured, modeled, delta
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// One-paragraph run summary for the `rpclens-wire bench --trace-out`
+/// stderr report.
+pub fn trace_summary_text(report: &TraceBenchReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "wire trace [{}]: {} traces, {} spans, digest {:016x}",
+        report.transport,
+        report.store.len(),
+        report.store.total_spans(),
+        report.digest
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  counters: {} roots, {} errors, {} retransmissions, {} stale, {} dedup, {} decode errors",
+        report.counters.roots,
+        report.counters.errors,
+        report.counters.retransmissions,
+        report.counters.stale_replies,
+        report.counters.dedup_hits,
+        report.counters.decode_errors
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  rtt us: p50 {} p99 {} max {} (modeled p50 {} p99 {}); {} wire/* series",
+        report.measured.p50_us,
+        report.measured.p99_us,
+        report.measured.max_us,
+        report.modeled.p50_us,
+        report.modeled.p99_us,
+        report.tsdb_series
+    )
+    .unwrap();
+    if report.findings.is_empty() {
+        writeln!(out, "  detectors: clean").unwrap();
+    } else {
+        for f in &report.findings {
+            writeln!(
+                out,
+                "  finding[{}] {}: {}",
+                f.severity, f.detector, f.subject
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpclens_trace::critical_path::CriticalPath;
+    use rpclens_trace::tree::TreeStats;
+
+    fn small_config() -> TraceBenchConfig {
+        TraceBenchConfig {
+            requests: 24,
+            seed: 42,
+            total_methods: 300,
+            hops: 2,
+            fanout: 2,
+        }
+    }
+
+    #[test]
+    fn memlink_run_builds_multi_hop_trees() {
+        let report = run_traced_memlink(&small_config()).unwrap();
+        assert_eq!(report.counters.roots, 24);
+        assert_eq!(report.store.len(), 24);
+        // Every trace is root + fanout children (hops=2 → one nested
+        // layer).
+        for trace in report.store.traces() {
+            assert_eq!(trace.len(), 3, "root + 2 children");
+            let stats = TreeStats::compute(trace);
+            assert_eq!(stats.max_depth, 1);
+            assert_eq!(stats.fanout[0], 2);
+            // Child clusters step with depth.
+            assert_eq!(trace.spans[0].client_cluster, ClusterId(0));
+            assert_eq!(trace.spans[1].client_cluster, ClusterId(1));
+        }
+        assert_eq!(report.counters.spans, 24 * 3);
+        assert_eq!(report.counters.errors, 0);
+    }
+
+    #[test]
+    fn children_nest_inside_the_parents_server_time() {
+        let report = run_traced_memlink(&small_config()).unwrap();
+        for trace in report.store.traces() {
+            let root_app = trace.spans[0].component(LatencyComponent::ServerApplication);
+            let children_total: u64 = trace.spans[1..]
+                .iter()
+                .map(|s| s.total_latency().as_nanos())
+                .sum();
+            assert!(
+                root_app.as_nanos() >= children_total,
+                "root app {} must cover nested children {}",
+                root_app.as_nanos(),
+                children_total
+            );
+            // The causal invariant: children start after the root.
+            for child in &trace.spans[1..] {
+                assert!(child.start_offset() > SimDuration::ZERO);
+            }
+        }
+    }
+
+    #[test]
+    fn critical_path_works_unchanged_on_measured_trees() {
+        let report = run_traced_memlink(&small_config()).unwrap();
+        let trace = &report.store.traces()[0];
+        let path = CriticalPath::compute(trace);
+        assert!(!path.is_empty());
+        // The path starts at the root and its exclusive sum telescopes
+        // to the root's total latency.
+        assert_eq!(path.exclusive_sum(), trace.root().total_latency());
+    }
+
+    #[test]
+    fn capture_is_a_pure_function_of_the_seed() {
+        let a = run_traced_memlink(&small_config()).unwrap();
+        let b = run_traced_memlink(&small_config()).unwrap();
+        assert_eq!(a.export, b.export);
+        assert_eq!(a.digest, b.digest);
+        let mut other = small_config();
+        other.seed = 43;
+        let c = run_traced_memlink(&other).unwrap();
+        assert_ne!(a.digest, c.digest, "different seed, different capture");
+    }
+
+    #[test]
+    fn export_roundtrips_through_the_checksummed_format() {
+        let report = run_traced_memlink(&small_config()).unwrap();
+        let imported = rpclens_trace::export::import(&report.export).unwrap();
+        assert_eq!(imported.len(), report.store.len());
+        assert_eq!(imported.total_spans(), report.store.total_spans());
+        assert_eq!(
+            rpclens_trace::export::export(&imported),
+            report.export,
+            "import/export is byte-stable"
+        );
+    }
+
+    #[test]
+    fn virtual_mode_matches_the_model_and_raises_no_findings() {
+        let report = run_traced_memlink(&small_config()).unwrap();
+        // In virtual mode measured == modeled up to quantization, so the
+        // standing detectors stay quiet — any finding is a pipeline bug.
+        assert!(
+            report.findings.is_empty(),
+            "unexpected findings: {:?}",
+            report.findings
+        );
+        assert!(report.tsdb_series >= 6);
+        assert!(report.measured.p50_us > 0);
+    }
+
+    #[test]
+    fn renderers_produce_text_from_the_artifact_alone() {
+        let report = run_traced_memlink(&small_config()).unwrap();
+        // Round-trip through the export first: the inspect path renders
+        // from the artifact bytes without re-running anything.
+        let store = rpclens_trace::export::import(&report.export).unwrap();
+        let waterfall = waterfall_text(&store, 0).unwrap();
+        assert!(waterfall.contains("3 spans"));
+        assert!(waterfall.contains("#"), "bars rendered");
+        assert!(waterfall_text(&store, 9_999).is_err(), "range checked");
+        let deltas = method_delta_text(&store, 42, 300);
+        assert!(deltas.contains("measured vs modeled"));
+        assert!(deltas.lines().count() > 2, "at least one method row");
+        let summary = trace_summary_text(&report);
+        assert!(summary.contains("digest"));
+        assert!(summary.contains("detectors: clean"));
+    }
+
+    #[test]
+    fn deeper_chains_and_wider_fanout_scale_the_tree() {
+        let config = TraceBenchConfig {
+            requests: 4,
+            seed: 7,
+            total_methods: 300,
+            hops: 3,
+            fanout: 2,
+        };
+        let report = run_traced_memlink(&config).unwrap();
+        // hops=3, fanout=2: 1 + 2 + 4 = 7 spans per trace.
+        for trace in report.store.traces() {
+            assert_eq!(trace.len(), 7);
+            assert_eq!(TreeStats::compute(trace).max_depth, 2);
+        }
+    }
+}

@@ -172,6 +172,10 @@ pub struct FleetConfig {
     /// is bit-identical at any thread count. Clamped to `1..=shards`;
     /// the default is one thread per available core.
     pub threads: usize,
+    /// Emit per-shard progress lines on stderr as shards complete
+    /// (cumulative roots/s and spans/s). Purely observational: progress
+    /// goes to stderr only and never touches artifacts or digests.
+    pub progress: bool,
 }
 
 /// One shard (or worker thread) per available core, falling back to 1
@@ -197,6 +201,7 @@ impl FleetConfig {
             reserved_cores_enabled: true,
             shards: available_cores(),
             threads: available_cores(),
+            progress: false,
         }
     }
 
@@ -633,12 +638,36 @@ impl Driver {
                 let lo = id * chunk;
                 let hi = (lo + chunk).min(roots.len());
                 shard.run_roots(&roots[lo..hi], lo, &collector);
-                reports.lock().expect("report lock").push(ShardReport {
-                    shard: id,
-                    roots: shard.counters.roots,
-                    spans: shard.counters.spans,
-                    wall_ms: shard_start.elapsed().as_secs_f64() * 1e3,
-                });
+                {
+                    let mut done = reports.lock().expect("report lock");
+                    done.push(ShardReport {
+                        shard: id,
+                        roots: shard.counters.roots,
+                        spans: shard.counters.spans,
+                        wall_ms: shard_start.elapsed().as_secs_f64() * 1e3,
+                    });
+                    // Progress is stderr-only and computed under the
+                    // report lock, so lines never interleave; it has no
+                    // effect on any artifact or digest.
+                    if self.config.progress {
+                        let total_roots: u64 = done.iter().map(|r| r.roots).sum();
+                        let total_spans: u64 = done.iter().map(|r| r.spans).sum();
+                        let elapsed = simulate_start.elapsed().as_secs_f64().max(1e-9);
+                        eprintln!(
+                            "progress: shard {}/{} done in {:.0} ms | {}/{} roots \
+                             ({:.0}/s) | {} spans ({:.0}/s) | {:.1} s elapsed",
+                            done.len(),
+                            shards,
+                            done.last().expect("just pushed").wall_ms,
+                            total_roots,
+                            roots.len(),
+                            total_roots as f64 / elapsed,
+                            total_spans,
+                            total_spans as f64 / elapsed,
+                            elapsed,
+                        );
+                    }
+                }
                 shard
             },
             |acc, next| {

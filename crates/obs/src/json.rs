@@ -205,15 +205,23 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Maximum container nesting the parser accepts. The parser recurses
+/// per `[`/`{` level, so unbounded nesting from a hostile document
+/// would overflow the stack; 512 is far beyond any artifact this
+/// workspace writes (manifests nest < 10 deep) while staying well
+/// inside default thread stacks.
+pub const MAX_DEPTH: usize = 512;
+
 /// Parses a JSON document (trailing whitespace allowed, nothing else).
 ///
 /// # Errors
 ///
-/// Returns a [`ParseError`] on malformed input or trailing garbage.
+/// Returns a [`ParseError`] on malformed input, trailing garbage, or
+/// nesting deeper than [`MAX_DEPTH`].
 pub fn parse(input: &str) -> Result<Json, ParseError> {
     let bytes = input.as_bytes();
     let mut pos = 0usize;
-    let value = parse_value(bytes, &mut pos)?;
+    let value = parse_value(bytes, &mut pos, 0)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(err(pos, "trailing characters"));
@@ -243,7 +251,7 @@ fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), ParseError> {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, ParseError> {
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
         None => Err(err(*pos, "unexpected end of input")),
@@ -251,8 +259,9 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
         Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
         Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
         Some(b'"') => parse_string(bytes, pos).map(Json::Str),
-        Some(b'[') => parse_array(bytes, pos),
-        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[' | b'{') if depth >= MAX_DEPTH => Err(err(*pos, "nesting exceeds maximum depth")),
+        Some(b'[') => parse_array(bytes, pos, depth),
+        Some(b'{') => parse_object(bytes, pos, depth),
         Some(b'-' | b'0'..=b'9') => parse_number(bytes, pos),
         Some(&c) => Err(err(*pos, &format!("unexpected character '{}'", c as char))),
     }
@@ -368,7 +377,7 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
         .map_err(|_| err(start, "malformed number"))
 }
 
-fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
+fn parse_array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, ParseError> {
     expect(bytes, pos, b'[')?;
     let mut items = Vec::new();
     skip_ws(bytes, pos);
@@ -377,7 +386,7 @@ fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
         return Ok(Json::Array(items));
     }
     loop {
-        items.push(parse_value(bytes, pos)?);
+        items.push(parse_value(bytes, pos, depth + 1)?);
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => {
@@ -392,7 +401,7 @@ fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
     }
 }
 
-fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
+fn parse_object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, ParseError> {
     expect(bytes, pos, b'{')?;
     let mut pairs = Vec::new();
     skip_ws(bytes, pos);
@@ -405,7 +414,7 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
         let key = parse_string(bytes, pos)?;
         skip_ws(bytes, pos);
         expect(bytes, pos, b':')?;
-        let value = parse_value(bytes, pos)?;
+        let value = parse_value(bytes, pos, depth + 1)?;
         pairs.push((key, value));
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
@@ -497,5 +506,77 @@ mod tests {
     fn nonfinite_floats_render_null() {
         assert_eq!(Json::Float(f64::NAN).to_pretty(), "null\n");
         assert_eq!(Json::Float(f64::INFINITY).to_pretty(), "null\n");
+    }
+
+    #[test]
+    fn unicode_escapes_decode_and_surrogates_are_rejected() {
+        assert_eq!(parse(r#""A""#).unwrap().as_str(), Some("A"));
+        assert_eq!(parse(r#""☺""#).unwrap().as_str(), Some("\u{263a}"));
+        // Lone surrogates are not Unicode scalar values; mis-decoding
+        // them would poison every consumer downstream.
+        assert!(parse(r#""\ud800""#).is_err());
+        assert!(parse(r#""\udfff""#).is_err());
+        // Truncated and non-hex escapes.
+        assert!(parse(r#""\u00""#).is_err());
+        assert!(parse(r#""\uzzzz""#).is_err());
+        assert!(parse(r#""\x41""#).is_err(), "unknown escape letter");
+    }
+
+    #[test]
+    fn integer_extremes_parse_exactly() {
+        let max = u128::MAX.to_string();
+        assert_eq!(parse(&max).unwrap().as_u128(), Some(u128::MAX));
+        let min_exact = (i128::MIN + 1).to_string();
+        assert_eq!(parse(&min_exact).unwrap(), Json::Int(i128::MIN + 1));
+        // The parser negates after parsing the magnitude, so i128::MIN
+        // itself (magnitude i128::MAX + 1) falls back to float — the
+        // writer never emits it; this pins the asymmetry.
+        assert!(matches!(
+            parse(&i128::MIN.to_string()).unwrap(),
+            Json::Float(_)
+        ));
+        // One past u128::MAX no longer fits an integer; the parser
+        // falls back to a lossy float rather than rejecting — the
+        // writer never emits such a number, this pins the behaviour.
+        let over = format!("{}0", u128::MAX);
+        assert!(matches!(parse(&over).unwrap(), Json::Float(_)));
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded_not_a_stack_overflow() {
+        let nest = |n: usize| format!("{}1{}", "[".repeat(n), "]".repeat(n));
+        // Well under the cap: parses fine.
+        assert!(parse(&nest(400)).is_ok());
+        // Past the cap: a graceful error, not a crash. 100k levels
+        // would overflow the stack without the depth guard.
+        let e = parse(&nest(MAX_DEPTH + 1)).unwrap_err();
+        assert!(e.message.contains("depth"), "got: {e}");
+        assert!(parse(&nest(100_000)).is_err());
+        // Objects count against the same budget.
+        let deep_obj = format!(
+            "{}1{}",
+            "{\"k\":".repeat(MAX_DEPTH + 1),
+            "}".repeat(MAX_DEPTH + 1)
+        );
+        assert!(parse(&deep_obj).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        for bad in ["1 2", "{} []", "null,", "[1] x", "\"a\" \"b\"", "{}{}"] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+        // Trailing whitespace alone stays legal.
+        assert!(parse("{} \n\t ").is_ok());
+    }
+
+    #[test]
+    fn number_lookalikes_are_rejected() {
+        for bad in ["inf", "Infinity", "NaN", "+1", "-", ".5", "0x10", "1e"] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+        // Standard exponent forms still parse (as floats).
+        assert!(matches!(parse("1e3").unwrap(), Json::Float(_)));
+        assert!(matches!(parse("-2.5e-2").unwrap(), Json::Float(_)));
     }
 }

@@ -28,6 +28,9 @@ impl Flags {
     pub const RESPONSE: u8 = 0b0000_0100;
     /// Frame carries an error status instead of a payload result.
     pub const ERROR: u8 = 0b0000_1000;
+    /// Request payload begins with a versioned trace-context extension
+    /// block (distributed tracing; see `rpclens-rpcwire`'s envelope).
+    pub const TRACED: u8 = 0b0001_0000;
 
     /// Tests a flag bit.
     pub fn contains(self, bit: u8) -> bool {

@@ -17,7 +17,8 @@
 //! same state machine without timers, so single-threaded tests can
 //! interleave client and server at exact points in a fault schedule.
 
-use crate::message::{self, Message, Response, Status, WireError};
+use crate::message::{self, Message, Response, Status, TraceContext, WireError};
+use crate::sink::{NullSink, SpanEvent, SpanEventKind, SpanSink};
 use crate::transport::{Transport, MAX_DATAGRAM};
 use bytes::Bytes;
 use rpclens_simcore::rng::Prng;
@@ -90,10 +91,18 @@ pub struct PendingCall {
     pub datagram: Bytes,
     /// Transmissions so far.
     pub attempts: u32,
+    /// The catalog method id (0 for externally framed calls that did
+    /// not declare one); carried so span events name the method.
+    pub method: u64,
+    /// The trace context embedded in the datagram, if any.
+    pub context: Option<TraceContext>,
 }
 
 /// The wire client. See the module docs.
-pub struct WireClient<T: Transport> {
+///
+/// The `K` parameter is the [`SpanSink`] receiving span events; it
+/// defaults to [`NullSink`] so untraced clients pay nothing.
+pub struct WireClient<T: Transport, K: SpanSink = NullSink> {
     transport: T,
     client_id: u64,
     next_request_id: u64,
@@ -101,6 +110,7 @@ pub struct WireClient<T: Transport> {
     rng: Prng,
     stats: ClientStats,
     buf: Vec<u8>,
+    sink: K,
 }
 
 impl<T: Transport> WireClient<T> {
@@ -115,6 +125,24 @@ impl<T: Transport> WireClient<T> {
             rng: Prng::seed_from(seed).stream(0x00C1_1E47),
             stats: ClientStats::default(),
             buf: vec![0u8; MAX_DATAGRAM + 4096],
+            sink: NullSink,
+        }
+    }
+}
+
+impl<T: Transport, K: SpanSink> WireClient<T, K> {
+    /// Rebinds the client to a different span sink, consuming it.
+    /// Pending calls remain valid across the rebind.
+    pub fn with_span_sink<K2: SpanSink>(self, sink: K2) -> WireClient<T, K2> {
+        WireClient {
+            transport: self.transport,
+            client_id: self.client_id,
+            next_request_id: self.next_request_id,
+            policy: self.policy,
+            rng: self.rng,
+            stats: self.stats,
+            buf: self.buf,
+            sink,
         }
     }
 
@@ -141,15 +169,46 @@ impl<T: Transport> WireClient<T> {
         body: &[u8],
         compress: bool,
     ) -> Result<PendingCall, WireError> {
+        self.start_call_traced(method, body, compress, None)
+    }
+
+    /// [`WireClient::start_call`] with a trace context embedded in the
+    /// request envelope; the server re-propagates it to nested calls.
+    pub fn start_call_traced(
+        &mut self,
+        method: u64,
+        body: &[u8],
+        compress: bool,
+        trace: Option<TraceContext>,
+    ) -> Result<PendingCall, WireError> {
         let request_id = self.next_request_id;
         self.next_request_id += 1;
-        let datagram = message::encode_request(method, self.client_id, request_id, body, compress);
+        let datagram = message::encode_request_traced(
+            method,
+            self.client_id,
+            request_id,
+            body,
+            compress,
+            trace.as_ref(),
+        );
         self.transport.send(&datagram)?;
         self.stats.calls += 1;
+        let mut event = SpanEvent::new(
+            SpanEventKind::ClientSend,
+            method,
+            self.client_id,
+            request_id,
+        );
+        event.context = trace;
+        event.wire_bytes = datagram.len();
+        event.raw_bytes = body.len();
+        self.sink.record(&event);
         Ok(PendingCall {
             request_id,
             datagram,
             attempts: 1,
+            method,
+            context: trace,
         })
     }
 
@@ -160,12 +219,36 @@ impl<T: Transport> WireClient<T> {
         request_id: u64,
         datagram: Bytes,
     ) -> Result<PendingCall, WireError> {
+        self.start_prepared_traced(request_id, datagram, 0, None)
+    }
+
+    /// [`WireClient::start_prepared`] declaring the method and the trace
+    /// context the caller framed into the datagram, so span events carry
+    /// them (the client does not re-decode its own frames).
+    pub fn start_prepared_traced(
+        &mut self,
+        request_id: u64,
+        datagram: Bytes,
+        method: u64,
+        trace: Option<TraceContext>,
+    ) -> Result<PendingCall, WireError> {
         self.transport.send(&datagram)?;
         self.stats.calls += 1;
+        let mut event = SpanEvent::new(
+            SpanEventKind::ClientSend,
+            method,
+            self.client_id,
+            request_id,
+        );
+        event.context = trace;
+        event.wire_bytes = datagram.len();
+        self.sink.record(&event);
         Ok(PendingCall {
             request_id,
             datagram,
             attempts: 1,
+            method,
+            context: trace,
         })
     }
 
@@ -182,6 +265,15 @@ impl<T: Transport> WireClient<T> {
         self.transport.send(&call.datagram)?;
         call.attempts += 1;
         self.stats.retransmissions += 1;
+        let mut event = SpanEvent::new(
+            SpanEventKind::ClientRetransmit,
+            call.method,
+            self.client_id,
+            call.request_id,
+        );
+        event.context = call.context;
+        event.wire_bytes = call.datagram.len();
+        self.sink.record(&event);
         Ok(())
     }
 
@@ -205,6 +297,19 @@ impl<T: Transport> WireClient<T> {
                     if resp.client_id == self.client_id && resp.request_id == call.request_id =>
                 {
                     self.stats.completed += 1;
+                    let mut event = SpanEvent::new(
+                        SpanEventKind::ClientRecv,
+                        call.method,
+                        self.client_id,
+                        call.request_id,
+                    );
+                    event.context = call.context;
+                    event.wire_bytes = len;
+                    event.raw_bytes = resp.body.len();
+                    event.status = Some(resp.status);
+                    event.server_decode_ns = resp.server_decode_ns;
+                    event.server_exec_ns = resp.server_exec_ns;
+                    self.sink.record(&event);
                     if resp.status != Status::Ok {
                         return Err(WireError::Server(resp.status));
                     }
@@ -214,9 +319,27 @@ impl<T: Transport> WireClient<T> {
                     // A duplicate of an earlier reply, or something
                     // addressed elsewhere: ignore.
                     self.stats.stale_replies += 1;
+                    let mut event = SpanEvent::new(
+                        SpanEventKind::ClientStale,
+                        call.method,
+                        self.client_id,
+                        call.request_id,
+                    );
+                    event.context = call.context;
+                    event.wire_bytes = len;
+                    self.sink.record(&event);
                 }
                 Err(_) => {
                     self.stats.decode_errors += 1;
+                    let mut event = SpanEvent::new(
+                        SpanEventKind::ClientDecodeError,
+                        call.method,
+                        self.client_id,
+                        call.request_id,
+                    );
+                    event.context = call.context;
+                    event.wire_bytes = len;
+                    self.sink.record(&event);
                 }
             }
         }
@@ -243,6 +366,14 @@ impl<T: Transport> WireClient<T> {
             }
             if pending.attempts >= self.policy.max_attempts {
                 self.stats.timeouts += 1;
+                let mut event = SpanEvent::new(
+                    SpanEventKind::ClientTimeout,
+                    pending.method,
+                    self.client_id,
+                    pending.request_id,
+                );
+                event.context = pending.context;
+                self.sink.record(&event);
                 return Err(WireError::TimedOut {
                     attempts: pending.attempts,
                 });
@@ -332,6 +463,53 @@ mod tests {
         let a = client.start_call(1, b"", false).unwrap();
         let b = client.start_call(1, b"", false).unwrap();
         assert!(b.request_id > a.request_id);
+    }
+
+    #[test]
+    fn span_sink_sees_the_call_lifecycle() {
+        use crate::sink::{SpanEventKind, VecSink};
+        let (client_end, server_end) = MemLink::pair();
+        let mut server = WireServer::new(
+            server_end,
+            |req: &message::Request| (Status::Ok, req.body.to_vec()),
+            Semantics::AtMostOnce,
+        );
+        let ctx = TraceContext {
+            trace_id: 0x90,
+            span_id: 1,
+            parent_span_id: 0,
+            sampled: true,
+            depth: 0,
+        };
+        let mut client = WireClient::new(client_end, 7, RetryPolicy::default(), 1)
+            .with_span_sink(VecSink::default());
+        let mut pending = client
+            .start_call_traced(3, b"ping", false, Some(ctx))
+            .unwrap();
+        client.retransmit(&mut pending).unwrap();
+        server.poll().unwrap();
+        let resp = client
+            .try_complete(&pending, Duration::ZERO)
+            .unwrap()
+            .expect("reply pending");
+        assert_eq!(&resp.body[..], b"ping");
+        let client = client; // end of mutation: inspect the sink
+        let kinds: Vec<SpanEventKind> = client.sink.events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                SpanEventKind::ClientSend,
+                SpanEventKind::ClientRetransmit,
+                SpanEventKind::ClientRecv,
+            ]
+        );
+        for event in &client.sink.events {
+            assert_eq!(event.context, Some(ctx));
+            assert_eq!(event.method, 3);
+            assert_eq!(event.request_id, pending.request_id);
+        }
+        assert_eq!(client.sink.events[2].status, Some(Status::Ok));
+        assert_eq!(client.sink.events[0].raw_bytes, 4);
     }
 
     #[test]

@@ -19,6 +19,10 @@
 //! - [`client`]: a client with seeded-jitter retransmission timers.
 //! - [`server`]: a poll-driven server with **at-most-once** (reply dedup
 //!   cache) and **at-least-once** (re-execute every delivery) semantics.
+//! - [`sink`]: pluggable [`sink::SpanSink`] span-event instrumentation —
+//!   paired with [`message::TraceContext`] propagation it turns a
+//!   multi-hop topology into a measured causal tree (distributed
+//!   tracing; see `docs/OBSERVABILITY.md`).
 //! - [`payload`]: deterministic, partially compressible synthetic payload
 //!   generation mirroring the catalog's size models.
 //!
@@ -34,10 +38,12 @@ pub mod faulty;
 pub mod message;
 pub mod payload;
 pub mod server;
+pub mod sink;
 pub mod transport;
 
 pub use client::{ClientStats, RetryPolicy, WireClient};
 pub use faulty::{FaultConfig, FaultStats, FaultyTransport};
-pub use message::{Request, Response, Status, WireError};
+pub use message::{Request, Response, Status, TraceContext, WireError};
 pub use server::{Handler, Semantics, ServerStats, WireServer};
+pub use sink::{NullSink, SpanEvent, SpanEventKind, SpanSink, VecSink};
 pub use transport::{MemLink, ServerTransport, Transport, UdpServerSocket, UdpTransport};

@@ -20,6 +20,17 @@
 //! so the receiver can size (and verify) decompression; the server's
 //! `decode_ns`/`exec_ns` ride back to the client so the wire validation
 //! can subtract server-side work from measured round trips.
+//!
+//! **Trace-context extension (v2 frames).** When `flags.TRACED` is set,
+//! the request payload instead begins with a length-prefixed, versioned
+//! extension block carrying a [`TraceContext`]:
+//! `varint(ext_len) ++ ext ++ varint(raw_len) ++ body`, where `ext` is
+//! `version:u8 ++ trace_id:u64le ++ span_id:u64le ++ parent_span_id:u64le
+//! ++ flags:u8 (bit 0 = sampled) ++ varint(depth)`. Decoders ignore any
+//! trailing bytes inside `ext` beyond the fields they know, so future
+//! versions can append fields without breaking this decoder; frames with
+//! `TRACED` clear carry the v1 payload byte-for-byte, so pre-tracing
+//! fixtures keep decoding (see `tests/golden_frames.rs`).
 
 use crate::compress;
 use bytes::{Bytes, BytesMut};
@@ -73,6 +84,100 @@ impl Status {
     }
 }
 
+/// Distributed-tracing context carried in a request's extension block.
+///
+/// The ids are opaque 64-bit values chosen by the tracing layer; `depth`
+/// counts hops from the trace root (0 at the root client). The context
+/// crosses the wire only on requests — a server re-propagates it into
+/// its own nested calls via [`TraceContext::child`], which is what turns
+/// a multi-hop topology into one causal tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Identity of the whole causal tree.
+    pub trace_id: u64,
+    /// Identity of this span (one client→server call).
+    pub span_id: u64,
+    /// The calling span's id, or 0 at the root.
+    pub parent_span_id: u64,
+    /// Head-sampling decision made at the root; sinks drop unsampled
+    /// spans.
+    pub sampled: bool,
+    /// Hops from the root client (0 = root call).
+    pub depth: u32,
+}
+
+/// Version byte of the trace-context extension block this module writes.
+pub const TRACE_EXT_VERSION: u8 = 1;
+
+/// Fixed-size prefix of the extension block: version byte, three u64
+/// ids, and the sampled-flags byte (the varint depth follows).
+const TRACE_EXT_FIXED_LEN: usize = 1 + 8 + 8 + 8 + 1;
+
+impl TraceContext {
+    /// Derives the context for a nested call made while serving this
+    /// span: same trace, this span as parent, one hop deeper.
+    pub fn child(&self, span_id: u64) -> TraceContext {
+        TraceContext {
+            trace_id: self.trace_id,
+            span_id,
+            parent_span_id: self.span_id,
+            sampled: self.sampled,
+            depth: self.depth.saturating_add(1),
+        }
+    }
+
+    /// Whether this is the root span of its trace.
+    pub fn is_root(&self) -> bool {
+        self.parent_span_id == 0
+    }
+
+    fn encode_ext(&self, out: &mut BytesMut) {
+        let mut ext = BytesMut::with_capacity(TRACE_EXT_FIXED_LEN + 5);
+        ext.extend_from_slice(&[TRACE_EXT_VERSION]);
+        ext.extend_from_slice(&self.trace_id.to_le_bytes());
+        ext.extend_from_slice(&self.span_id.to_le_bytes());
+        ext.extend_from_slice(&self.parent_span_id.to_le_bytes());
+        ext.extend_from_slice(&[u8::from(self.sampled)]);
+        put_varint(&mut ext, self.depth as u64);
+        put_varint(out, ext.len() as u64);
+        out.extend_from_slice(&ext);
+    }
+
+    fn decode_ext(cursor: &mut &[u8]) -> Result<TraceContext, WireError> {
+        let ext_len = get_varint(cursor).map_err(WireError::Frame)? as usize;
+        if ext_len > cursor.len() {
+            return Err(WireError::Envelope("trace extension truncated"));
+        }
+        let (mut ext, rest) = cursor.split_at(ext_len);
+        *cursor = rest;
+        if ext.len() < TRACE_EXT_FIXED_LEN {
+            return Err(WireError::Envelope("trace extension too short"));
+        }
+        let version = ext[0];
+        if version == 0 {
+            return Err(WireError::Envelope("trace extension version 0"));
+        }
+        let u64_at =
+            |b: &[u8], at: usize| u64::from_le_bytes(b[at..at + 8].try_into().expect("8 bytes"));
+        let trace_id = u64_at(ext, 1);
+        let span_id = u64_at(ext, 9);
+        let parent_span_id = u64_at(ext, 17);
+        let sampled = ext[25] & 1 != 0;
+        ext = &ext[TRACE_EXT_FIXED_LEN..];
+        let depth = get_varint(&mut ext).map_err(WireError::Frame)?;
+        // Any bytes remaining in `ext` belong to a future extension
+        // version; ignoring them is the forward-compatibility contract.
+        Ok(TraceContext {
+            trace_id,
+            span_id,
+            parent_span_id,
+            sampled,
+            depth: u32::try_from(depth)
+                .map_err(|_| WireError::Envelope("trace depth implausible"))?,
+        })
+    }
+}
+
 /// A decoded request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
@@ -82,6 +187,9 @@ pub struct Request {
     pub client_id: u64,
     /// Per-client request id (retransmissions reuse it).
     pub request_id: u64,
+    /// Trace context from the extension block, when the frame carried
+    /// one (`flags.TRACED`).
+    pub trace: Option<TraceContext>,
     /// Decompressed body bytes.
     pub body: Bytes,
     /// Whether the body crossed the wire compressed.
@@ -190,25 +298,41 @@ pub fn encode_body(body: &[u8], try_compress: bool) -> WireBody {
 }
 
 /// Serializes a request envelope (everything but the frame) into payload
-/// bytes.
-pub fn serialize_request(body: &WireBody) -> Bytes {
-    let mut payload = BytesMut::with_capacity(body.bytes.len() + 4);
+/// bytes. With a context, prepends the versioned trace extension block;
+/// the caller must then frame with [`frame_request_traced`] so the
+/// `TRACED` flag matches the payload layout.
+pub fn serialize_request_traced(body: &WireBody, trace: Option<&TraceContext>) -> Bytes {
+    let mut payload = BytesMut::with_capacity(body.bytes.len() + 40);
+    if let Some(ctx) = trace {
+        ctx.encode_ext(&mut payload);
+    }
     put_varint(&mut payload, body.raw_len as u64);
     payload.extend_from_slice(&body.bytes);
     payload.freeze()
 }
 
-/// Frames a serialized request payload into the final datagram bytes.
-pub fn frame_request(
+/// Serializes a request envelope (everything but the frame) into payload
+/// bytes.
+pub fn serialize_request(body: &WireBody) -> Bytes {
+    serialize_request_traced(body, None)
+}
+
+/// Frames a serialized request payload into the final datagram bytes,
+/// setting `TRACED` when the payload carries an extension block.
+pub fn frame_request_traced(
     method: u64,
     client_id: u64,
     request_id: u64,
     payload: Bytes,
     compressed: bool,
+    traced: bool,
 ) -> Bytes {
     let mut flags = Flags::default();
     if compressed {
         flags = flags.with(Flags::COMPRESSED);
+    }
+    if traced {
+        flags = flags.with(Flags::TRACED);
     }
     codec::encode_frame(&RpcFrame {
         header: RpcHeader {
@@ -223,6 +347,39 @@ pub fn frame_request(
     })
 }
 
+/// Frames a serialized request payload into the final datagram bytes.
+pub fn frame_request(
+    method: u64,
+    client_id: u64,
+    request_id: u64,
+    payload: Bytes,
+    compressed: bool,
+) -> Bytes {
+    frame_request_traced(method, client_id, request_id, payload, compressed, false)
+}
+
+/// Convenience: encode + serialize + frame a request, carrying a trace
+/// context when one is supplied.
+pub fn encode_request_traced(
+    method: u64,
+    client_id: u64,
+    request_id: u64,
+    body: &[u8],
+    try_compress: bool,
+    trace: Option<&TraceContext>,
+) -> Bytes {
+    let wire_body = encode_body(body, try_compress);
+    let payload = serialize_request_traced(&wire_body, trace);
+    frame_request_traced(
+        method,
+        client_id,
+        request_id,
+        payload,
+        wire_body.compressed,
+        trace.is_some(),
+    )
+}
+
 /// Convenience: encode + serialize + frame a request in one call.
 pub fn encode_request(
     method: u64,
@@ -231,9 +388,7 @@ pub fn encode_request(
     body: &[u8],
     try_compress: bool,
 ) -> Bytes {
-    let wire_body = encode_body(body, try_compress);
-    let payload = serialize_request(&wire_body);
-    frame_request(method, client_id, request_id, payload, wire_body.compressed)
+    encode_request_traced(method, client_id, request_id, body, try_compress, None)
 }
 
 /// Encodes a response datagram.
@@ -326,6 +481,11 @@ pub fn decode(datagram: &[u8]) -> Result<Message, WireError> {
             wire_body_len,
         }))
     } else {
+        let trace = if frame.header.flags.contains(Flags::TRACED) {
+            Some(TraceContext::decode_ext(&mut cursor)?)
+        } else {
+            None
+        };
         let raw_len = get_varint(&mut cursor).map_err(WireError::Frame)?;
         let wire_body_len = cursor.len();
         let body = decode_wire_body(cursor, raw_len, compressed)?;
@@ -333,6 +493,7 @@ pub fn decode(datagram: &[u8]) -> Result<Message, WireError> {
             method: frame.header.method_id,
             client_id: frame.header.trace_id,
             request_id: frame.header.span_id,
+            trace,
             body,
             was_compressed: compressed,
             wire_body_len,
@@ -423,6 +584,108 @@ mod tests {
         }
     }
 
+    fn ctx() -> TraceContext {
+        TraceContext {
+            trace_id: 0xDEAD_BEEF_0123_4567,
+            span_id: 42,
+            parent_span_id: 7,
+            sampled: true,
+            depth: 3,
+        }
+    }
+
+    #[test]
+    fn traced_requests_roundtrip_the_context() {
+        let body = b"traced payload traced payload traced payload";
+        let datagram = encode_request_traced(9, 11, 13, body, true, Some(&ctx()));
+        match decode(&datagram).unwrap() {
+            Message::Request(req) => {
+                assert_eq!(req.trace, Some(ctx()));
+                assert_eq!(&req.body[..], &body[..]);
+                assert_eq!(req.method, 9);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn untraced_requests_are_byte_identical_to_v1() {
+        // The extension is strictly opt-in: passing no context must
+        // produce the exact pre-tracing encoding (the compatibility
+        // contract the golden fixture pins).
+        let body = b"same bytes as before";
+        let v1 = encode_request(4, 5, 6, body, true);
+        let v2 = encode_request_traced(4, 5, 6, body, true, None);
+        assert_eq!(v1, v2);
+        match decode(&v1).unwrap() {
+            Message::Request(req) => assert_eq!(req.trace, None),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn child_context_re_propagates_the_trace() {
+        let child = ctx().child(99);
+        assert_eq!(child.trace_id, ctx().trace_id);
+        assert_eq!(child.span_id, 99);
+        assert_eq!(child.parent_span_id, ctx().span_id);
+        assert_eq!(child.depth, 4);
+        assert!(child.sampled);
+        assert!(!child.is_root());
+        let root = TraceContext {
+            parent_span_id: 0,
+            ..ctx()
+        };
+        assert!(root.is_root());
+    }
+
+    #[test]
+    fn unknown_trailing_extension_bytes_are_ignored() {
+        // A future encoder may append fields to the extension block;
+        // this decoder must skip them. Build the payload by hand with
+        // three surplus bytes inside the declared ext length.
+        let wire_body = encode_body(b"fwd-compat", false);
+        let mut payload = BytesMut::new();
+        let mut ext = BytesMut::new();
+        ext.extend_from_slice(&[2u8]); // a future version
+        ext.extend_from_slice(&1u64.to_le_bytes());
+        ext.extend_from_slice(&2u64.to_le_bytes());
+        ext.extend_from_slice(&3u64.to_le_bytes());
+        ext.extend_from_slice(&[1u8]);
+        put_varint(&mut ext, 5);
+        ext.extend_from_slice(&[0xAA, 0xBB, 0xCC]); // unknown fields
+        put_varint(&mut payload, ext.len() as u64);
+        payload.extend_from_slice(&ext);
+        put_varint(&mut payload, wire_body.raw_len as u64);
+        payload.extend_from_slice(&wire_body.bytes);
+        let datagram = frame_request_traced(1, 2, 3, payload.freeze(), false, true);
+        match decode(&datagram).unwrap() {
+            Message::Request(req) => {
+                let t = req.trace.expect("context decoded");
+                assert_eq!(t.trace_id, 1);
+                assert_eq!(t.span_id, 2);
+                assert_eq!(t.parent_span_id, 3);
+                assert!(t.sampled);
+                assert_eq!(t.depth, 5);
+                assert_eq!(&req.body[..], b"fwd-compat");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_or_corrupt_traced_frames_are_rejected() {
+        let datagram = encode_request_traced(9, 9, 9, &[3u8; 200], true, Some(&ctx()));
+        for cut in 0..datagram.len() {
+            assert!(decode(&datagram[..cut]).is_err(), "cut {cut} decoded");
+        }
+        for idx in 0..datagram.len() {
+            let mut corrupted = datagram.to_vec();
+            corrupted[idx] ^= 0x10;
+            assert!(decode(&corrupted).is_err(), "flip at {idx} decoded");
+        }
+    }
+
     #[test]
     fn status_codes_roundtrip() {
         for s in [
@@ -481,6 +744,26 @@ mod tests {
                     prop_assert_eq!(&resp.body[..], &body[..]);
                 }
                 other => prop_assert!(false, "expected response, got {:?}", other),
+            }
+        }
+
+        #[test]
+        fn arbitrary_trace_contexts_roundtrip(
+            trace_id: u64,
+            span_id: u64,
+            parent_span_id: u64,
+            sampled: bool,
+            depth: u32,
+            body in proptest::collection::vec(any::<u8>(), 0..512),
+        ) {
+            let ctx = TraceContext { trace_id, span_id, parent_span_id, sampled, depth };
+            let datagram = encode_request_traced(1, 2, 3, &body, true, Some(&ctx));
+            match decode(&datagram).unwrap() {
+                Message::Request(req) => {
+                    prop_assert_eq!(req.trace, Some(ctx));
+                    prop_assert_eq!(&req.body[..], &body[..]);
+                }
+                other => prop_assert!(false, "expected request, got {:?}", other),
             }
         }
 

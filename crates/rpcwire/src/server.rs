@@ -18,6 +18,7 @@
 //! `poll` in a blocking loop for the real binary.
 
 use crate::message::{self, Message, Status};
+use crate::sink::{NullSink, SpanEvent, SpanEventKind, SpanSink};
 use crate::transport::{ServerTransport, MAX_DATAGRAM};
 use bytes::Bytes;
 use std::collections::{HashMap, VecDeque};
@@ -116,13 +117,17 @@ impl DedupCache {
 }
 
 /// The wire server. See the module docs for the semantics contract.
-pub struct WireServer<S: ServerTransport, H: Handler> {
+///
+/// The `K` parameter is the [`SpanSink`] receiving span events; it
+/// defaults to [`NullSink`] so untraced servers pay nothing.
+pub struct WireServer<S: ServerTransport, H: Handler, K: SpanSink = NullSink> {
     transport: S,
     handler: H,
     semantics: Semantics,
     dedup: DedupCache,
     stats: ServerStats,
     buf: Vec<u8>,
+    sink: K,
 }
 
 impl<S: ServerTransport, H: Handler> WireServer<S, H> {
@@ -145,7 +150,29 @@ impl<S: ServerTransport, H: Handler> WireServer<S, H> {
             dedup: DedupCache::new(dedup_capacity),
             stats: ServerStats::default(),
             buf: vec![0u8; MAX_DATAGRAM + 4096],
+            sink: NullSink,
         }
+    }
+}
+
+impl<S: ServerTransport, H: Handler, K: SpanSink> WireServer<S, H, K> {
+    /// Rebinds the server to a different span sink, consuming it. The
+    /// dedup cache and counters carry over.
+    pub fn with_span_sink<K2: SpanSink>(self, sink: K2) -> WireServer<S, H, K2> {
+        WireServer {
+            transport: self.transport,
+            handler: self.handler,
+            semantics: self.semantics,
+            dedup: self.dedup,
+            stats: self.stats,
+            buf: self.buf,
+            sink,
+        }
+    }
+
+    /// The handler (e.g. for a traced handler's captured state).
+    pub fn handler_mut(&mut self) -> &mut H {
+        &mut self.handler
     }
 
     /// Counters so far.
@@ -174,22 +201,46 @@ impl<S: ServerTransport, H: Handler> WireServer<S, H> {
             // retransmission timer recover.
             Ok(Message::Response(_)) | Err(_) => {
                 self.stats.decode_errors += 1;
+                self.sink
+                    .record(&SpanEvent::new(SpanEventKind::ServerDecodeError, 0, 0, 0));
                 return Ok(());
             }
         };
         let decode_ns = saturating_elapsed_ns(decode_started);
+        let mut event = SpanEvent::new(
+            SpanEventKind::ServerRecv,
+            request.method,
+            request.client_id,
+            request.request_id,
+        );
+        event.context = request.trace;
+        event.wire_bytes = len;
+        event.raw_bytes = request.body.len();
+        self.sink.record(&event);
         let key = (request.client_id, request.request_id);
         if self.semantics == Semantics::AtMostOnce {
             if let Some(reply) = self.dedup.get(key) {
                 let reply = reply.clone();
                 self.stats.dedup_hits += 1;
                 self.stats.responses_sent += 1;
+                let mut event = event;
+                event.kind = SpanEventKind::ServerDedupHit;
+                event.wire_bytes = reply.len();
+                event.raw_bytes = 0;
+                self.sink.record(&event);
                 return self.transport.send_to(&reply, peer);
             }
         }
         let exec_started = Instant::now();
         let (status, body) = self.handler.handle(&request);
         let exec_ns = saturating_elapsed_ns(exec_started);
+        let mut exec_event = event;
+        exec_event.kind = SpanEventKind::ServerExec;
+        exec_event.raw_bytes = body.len();
+        exec_event.status = Some(status);
+        exec_event.server_decode_ns = decode_ns;
+        exec_event.server_exec_ns = exec_ns;
+        self.sink.record(&exec_event);
         let reply = message::encode_response(
             request.method,
             request.client_id,
@@ -205,6 +256,10 @@ impl<S: ServerTransport, H: Handler> WireServer<S, H> {
             self.stats.evictions += self.dedup.insert(key, reply.clone());
         }
         self.stats.responses_sent += 1;
+        let mut send_event = exec_event;
+        send_event.kind = SpanEventKind::ServerSend;
+        send_event.wire_bytes = reply.len();
+        self.sink.record(&send_event);
         self.transport.send_to(&reply, peer)
     }
 
@@ -354,6 +409,56 @@ mod tests {
         server.poll().unwrap();
         let resp = recv_response(&mut client).unwrap();
         assert_eq!(resp.status, Status::NoSuchMethod);
+    }
+
+    #[test]
+    fn span_sink_sees_recv_exec_send_and_dedup() {
+        use crate::message::{encode_request_traced, TraceContext};
+        use crate::sink::{SpanEventKind, VecSink};
+        let (mut client, server_end) = MemLink::pair();
+        let mut server = WireServer::new(server_end, echo_handler(), Semantics::AtMostOnce)
+            .with_span_sink(VecSink::default());
+        let ctx = TraceContext {
+            trace_id: 0xABCD,
+            span_id: 2,
+            parent_span_id: 1,
+            sampled: true,
+            depth: 1,
+        };
+        let datagram = encode_request_traced(3, 10, 1, b"echo", false, Some(&ctx));
+        client.send(&datagram).unwrap();
+        client.send(&datagram).unwrap();
+        server.poll().unwrap();
+        let kinds: Vec<SpanEventKind> = server.sink.events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                SpanEventKind::ServerRecv,
+                SpanEventKind::ServerExec,
+                SpanEventKind::ServerSend,
+                SpanEventKind::ServerRecv,
+                SpanEventKind::ServerDedupHit,
+            ]
+        );
+        for event in &server.sink.events {
+            assert_eq!(
+                event.context,
+                Some(ctx),
+                "context propagates to {:?}",
+                event.kind
+            );
+            assert_eq!(event.method, 3);
+        }
+        assert_eq!(server.sink.events[1].status, Some(Status::Ok));
+        // Corrupt datagrams surface as anonymous decode-error events.
+        let mut corrupt = datagram.to_vec();
+        corrupt[5] ^= 0xFF;
+        client.send(&corrupt).unwrap();
+        server.poll().unwrap();
+        assert_eq!(
+            server.sink.events.last().unwrap().kind,
+            SpanEventKind::ServerDecodeError
+        );
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! Pluggable span-event sinks for wire-level distributed tracing.
+//!
+//! The client and server runtimes emit a [`SpanEvent`] at every
+//! observable point of a call's life — send, retransmit, receive, stale
+//! reply, dedup hit, handler execution — into a [`SpanSink`] the caller
+//! plugs in. The runtime deliberately does **not** timestamp events:
+//! the sink assigns time, which is what makes capture deterministic
+//! under an in-memory link (a virtual clock advancing by modeled costs
+//! is a pure function of the seed) and honest under UDP (a wall clock).
+//! See `docs/OBSERVABILITY.md` ("Wire tracing") for the contract.
+//!
+//! The default sink is [`NullSink`], a zero-sized no-op, so untraced
+//! clients and servers pay nothing. [`VecSink`] records raw events for
+//! tests and simple captures; the characterization pipeline's recorder
+//! (which assembles `rpclens-trace` trees) lives in `rpclens-bench`.
+
+use crate::message::{Status, TraceContext};
+
+/// Where in a call's lifecycle a [`SpanEvent`] was emitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanEventKind {
+    /// Client sent a request datagram (first transmission).
+    ClientSend,
+    /// Client resent an identical datagram after a timeout.
+    ClientRetransmit,
+    /// Client matched and decoded the response for a pending call.
+    ClientRecv,
+    /// Client discarded a stale or duplicate reply.
+    ClientStale,
+    /// Client dropped a datagram that failed to decode.
+    ClientDecodeError,
+    /// Client exhausted its retransmission budget.
+    ClientTimeout,
+    /// Server decoded an incoming request.
+    ServerRecv,
+    /// Server dropped a datagram that failed to decode.
+    ServerDecodeError,
+    /// Server answered a duplicate from the dedup cache (at-most-once).
+    ServerDedupHit,
+    /// Server finished executing the handler for a request.
+    ServerExec,
+    /// Server sent a response datagram.
+    ServerSend,
+}
+
+/// One observable point in a call's life. Events carry the matching
+/// identity (`client_id`, `request_id`), the propagated [`TraceContext`]
+/// when the frame had one, and whatever measurements the emitting side
+/// holds at that point. Fields that do not apply to a given kind are
+/// zero/`None`/`true`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Lifecycle point.
+    pub kind: SpanEventKind,
+    /// Catalog method id (0 when the emitting side does not know it).
+    pub method: u64,
+    /// Client identity (the request-matching namespace).
+    pub client_id: u64,
+    /// Per-client request id.
+    pub request_id: u64,
+    /// Propagated trace context, when the request carried one.
+    pub context: Option<TraceContext>,
+    /// Datagram bytes on the wire for this event (0 when not applicable).
+    pub wire_bytes: usize,
+    /// Uncompressed payload bytes (0 when the emitting side only saw the
+    /// framed datagram).
+    pub raw_bytes: usize,
+    /// Response status (`None` before a response exists).
+    pub status: Option<Status>,
+    /// Server-side request-decode nanoseconds: measured on `ServerExec`,
+    /// piggybacked on `ClientRecv`.
+    pub server_decode_ns: u64,
+    /// Server-side handler nanoseconds (same provenance).
+    pub server_exec_ns: u64,
+}
+
+impl SpanEvent {
+    /// A blank event of `kind` for the given call identity; builders
+    /// fill in what they know.
+    pub fn new(kind: SpanEventKind, method: u64, client_id: u64, request_id: u64) -> SpanEvent {
+        SpanEvent {
+            kind,
+            method,
+            client_id,
+            request_id,
+            context: None,
+            wire_bytes: 0,
+            raw_bytes: 0,
+            status: None,
+            server_decode_ns: 0,
+            server_exec_ns: 0,
+        }
+    }
+}
+
+/// A consumer of span events. Implementations assign timestamps (see
+/// the module docs) and decide retention — e.g. dropping events whose
+/// context has `sampled == false`.
+pub trait SpanSink {
+    /// Records one event. Called synchronously on the runtime's thread
+    /// at the moment the event happens, in causal order.
+    fn record(&mut self, event: &SpanEvent);
+}
+
+/// The no-op sink: untraced runtimes compile the instrumentation away.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl SpanSink for NullSink {
+    fn record(&mut self, _event: &SpanEvent) {}
+}
+
+/// A sink that appends every event to a vector, for tests and simple
+/// captures.
+#[derive(Debug, Default)]
+pub struct VecSink {
+    /// The recorded events, in arrival order.
+    pub events: Vec<SpanEvent>,
+}
+
+impl SpanSink for VecSink {
+    fn record(&mut self, event: &SpanEvent) {
+        self.events.push(*event);
+    }
+}
+
+/// Shared-ownership adapter: a single-threaded harness can hand clones
+/// of one `Rc<RefCell<Sink>>` to a client and several servers so every
+/// hop records into the same causal stream.
+impl<K: SpanSink> SpanSink for std::rc::Rc<std::cell::RefCell<K>> {
+    fn record(&mut self, event: &SpanEvent) {
+        self.borrow_mut().record(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_sink_records_in_order() {
+        let mut sink = VecSink::default();
+        sink.record(&SpanEvent::new(SpanEventKind::ClientSend, 1, 2, 3));
+        sink.record(&SpanEvent::new(SpanEventKind::ClientRecv, 1, 2, 3));
+        assert_eq!(sink.events.len(), 2);
+        assert_eq!(sink.events[0].kind, SpanEventKind::ClientSend);
+        assert_eq!(sink.events[1].kind, SpanEventKind::ClientRecv);
+    }
+
+    #[test]
+    fn shared_sink_aggregates_across_clones() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let shared = Rc::new(RefCell::new(VecSink::default()));
+        let mut a = shared.clone();
+        let mut b = shared.clone();
+        a.record(&SpanEvent::new(SpanEventKind::ClientSend, 1, 1, 1));
+        b.record(&SpanEvent::new(SpanEventKind::ServerRecv, 1, 1, 1));
+        assert_eq!(shared.borrow().events.len(), 2);
+    }
+
+    #[test]
+    fn null_sink_is_zero_sized() {
+        assert_eq!(std::mem::size_of::<NullSink>(), 0);
+    }
+}

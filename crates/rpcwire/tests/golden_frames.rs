@@ -9,7 +9,7 @@
 //! deliberate, reviewed act (regenerate with
 //! `REGEN_WIRE_GOLDEN=1 cargo test -p rpclens-rpcwire --test golden_frames`).
 
-use rpclens_rpcwire::message::{self, Message, Status};
+use rpclens_rpcwire::message::{self, Message, Status, TraceContext};
 use rpclens_rpcwire::payload;
 use rpclens_simcore::rng::Prng;
 use std::fmt::Write as _;
@@ -41,12 +41,25 @@ fn golden_datagrams() -> Vec<(&'static str, Vec<u8>)> {
     let error_response =
         message::encode_response(999, 5, 2, Status::NoSuchMethod, 40, 0, b"", false);
 
+    // v2 traced request: TRACED flag set, payload prefixed with the
+    // versioned trace-context extension block.
+    let trace = TraceContext {
+        trace_id: 0x0123_4567_89AB_CDEF,
+        span_id: 0x0000_0000_0000_002A,
+        parent_span_id: 0x0000_0000_0000_0007,
+        sampled: true,
+        depth: 2,
+    };
+    let traced_request =
+        message::encode_request_traced(17, 0x00C0_FFEE, 4, b"traced body", false, Some(&trace));
+
     vec![
         ("compressed_request", compressed_request.to_vec()),
         ("raw_request", raw_request.to_vec()),
         ("empty_request", empty_request.to_vec()),
         ("ok_response", ok_response.to_vec()),
         ("error_response", error_response.to_vec()),
+        ("traced_request", traced_request.to_vec()),
     ]
 }
 
@@ -160,9 +173,20 @@ fn committed_fixture_bytes_still_decode() {
                 assert_eq!(resp.server_decode_ns, 40);
                 assert!(resp.body.is_empty());
             }
+            ("traced_request", Message::Request(req)) => {
+                assert_eq!(req.method, 17);
+                assert_eq!(req.request_id, 4);
+                assert_eq!(&req.body[..], b"traced body");
+                let trace = req.trace.expect("v2 frame carries a trace context");
+                assert_eq!(trace.trace_id, 0x0123_4567_89AB_CDEF);
+                assert_eq!(trace.span_id, 0x2A);
+                assert_eq!(trace.parent_span_id, 0x07);
+                assert!(trace.sampled);
+                assert_eq!(trace.depth, 2);
+            }
             (name, other) => panic!("unexpected fixture entry {name}: {other:?}"),
         }
         decoded += 1;
     }
-    assert_eq!(decoded, 5);
+    assert_eq!(decoded, 6);
 }
