@@ -18,9 +18,13 @@
 //!
 //! - `DRIVER_BENCH_PRESET=smoke|default|paper|fleet|both|all` restricts
 //!   the preset list (`both` = smoke+default, the pre-`fleet` default;
-//!   CI's non-gating job uses `smoke`).
+//!   CI's non-gating job uses `smoke`). Preset names resolve through
+//!   `rpclens_bench::scale_by_name`, the same table the `repro` binary
+//!   parses `--scale` with.
 //! - `DRIVER_BENCH_THREADS=1,4,8` overrides the thread counts measured
-//!   per preset (default: the host's core count, when more than one).
+//!   per preset (default: {2,4,8} for the `paper` preset — the tracked
+//!   multi-core scaling curve — and the host's core count elsewhere,
+//!   when more than one).
 //!
 //! Refreshing the committed baseline (see README "Benchmarks"):
 //!
@@ -34,27 +38,34 @@
 //! reference and is only rewritten when a PR intentionally re-baselines.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rpclens_bench::scale_by_name;
 use rpclens_fleet::driver::{run_fleet, FleetConfig, SimScale};
 
-/// Presets to measure; see the module docs for the env contract.
+/// Presets to measure; see the module docs for the env contract. Single
+/// preset names go through [`scale_by_name`] — the one preset table the
+/// `repro` binary shares — so the two frontends cannot drift.
 fn presets() -> Vec<SimScale> {
     match std::env::var("DRIVER_BENCH_PRESET").as_deref() {
-        Ok("smoke") => vec![SimScale::smoke()],
-        Ok("default") => vec![SimScale::default_scale()],
-        Ok("paper") => vec![SimScale::paper()],
-        Ok("fleet") => vec![SimScale::fleet()],
-        Ok("all") => vec![
-            SimScale::smoke(),
-            SimScale::default_scale(),
-            SimScale::paper(),
-            SimScale::fleet(),
-        ],
-        _ => vec![SimScale::smoke(), SimScale::default_scale()],
+        Ok("all") => ["smoke", "default", "paper", "fleet"]
+            .iter()
+            .map(|name| scale_by_name(name).expect("known preset"))
+            .collect(),
+        Ok(name) => match scale_by_name(name) {
+            Some(scale) => vec![scale],
+            // Unknown names (and the explicit `both`) fall back to the
+            // historical smoke+default pair.
+            None => vec![SimScale::smoke(), SimScale::default_scale()],
+        },
+        Err(_) => vec![SimScale::smoke(), SimScale::default_scale()],
     }
 }
 
 /// Thread counts to measure beyond the sequential baseline.
-fn thread_counts(cores: usize) -> Vec<usize> {
+///
+/// The `paper` preset always measures the {2,4,8} curve — the tracked
+/// multi-thread scaling entries in `BENCH_driver.json` — while other
+/// presets default to the host's core count.
+fn thread_counts(preset: &str, cores: usize) -> Vec<usize> {
     if let Ok(spec) = std::env::var("DRIVER_BENCH_THREADS") {
         return spec
             .split(',')
@@ -62,7 +73,9 @@ fn thread_counts(cores: usize) -> Vec<usize> {
             .filter(|&t| t > 0)
             .collect();
     }
-    if cores > 1 {
+    if preset == "paper" {
+        vec![2, 4, 8]
+    } else if cores > 1 {
         vec![cores]
     } else {
         Vec::new()
@@ -90,7 +103,7 @@ fn bench_driver_throughput(c: &mut Criterion) {
         // ... plus the worker-pool configurations: N threads over
         // one-shard-per-core (at least N shards so every thread has
         // work to claim).
-        for threads in thread_counts(cores) {
+        for threads in thread_counts(scale.name, cores) {
             let shards = cores.max(threads);
             g.bench_function(format!("{}_{}thread", scale.name, threads), |b| {
                 b.iter(|| {

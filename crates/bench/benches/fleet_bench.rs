@@ -76,6 +76,7 @@ fn bench_full_run(c: &mut Criterion) {
         roots: 2_000,
         duration: SimDuration::from_hours(24),
         trace_sample_rate: 1,
+        profiler_sample_cap: 10_000,
         seed: 6,
     };
     g.throughput(Throughput::Elements(scale.roots));

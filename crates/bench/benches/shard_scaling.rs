@@ -16,6 +16,7 @@ fn bench_shard_scaling(c: &mut Criterion) {
         roots: 8_000,
         duration: SimDuration::from_hours(24),
         trace_sample_rate: 1,
+        profiler_sample_cap: 10_000,
         seed: 6,
     };
     let mut g = c.benchmark_group("shard_scaling");

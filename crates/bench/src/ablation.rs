@@ -231,6 +231,7 @@ mod tests {
             roots: 15_000,
             duration: SimDuration::from_hours(24),
             trace_sample_rate: 1,
+            profiler_sample_cap: 10_000,
             seed: 21,
         }
     }

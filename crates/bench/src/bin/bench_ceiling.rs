@@ -1,8 +1,9 @@
-//! `bench-ceiling` — the gating per-RPC cost check and the non-gating
-//! `fleet` wall-clock trend line.
+//! `bench-ceiling` — the gating per-RPC cost check, the gating peak-RSS
+//! check, and the non-gating `fleet` trend line.
 //!
 //! ```text
 //! bench-ceiling gate  [--baseline PATH] [--runs N]
+//! bench-ceiling rss   [--baseline PATH] [--scale fleet|paper|default] [--threads N] [--shards N]
 //! bench-ceiling trend [--scale fleet|paper|default] [--threads N] [--shards N]
 //! ```
 //!
@@ -19,11 +20,25 @@
 //! the ceiling together with the `current` results when a PR
 //! intentionally changes driver cost.
 //!
+//! **`rss`** runs one preset (default `fleet`) once and reads the
+//! process peak RSS (`VmHWM`) afterwards. When the baseline carries a
+//! `ceiling.{scale}_peak_rss_mb` entry for the measured preset, the
+//! check gates: it exits non-zero past the ceiling inflated by
+//! `ceiling.rss_tolerance`. RSS ceilings exist because the streaming
+//! window aggregation made fleet-scale peak memory a load-bearing
+//! property — a dense per-shard `(service, window)` grid sneaking back
+//! in shows up here long before it OOMs a runner. The high-water mark
+//! is process-monotone, so this subcommand must own its process: CI
+//! invokes the binary fresh, never after another in-process workload.
+//! Presets without a committed ceiling report and exit zero.
+//!
 //! **`trend`** runs one preset (default `fleet`) at the default
-//! execution shape, prints wall clock, roots/sec, and the thread count,
-//! and always exits zero: it exists so CI logs accumulate a wall-clock
-//! trend line at fleet scale without gating on shared-runner noise.
+//! execution shape, prints wall clock, roots/sec, peak RSS, and the
+//! thread count, and always exits zero: it exists so CI logs accumulate
+//! wall-clock and memory trend lines at fleet scale without gating on
+//! shared-runner noise.
 
+use rpclens_bench::peak_rss_bytes;
 use rpclens_bench::run_configured;
 use rpclens_bench::scale_by_name;
 use rpclens_fleet::driver::SimScale;
@@ -37,6 +52,7 @@ const DEFAULT_BASELINE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_drive
 fn usage() -> ! {
     eprintln!(
         "usage: bench-ceiling gate  [--baseline PATH] [--runs N]\n\
+         \x20      bench-ceiling rss   [--baseline PATH] [--scale NAME] [--threads N] [--shards N]\n\
          \x20      bench-ceiling trend [--scale NAME] [--threads N] [--shards N]"
     );
     std::process::exit(2);
@@ -53,7 +69,7 @@ fn main() {
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
-            "gate" | "trend" if mode.is_none() => mode = Some(arg.clone()),
+            "gate" | "rss" | "trend" if mode.is_none() => mode = Some(arg.clone()),
             "--baseline" => {
                 let Some(path) = iter.next() else { usage() };
                 baseline = path.clone();
@@ -89,6 +105,12 @@ fn main() {
     }
     match mode.as_deref() {
         Some("gate") => gate(&baseline, runs.max(1)),
+        Some("rss") => rss(
+            &baseline,
+            scale.unwrap_or_else(SimScale::fleet),
+            shards,
+            threads,
+        ),
         Some("trend") => trend(scale.unwrap_or_else(SimScale::fleet), shards, threads),
         _ => usage(),
     }
@@ -146,6 +168,71 @@ fn gate(baseline_path: &str, runs: usize) {
     println!("PASS: within ceiling");
 }
 
+/// One run at the given preset, gated on the committed peak-RSS ceiling
+/// when the baseline carries one for that preset.
+fn rss(baseline_path: &str, scale: SimScale, shards: Option<usize>, threads: Option<usize>) {
+    let text = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+    let root =
+        json::parse(&text).unwrap_or_else(|e| panic!("parse baseline {baseline_path}: {e:?}"));
+    let ceiling = root
+        .get("ceiling")
+        .expect("baseline has a `ceiling` section");
+    let key = format!("{}_peak_rss_mb", scale.name);
+    let ceiling_mb = ceiling.get(&key).and_then(json::Json::as_f64);
+    let tolerance = ceiling
+        .get("rss_tolerance")
+        .and_then(json::Json::as_f64)
+        .unwrap_or(0.25);
+
+    let name = scale.name;
+    let t0 = std::time::Instant::now();
+    let run = run_configured(scale, shards, threads, FaultScenario::none());
+    let secs = t0.elapsed().as_secs_f64();
+    let Some(peak) = peak_rss_bytes() else {
+        println!(
+            "bench-ceiling rss: scale={name} wall={secs:.1}s — peak RSS unavailable \
+             on this platform, skipping"
+        );
+        return;
+    };
+    let peak_mb = peak as f64 / (1024.0 * 1024.0);
+    match ceiling_mb {
+        Some(limit_mb) => {
+            let limit = limit_mb * (1.0 + tolerance);
+            println!(
+                "bench-ceiling rss: scale={} wall={:.1}s peak_rss={:.0} MB, \
+                 ceiling {:.0} +{:.0}% = {:.0} MB (shards={} threads={})",
+                name,
+                secs,
+                peak_mb,
+                limit_mb,
+                tolerance * 100.0,
+                limit,
+                run.telemetry.shards_used,
+                run.telemetry.threads_used,
+            );
+            if peak_mb > limit {
+                eprintln!(
+                    "FAIL: peak RSS regressed past the committed ceiling — bounded \
+                     aggregation memory is a tracked property (streaming window \
+                     flush, trace sampling); if the growth is intentional, update \
+                     `ceiling.{key}` in {baseline_path}"
+                );
+                std::process::exit(1);
+            }
+            println!("PASS: within RSS ceiling");
+        }
+        None => {
+            println!(
+                "bench-ceiling rss: scale={} wall={:.1}s peak_rss={:.0} MB \
+                 (no `ceiling.{}` committed; non-gating)",
+                name, secs, peak_mb, key
+            );
+        }
+    }
+}
+
 /// One run at the given preset, reported for the CI trend line.
 fn trend(scale: SimScale, shards: Option<usize>, threads: Option<usize>) {
     let name = scale.name;
@@ -153,13 +240,17 @@ fn trend(scale: SimScale, shards: Option<usize>, threads: Option<usize>) {
     let t0 = std::time::Instant::now();
     let run = run_configured(scale, shards, threads, FaultScenario::none());
     let secs = t0.elapsed().as_secs_f64();
+    let rss = peak_rss_bytes().map_or("n/a".to_string(), |b| {
+        format!("{:.0} MB", b as f64 / (1024.0 * 1024.0))
+    });
     println!(
         "bench-ceiling trend: scale={} wall={:.1}s roots/sec={:.0} spans={} \
-         shards={} threads={} (non-gating)",
+         peak_rss={} shards={} threads={} (non-gating)",
         name,
         secs,
         roots as f64 / secs,
         run.total_spans,
+        rss,
         run.telemetry.shards_used,
         run.telemetry.threads_used,
     );

@@ -263,6 +263,23 @@ pub fn scale_by_name(name: &str) -> Option<SimScale> {
     }
 }
 
+/// Peak resident set size of this process in bytes, if the platform
+/// exposes it.
+///
+/// Reads `VmHWM` from `/proc/self/status` (Linux). The high-water mark
+/// is monotone over the process lifetime, so callers gating on it must
+/// run the workload under test in a dedicated process (the
+/// `bench-ceiling rss` subcommand does exactly that); within one
+/// process, later measurements can only report the max of everything
+/// that ran before them. Returns `None` where procfs is unavailable —
+/// callers treat that as "cannot measure", never as a failure.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
 /// Runs the fleet at a scale preset.
 pub fn run_at(scale: SimScale) -> FleetRun {
     run_fleet(FleetConfig::at_scale(scale))
@@ -364,5 +381,15 @@ mod tests {
             "fleet preset must head-sample traces to bound memory"
         );
         assert!(scale_by_name("x").is_none());
+    }
+
+    #[test]
+    fn peak_rss_reads_plausibly() {
+        // On Linux the high-water mark must be positive and at least the
+        // current heap footprint's order of magnitude; elsewhere the
+        // helper reports "cannot measure" rather than failing.
+        if let Some(bytes) = peak_rss_bytes() {
+            assert!(bytes > 1024 * 1024, "VmHWM under 1 MiB: {bytes}");
+        }
     }
 }

@@ -96,7 +96,7 @@ fn shard_item(i: usize) -> (ShardCounters, Vec<u64>) {
     (c, vec![i64 * 3, i64 * 3 + 1, i64 * 3 + 2])
 }
 
-fn fold_items(acc: &mut (ShardCounters, Vec<u64>), next: (ShardCounters, Vec<u64>)) {
+fn fold_items(acc: &mut (ShardCounters, Vec<u64>), next: (ShardCounters, Vec<u64>), _id: usize) {
     acc.0.absorb(&next.0);
     acc.1.extend(next.1);
 }

@@ -46,6 +46,7 @@ fn run_with_shards(shards: usize) -> FleetRun {
         roots: 4_000,
         duration: SimDuration::from_hours(24),
         trace_sample_rate: 1,
+        profiler_sample_cap: 10_000,
         seed: 23,
     };
     let mut config = FleetConfig::at_scale(scale);

@@ -155,6 +155,7 @@ pub(crate) mod testrun {
                 roots: 60_000,
                 duration: SimDuration::from_hours(24),
                 trace_sample_rate: 1,
+                profiler_sample_cap: 10_000,
                 seed: 7,
             };
             run_fleet(FleetConfig::at_scale(scale))

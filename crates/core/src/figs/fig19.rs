@@ -59,16 +59,24 @@ pub fn compute(run: &FleetRun) -> Fig19 {
         .find(|e| e.server == "Spanner")
         .expect("Spanner is in Table 1");
     let method = run.catalog.method(entry.method).clone();
-    let mut network = Network::new(
-        run.topology.clone(),
-        run.config.net.clone(),
-        run.config.scale.seed ^ 0xF19,
-    );
     let cost = rpclens_rpcstack::cost::StackCostModel::new(run.config.cost);
     let class_spec = MessageClass::structured();
     let mut rng = Prng::seed_from(run.config.scale.seed ^ 0x19);
     let mut rows = Vec::new();
     for client in run.topology.cluster_ids() {
+        // A fresh probe network per client keeps every path's congestion
+        // queries monotone in time. Two clients can land on the same
+        // unordered cluster pair (client A reading from B's home, client
+        // B from A's), and a shared network would re-query that path at
+        // t=0 after the first client walked it 20 simulated hours ahead —
+        // past the trajectory's retention window. Congestion trajectories
+        // are pure functions of (seed, path label), so rebuilding the
+        // network changes no sampled value.
+        let mut network = Network::new(
+            run.topology.clone(),
+            run.config.net.clone(),
+            run.config.scale.seed ^ 0xF19,
+        );
         // The row the paper plots: the client reads a specific shard, and
         // the shard's home cluster is wherever the data lives — not the
         // nearest replica. A deterministic hash assigns each client's

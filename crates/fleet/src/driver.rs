@@ -25,6 +25,7 @@
 use crate::catalog::{Catalog, CatalogConfig, ServiceHot};
 use crate::faults::{FaultPlane, FaultScenario, PartitionState};
 use crate::pool;
+use crate::streamagg;
 use crate::workload::{RootArrival, Workload};
 use rpclens_cluster::exogenous::ExogenousProfile;
 use rpclens_cluster::machine::{Machine, MachineConfig, MachineId};
@@ -64,6 +65,13 @@ pub struct SimScale {
     pub duration: SimDuration,
     /// Head-based trace sampling: store 1 in N trees.
     pub trace_sample_rate: u64,
+    /// Per-method profiler sample retention: each method keeps at most
+    /// this many normalized-cycle samples in its deterministic bottom-k
+    /// reservoir (`rpclens_profiler::CycleProfiler`). Like
+    /// `trace_sample_rate`, this is a retention decision — every call's
+    /// cycles are still counted exactly in the category/service totals;
+    /// only the per-method quantile sample set is bounded.
+    pub profiler_sample_cap: usize,
     /// Master seed.
     pub seed: u64,
 }
@@ -77,6 +85,7 @@ impl SimScale {
             roots: 6_000,
             duration: SimDuration::from_hours(24),
             trace_sample_rate: 1,
+            profiler_sample_cap: 10_000,
             seed: 7,
         }
     }
@@ -89,6 +98,7 @@ impl SimScale {
             roots: 120_000,
             duration: SimDuration::from_hours(24),
             trace_sample_rate: 1,
+            profiler_sample_cap: 10_000,
             seed: 7,
         }
     }
@@ -101,6 +111,7 @@ impl SimScale {
             roots: 700_000,
             duration: SimDuration::from_hours(24),
             trace_sample_rate: 1,
+            profiler_sample_cap: 10_000,
             seed: 7,
         }
     }
@@ -109,11 +120,14 @@ impl SimScale {
     /// million root RPCs over the full 10,000-method population.
     ///
     /// Built for the multi-threaded driver: memory stays bounded by
-    /// head-sampling trace retention at 1 in 1,024 trees (sampling is a
-    /// pure retention decision — every tree is still simulated and
-    /// counted; see `docs/PERFORMANCE.md`). All other per-run state is
-    /// fixed-size window/method grids. The memory budget is documented
-    /// in `docs/KNOWN_ISSUES.md`.
+    /// retention, not simulation length — head-sampling keeps 1 in
+    /// 1,024 trace trees and the profiler keeps at most 256
+    /// normalized-cycle samples per method (both pure retention
+    /// decisions: every tree is still simulated and every cycle still
+    /// counted; see `docs/PERFORMANCE.md`). Aggregation state streams
+    /// through `crate::streamagg` one window at a time. The measured
+    /// budget is documented in `docs/PERFORMANCE.md` and gated by
+    /// `bench-ceiling rss` in CI.
     pub fn fleet() -> Self {
         SimScale {
             name: "fleet",
@@ -121,6 +135,12 @@ impl SimScale {
             roots: 2_000_000,
             duration: SimDuration::from_hours(24),
             trace_sample_rate: 1_024,
+            // 17M spans over 10k methods retain ~1,700 samples/method at
+            // the default 10k cap — ~170 MB of reservoir state, the
+            // single largest term of a fleet run. 256 keeps every
+            // per-method analysis above its >=100-sample floor while
+            // bounding the reservoirs to a few tens of MB.
+            profiler_sample_cap: 256,
             seed: 7,
         }
     }
@@ -385,8 +405,6 @@ struct Driver {
     placement: Vec<SvcPlacement>,
     /// Ambient client-side load profile per cluster.
     client_profiles: Vec<ExogenousProfile>,
-    /// Number of TSDB sample windows covering the simulated duration.
-    n_windows: usize,
     master_rng: Prng,
 }
 
@@ -523,9 +541,6 @@ impl Driver {
             });
         }
 
-        let window = rpclens_tsdb::DEFAULT_SAMPLE_PERIOD;
-        let n_windows = (config.scale.duration.as_nanos() / window.as_nanos() + 1) as usize;
-
         let client_profiles = topology
             .cluster_ids()
             .iter()
@@ -544,7 +559,6 @@ impl Driver {
             sites,
             placement,
             client_profiles,
-            n_windows,
             master_rng,
         }
     }
@@ -617,6 +631,22 @@ impl Driver {
         let shards = roots.len().div_ceil(chunk).max(1);
         let threads = self.config.threads.clamp(1, shards);
 
+        // Streaming window aggregation (`crate::streamagg`): the sink
+        // receives finalized windows while shards are still running, so
+        // no shard ever materializes the full `(service, window)` grid.
+        // `first_windows[j]` is the window of shard j's first root —
+        // non-decreasing in j because roots are in arrival order — and
+        // bounds which merged windows are final once shard j has folded.
+        let window = rpclens_tsdb::DEFAULT_SAMPLE_PERIOD;
+        let sink = streamagg::WindowSink::new(self.catalog.num_services(), window.as_nanos());
+        let first_windows: Vec<usize> = (0..shards)
+            .map(|j| {
+                roots
+                    .get(j * chunk)
+                    .map_or(0, |r| (r.at.as_nanos() / window.as_nanos()) as usize)
+            })
+            .collect();
+
         // Workers claim shard ids from a shared counter and stream each
         // completed shard into an order-restoring fold (`crate::pool`):
         // the accumulator absorbs shard i only after shards 0..i, so the
@@ -635,9 +665,18 @@ impl Driver {
             |id| {
                 let shard_start = Instant::now();
                 let mut shard = Shard::new(&self);
+                if id == 0 {
+                    // Shard 0 streams closed windows straight to the sink:
+                    // anything it closes mid-run is below every other
+                    // shard's first window, so it is already final. (Its
+                    // final *open* window stays in `closed` — shard 1 may
+                    // share it.)
+                    shard.live = Some(&sink);
+                }
                 let lo = id * chunk;
                 let hi = (lo + chunk).min(roots.len());
                 shard.run_roots(&roots[lo..hi], lo, &collector);
+                shard.seal();
                 {
                     let mut done = reports.lock().expect("report lock");
                     done.push(ShardReport {
@@ -670,9 +709,20 @@ impl Driver {
                 }
                 shard
             },
-            |acc, next| {
+            |acc, next, id| {
                 let merge_start = Instant::now();
                 acc.absorb(next);
+                // Eager window flush: after shard `id` folds, every
+                // accumulated window below shard `id + 1`'s first window
+                // can never receive another contribution — stream it to
+                // the sink and drop it, so merged window state never
+                // accumulates across the run.
+                if let Some(&bound) = first_windows.get(id + 1) {
+                    let cut = acc.closed.partition_point(|cw| cw.w < bound);
+                    for cw in acc.closed.drain(..cut) {
+                        sink.push(&cw);
+                    }
+                }
                 *merge_ms.lock().expect("merge-time lock") +=
                     merge_start.elapsed().as_secs_f64() * 1e3;
             },
@@ -688,19 +738,22 @@ impl Driver {
             errors,
             method_calls,
             method_bytes,
-            window_calls,
-            window_errors,
-            window_congested,
-            window_retries,
+            closed,
             counters,
             total_spans,
             ..
         } = merged;
         debug_assert_eq!(counters.spans, total_spans);
 
+        // Final window flush: whatever the last fold could not prove
+        // final (at most the tail windows at or above the last shard's
+        // first window) drains now.
+        for cw in &closed {
+            sink.push(cw);
+        }
+
         // Flush counters and representative exogenous gauges to the TSDB.
         let tsdb_start = Instant::now();
-        let window = rpclens_tsdb::DEFAULT_SAMPLE_PERIOD;
         let retention = SimDuration::from_hours(24 * 700);
         let mut tsdb = TimeSeriesDb::new(window);
         tsdb.register(MetricDescriptor::counter("rpc/server/count", retention))
@@ -723,33 +776,15 @@ impl Driver {
         .expect("fresh tsdb");
         tsdb.register(MetricDescriptor::counter("driver/retries/count", retention))
             .expect("fresh tsdb");
-        // Dense scan over the per-(service, window) grid. A zero cell is
-        // exactly an absent key in the old map (counters only ever
-        // increment), and the scan order (service ascending, then window
-        // ascending) matches the old sorted-key iteration, so the write
-        // stream is byte-identical. The service label is built once per
-        // service instead of once per write.
-        let n_windows = self.n_windows;
-        for svc_idx in 0..self.catalog.num_services() {
-            let row = &window_calls[svc_idx * n_windows..(svc_idx + 1) * n_windows];
-            if row.iter().all(|&c| c == 0) {
-                continue;
-            }
-            let svc = ServiceId(svc_idx as u16);
-            let labels = Labels::from_pairs([("service", self.catalog.service(svc).name.clone())]);
-            // Skip-zero cumulative stream: a zero cell is exactly an
-            // absent key in the pre-dense-grid map, and the streaming
-            // flush resolves the series once instead of per point.
-            tsdb.write_cumulative(
-                "rpc/server/count",
-                labels,
-                row.iter()
-                    .enumerate()
-                    .filter(|(_, &c)| c != 0)
-                    .map(|(w, &c)| (w, c)),
-            )
-            .expect("registered");
-        }
+        // Install the streamed counter series. The sink accumulated
+        // exactly the point streams the retired dense-grid scan produced
+        // — skip-zero per-service rows, aligned driver streams on every
+        // window with at least one call — as the `streamagg` equivalence
+        // proptest pins, so the resulting TSDB is byte-identical.
+        sink.install(&mut tsdb, |svc| {
+            self.catalog.service(ServiceId(svc)).name.clone()
+        })
+        .expect("registered");
         for svc in self.catalog.services().iter().take(12) {
             for site in svc.clusters.iter().take(4) {
                 if let Some(s) = self.sites.get(svc.id.0, site.0) {
@@ -770,36 +805,6 @@ impl Driver {
                     }
                 }
             }
-        }
-
-        // Driver per-window streams, written as cumulative counters (the
-        // Monarch idiom `QueryEngine::rate` expects). All three series are
-        // aligned on the same window set so detectors can join them
-        // point-by-point; the values are deterministic, derived from
-        // root-window accounting only.
-        let mut rpcs_by_window = vec![0u64; n_windows];
-        for row in window_calls.chunks_exact(n_windows) {
-            for (acc, &c) in rpcs_by_window.iter_mut().zip(row) {
-                *acc += c;
-            }
-        }
-        // The aligned window set is every window that saw at least one
-        // call; error and congestion deltas are keyed by root window, and
-        // every root produces at least one span, so those windows are a
-        // subset of the call windows.
-        let windows: Vec<usize> = (0..n_windows).filter(|&w| rpcs_by_window[w] > 0).collect();
-        for (name, deltas) in [
-            ("driver/rpcs/count", &rpcs_by_window),
-            ("driver/errors/count", &window_errors),
-            ("driver/wire/congested", &window_congested),
-            ("driver/retries/count", &window_retries),
-        ] {
-            tsdb.write_cumulative(
-                name,
-                Labels::empty(),
-                windows.iter().map(|&w| (w, deltas[w])),
-            )
-            .expect("registered");
         }
         phases.record("tsdb", tsdb_start.elapsed().as_secs_f64() * 1e3);
 
@@ -844,15 +849,18 @@ struct Shard<'a> {
     errors: ErrorAccounting,
     method_calls: Vec<u64>,
     method_bytes: Vec<u64>,
-    /// Per-window, per-service call counters for the TSDB, indexed
-    /// `service * n_windows + window`.
-    window_calls: Vec<u64>,
-    /// Per-window injected-error counters (keyed by root window).
-    window_errors: Vec<u64>,
-    /// Per-window congested-wire-traversal counters (keyed by root window).
-    window_congested: Vec<u64>,
-    /// Per-window retry counters (keyed by root window).
-    window_retries: Vec<u64>,
+    /// Streaming window accumulator: the open window's dense per-service
+    /// column plus root-keyed scalar deltas, O(services) resident.
+    agg: streamagg::WindowAgg,
+    /// Windows this shard closed that are not yet known to be final:
+    /// ascending, sparse. Shard 0 streams its mid-run closures straight
+    /// to the sink, so this holds at most its final open window; other
+    /// shards buffer until the ordered fold proves their windows final.
+    closed: Vec<streamagg::ClosedWindow>,
+    /// The shared sink, present only on the shard allowed to stream
+    /// live (shard 0 — every window it closes mid-run precedes every
+    /// other shard's first window).
+    live: Option<&'a streamagg::WindowSink>,
     /// Fault plane: seed-derived failure episode processes, identical in
     /// every shard. `None` when the scenario injects nothing.
     faults: Option<FaultPlane>,
@@ -868,7 +876,6 @@ struct Shard<'a> {
 impl<'a> Shard<'a> {
     fn new(world: &'a Driver) -> Self {
         let n_methods = world.catalog.num_methods();
-        let n_windows = world.n_windows;
         Shard {
             world,
             network: Network::new(
@@ -877,14 +884,14 @@ impl<'a> Shard<'a> {
                 world.config.scale.seed,
             ),
             store: TraceStore::new(),
-            profiler: CycleProfiler::new(),
+            profiler: CycleProfiler::new()
+                .with_per_method_cap(world.config.scale.profiler_sample_cap),
             errors: ErrorAccounting::new(),
             method_calls: vec![0; n_methods],
             method_bytes: vec![0; n_methods],
-            window_calls: vec![0; world.catalog.num_services() * n_windows],
-            window_errors: vec![0; n_windows],
-            window_congested: vec![0; n_windows],
-            window_retries: vec![0; n_windows],
+            agg: streamagg::WindowAgg::new(world.catalog.num_services()),
+            closed: Vec::new(),
+            live: None,
             faults: FaultPlane::new(&world.config.faults, world.config.scale.seed),
             arena: Vec::new(),
             counters: ShardCounters::new(),
@@ -900,7 +907,15 @@ impl<'a> Shard<'a> {
     /// root produces exactly the same spans no matter which shard runs it.
     fn run_roots(&mut self, roots: &[RootArrival], base_seq: usize, collector: &TraceCollector) {
         let window = rpclens_tsdb::DEFAULT_SAMPLE_PERIOD;
-        let n_windows = self.world.n_windows;
+        // Root-deadline constants, hoisted out of the per-root loop: the
+        // budget bounds are scenario state, so `lo` and the `hi / lo`
+        // ratio are invariant across roots — the same f64s the per-root
+        // computation produced, leaving one draw and one `powf` per root.
+        let deadline_consts = self.world.config.faults.deadlines.map(|ds| {
+            let lo = ds.min_budget.as_secs_f64();
+            let hi = ds.max_budget.as_secs_f64().max(lo);
+            (lo, hi / lo)
+        });
         for (i, root) in roots.iter().enumerate() {
             let seq = base_seq + i;
             // Expand into the shard's reusable arena: capacity carries
@@ -925,10 +940,8 @@ impl<'a> Shard<'a> {
             // Root deadline: log-uniform between the scenario's budget
             // bounds (spanning interactive to batch callers). Drawn only
             // when the scenario has deadlines, so `none` adds no draws.
-            let deadline = self.world.config.faults.deadlines.map(|ds| {
-                let lo = ds.min_budget.as_secs_f64();
-                let hi = ds.max_budget.as_secs_f64().max(lo);
-                let budget = lo * (hi / lo).powf(ctx.rng.next_f64());
+            let deadline = deadline_consts.map(|(lo, ratio)| {
+                let budget = lo * ratio.powf(ctx.rng.next_f64());
                 Deadline::after(root.at, SimDuration::from_secs_f64(budget))
             });
             let client_util =
@@ -950,14 +963,23 @@ impl<'a> Shard<'a> {
             self.counters
                 .root_latency_us
                 .record(outcome.finish.since(root.at).as_nanos() / 1_000);
-            // Window accounting for every span, sampled or not.
+            // Window accounting for every span, sampled or not. All of a
+            // root's spans land in the *root's* window; roots arrive in
+            // time order, so crossing a window boundary closes the open
+            // window — final immediately for the live shard, buffered
+            // for the ordered fold otherwise.
             let w = (root.at.as_nanos() / window.as_nanos()) as usize;
-            for span in &ctx.spans {
-                self.window_calls[span.service.0 as usize * n_windows + w] += 1;
+            if let Some(cw) = self.agg.advance(w) {
+                match self.live {
+                    Some(sink) => sink.push(&cw),
+                    None => self.closed.push(cw),
+                }
             }
-            self.window_errors[w] += ctx.errors;
-            self.window_congested[w] += ctx.congested_wire;
-            self.window_retries[w] += ctx.retries;
+            for span in &ctx.spans {
+                self.agg.add_call(span.service.0);
+            }
+            self.agg
+                .add_scalars(ctx.errors, ctx.congested_wire, ctx.retries);
             // Retention: sampling decides whether the spans are *kept*,
             // never whether they are simulated. A sampled trace copies
             // the exact-length span list out of the arena.
@@ -971,8 +993,20 @@ impl<'a> Shard<'a> {
         }
     }
 
+    /// Closes the final open window into the shard's closed-window log.
+    ///
+    /// Called once, after the shard's last root. Even the live shard
+    /// buffers its final window instead of streaming it: the next shard
+    /// in id order may have roots in the same window, and only the
+    /// ordered fold can coalesce the two halves.
+    fn seal(&mut self) {
+        if let Some(cw) = self.agg.finish() {
+            self.closed.push(cw);
+        }
+    }
+
     /// Folds `other` (the next shard in id order) into this one.
-    fn absorb(&mut self, other: Shard<'_>) {
+    fn absorb(&mut self, mut other: Shard<'_>) {
         self.store.merge(other.store);
         self.profiler.merge(other.profiler);
         self.errors.merge(&other.errors);
@@ -982,22 +1016,7 @@ impl<'a> Shard<'a> {
         for (a, b) in self.method_bytes.iter_mut().zip(&other.method_bytes) {
             *a += b;
         }
-        for (a, b) in self.window_calls.iter_mut().zip(&other.window_calls) {
-            *a += b;
-        }
-        for (a, b) in self.window_errors.iter_mut().zip(&other.window_errors) {
-            *a += b;
-        }
-        for (a, b) in self
-            .window_congested
-            .iter_mut()
-            .zip(&other.window_congested)
-        {
-            *a += b;
-        }
-        for (a, b) in self.window_retries.iter_mut().zip(&other.window_retries) {
-            *a += b;
-        }
+        streamagg::absorb_closed(&mut self.closed, std::mem::take(&mut other.closed));
         self.counters.absorb(&other.counters);
         self.total_spans += other.total_spans;
     }
@@ -1581,6 +1600,7 @@ mod tests {
             roots: 6_000,
             duration: SimDuration::from_hours(24),
             trace_sample_rate: 1,
+            profiler_sample_cap: 10_000,
             seed: 11,
         };
         run_fleet(FleetConfig::at_scale(scale))

@@ -18,6 +18,11 @@
 //!   on — a bounded set of threads claiming shard ids from a shared
 //!   counter, with an order-restoring streaming merge ([`pool::OrderedFold`])
 //!   so results stay bit-identical at any `--threads` value.
+//! - [`streamagg`]: bounded-memory streaming window aggregation — the
+//!   per-shard open-window accumulator and the shared sink that builds
+//!   the TSDB's cumulative counter series incrementally, so peak
+//!   aggregation state is O(services × 1 window) instead of
+//!   O(services × windows) per shard.
 //! - [`faults`]: the fault-injection plane — named failure scenarios
 //!   (machine churn, drains, WAN partitions, overload surges) plus the
 //!   client resilience configuration (deadlines, budgeted retries) the
@@ -39,6 +44,7 @@ pub mod faults;
 pub mod growth;
 pub mod pool;
 pub mod servable;
+pub mod streamagg;
 pub mod telemetry;
 pub mod workload;
 

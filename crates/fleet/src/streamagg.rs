@@ -1,0 +1,652 @@
+//! Bounded-memory streaming window aggregation.
+//!
+//! Until this module existed, every shard carried a dense
+//! `(service, window)` counter grid — `num_services × n_windows` u64s —
+//! that was written all run and read once, by the end-of-run TSDB
+//! flush. That grid is O(simulated duration): small at the default
+//! 30-minute cadence over a day, but the terms multiply — a week-long
+//! run at minute cadence is 300× the windows, times the shard count.
+//! This module replaces it with a streaming pipeline shaped like the
+//! production monitoring path the paper describes (and like the
+//! bounded-memory trace-characterization pipelines of PAPERS.md):
+//! aggregation state resident at any instant is **one dense window
+//! column** per shard, O(services), regardless of how long the
+//! simulated day (or week) is, and a finalized window is in the TSDB's
+//! point vectors — not in any shard — the moment no in-flight shard can
+//! still touch it.
+//!
+//! Three pieces:
+//!
+//! - [`WindowAgg`] — the per-shard accumulator. Roots arrive in
+//!   simulated-time order within a shard, so when a root's window index
+//!   advances past the open window, the open column is *closed*: its
+//!   non-zero cells are compacted into a sparse [`ClosedWindow`] and the
+//!   column is re-zeroed for the next window.
+//! - [`ClosedWindow`] — one finalized window: sparse `(service, calls)`
+//!   pairs plus the root-keyed scalar deltas (errors, congested wire
+//!   traversals, retries). Windows closed by *adjacent shards* can share
+//!   one boundary window index; [`ClosedWindow::coalesce`] sums them
+//!   during the shard fold, so the merged stream is identical to what a
+//!   sequential run would have produced.
+//! - [`WindowSink`] — the streaming TSDB frontend. Closed windows are
+//!   pushed in ascending window order (shard 0 streams live while it
+//!   runs; later shards' windows arrive via the ordered fold) and each
+//!   push appends the *cumulative* counter points the TSDB stores — the
+//!   same Monarch-style `write_cumulative` stream the dense scan used to
+//!   produce, byte for byte. At run end the finished point vectors are
+//!   installed into the [`TimeSeriesDb`] wholesale (one map insertion
+//!   per series, no per-point lookups).
+//!
+//! Ordering contract, in one paragraph: a window may be flushed to the
+//! sink only when no in-flight shard can still contribute to it. Shard
+//! `j`'s roots are a contiguous arrival-ordered chunk, so every window it
+//! touches is `>= first_window[j]`, and `first_window` is non-decreasing
+//! in `j`. Therefore (a) shard 0 can stream a window the moment it closes
+//! it — only its final *open* window can coalesce with shard 1; and (b)
+//! after shard `j` folds into the accumulator, every accumulated window
+//! strictly below `first_window[j + 1]` is final and is flushed and
+//! dropped. The equivalence proptest at the bottom of this file pins the
+//! whole pipeline — any shard split, any boundary coalescing — against
+//! the dense-grid reference flush, point for point.
+
+use rpclens_simcore::time::SimTime;
+use rpclens_tsdb::metric::{Labels, MetricValue};
+use rpclens_tsdb::store::{Series, TimeSeriesDb};
+use std::sync::Mutex;
+
+/// One finalized aggregation window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClosedWindow {
+    /// Window index (`root.at / sample_period`).
+    pub w: usize,
+    /// Sparse per-service call counts: `(service index, calls)` pairs,
+    /// service-ascending, zero cells omitted.
+    pub calls: Vec<(u16, u64)>,
+    /// Injected-error delta (keyed by root window).
+    pub errors: u64,
+    /// Congested-wire-traversal delta (keyed by root window).
+    pub congested: u64,
+    /// Retry delta (keyed by root window).
+    pub retries: u64,
+    /// Total calls in the window (the sum over `calls`); always positive
+    /// for a closed window, since every root expands to at least one
+    /// span.
+    pub rpcs: u64,
+}
+
+impl ClosedWindow {
+    /// Sums `other` (the same window index, closed by the adjacent
+    /// shard) into this one. Two-pointer merge over the sorted sparse
+    /// rows keeps the result service-ascending.
+    fn coalesce(&mut self, other: &ClosedWindow) {
+        debug_assert_eq!(self.w, other.w, "coalescing different windows");
+        let mut merged = Vec::with_capacity(self.calls.len().max(other.calls.len()));
+        let (a, b) = (&self.calls, &other.calls);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => {
+                    merged.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push((a[i].0, a[i].1 + b[j].1));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        merged.extend_from_slice(&a[i..]);
+        merged.extend_from_slice(&b[j..]);
+        self.calls = merged;
+        self.errors += other.errors;
+        self.congested += other.congested;
+        self.retries += other.retries;
+        self.rpcs += other.rpcs;
+    }
+}
+
+/// Per-shard streaming window accumulator: one dense column, O(services).
+#[derive(Debug)]
+pub struct WindowAgg {
+    /// Dense per-service call counts of the open window.
+    column: Vec<u64>,
+    /// Services touched in the open window, in first-touch order; the
+    /// close pass reads (and re-zeroes) only these cells instead of
+    /// sweeping all `num_services` of them.
+    touched: Vec<u16>,
+    /// Open window index; meaningless until `started`.
+    cur_w: usize,
+    started: bool,
+    errors: u64,
+    congested: u64,
+    retries: u64,
+    rpcs: u64,
+}
+
+impl WindowAgg {
+    /// An empty accumulator over `n_services` services.
+    pub fn new(n_services: usize) -> Self {
+        WindowAgg {
+            column: vec![0; n_services],
+            touched: Vec::new(),
+            cur_w: 0,
+            started: false,
+            errors: 0,
+            congested: 0,
+            retries: 0,
+            rpcs: 0,
+        }
+    }
+
+    /// Moves the open window to `w`, returning the previously open
+    /// window (closed and compacted) if `w` advanced past it.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `w` moves backwards: roots are processed in
+    /// arrival order, so window indices are non-decreasing.
+    pub fn advance(&mut self, w: usize) -> Option<ClosedWindow> {
+        if !self.started {
+            self.started = true;
+            self.cur_w = w;
+            return None;
+        }
+        if w == self.cur_w {
+            return None;
+        }
+        debug_assert!(
+            w > self.cur_w,
+            "window moved backwards: {w} < {}",
+            self.cur_w
+        );
+        let closed = self.close();
+        self.cur_w = w;
+        closed
+    }
+
+    /// Records one call against service `svc` in the open window.
+    #[inline]
+    pub fn add_call(&mut self, svc: u16) {
+        let cell = &mut self.column[svc as usize];
+        if *cell == 0 {
+            self.touched.push(svc);
+        }
+        *cell += 1;
+        self.rpcs += 1;
+    }
+
+    /// Adds one root's scalar deltas to the open window.
+    pub fn add_scalars(&mut self, errors: u64, congested: u64, retries: u64) {
+        self.errors += errors;
+        self.congested += congested;
+        self.retries += retries;
+    }
+
+    /// Closes the open window (if any non-empty one exists), compacting
+    /// the dense column into a sparse row and re-zeroing it.
+    pub fn finish(&mut self) -> Option<ClosedWindow> {
+        if !self.started {
+            return None;
+        }
+        self.close()
+    }
+
+    fn close(&mut self) -> Option<ClosedWindow> {
+        if self.rpcs == 0 {
+            // A window the shard skipped over entirely; matches the
+            // dense scan's skip-zero rule.
+            debug_assert!(self.touched.is_empty());
+            return None;
+        }
+        // Sparse rows are service-ascending: sort the touch list (short
+        // — only services active this window) rather than sweeping the
+        // full column.
+        self.touched.sort_unstable();
+        let calls: Vec<(u16, u64)> = self
+            .touched
+            .drain(..)
+            .map(|svc| {
+                let c = std::mem::take(&mut self.column[svc as usize]);
+                (svc, c)
+            })
+            .collect();
+        let closed = ClosedWindow {
+            w: self.cur_w,
+            calls,
+            errors: std::mem::take(&mut self.errors),
+            congested: std::mem::take(&mut self.congested),
+            retries: std::mem::take(&mut self.retries),
+            rpcs: std::mem::take(&mut self.rpcs),
+        };
+        Some(closed)
+    }
+}
+
+/// Appends `other`'s closed windows (the next shard in id order) to
+/// `acc`, summing the shared boundary window if the two shards split one.
+///
+/// # Panics
+///
+/// Panics (debug) if `other` starts below `acc`'s last window — shard
+/// chunks are contiguous in arrival order, so that cannot happen.
+pub fn absorb_closed(acc: &mut Vec<ClosedWindow>, other: Vec<ClosedWindow>) {
+    let mut rest = other.into_iter();
+    let Some(first) = rest.next() else {
+        return;
+    };
+    match acc.last_mut() {
+        Some(last) if last.w == first.w => last.coalesce(&first),
+        Some(last) => {
+            debug_assert!(last.w < first.w, "shard windows out of order");
+            acc.push(first);
+        }
+        // `acc` was empty (fully flushed); start it from `other`.
+        None => acc.push(first),
+    }
+    acc.extend(rest);
+}
+
+/// One cumulative counter series under construction.
+#[derive(Debug, Default)]
+struct Lane {
+    cum: u64,
+    points: Vec<(SimTime, MetricValue)>,
+}
+
+impl Lane {
+    #[inline]
+    fn push(&mut self, at: SimTime, delta: u64) {
+        self.cum += delta;
+        self.points.push((at, MetricValue::Counter(self.cum)));
+    }
+}
+
+/// The streaming TSDB frontend: receives closed windows in ascending
+/// window order and builds the cumulative counter series incrementally.
+///
+/// Wrapped in a [`Mutex`] so shard 0 (streaming live) and the ordered
+/// fold (flushing merged windows) can share it; pushes are per-window —
+/// a few dozen locks over a simulated day at the default 30-minute
+/// cadence — so contention is nil.
+#[derive(Debug)]
+pub struct WindowSink {
+    inner: Mutex<SinkState>,
+}
+
+#[derive(Debug)]
+struct SinkState {
+    /// One lane per service (`rpc/server/count{service=...}`).
+    services: Vec<Lane>,
+    /// The aligned driver self-telemetry lanes, in registration order:
+    /// rpcs, errors, congested wire, retries.
+    driver: [Lane; 4],
+    period_ns: u64,
+    /// Last pushed window; pushes must be strictly ascending.
+    last_w: Option<usize>,
+}
+
+impl WindowSink {
+    /// A sink over `n_services` services at the given sample period.
+    pub fn new(n_services: usize, period_ns: u64) -> Self {
+        WindowSink {
+            inner: Mutex::new(SinkState {
+                services: (0..n_services).map(|_| Lane::default()).collect(),
+                driver: Default::default(),
+                period_ns,
+                last_w: None,
+            }),
+        }
+    }
+
+    /// Appends one closed window's points to every affected series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if windows arrive out of ascending order — the ordering
+    /// contract in the module docs was violated.
+    pub fn push(&self, cw: &ClosedWindow) {
+        let mut s = self.inner.lock().expect("window sink lock");
+        assert!(
+            s.last_w.is_none_or(|last| last < cw.w),
+            "window {} pushed after window {:?}",
+            cw.w,
+            s.last_w
+        );
+        s.last_w = Some(cw.w);
+        let at = SimTime::from_nanos(cw.w as u64 * s.period_ns);
+        for &(svc, calls) in &cw.calls {
+            s.services[svc as usize].push(at, calls);
+        }
+        // The four driver streams stay aligned on the same window set:
+        // every closed window has `rpcs > 0`, and zero deltas for the
+        // other three still emit a point (exactly the old aligned scan).
+        let [rpcs, errors, congested, retries] = &mut s.driver;
+        rpcs.push(at, cw.rpcs);
+        errors.push(at, cw.errors);
+        congested.push(at, cw.congested);
+        retries.push(at, cw.retries);
+    }
+
+    /// Installs every finished series into the database and consumes the
+    /// sink. `service_name` maps a service index to its label value;
+    /// services with no points get no series (the skip-zero rule).
+    ///
+    /// The metrics (`rpc/server/count`, `driver/rpcs/count`,
+    /// `driver/errors/count`, `driver/wire/congested`,
+    /// `driver/retries/count`) must already be registered as counters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TimeSeriesDb::install_series`] errors (unregistered
+    /// metric, kind mismatch, duplicate series).
+    pub fn install(
+        self,
+        tsdb: &mut TimeSeriesDb,
+        service_name: impl Fn(u16) -> String,
+    ) -> Result<(), String> {
+        let s = self.inner.into_inner().expect("window sink lock");
+        for (idx, lane) in s.services.into_iter().enumerate() {
+            if lane.points.is_empty() {
+                continue;
+            }
+            let labels = Labels::from_pairs([("service", service_name(idx as u16))]);
+            tsdb.install_series("rpc/server/count", labels, Series::from_points(lane.points))?;
+        }
+        let names = [
+            "driver/rpcs/count",
+            "driver/errors/count",
+            "driver/wire/congested",
+            "driver/retries/count",
+        ];
+        for (name, lane) in names.into_iter().zip(s.driver) {
+            if lane.points.is_empty() {
+                continue;
+            }
+            tsdb.install_series(name, Labels::empty(), Series::from_points(lane.points))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rpclens_simcore::time::SimDuration;
+    use rpclens_tsdb::metric::MetricDescriptor;
+
+    const PERIOD_NS: u64 = 60_000_000_000; // one minute
+
+    fn fresh_tsdb() -> TimeSeriesDb {
+        let mut tsdb = TimeSeriesDb::new(SimDuration::from_nanos(PERIOD_NS));
+        let retention = SimDuration::from_hours(24 * 700);
+        for (name, _) in METRICS {
+            tsdb.register(MetricDescriptor::counter(name, retention))
+                .expect("fresh tsdb");
+        }
+        tsdb.register(MetricDescriptor::counter("rpc/server/count", retention))
+            .expect("fresh tsdb");
+        tsdb
+    }
+
+    const METRICS: [(&str, usize); 4] = [
+        ("driver/rpcs/count", 0),
+        ("driver/errors/count", 1),
+        ("driver/wire/congested", 2),
+        ("driver/retries/count", 3),
+    ];
+
+    /// One synthetic root: window, service of each span, scalar deltas.
+    #[derive(Debug, Clone)]
+    struct Root {
+        w: usize,
+        spans: Vec<u16>,
+        errors: u64,
+        congested: u64,
+        retries: u64,
+    }
+
+    const N_SERVICES: usize = 7;
+
+    fn roots_strategy() -> impl Strategy<Value = Vec<Root>> {
+        // Windows are produced ascending by construction: each root
+        // carries a non-negative increment over the previous window.
+        proptest::collection::vec(
+            (
+                0usize..3,
+                proptest::collection::vec(0u16..(N_SERVICES as u16), 1..6),
+                0u64..3,
+                0u64..3,
+                0u64..3,
+            ),
+            1..60,
+        )
+        .prop_map(|steps| {
+            let mut w = 0usize;
+            steps
+                .into_iter()
+                .map(|(dw, spans, errors, congested, retries)| {
+                    w += dw;
+                    Root {
+                        w,
+                        spans,
+                        errors,
+                        congested,
+                        retries,
+                    }
+                })
+                .collect()
+        })
+    }
+
+    /// The dense-grid reference: the exact end-of-run flush the driver
+    /// used before streaming aggregation (dense `(service, window)`
+    /// grid, skip-zero cumulative scan, aligned driver streams).
+    fn reference_flush(roots: &[Root]) -> TimeSeriesDb {
+        let n_windows = roots.iter().map(|r| r.w).max().unwrap_or(0) + 1;
+        let mut calls = vec![0u64; N_SERVICES * n_windows];
+        let mut errors = vec![0u64; n_windows];
+        let mut congested = vec![0u64; n_windows];
+        let mut retries = vec![0u64; n_windows];
+        for r in roots {
+            for &svc in &r.spans {
+                calls[svc as usize * n_windows + r.w] += 1;
+            }
+            errors[r.w] += r.errors;
+            congested[r.w] += r.congested;
+            retries[r.w] += r.retries;
+        }
+        let mut tsdb = fresh_tsdb();
+        for svc in 0..N_SERVICES {
+            let row = &calls[svc * n_windows..(svc + 1) * n_windows];
+            if row.iter().all(|&c| c == 0) {
+                continue;
+            }
+            let labels = Labels::from_pairs([("service", format!("svc-{svc}"))]);
+            tsdb.write_cumulative(
+                "rpc/server/count",
+                labels,
+                row.iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c != 0)
+                    .map(|(w, &c)| (w, c)),
+            )
+            .expect("registered");
+        }
+        let mut rpcs = vec![0u64; n_windows];
+        for row in calls.chunks_exact(n_windows) {
+            for (acc, &c) in rpcs.iter_mut().zip(row) {
+                *acc += c;
+            }
+        }
+        let windows: Vec<usize> = (0..n_windows).filter(|&w| rpcs[w] > 0).collect();
+        for (name, deltas) in [
+            ("driver/rpcs/count", &rpcs),
+            ("driver/errors/count", &errors),
+            ("driver/wire/congested", &congested),
+            ("driver/retries/count", &retries),
+        ] {
+            tsdb.write_cumulative(
+                name,
+                Labels::empty(),
+                windows.iter().map(|&w| (w, deltas[w])),
+            )
+            .expect("registered");
+        }
+        tsdb
+    }
+
+    /// The streaming pipeline under test: split the roots into `shards`
+    /// contiguous chunks, run each through its own [`WindowAgg`]
+    /// (shard 0 streaming live), fold closed windows in shard order with
+    /// boundary coalescing and eager flushing, and install.
+    fn streaming_flush(roots: &[Root], shards: usize) -> TimeSeriesDb {
+        let sink = WindowSink::new(N_SERVICES, PERIOD_NS);
+        let chunk = roots.len().div_ceil(shards).max(1);
+        let chunks: Vec<&[Root]> = roots.chunks(chunk).collect();
+        let first_windows: Vec<usize> = chunks.iter().map(|c| c[0].w).collect();
+        let mut acc: Vec<ClosedWindow> = Vec::new();
+        for (j, chunk_roots) in chunks.iter().enumerate() {
+            let mut agg = WindowAgg::new(N_SERVICES);
+            let mut closed = Vec::new();
+            for r in *chunk_roots {
+                if let Some(cw) = agg.advance(r.w) {
+                    if j == 0 {
+                        sink.push(&cw); // shard 0 streams live
+                    } else {
+                        closed.push(cw);
+                    }
+                }
+                for &svc in &r.spans {
+                    agg.add_call(svc);
+                }
+                agg.add_scalars(r.errors, r.congested, r.retries);
+            }
+            if let Some(cw) = agg.finish() {
+                closed.push(cw);
+            }
+            if j == 0 {
+                acc = closed;
+            } else {
+                absorb_closed(&mut acc, closed);
+            }
+            // Eager flush: windows no later shard can touch.
+            if let Some(&bound) = first_windows.get(j + 1) {
+                let cut = acc.partition_point(|cw| cw.w < bound);
+                for cw in acc.drain(..cut) {
+                    sink.push(&cw);
+                }
+            }
+        }
+        for cw in acc.drain(..) {
+            sink.push(&cw);
+        }
+        let mut tsdb = fresh_tsdb();
+        sink.install(&mut tsdb, |svc| format!("svc-{svc}"))
+            .expect("install");
+        tsdb
+    }
+
+    fn assert_same_series(a: &TimeSeriesDb, b: &TimeSeriesDb) {
+        assert_eq!(a.num_series(), b.num_series());
+        for name in ["rpc/server/count"]
+            .into_iter()
+            .chain(METRICS.into_iter().map(|(n, _)| n))
+        {
+            let mut a_series: Vec<_> = a.series_of(name).collect();
+            a_series.sort_by_key(|(l, _)| (*l).clone());
+            for (labels, series) in a_series {
+                let other = b
+                    .series(name, labels)
+                    .unwrap_or_else(|| panic!("missing series {name}{labels}"));
+                let a_pts: Vec<(u64, u64)> = series
+                    .points()
+                    .iter()
+                    .map(|(t, v)| (t.as_nanos(), v.as_counter().expect("counter")))
+                    .collect();
+                let b_pts: Vec<(u64, u64)> = other
+                    .points()
+                    .iter()
+                    .map(|(t, v)| (t.as_nanos(), v.as_counter().expect("counter")))
+                    .collect();
+                assert_eq!(a_pts, b_pts, "series {name}{labels} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn window_agg_closes_on_advance_and_finish() {
+        let mut agg = WindowAgg::new(4);
+        assert!(agg.advance(3).is_none()); // first window opens, nothing closes
+        agg.add_call(2);
+        agg.add_call(2);
+        agg.add_call(0);
+        agg.add_scalars(1, 0, 5);
+        assert!(agg.advance(3).is_none()); // same window
+        let cw = agg.advance(7).expect("window 3 closes");
+        assert_eq!(cw.w, 3);
+        assert_eq!(cw.calls, vec![(0, 1), (2, 2)]);
+        assert_eq!((cw.errors, cw.congested, cw.retries, cw.rpcs), (1, 0, 5, 3));
+        // Window 7 saw nothing: closing it emits no row.
+        assert!(agg.finish().is_none());
+    }
+
+    #[test]
+    fn boundary_window_coalesces_across_shards() {
+        let mut acc = vec![ClosedWindow {
+            w: 5,
+            calls: vec![(1, 2), (3, 1)],
+            errors: 1,
+            congested: 0,
+            retries: 2,
+            rpcs: 3,
+        }];
+        absorb_closed(
+            &mut acc,
+            vec![
+                ClosedWindow {
+                    w: 5,
+                    calls: vec![(0, 4), (3, 2)],
+                    errors: 0,
+                    congested: 1,
+                    retries: 0,
+                    rpcs: 6,
+                },
+                ClosedWindow {
+                    w: 6,
+                    calls: vec![(2, 1)],
+                    errors: 0,
+                    congested: 0,
+                    retries: 0,
+                    rpcs: 1,
+                },
+            ],
+        );
+        assert_eq!(acc.len(), 2);
+        assert_eq!(acc[0].calls, vec![(0, 4), (1, 2), (3, 3)]);
+        assert_eq!((acc[0].errors, acc[0].congested, acc[0].retries), (1, 1, 2));
+        assert_eq!(acc[0].rpcs, 9);
+        assert_eq!(acc[1].w, 6);
+    }
+
+    proptest! {
+        /// The tentpole equivalence: the streamed per-window flush
+        /// produces byte-identical TSDB series to the dense-grid
+        /// end-of-run flush, at every shard split.
+        #[test]
+        fn streamed_flush_matches_dense_reference(
+            roots in roots_strategy(),
+            shards in 1usize..5,
+        ) {
+            let reference = reference_flush(&roots);
+            let streamed = streaming_flush(&roots, shards);
+            assert_same_series(&streamed, &reference);
+            assert_same_series(&reference, &streamed);
+        }
+    }
+}

@@ -202,6 +202,7 @@ mod tests {
             roots: 4_000,
             duration: SimDuration::from_hours(24),
             trace_sample_rate: 1,
+            profiler_sample_cap: 10_000,
             seed: 19,
         };
         run_fleet(FleetConfig::at_scale(scale))

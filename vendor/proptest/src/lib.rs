@@ -80,6 +80,35 @@ pub mod strategy {
         type Value;
         /// Samples one value.
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f` (the real proptest
+        /// combinator of the same name; no shrinking here, so it is a
+        /// plain post-generation transform).
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { strategy: self, f }
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug)]
+    pub struct Map<S, F> {
+        strategy: S,
+        f: F,
+    }
+
+    impl<S, T, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.strategy.generate(rng))
+        }
     }
 
     macro_rules! impl_int_ranges {
@@ -144,7 +173,14 @@ pub mod strategy {
         )+};
     }
 
-    impl_tuples!((A.0), (A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
+    impl_tuples!(
+        (A.0),
+        (A.0, B.1),
+        (A.0, B.1, C.2),
+        (A.0, B.1, C.2, D.3),
+        (A.0, B.1, C.2, D.3, E.4),
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    );
 
     /// A strategy that always yields a clone of one value.
     #[derive(Debug, Clone)]
@@ -290,7 +326,7 @@ pub mod collection {
 /// The common imports every proptest test pulls in.
 pub mod prelude {
     pub use crate::arbitrary::{any, Arbitrary};
-    pub use crate::strategy::{Just, Strategy};
+    pub use crate::strategy::{Just, Map, Strategy};
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
 }
 
@@ -374,6 +410,8 @@ macro_rules! prop_assume {
 
 #[cfg(test)]
 mod tests {
+    use crate::strategy::Strategy as _;
+
     proptest! {
         #[test]
         fn ranges_stay_in_bounds(x in 10u64..20, y in -5i32..5, f in 0.25f64..0.75) {
@@ -397,6 +435,12 @@ mod tests {
         fn tuples_and_assume(pair in (0u64..10, 0u64..10)) {
             prop_assume!(pair.0 != pair.1);
             prop_assert_ne!(pair.0, pair.1);
+        }
+
+        #[test]
+        fn prop_map_transforms(doubled in (1u64..50).prop_map(|x| x * 2)) {
+            prop_assert!(doubled % 2 == 0);
+            prop_assert!((2..100).contains(&doubled));
         }
     }
 
