@@ -12,6 +12,7 @@
 //!   utilization (§3.3.4: reserved cores sever the coupling).
 
 use rpclens_fleet::driver::{run_fleet, FleetConfig, FleetRun, SimScale};
+use rpclens_fleet::faults::FaultScenario;
 use rpclens_rpcstack::component::LatencyComponent;
 use rpclens_simcore::stats::{percentile, sorted_finite};
 use rpclens_trace::query::MethodQuery;
@@ -77,6 +78,118 @@ impl AblationResult {
 
 fn config(scale: &SimScale) -> FleetConfig {
     FleetConfig::at_scale(scale.clone())
+}
+
+/// One arm of the retry-budget ablation: the resilience counters that
+/// the token bucket exists to move.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryArm {
+    /// Retry attempts actually issued.
+    pub retries_issued: u64,
+    /// Retry attempts denied by the budget (always 0 with the budget off).
+    pub retries_denied: u64,
+    /// `NoResource` errors shed by overloaded queues.
+    pub load_sheds: u64,
+    /// Total executed attempts (spans), retries included.
+    pub total_spans: u64,
+}
+
+impl RetryArm {
+    fn of(run: &FleetRun) -> RetryArm {
+        let r = &run.telemetry.counters.resilience;
+        RetryArm {
+            retries_issued: r.retries_issued,
+            retries_denied: r.retries_denied,
+            load_sheds: r.load_sheds,
+            total_spans: run.total_spans,
+        }
+    }
+
+    /// Retry amplification: executed attempts per attempt that would have
+    /// run had no retry fired. 1.0 means no amplification; 1.25 means the
+    /// retry loop added 25% extra work on top of the base load.
+    pub fn amplification(&self) -> f64 {
+        let base = self.total_spans.saturating_sub(self.retries_issued).max(1);
+        self.total_spans as f64 / base as f64
+    }
+}
+
+/// Result of the retry-budget ablation: the same fault scenario run with
+/// the [`RetryBudget`] token bucket on and off.
+///
+/// [`RetryBudget`]: rpclens_rpcstack::retry::RetryBudget
+#[derive(Debug, Clone, Copy)]
+pub struct RetryBudgetAblation {
+    /// The fault scenario both arms ran under.
+    pub scenario: &'static str,
+    /// Counters with the budget enforcing its ratio.
+    pub with_budget: RetryArm,
+    /// Counters with retries bounded only by `max_attempts`.
+    pub without_budget: RetryArm,
+}
+
+/// Runs the retry-budget ablation: the given fault scenario at the given
+/// scale, once with the per-trace retry budget enforcing its ratio and
+/// once with the budget disabled (retries bounded only by the backoff
+/// policy's `max_attempts`). The gap between the two amplification
+/// factors is the storm the budget is clamping.
+pub fn run_retry_budget_ablation(scale: &SimScale, faults: FaultScenario) -> RetryBudgetAblation {
+    let mut on_cfg = config(scale);
+    on_cfg.faults = faults;
+    let on = run_fleet(on_cfg);
+    let mut off_cfg = config(scale);
+    off_cfg.faults = faults;
+    off_cfg.retry_budget_enabled = false;
+    let off = run_fleet(off_cfg);
+    RetryBudgetAblation {
+        scenario: faults.name,
+        with_budget: RetryArm::of(&on),
+        without_budget: RetryArm::of(&off),
+    }
+}
+
+/// Renders the retry-budget ablation as the table `repro --ablate
+/// retry-budget` prints.
+pub fn render_retry_budget(r: &RetryBudgetAblation) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "retry-budget ablation under `{}`:", r.scenario);
+    let _ = writeln!(out, "{:>24}  {:>14}  {:>14}", "", "budget on", "budget off");
+    let row = |out: &mut String, label: &str, on: u64, off: u64| {
+        let _ = writeln!(out, "{label:>24}  {on:>14}  {off:>14}");
+    };
+    row(
+        &mut out,
+        "retries issued",
+        r.with_budget.retries_issued,
+        r.without_budget.retries_issued,
+    );
+    row(
+        &mut out,
+        "retries denied",
+        r.with_budget.retries_denied,
+        r.without_budget.retries_denied,
+    );
+    row(
+        &mut out,
+        "load sheds",
+        r.with_budget.load_sheds,
+        r.without_budget.load_sheds,
+    );
+    row(
+        &mut out,
+        "total attempts",
+        r.with_budget.total_spans,
+        r.without_budget.total_spans,
+    );
+    let _ = writeln!(
+        out,
+        "{:>24}  {:>14.4}  {:>14.4}",
+        "retry amplification",
+        r.with_budget.amplification(),
+        r.without_budget.amplification()
+    );
+    out
 }
 
 /// Hedged storage methods' P99 latency, seconds.
@@ -260,6 +373,25 @@ mod tests {
             r.improvement() < 0.9,
             "congestion off/on tail ratio {:.3}",
             r.improvement()
+        );
+    }
+
+    #[test]
+    fn retry_budget_clamps_overload_amplification() {
+        let r = run_retry_budget_ablation(&scale(), FaultScenario::overload_collapse());
+        // The budget denied retries the unbudgeted arm went on to issue.
+        assert!(r.with_budget.retries_denied > 0, "{r:?}");
+        assert_eq!(r.without_budget.retries_denied, 0, "{r:?}");
+        assert!(
+            r.without_budget.retries_issued > r.with_budget.retries_issued,
+            "{r:?}"
+        );
+        // And the storm it clamps is visible in the amplification gap.
+        assert!(
+            r.without_budget.amplification() > r.with_budget.amplification(),
+            "amplification with {:.4} vs without {:.4}",
+            r.with_budget.amplification(),
+            r.without_budget.amplification()
         );
     }
 

@@ -8,6 +8,7 @@
 //! rpclens-inspect errors        --manifest FILE
 //! rpclens-inspect wire          --artifact FILE
 //! rpclens-inspect trace         --store FILE [--trace N] [--seed S] [--methods M]
+//! rpclens-inspect controllers   --faults PRESET [--scale NAME] [--seed S]
 //! ```
 //!
 //! `--store` takes a binary trace export written by
@@ -38,7 +39,10 @@ fn usage() -> ! {
          \x20 trace         --store FILE [--trace N] [--seed S] [--methods M]\n\
          \x20               waterfall + critical path + per-method measured-vs-modeled\n\
          \x20               deltas from a measured wire-trace capture\n\
-         \x20               (written by rpclens-wire bench --trace-out)"
+         \x20               (written by rpclens-wire bench --trace-out)\n\
+         \x20 controllers   --faults PRESET [--scale smoke|default|paper|fleet] [--seed S]\n\
+         \x20               closed-loop controller timeline (autoscaled capacity and\n\
+         \x20               avoided paths per window), reconstructed from the seed"
     );
     std::process::exit(2);
 }
@@ -81,6 +85,8 @@ fn main() {
     let mut trace: Option<usize> = None;
     let mut seed = 42u64;
     let mut methods = 400usize;
+    let mut faults: Option<&str> = None;
+    let mut scale_name = "smoke";
     let mut iter = args[1..].iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -115,6 +121,8 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| fail("--methods needs an integer"));
             }
+            "--faults" => faults = Some(next_value(&mut iter, "--faults")),
+            "--scale" => scale_name = next_value(&mut iter, "--scale"),
             other => fail(&format!("unknown option {other}")),
         }
     }
@@ -176,6 +184,18 @@ fn main() {
                 "{}",
                 rpclens_bench::wiretrace::method_delta_text(&store, seed, methods)
             );
+        }
+        "controllers" => {
+            let Some(scenario) = faults else {
+                fail("controllers needs --faults PRESET (e.g. incident-smoke)")
+            };
+            let Some(scale) = rpclens_bench::scale_by_name(scale_name) else {
+                fail(&format!("unknown scale {scale_name}"))
+            };
+            match inspect::controllers_text(scenario, seed, scale.duration) {
+                Ok(text) => print!("{text}"),
+                Err(e) => fail(&e),
+            }
         }
         "wire" => {
             let Some(path) = artifact_path else {

@@ -6,8 +6,12 @@
 //! artifacts a previous `repro` run persisted (`--export-store`,
 //! `--telemetry`), so drilling down never re-runs the simulation.
 
+use rpclens_fleet::control::ControlPlane;
+use rpclens_fleet::faults::FaultScenario;
+use rpclens_netsim::topology::Topology;
 use rpclens_obs::RunManifest;
 use rpclens_rpcstack::component::LatencyComponent;
+use rpclens_simcore::time::SimDuration;
 use rpclens_trace::collector::TraceStore;
 use rpclens_trace::critical_path::CriticalPath;
 use rpclens_trace::query::MethodQuery;
@@ -241,6 +245,21 @@ pub fn errors_text(manifest: &RunManifest) -> String {
                 r.load_sheds,
                 r.deadline_exceeded
             ));
+            if !r.incidents.is_empty() {
+                out.push_str(&format!(
+                    "\n{:<20} {:>16} {:>10}\n",
+                    "incident", "entities struck", "episodes"
+                ));
+                for (kind, struck, episodes) in &r.incidents {
+                    out.push_str(&format!("{kind:<20} {struck:>16} {episodes:>10}\n"));
+                }
+            }
+            if !r.controllers.is_empty() {
+                out.push_str(&format!("\n{:<34} {:>12}\n", "controller", "value"));
+                for (name, value) in &r.controllers {
+                    out.push_str(&format!("{name:<34} {value:>12}\n"));
+                }
+            }
         }
         None => {
             out.push_str("fault scenario: none (no robustness section in manifest)\n\n");
@@ -263,6 +282,39 @@ pub fn errors_text(manifest: &RunManifest) -> String {
         }
     }
     out
+}
+
+/// Renders the closed-loop controller timeline for a fault scenario:
+/// one line per aggregation window with the clusters holding
+/// autoscaled capacity and the degraded paths the load balancer avoids.
+///
+/// Controller decisions are pure functions of `(seed, scenario)` — the
+/// same trajectories every fleet run at this seed executes — so the
+/// timeline reconstructs exactly without re-simulating, the same way
+/// the manifest's controller rows do.
+pub fn controllers_text(
+    scenario: &str,
+    seed: u64,
+    duration: SimDuration,
+) -> Result<String, String> {
+    let faults = FaultScenario::by_name(scenario)
+        .ok_or_else(|| format!("unknown fault scenario {scenario}"))?;
+    let topology = Topology::default_world(seed);
+    let region_of: Vec<u16> = topology.clusters().map(|c| c.region.0).collect();
+    let Some(mut cp) = ControlPlane::new(
+        &faults,
+        seed,
+        region_of,
+        rpclens_tsdb::DEFAULT_SAMPLE_PERIOD,
+    ) else {
+        return Err(format!(
+            "scenario `{}` has no control plane; closed-loop presets: incident-smoke",
+            faults.name
+        ));
+    };
+    let mut out = format!("scenario {} at seed {seed}\n", faults.name);
+    out.push_str(&cp.render_timeline(topology.num_clusters() as u16, duration));
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -408,6 +460,8 @@ mod tests {
                 ("Cancelled".to_string(), 45, 900),
                 ("Entity not found".to_string(), 20, 100),
             ],
+            incidents: vec![("cluster-drain".to_string(), 3, 14)],
+            controllers: vec![("lb_shifts".to_string(), 120)],
         });
         let text = errors_text(&m);
         assert!(text.contains("fault scenario: chaos-smoke"), "{text}");
@@ -418,6 +472,31 @@ mod tests {
         assert!(text.contains("3 denied by budget"), "{text}");
         assert!(text.contains("5 failovers"), "{text}");
         assert!(text.contains("4 deadline-exceeded"), "{text}");
+        // Incident and controller tables render when populated.
+        assert!(text.contains("cluster-drain"), "{text}");
+        assert!(text.contains("lb_shifts"), "{text}");
+        assert!(text.contains("120"), "{text}");
+    }
+
+    #[test]
+    fn controllers_text_reconstructs_the_incident_smoke_timeline() {
+        let day = SimDuration::from_hours(24);
+        let text = controllers_text("incident-smoke", 42, day).expect("timeline");
+        assert!(
+            text.contains("scenario incident-smoke at seed 42"),
+            "{text}"
+        );
+        assert!(text.contains("48 windows"), "{text}");
+        // At incident-smoke eligibility something always scales or
+        // degrades within a day.
+        assert!(
+            !text.contains("\n  0 windows with controller activity"),
+            "{text}"
+        );
+        // Open-loop presets have no control plane to render.
+        let err = controllers_text("incident-open-loop", 42, day).unwrap_err();
+        assert!(err.contains("no control plane"), "{err}");
+        assert!(controllers_text("nope", 42, day).is_err());
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //!    `crates/bench/FAULT_SMOKE_DIGEST`, the same value the CI
 //!    fault-smoke step greps for. Re-baseline both together, never one.
 
-use rpclens_bench::run_at_sharded_faults;
+use rpclens_bench::{run_at_sharded_faults, run_configured};
 use rpclens_core::figs::fig23;
 use rpclens_fleet::driver::{FleetRun, SimScale};
 use rpclens_fleet::faults::FaultScenario;
@@ -32,6 +32,15 @@ fn fault_smoke_digest() -> u64 {
         .trim()
         .parse()
         .expect("FAULT_SMOKE_DIGEST holds one u64")
+}
+
+/// Committed incident-smoke digest expectation, shared with the CI
+/// incident-smoke gate.
+fn incident_smoke_digest() -> u64 {
+    include_str!("../INCIDENT_SMOKE_DIGEST")
+        .trim()
+        .parse()
+        .expect("INCIDENT_SMOKE_DIGEST holds one u64")
 }
 
 fn smoke_run(faults: FaultScenario, shards: usize) -> FleetRun {
@@ -93,6 +102,100 @@ fn chaos_smoke_digest_matches_committed_expectation() {
         fault_smoke_digest(),
         "chaos-smoke digest drifted from crates/bench/FAULT_SMOKE_DIGEST; \
          if the drift is intentional, re-baseline the file and the CI gate together"
+    );
+}
+
+#[test]
+fn incident_smoke_is_bit_identical_across_shards_and_threads() {
+    // The incident plane draws shared cross-entity trajectories and the
+    // control plane reacts to them on window boundaries — neither may
+    // observe anything a shard computed, so the full (shards, threads)
+    // matrix must agree with the committed expectation in
+    // `crates/bench/INCIDENT_SMOKE_DIGEST` (the CI incident-smoke gate
+    // greps for the same value; re-baseline both together, never one).
+    let expected = incident_smoke_digest();
+    let mut reference: Option<rpclens_obs::RunManifest> = None;
+    for shards in [1usize, 4] {
+        for threads in [1usize, 4] {
+            let run = run_configured(
+                SimScale::smoke(),
+                Some(shards),
+                Some(threads),
+                FaultScenario::incident_smoke(),
+            );
+            let manifest = manifest_for_run(&run);
+            assert_eq!(
+                manifest.digest(),
+                expected,
+                "incident-smoke digest drifted from crates/bench/INCIDENT_SMOKE_DIGEST \
+                 at shards={shards} threads={threads}; if the drift is intentional, \
+                 re-baseline the file and the CI gate together"
+            );
+            match &reference {
+                None => reference = Some(manifest),
+                Some(first) => {
+                    assert_eq!(first.deterministic, manifest.deterministic);
+                    assert_eq!(
+                        first.robustness, manifest.robustness,
+                        "incident/controller tables diverge at shards={shards} threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+    // The scenario actually struck: every incident kind has a blast
+    // radius, and the controllers actually acted.
+    let r = reference
+        .as_ref()
+        .and_then(|m| m.robustness.as_ref())
+        .expect("incident-smoke carries robustness");
+    assert_eq!(r.incidents.len(), 3, "{:?}", r.incidents);
+    assert!(
+        r.incidents
+            .iter()
+            .all(|&(_, struck, eps)| struck > 0 && eps > 0),
+        "{:?}",
+        r.incidents
+    );
+    let controller = |name: &str| {
+        r.controllers
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("missing controller row {name}: {:?}", r.controllers))
+            .1
+    };
+    assert!(controller("autoscaler_scaled_windows") > 0);
+    assert!(controller("admission_offered") > 0);
+    assert_eq!(
+        controller("admission_admitted")
+            + controller("admission_shed")
+            + controller("admission_abandoned"),
+        controller("admission_offered"),
+        "bounded admission must conserve offered calls"
+    );
+}
+
+#[test]
+fn closed_loop_controllers_reduce_steady_state_shedding() {
+    // `incident-open-loop` is `incident-smoke` minus the control plane:
+    // the same seeded incident schedule strikes the same entities at the
+    // same times, but nothing reacts. The closed loop must turn fewer
+    // calls away — capacity absorbs the overload fronts the open loop
+    // can only shed against.
+    let open = smoke_run(FaultScenario::incident_open_loop(), 1);
+    let closed = smoke_run(FaultScenario::incident_smoke(), 1);
+    let open_sheds = open.telemetry.counters.resilience.load_sheds;
+    let closed_turned_away = closed.telemetry.counters.resilience.load_sheds
+        + closed.telemetry.counters.control.admission_abandoned;
+    assert!(open_sheds > 0, "open loop never shed under incidents");
+    let open_rate = open_sheds as f64 / open.total_spans as f64;
+    let closed_rate = closed_turned_away as f64 / closed.total_spans as f64;
+    assert!(
+        closed_rate < open_rate,
+        "closed-loop turn-away rate {closed_rate:.5} must beat open-loop {open_rate:.5} \
+         ({closed_turned_away}/{} vs {open_sheds}/{})",
+        closed.total_spans,
+        open.total_spans
     );
 }
 

@@ -1,0 +1,540 @@
+//! The closed-loop control plane: deterministic controllers evaluated on
+//! window boundaries.
+//!
+//! Under the open-loop fault plane the fleet never fights back — overload
+//! fronts shed until the episode ends on its own. This module adds the
+//! three reactions production fleets mount, each a *pure function of the
+//! seed and the incident trajectories* so that every simulation shard
+//! reconstructs the identical controller timeline (shards run
+//! independently and merge; a controller that reacted to per-shard
+//! observed counters would break the bit-identical-at-any-shard-count
+//! contract):
+//!
+//! - **Autoscaler** ([`AutoscalerSpec`]): per-cluster capacity, stepped
+//!   up after sustained overload at consecutive window boundaries and
+//!   decayed back when the condition clears. Capacity divides the
+//!   effective overload factor, feeding back into utilization and
+//!   shedding.
+//! - **Load-balancer weight shift** (`lb_shift`): paths whose region
+//!   pair is cut or browned out at the window boundary are steered away
+//!   from, through the same placement re-pick as retry failover
+//!   (`Avoid`).
+//! - **Bounded admission queues** ([`AdmissionSpec`]): while a site is
+//!   overloaded, admission replaces the ambient shed rule — waits past
+//!   the shed bound are rejected (`NoResource`), waits past the caller's
+//!   patience are abandoned (`Aborted`), and the pool's utilization is
+//!   capped at `util_cap` (the queue is bounded, so it cannot saturate).
+//!   Every offered call resolves to exactly one verdict; the
+//!   conservation proptest pins `admitted + shed + abandoned == offered`.
+//!
+//! Controller decisions are sampled at window boundaries (the TSDB
+//! sample period) and held for the whole window, mirroring how real
+//! control loops act on aggregated telemetry rather than per-request
+//! state. See `docs/ROBUSTNESS.md` for the closed- vs open-loop
+//! comparison.
+
+use crate::faults::FaultScenario;
+use crate::incident::{IncidentPlane, IncidentSpec};
+use rpclens_simcore::time::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Autoscaler configuration: capacity added under sustained overload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutoscalerSpec {
+    /// Consecutive overloaded window boundaries before scaling starts
+    /// (clamped to at least 1).
+    pub sustain_windows: u32,
+    /// Capacity factor added per sustained window (and removed per calm
+    /// window while above 1.0).
+    pub step: f64,
+    /// Ceiling on the capacity factor (must be at least 1.0).
+    pub max_factor: f64,
+}
+
+/// Bounded admission queue configuration for overloaded sites.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionSpec {
+    /// Queue waits beyond this bound are rejected at admission
+    /// (`NoResource`).
+    pub shed_wait: SimDuration,
+    /// Waits beyond the caller's patience are abandoned (`Aborted`).
+    /// Should exceed `shed_wait`; abandonment takes precedence.
+    pub abandon_wait: SimDuration,
+    /// Utilization cap the bounded queue enforces on the pool (the
+    /// shed/abandoned fraction never reaches the workers).
+    pub util_cap: f64,
+}
+
+/// Which controllers a scenario runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControlSpec {
+    /// Autoscaler reacting to sustained incident overload.
+    pub autoscaler: Option<AutoscalerSpec>,
+    /// Load-balancer weight shift away from cut/browned-out region
+    /// pairs.
+    pub lb_shift: bool,
+    /// Bounded admission queues on overloaded sites.
+    pub admission: Option<AdmissionSpec>,
+}
+
+/// One capacity update: `prev` is the factor of the previous window,
+/// `streak` the number of consecutive overloaded boundaries including the
+/// current one. Pure, so the autoscaler-monotonicity proptest can drive
+/// it with arbitrary condition sequences.
+pub fn step_capacity(spec: &AutoscalerSpec, prev: f64, streak: u32) -> f64 {
+    if streak >= spec.sustain_windows.max(1) {
+        (prev + spec.step).min(spec.max_factor.max(1.0))
+    } else {
+        (prev - spec.step).max(1.0)
+    }
+}
+
+/// The verdict of one admission decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionVerdict {
+    /// The call enters the bounded queue and is served.
+    Admitted,
+    /// The queue bound rejects the call at admission (`NoResource`).
+    Shed,
+    /// The caller's patience expires while queued (`Aborted`).
+    Abandoned,
+}
+
+/// Classifies one offered call by its sampled queue wait. Pure, total:
+/// every offered call gets exactly one verdict.
+pub fn admission_verdict(spec: &AdmissionSpec, queue_wait: SimDuration) -> AdmissionVerdict {
+    if queue_wait > spec.abandon_wait {
+        AdmissionVerdict::Abandoned
+    } else if queue_wait > spec.shed_wait {
+        AdmissionVerdict::Shed
+    } else {
+        AdmissionVerdict::Admitted
+    }
+}
+
+/// Running conservation tally over admission verdicts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionTally {
+    /// Calls offered to the bounded queue.
+    pub offered: u64,
+    /// Calls admitted and served.
+    pub admitted: u64,
+    /// Calls rejected at admission.
+    pub shed: u64,
+    /// Calls abandoned while queued.
+    pub abandoned: u64,
+}
+
+impl AdmissionTally {
+    /// Records one verdict.
+    pub fn record(&mut self, verdict: AdmissionVerdict) {
+        self.offered += 1;
+        match verdict {
+            AdmissionVerdict::Admitted => self.admitted += 1,
+            AdmissionVerdict::Shed => self.shed += 1,
+            AdmissionVerdict::Abandoned => self.abandoned += 1,
+        }
+    }
+
+    /// The conservation law every tally must satisfy.
+    pub fn conserves(&self) -> bool {
+        self.admitted + self.shed + self.abandoned == self.offered
+    }
+}
+
+/// Per-cluster autoscaler state: the capacity factor of every window
+/// evaluated so far, extended lazily and deterministically.
+#[derive(Debug, Default)]
+struct CapacityTimeline {
+    factors: Vec<f64>,
+    streak: u32,
+}
+
+/// The per-shard control plane.
+///
+/// Owns a *private* copy of the incident plane: controller decisions
+/// read incident trajectories (which are pure functions of the seed), so
+/// the controller timeline is identical in every shard no matter which
+/// calls each shard simulates. Queries never consume caller draws.
+#[derive(Debug)]
+pub struct ControlPlane {
+    spec: ControlSpec,
+    window_ns: u64,
+    incidents: Option<IncidentPlane>,
+    capacity: HashMap<u16, CapacityTimeline>,
+}
+
+impl ControlPlane {
+    /// Materialises a scenario's control spec. Returns `None` when the
+    /// scenario runs no controllers, so the driver's hot path gates on
+    /// plane presence alone.
+    pub fn new(
+        scenario: &FaultScenario,
+        seed: u64,
+        region_of: Vec<u16>,
+        window: SimDuration,
+    ) -> Option<Self> {
+        let spec = scenario.control?;
+        let incidents = scenario
+            .incidents
+            .as_ref()
+            .and_then(|i| IncidentPlane::new(i, seed, region_of));
+        Some(ControlPlane {
+            spec,
+            window_ns: window.as_nanos().max(1),
+            incidents,
+            capacity: HashMap::new(),
+        })
+    }
+
+    /// Builds directly from parts (used by the timeline renderer and
+    /// tests).
+    pub fn from_parts(
+        spec: ControlSpec,
+        incidents: Option<&IncidentSpec>,
+        seed: u64,
+        region_of: Vec<u16>,
+        window: SimDuration,
+    ) -> Self {
+        ControlPlane {
+            spec,
+            window_ns: window.as_nanos().max(1),
+            incidents: incidents.and_then(|i| IncidentPlane::new(i, seed, region_of)),
+            capacity: HashMap::new(),
+        }
+    }
+
+    /// The admission-queue configuration, if one runs.
+    pub fn admission(&self) -> Option<AdmissionSpec> {
+        self.spec.admission
+    }
+
+    /// The window index containing `now`.
+    fn window_of(&self, now: SimTime) -> usize {
+        (now.as_nanos() / self.window_ns) as usize
+    }
+
+    /// The boundary instant opening window `w`.
+    fn boundary(&self, w: usize) -> SimTime {
+        SimTime::from_nanos(w as u64 * self.window_ns)
+    }
+
+    /// The autoscaler's capacity factor for `cluster` during the window
+    /// containing `now` (1.0 when no autoscaler runs). Lazily extends the
+    /// per-cluster timeline: window `w`'s factor is a fold of the
+    /// overload condition at boundaries `0..=w`, so it is identical in
+    /// every shard regardless of query order.
+    pub fn capacity_factor(&mut self, cluster: u16, now: SimTime) -> f64 {
+        let Some(spec) = self.spec.autoscaler else {
+            return 1.0;
+        };
+        let w = self.window_of(now);
+        let Some(incidents) = self.incidents.as_mut() else {
+            return 1.0;
+        };
+        let timeline = self.capacity.entry(cluster).or_default();
+        while timeline.factors.len() <= w {
+            let b = timeline.factors.len();
+            let boundary = SimTime::from_nanos(b as u64 * self.window_ns);
+            let overloaded = incidents.overload_factor(cluster, boundary).is_some();
+            timeline.streak = if overloaded { timeline.streak + 1 } else { 0 };
+            let prev = timeline.factors.last().copied().unwrap_or(1.0);
+            timeline
+                .factors
+                .push(step_capacity(&spec, prev, timeline.streak));
+        }
+        timeline.factors[w]
+    }
+
+    /// Whether the load balancer steers away from the `a`–`b` path during
+    /// the window containing `now`: true when the weight-shift controller
+    /// runs and the region pair was cut or browned out at the window's
+    /// opening boundary. `wan` is the caller-computed path class.
+    pub fn path_degraded(&mut self, a: u16, b: u16, wan: bool, now: SimTime) -> bool {
+        if !self.spec.lb_shift {
+            return false;
+        }
+        let boundary = self.boundary(self.window_of(now));
+        let Some(incidents) = self.incidents.as_mut() else {
+            return false;
+        };
+        incidents.partition_state(a, b, wan, boundary) != crate::faults::PartitionState::Connected
+    }
+
+    /// Autoscaler activity over `[0, duration)`: `(cluster-windows above
+    /// baseline capacity, peak capacity factor in permille)`. Evaluates
+    /// every cluster's timeline to the end of the run.
+    pub fn autoscaler_activity(&mut self, n_clusters: u16, duration: SimDuration) -> (u64, u64) {
+        let end = SimTime::from_nanos(duration.as_nanos().saturating_sub(1));
+        let mut scaled_windows = 0u64;
+        let mut peak = 1.0f64;
+        for c in 0..n_clusters {
+            self.capacity_factor(c, end);
+            if let Some(t) = self.capacity.get(&c) {
+                scaled_windows += t.factors.iter().filter(|&&f| f > 1.0).count() as u64;
+                peak = t.factors.iter().copied().fold(peak, f64::max);
+            }
+        }
+        (scaled_windows, (peak * 1000.0).round() as u64)
+    }
+
+    /// Renders the controller timeline: one line per window with the
+    /// clusters holding added capacity and the degraded region pairs the
+    /// balancer avoids. Windows with no controller activity are elided.
+    pub fn render_timeline(&mut self, n_clusters: u16, duration: SimDuration) -> String {
+        use std::fmt::Write as _;
+        let windows = (duration.as_nanos() / self.window_ns) as usize;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "controller timeline ({} windows of {:.0} s):",
+            windows,
+            self.window_ns as f64 / 1e9
+        );
+        let mut active_windows = 0usize;
+        for w in 0..windows {
+            let mid = self.boundary(w);
+            let mut scaled: Vec<(u16, f64)> = (0..n_clusters)
+                .map(|c| (c, self.capacity_factor(c, mid)))
+                .filter(|&(_, f)| f > 1.0)
+                .collect();
+            scaled.sort_by_key(|&(c, _)| c);
+            let mut degraded: Vec<(u16, u16)> = Vec::new();
+            for a in 0..n_clusters {
+                for b in a + 1..n_clusters {
+                    if self.path_degraded(a, b, true, mid) {
+                        degraded.push((a, b));
+                    }
+                }
+            }
+            if scaled.is_empty() && degraded.is_empty() {
+                continue;
+            }
+            active_windows += 1;
+            let _ = write!(out, "  w{w:>3}:");
+            if !scaled.is_empty() {
+                let caps: Vec<String> =
+                    scaled.iter().map(|(c, f)| format!("c{c}x{f:.2}")).collect();
+                let _ = write!(out, " capacity[{}]", caps.join(" "));
+            }
+            if !degraded.is_empty() {
+                // Degraded pairs are region-keyed; report the count and
+                // the first few cluster pairs as representatives.
+                let pairs: Vec<String> = degraded
+                    .iter()
+                    .take(4)
+                    .map(|(a, b)| format!("{a}-{b}"))
+                    .collect();
+                let _ = write!(
+                    out,
+                    " avoid[{} pairs: {}…]",
+                    degraded.len(),
+                    pairs.join(" ")
+                );
+            }
+            let _ = writeln!(out);
+        }
+        let _ = writeln!(out, "  {active_windows} windows with controller activity");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{EpisodeSpec, OverloadSpec};
+    use proptest::prelude::*;
+    use rpclens_cluster::faults::EpisodeParams;
+
+    fn autoscaler() -> AutoscalerSpec {
+        AutoscalerSpec {
+            sustain_windows: 2,
+            step: 0.25,
+            max_factor: 2.5,
+        }
+    }
+
+    fn admission() -> AdmissionSpec {
+        AdmissionSpec {
+            shed_wait: SimDuration::from_millis(15),
+            abandon_wait: SimDuration::from_millis(60),
+            util_cap: 0.96,
+        }
+    }
+
+    fn incident_spec() -> IncidentSpec {
+        IncidentSpec {
+            drain: None,
+            surge_factor: 1.0,
+            wan_cut: None,
+            front: Some(OverloadSpec {
+                episodes: EpisodeSpec {
+                    eligible: 1.0,
+                    params: EpisodeParams {
+                        up_mean: SimDuration::from_hours(4),
+                        down_mean: SimDuration::from_hours(2),
+                    },
+                },
+                util_factor: 2.0,
+                shed_wait: SimDuration::from_millis(15),
+            }),
+        }
+    }
+
+    fn plane() -> ControlPlane {
+        ControlPlane::from_parts(
+            ControlSpec {
+                autoscaler: Some(autoscaler()),
+                lb_shift: true,
+                admission: Some(admission()),
+            },
+            Some(&incident_spec()),
+            7,
+            vec![0, 0, 1, 1],
+            SimDuration::from_secs(1_800),
+        )
+    }
+
+    #[test]
+    fn capacity_rises_under_sustained_overload_and_decays_after() {
+        let mut p = plane();
+        let day = SimDuration::from_hours(24);
+        let windows = (day.as_nanos() / p.window_ns) as usize;
+        let mut factors = Vec::new();
+        for w in 0..windows {
+            factors.push(p.capacity_factor(0, SimTime::from_nanos(w as u64 * p.window_ns)));
+        }
+        assert!(factors.iter().all(|&f| (1.0..=2.5).contains(&f)));
+        // With a 2 h mean front over 24 h, capacity must have moved.
+        assert!(
+            factors.iter().any(|&f| f > 1.0),
+            "autoscaler never scaled: {factors:?}"
+        );
+        // Somewhere the factor decays again (front ends).
+        assert!(
+            factors.windows(2).any(|w| w[1] < w[0]),
+            "capacity never decayed: {factors:?}"
+        );
+    }
+
+    #[test]
+    fn capacity_timeline_is_query_order_independent() {
+        let mut fwd = plane();
+        let mut rev = plane();
+        let day = SimDuration::from_hours(24);
+        let windows = (day.as_nanos() / fwd.window_ns) as usize;
+        let recorded: Vec<f64> = (0..windows)
+            .map(|w| fwd.capacity_factor(1, SimTime::from_nanos(w as u64 * fwd.window_ns)))
+            .collect();
+        for w in (0..windows).rev() {
+            assert_eq!(
+                rev.capacity_factor(1, SimTime::from_nanos(w as u64 * rev.window_ns)),
+                recorded[w],
+                "window {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_autoscaler_means_unit_capacity() {
+        let mut p = ControlPlane::from_parts(
+            ControlSpec {
+                autoscaler: None,
+                lb_shift: false,
+                admission: None,
+            },
+            Some(&incident_spec()),
+            7,
+            vec![0, 0, 1, 1],
+            SimDuration::from_secs(1_800),
+        );
+        for w in 0..48u64 {
+            assert_eq!(
+                p.capacity_factor(0, SimTime::from_nanos(w * 1_800_000_000_000)),
+                1.0
+            );
+        }
+    }
+
+    #[test]
+    fn admission_verdicts_follow_the_two_thresholds() {
+        let spec = admission();
+        assert_eq!(
+            admission_verdict(&spec, SimDuration::from_millis(1)),
+            AdmissionVerdict::Admitted
+        );
+        assert_eq!(
+            admission_verdict(&spec, SimDuration::from_millis(30)),
+            AdmissionVerdict::Shed
+        );
+        assert_eq!(
+            admission_verdict(&spec, SimDuration::from_millis(90)),
+            AdmissionVerdict::Abandoned
+        );
+    }
+
+    #[test]
+    fn timeline_render_reports_activity() {
+        let mut p = plane();
+        let text = p.render_timeline(4, SimDuration::from_hours(24));
+        assert!(text.contains("controller timeline"));
+        assert!(text.contains("windows with controller activity"));
+    }
+
+    proptest! {
+        /// Satellite: admission-queue conservation — every offered call
+        /// resolves to exactly one of admitted/shed/abandoned.
+        #[test]
+        fn admission_conserves_offered_calls(
+            shed_ms in 1u64..200,
+            patience_extra_ms in 0u64..500,
+            waits in proptest::collection::vec(0u64..1_000_000, 1..400),
+        ) {
+            let spec = AdmissionSpec {
+                shed_wait: SimDuration::from_millis(shed_ms),
+                abandon_wait: SimDuration::from_millis(shed_ms + patience_extra_ms),
+                util_cap: 0.96,
+            };
+            let mut tally = AdmissionTally::default();
+            for w in &waits {
+                tally.record(admission_verdict(&spec, SimDuration::from_micros(*w)));
+            }
+            prop_assert_eq!(tally.offered, waits.len() as u64);
+            prop_assert!(tally.conserves());
+        }
+
+        /// Satellite: autoscaler monotonicity — capacity never leaves
+        /// `[1, max_factor]`, and within any run of consecutive
+        /// overloaded boundaries past the sustain threshold the factor
+        /// is non-decreasing.
+        #[test]
+        fn autoscaler_is_monotone_under_sustained_overload(
+            sustain in 1u32..5,
+            step in 0.05f64..1.0,
+            max_factor in 1.0f64..4.0,
+            conditions in proptest::collection::vec(any::<bool>(), 1..200),
+        ) {
+            let spec = AutoscalerSpec { sustain_windows: sustain, step, max_factor };
+            let mut prev = 1.0f64;
+            let mut streak = 0u32;
+            let mut factors = Vec::with_capacity(conditions.len());
+            for &overloaded in &conditions {
+                streak = if overloaded { streak + 1 } else { 0 };
+                prev = step_capacity(&spec, prev, streak);
+                factors.push((prev, streak));
+            }
+            for &(f, _) in &factors {
+                prop_assert!((1.0..=max_factor.max(1.0)).contains(&f), "factor {} out of band", f);
+            }
+            for pair in factors.windows(2) {
+                let (f0, _) = pair[0];
+                let (f1, s1) = pair[1];
+                if s1 > sustain {
+                    // Both this boundary and the previous were past the
+                    // sustain threshold: capacity must not decrease.
+                    prop_assert!(f1 >= f0, "capacity fell {} -> {} during sustained overload", f0, f1);
+                }
+            }
+        }
+    }
+}

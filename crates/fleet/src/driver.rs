@@ -22,8 +22,10 @@
 //! stored in full; cycles flow to the profiler and errors to the error
 //! accounting.
 
-use crate::catalog::{Catalog, CatalogConfig, ServiceHot};
+use crate::catalog::{Catalog, CatalogConfig, ServiceCategory, ServiceHot};
+use crate::control::{admission_verdict, AdmissionVerdict, ControlPlane};
 use crate::faults::{FaultPlane, FaultScenario, PartitionState};
+use crate::incident::IncidentPlane;
 use crate::pool;
 use crate::streamagg;
 use crate::workload::{RootArrival, Workload};
@@ -172,6 +174,10 @@ pub struct FleetConfig {
     pub faults: FaultScenario,
     /// Whether clients hedge slow requests (disable for ablations).
     pub hedging_enabled: bool,
+    /// Whether the per-trace [`RetryBudget`] token bucket gates retries
+    /// (disable for ablations: retries are then bounded only by
+    /// `max_attempts`, which is what lets a retry storm amplify).
+    pub retry_budget_enabled: bool,
     /// Whether reserved-core isolation is honoured (disable for
     /// ablations: KV-Store then shares cores like everyone else).
     pub reserved_cores_enabled: bool,
@@ -218,6 +224,7 @@ impl FleetConfig {
             errors: ErrorProfile::fleet_default(),
             faults: FaultScenario::none(),
             hedging_enabled: true,
+            retry_budget_enabled: true,
             reserved_cores_enabled: true,
             shards: available_cores(),
             threads: available_cores(),
@@ -342,6 +349,11 @@ struct TraceCtx {
     retry_budget: Option<RetryBudget>,
     /// Retry attempts issued while expanding this trace.
     retries: u64,
+    /// Calls shed at a bounded admission queue while expanding this trace.
+    admission_shed: u64,
+    /// Calls abandoned at a bounded admission queue while expanding this
+    /// trace.
+    admission_abandoned: u64,
 }
 
 /// Outcome of one placed call as seen by the caller.
@@ -405,6 +417,15 @@ struct Driver {
     placement: Vec<SvcPlacement>,
     /// Ambient client-side load profile per cluster.
     client_profiles: Vec<ExogenousProfile>,
+    /// Region id of each cluster, indexed by cluster id — the incident
+    /// and control planes key their correlated trajectories on this.
+    region_of: Vec<u16>,
+    /// Per-method root-deadline band `(lo_secs, hi/lo)` when the
+    /// scenario uses per-family deadlines: `[q50 × lo_mult, q99 ×
+    /// hi_mult]` of the method's own compute distribution, scaled by its
+    /// service category and clamped to the scenario's budget bounds.
+    /// `None` under global (or no) deadlines.
+    deadline_bands: Option<Vec<(f64, f64)>>,
     master_rng: Prng,
 }
 
@@ -550,6 +571,41 @@ impl Driver {
             })
             .collect();
 
+        let region_of: Vec<u16> = topology.clusters().map(|c| c.region.0).collect();
+
+        // Per-family deadline bands: a Storage read and a BigQuery scan
+        // should not share one global log-uniform budget draw. Each
+        // method's band comes from its *own* compute quantiles — callers
+        // budget a multiple of the typical (q50) latency at the floor
+        // and of the tail (q99) at the ceiling — with the multiplier
+        // pair set by the owning service's category (latency-sensitive
+        // callers budget tightest, compute-intensive loosest). Still
+        // exactly one rng draw per root.
+        let deadline_bands = config
+            .faults
+            .deadlines
+            .filter(|ds| ds.per_family)
+            .map(|ds| {
+                let floor = ds.min_budget.as_secs_f64();
+                let ceil = ds.max_budget.as_secs_f64().max(floor);
+                catalog
+                    .methods()
+                    .iter()
+                    .map(|m| {
+                        let (lo_mult, hi_mult) = match catalog.service(m.service).category {
+                            ServiceCategory::Storage => (100.0, 5_000.0),
+                            ServiceCategory::ComputeIntensive => (50.0, 10_000.0),
+                            ServiceCategory::LatencySensitive => (30.0, 1_000.0),
+                            ServiceCategory::Frontend => (100.0, 8_000.0),
+                            ServiceCategory::Infra => (100.0, 5_000.0),
+                        };
+                        let lo = (m.compute.quantile(0.5) * lo_mult).clamp(floor, ceil);
+                        let hi = (m.compute.quantile(0.99) * hi_mult).clamp(lo, ceil);
+                        (lo, hi / lo)
+                    })
+                    .collect()
+            });
+
         Driver {
             config,
             catalog,
@@ -559,6 +615,8 @@ impl Driver {
             sites,
             placement,
             client_profiles,
+            region_of,
+            deadline_bands,
             master_rng,
         }
     }
@@ -776,6 +834,16 @@ impl Driver {
         .expect("fresh tsdb");
         tsdb.register(MetricDescriptor::counter("driver/retries/count", retention))
             .expect("fresh tsdb");
+        tsdb.register(MetricDescriptor::counter(
+            "driver/admission/shed",
+            retention,
+        ))
+        .expect("fresh tsdb");
+        tsdb.register(MetricDescriptor::counter(
+            "driver/admission/abandoned",
+            retention,
+        ))
+        .expect("fresh tsdb");
         // Install the streamed counter series. The sink accumulated
         // exactly the point streams the retired dense-grid scan produced
         // — skip-zero per-service rows, aligned driver streams on every
@@ -864,6 +932,16 @@ struct Shard<'a> {
     /// Fault plane: seed-derived failure episode processes, identical in
     /// every shard. `None` when the scenario injects nothing.
     faults: Option<FaultPlane>,
+    /// Correlated-incident plane: shared cross-entity incidents whose
+    /// per-entity trajectories are seed-derived and hence identical in
+    /// every shard. `None` when the scenario has no incident layer.
+    incidents: Option<IncidentPlane>,
+    /// Closed-loop control plane. Its controller timelines are pure
+    /// functions of `(seed, incident spec, window index)` — it owns a
+    /// *private* incident-plane copy and never reads shard-local
+    /// counters, so every shard reconstructs identical decisions. `None`
+    /// for open-loop scenarios.
+    control: Option<ControlPlane>,
     /// Reusable span buffer: every trace expands into this arena, so tree
     /// expansion reuses capacity across roots. Sampled traces copy the
     /// exact-length spans out; unsampled traces cost no allocation.
@@ -893,6 +971,15 @@ impl<'a> Shard<'a> {
             closed: Vec::new(),
             live: None,
             faults: FaultPlane::new(&world.config.faults, world.config.scale.seed),
+            incidents: world.config.faults.incidents.and_then(|spec| {
+                IncidentPlane::new(&spec, world.config.scale.seed, world.region_of.clone())
+            }),
+            control: ControlPlane::new(
+                &world.config.faults,
+                world.config.scale.seed,
+                world.region_of.clone(),
+                rpclens_tsdb::DEFAULT_SAMPLE_PERIOD,
+            ),
             arena: Vec::new(),
             counters: ShardCounters::new(),
             total_spans: 0,
@@ -934,16 +1021,29 @@ impl<'a> Shard<'a> {
                     .config
                     .faults
                     .retry
+                    .filter(|_| self.world.config.retry_budget_enabled)
                     .map(|rs| RetryBudget::new(rs.budget_ratio, rs.budget_cap)),
                 retries: 0,
+                admission_shed: 0,
+                admission_abandoned: 0,
             };
-            // Root deadline: log-uniform between the scenario's budget
-            // bounds (spanning interactive to batch callers). Drawn only
-            // when the scenario has deadlines, so `none` adds no draws.
-            let deadline = deadline_consts.map(|(lo, ratio)| {
-                let budget = lo * ratio.powf(ctx.rng.next_f64());
-                Deadline::after(root.at, SimDuration::from_secs_f64(budget))
-            });
+            // Root deadline: log-uniform between the budget bounds —
+            // the scenario-wide bounds in global mode (spanning
+            // interactive to batch callers), the root method's own
+            // family band in `per_family` mode. Drawn only when the
+            // scenario has deadlines, so `none` adds no draws; either
+            // mode costs exactly one draw per root.
+            let deadline = match &self.world.deadline_bands {
+                Some(bands) => {
+                    let (lo, ratio) = bands[root.method.0 as usize];
+                    let budget = lo * ratio.powf(ctx.rng.next_f64());
+                    Some(Deadline::after(root.at, SimDuration::from_secs_f64(budget)))
+                }
+                None => deadline_consts.map(|(lo, ratio)| {
+                    let budget = lo * ratio.powf(ctx.rng.next_f64());
+                    Deadline::after(root.at, SimDuration::from_secs_f64(budget))
+                }),
+            };
             let client_util =
                 self.world.client_profiles[root.client_cluster.0 as usize].cpu_util_at(root.at);
             let entry_service = self.world.catalog.hot(root.method).service;
@@ -978,8 +1078,13 @@ impl<'a> Shard<'a> {
             for span in &ctx.spans {
                 self.agg.add_call(span.service.0);
             }
-            self.agg
-                .add_scalars(ctx.errors, ctx.congested_wire, ctx.retries);
+            self.agg.add_scalars(
+                ctx.errors,
+                ctx.congested_wire,
+                ctx.retries,
+                ctx.admission_shed,
+                ctx.admission_abandoned,
+            );
             // Retention: sampling decides whether the spans are *kept*,
             // never whether they are simulated. A sampled trace copies
             // the exact-length span list out of the arena.
@@ -1306,6 +1411,30 @@ impl<'a> Shard<'a> {
                 }
             }
         }
+        // Load-balancer weight shift: when the control plane flagged the
+        // chosen path as degraded at this window's boundary, the client
+        // re-picks among the remaining deployments — the same `Avoid`
+        // failover path a retry takes, but *before* the request is ever
+        // sent. Only an active controller draws, so scenarios without
+        // one keep their draw sequence.
+        if deployed.len() > 1 {
+            if let Some(cp) = self.control.as_mut() {
+                let wan = world
+                    .topology
+                    .path_class(client_cluster, server_cluster)
+                    .is_wan();
+                if cp.path_degraded(client_cluster.0, server_cluster.0, wan, t) {
+                    if let Some(pos) = deployed.iter().position(|&c| c == server_cluster) {
+                        let mut j = ctx.rng.index(deployed.len() - 1);
+                        if j >= pos {
+                            j += 1;
+                        }
+                        server_cluster = deployed[j];
+                        self.counters.control.lb_shifts += 1;
+                    }
+                }
+            }
+        }
         let site = world.site(hot.service, server_cluster);
         let mut mi = ctx.rng.index(site.machines.len());
         if let Some(av) = avoid {
@@ -1357,6 +1486,43 @@ impl<'a> Shard<'a> {
             }
             overload_factor = plane.overload_factor(hot.service.0, server_cluster.0, t);
         }
+        // 3c. Incident composition (precedence rules in
+        // `crate::incident`): blackout from either plane beats brownout;
+        // both-brownout takes the larger excess; a drain from either
+        // plane is a drain; overload factors never stack — the strongest
+        // front wins.
+        if let Some(inc) = self.incidents.as_mut() {
+            let wan = world
+                .topology
+                .path_class(client_cluster, server_cluster)
+                .is_wan();
+            match inc.partition_state(client_cluster.0, server_cluster.0, wan, t) {
+                PartitionState::Blackout => {
+                    causal = Some(ErrorKind::Unavailable);
+                    cluster_level = true;
+                }
+                PartitionState::Brownout => {
+                    brownout = brownout.max(inc.brownout_excess());
+                }
+                PartitionState::Connected => {}
+            }
+            if causal.is_none() && inc.cluster_drained(server_cluster.0, t) {
+                causal = Some(ErrorKind::Unavailable);
+                cluster_level = true;
+            }
+            if let Some(f) = inc.overload_factor(server_cluster.0, t) {
+                overload_factor = Some(overload_factor.map_or(f, |g| g.max(f)));
+            }
+        }
+        // The autoscaler's added capacity divides the effective surge:
+        // a fully absorbed surge (effective factor at or below 1) is no
+        // overload at all.
+        if let Some(f) = overload_factor {
+            if let Some(cp) = self.control.as_mut() {
+                let eff = f / cp.capacity_factor(server_cluster.0, t);
+                overload_factor = (eff > 1.0).then_some(eff);
+            }
+        }
 
         // 4. Request network wire.
         let wire_req = world.cost.wire_bytes(req_bytes, sh.compressed);
@@ -1387,22 +1553,35 @@ impl<'a> Shard<'a> {
         // load; only a residual coupling remains.
         let reserved = sh.reserved_cores && world.config.reserved_cores_enabled;
         let mut pool_util = if reserved { util * 0.25 } else { util };
-        // An overload surge inflates the pool's ambient utilization
-        // (clamped below saturation so the M/G/k wait stays finite).
+        // An overload surge inflates the pool's ambient utilization,
+        // clamped below saturation so the M/G/k wait stays finite. A
+        // bounded admission queue enforces its own, tighter utilization
+        // cap — the queue refuses to fill past it.
+        let admission = if overload_factor.is_some() {
+            self.control.as_ref().and_then(ControlPlane::admission)
+        } else {
+            None
+        };
         if let Some(factor) = overload_factor {
-            pool_util = (pool_util * factor).min(0.98);
+            let cap = admission.map_or(0.98, |a| a.util_cap);
+            pool_util = (pool_util * factor).min(cap);
         }
         let queue_wait =
             site.queue
                 .sample_wait_observed(pool_util, &mut ctx.rng, &mut self.counters.queue);
-        // Load shedding: while surging, waits past the shed threshold are
-        // rejected with `NoResource` instead of being served.
-        let shed = overload_factor.is_some()
+        // Ambient load shedding: while surging, waits past the shed
+        // threshold are rejected with `NoResource` instead of being
+        // served. An explicit admission queue supersedes this rule — its
+        // verdict (admit/shed/abandon) is applied at injection below.
+        let shed = admission.is_none()
+            && overload_factor.is_some()
             && self
                 .faults
                 .as_ref()
                 .and_then(|p| p.scenario().overload)
-                .is_some_and(|spec| queue_wait > spec.shed_wait);
+                .map(|spec| spec.shed_wait)
+                .or_else(|| self.incidents.as_ref().and_then(IncidentPlane::shed_wait))
+                .is_some_and(|w| queue_wait > w);
         let srq = wakeup + queue_wait;
         breakdown.set(LatencyComponent::ServerRecvQueue, srq);
         t += srq;
@@ -1410,10 +1589,31 @@ impl<'a> Shard<'a> {
 
         // 6. Error injection. Causal errors (unreachable or shedding
         // targets) pre-empt the residual statistical draw; hedging
-        // cancellations come from place_attempt.
+        // cancellations come from place_attempt. An active admission
+        // queue turns the ambient shed rule into explicit verdicts:
+        // waits past the shed bound are refused (`NoResource`), waits
+        // past the caller's patience are abandoned (`Aborted`), and
+        // admitted + shed + abandoned always equals offered.
         let injected = if let Some(kind) = causal {
             self.counters.resilience.causal_unavailable += 1;
             Some(kind)
+        } else if let Some(spec) = admission {
+            self.counters.control.admission_offered += 1;
+            match admission_verdict(&spec, queue_wait) {
+                AdmissionVerdict::Admitted => world.config.errors.draw(&mut ctx.rng),
+                AdmissionVerdict::Shed => {
+                    self.counters.control.admission_shed += 1;
+                    self.counters.resilience.load_sheds += 1;
+                    ctx.admission_shed += 1;
+                    cluster_level = true;
+                    Some(ErrorKind::NoResource)
+                }
+                AdmissionVerdict::Abandoned => {
+                    self.counters.control.admission_abandoned += 1;
+                    ctx.admission_abandoned += 1;
+                    Some(ErrorKind::Aborted)
+                }
+            }
         } else if shed {
             self.counters.resilience.load_sheds += 1;
             cluster_level = true;

@@ -15,7 +15,10 @@
 //! deadline-draw range and the retry/backoff/budget configuration the
 //! driver's resilience loop executes. See `docs/ROBUSTNESS.md`.
 
+use crate::control::{AdmissionSpec, AutoscalerSpec, ControlSpec};
+use crate::incident::IncidentSpec;
 use rpclens_cluster::faults::{EpisodeParams, EpisodeProcess};
+use rpclens_netsim::congestion::CongestionParams;
 use rpclens_rpcstack::deadline::DeadlinePolicy;
 use rpclens_rpcstack::error::ErrorProfile;
 use rpclens_rpcstack::retry::BackoffPolicy;
@@ -44,6 +47,26 @@ pub struct PartitionSpec {
     pub brownout_excess: SimDuration,
 }
 
+impl PartitionSpec {
+    /// Derives the brownout excess from the WAN congestion process
+    /// instead of picking a fixed number: a brownout pins the path in
+    /// its busy (congested) state, so each crossing gains the busy-state
+    /// mean excess (`CongestionParams::congested_mean_excess_secs`)
+    /// weighted by the residence the pin *adds* over the path's normal
+    /// duty cycle, times the scenario's severity factor. At severity 2
+    /// this lands within a millisecond of the old fixed 30 ms, but now
+    /// tracks the congestion model if its parameters move.
+    pub fn wan_derived(episodes: EpisodeSpec, severity: f64) -> Self {
+        let wan = CongestionParams::wan();
+        let added_residence = 1.0 - wan.congested_duty_cycle();
+        let excess = wan.congested_mean_excess_secs() * added_residence * severity;
+        PartitionSpec {
+            episodes,
+            brownout_excess: SimDuration::from_secs_f64(excess),
+        }
+    }
+}
+
 /// CPU-overload source: eligible deployment sites see their ambient
 /// utilization surge, and queue waits beyond the shed threshold are
 /// rejected with `NoResource` (load shedding).
@@ -68,6 +91,13 @@ pub struct DeadlineSpec {
     pub max_budget: SimDuration,
     /// Propagation policy (hop margin, fail-fast floor).
     pub policy: DeadlinePolicy,
+    /// Draw each root's budget from its entry method's *own* latency
+    /// quantiles instead of the one global log-uniform range: the band
+    /// is `[q50 × lo, q99 × hi]` of the method's compute distribution,
+    /// with per-service-family headroom multipliers (latency-sensitive
+    /// families get tight budgets, batch families loose ones), clamped
+    /// to `[min_budget, max_budget]`. Still exactly one draw per root.
+    pub per_family: bool,
 }
 
 /// Client retry behaviour: jittered exponential backoff gated by a
@@ -102,12 +132,25 @@ pub struct FaultScenario {
     pub deadlines: Option<DeadlineSpec>,
     /// Client retries with budget and failover.
     pub retry: Option<RetrySpec>,
+    /// Correlated cross-entity incidents (`crate::incident`): cluster
+    /// drains surging their placement neighbours, region-pair WAN cuts,
+    /// regional overload fronts.
+    pub incidents: Option<IncidentSpec>,
+    /// Closed-loop controllers (`crate::control`): autoscaler,
+    /// load-balancer weight shift, bounded admission queues.
+    pub control: Option<ControlSpec>,
 }
 
 impl FaultScenario {
     /// Every preset name accepted by [`FaultScenario::by_name`].
-    pub const PRESETS: [&'static str; 4] =
-        ["none", "chaos-smoke", "partition", "overload-collapse"];
+    pub const PRESETS: [&'static str; 6] = [
+        "none",
+        "chaos-smoke",
+        "partition",
+        "overload-collapse",
+        "incident-smoke",
+        "incident-open-loop",
+    ];
 
     /// No faults at all; the pre-fault-plane simulator, bit for bit.
     pub fn none() -> Self {
@@ -119,6 +162,8 @@ impl FaultScenario {
             overload: None,
             deadlines: None,
             retry: None,
+            incidents: None,
+            control: None,
         }
     }
 
@@ -144,16 +189,18 @@ impl FaultScenario {
                     down_mean: SimDuration::from_secs(900),
                 },
             }),
-            wan_partition: Some(PartitionSpec {
-                episodes: EpisodeSpec {
+            // Brownout severity 2x the WAN busy-state mean excess —
+            // within a millisecond of the old fixed 30 ms, but derived.
+            wan_partition: Some(PartitionSpec::wan_derived(
+                EpisodeSpec {
                     eligible: 0.20,
                     params: EpisodeParams {
                         up_mean: SimDuration::from_hours(4),
                         down_mean: SimDuration::from_secs(180),
                     },
                 },
-                brownout_excess: SimDuration::from_millis(30),
-            }),
+                2.0,
+            )),
             overload: Some(OverloadSpec {
                 episodes: EpisodeSpec {
                     eligible: 0.10,
@@ -169,12 +216,15 @@ impl FaultScenario {
                 min_budget: SimDuration::from_millis(250),
                 max_budget: SimDuration::from_secs(30),
                 policy: DeadlinePolicy::default(),
+                per_family: true,
             }),
             retry: Some(RetrySpec {
                 backoff: BackoffPolicy::default(),
                 budget_ratio: 0.2,
                 budget_cap: 2.0,
             }),
+            incidents: None,
+            control: None,
         }
     }
 
@@ -186,27 +236,32 @@ impl FaultScenario {
             name: "partition",
             machine_crash: None,
             cluster_drain: None,
-            wan_partition: Some(PartitionSpec {
-                episodes: EpisodeSpec {
+            // Severity 4x: a WAN-stress scenario browns out at about
+            // twice the balanced chaos preset's derived excess.
+            wan_partition: Some(PartitionSpec::wan_derived(
+                EpisodeSpec {
                     eligible: 0.60,
                     params: EpisodeParams {
                         up_mean: SimDuration::from_secs(5_400),
                         down_mean: SimDuration::from_secs(240),
                     },
                 },
-                brownout_excess: SimDuration::from_millis(60),
-            }),
+                4.0,
+            )),
             overload: None,
             deadlines: Some(DeadlineSpec {
                 min_budget: SimDuration::from_millis(50),
                 max_budget: SimDuration::from_secs(5),
                 policy: DeadlinePolicy::default(),
+                per_family: false,
             }),
             retry: Some(RetrySpec {
                 backoff: BackoffPolicy::default(),
                 budget_ratio: 0.2,
                 budget_cap: 2.0,
             }),
+            incidents: None,
+            control: None,
         }
     }
 
@@ -236,12 +291,100 @@ impl FaultScenario {
                 min_budget: SimDuration::from_millis(50),
                 max_budget: SimDuration::from_secs(10),
                 policy: DeadlinePolicy::default(),
+                per_family: false,
             }),
             retry: Some(RetrySpec {
                 backoff: BackoffPolicy::default(),
                 budget_ratio: 0.1,
                 budget_cap: 1.0,
             }),
+            incidents: None,
+            control: None,
+        }
+    }
+
+    /// The correlated-incident scenario with the fleet fighting back:
+    /// cluster drains that surge their same-region neighbours, region-
+    /// pair WAN cuts, and regional overload fronts, against an
+    /// autoscaler, load-balancer weight shifts, and bounded admission
+    /// queues. The digest-pinned companion to `chaos-smoke` for the
+    /// incident layer (crates/bench/INCIDENT_SMOKE_DIGEST).
+    pub fn incident_smoke() -> Self {
+        FaultScenario {
+            name: "incident-smoke",
+            machine_crash: None,
+            cluster_drain: None,
+            wan_partition: None,
+            overload: None,
+            deadlines: Some(DeadlineSpec {
+                min_budget: SimDuration::from_millis(50),
+                max_budget: SimDuration::from_secs(10),
+                policy: DeadlinePolicy::default(),
+                per_family: true,
+            }),
+            retry: Some(RetrySpec {
+                backoff: BackoffPolicy::default(),
+                budget_ratio: 0.2,
+                budget_cap: 2.0,
+            }),
+            incidents: Some(IncidentSpec {
+                drain: Some(EpisodeSpec {
+                    eligible: 0.30,
+                    params: EpisodeParams {
+                        up_mean: SimDuration::from_hours(8),
+                        down_mean: SimDuration::from_secs(2_700),
+                    },
+                }),
+                surge_factor: 1.8,
+                wan_cut: Some(PartitionSpec::wan_derived(
+                    EpisodeSpec {
+                        eligible: 0.60,
+                        params: EpisodeParams {
+                            up_mean: SimDuration::from_hours(6),
+                            down_mean: SimDuration::from_secs(1_800),
+                        },
+                    },
+                    2.0,
+                )),
+                front: Some(OverloadSpec {
+                    episodes: EpisodeSpec {
+                        eligible: 0.75,
+                        params: EpisodeParams {
+                            up_mean: SimDuration::from_hours(5),
+                            down_mean: SimDuration::from_hours(2),
+                        },
+                    },
+                    util_factor: 2.0,
+                    shed_wait: SimDuration::from_millis(15),
+                }),
+            }),
+            control: Some(ControlSpec {
+                autoscaler: Some(AutoscalerSpec {
+                    sustain_windows: 2,
+                    step: 0.25,
+                    max_factor: 2.5,
+                }),
+                lb_shift: true,
+                admission: Some(AdmissionSpec {
+                    shed_wait: SimDuration::from_millis(15),
+                    abandon_wait: SimDuration::from_millis(60),
+                    util_cap: 0.96,
+                }),
+            }),
+        }
+    }
+
+    /// The same incident schedule as [`FaultScenario::incident_smoke`]
+    /// with every controller disabled — the open-loop baseline the
+    /// closed- vs open-loop comparison (and `docs/ROBUSTNESS.md`'s
+    /// table) measures against. Incident trajectories depend only on
+    /// `(seed, incident spec)`, so the two scenarios see bit-identical
+    /// incident timelines.
+    pub fn incident_open_loop() -> Self {
+        FaultScenario {
+            name: "incident-open-loop",
+            control: None,
+            ..Self::incident_smoke()
         }
     }
 
@@ -252,6 +395,8 @@ impl FaultScenario {
             "chaos-smoke" => Some(Self::chaos_smoke()),
             "partition" => Some(Self::partition()),
             "overload-collapse" => Some(Self::overload_collapse()),
+            "incident-smoke" => Some(Self::incident_smoke()),
+            "incident-open-loop" => Some(Self::incident_open_loop()),
             _ => None,
         }
     }
@@ -273,6 +418,7 @@ impl FaultScenario {
             || self.wan_partition.is_some()
             || self.overload.is_some()
             || self.deadlines.is_some()
+            || self.incidents.is_some_and(|i| i.strikes())
     }
 
     /// The static error profile this scenario runs with: the full fleet
@@ -335,8 +481,10 @@ pub struct FaultPlane {
 
 /// Lazily builds (or fetches) the episode process for one entity.
 /// Ineligible entities are remembered as `None` so the gate draw happens
-/// exactly once per entity.
-fn lazy_episode<'a, K: std::hash::Hash + Eq + Copy>(
+/// exactly once per entity. Shared with the incident plane
+/// (`crate::incident`), whose generator domains are disjoint from the
+/// per-entity fault labels above.
+pub(crate) fn lazy_episode<'a, K: std::hash::Hash + Eq + Copy>(
     map: &'a mut HashMap<K, Option<EpisodeProcess>>,
     key: K,
     key_bits: u64,

@@ -1,0 +1,591 @@
+//! The correlated incident plane: shared cross-entity failure events.
+//!
+//! The per-entity fault plane (`crate::faults`) draws *independent*
+//! episodes — one machine crashes, one cluster drains, one pair browns
+//! out — which gives detectors narrow blast radii. Real incidents are
+//! correlated: a cluster drain displaces its traffic onto placement
+//! neighbours, one WAN cut severs every cluster pair spanning two
+//! regions, and an overload front sweeps a whole region at once. The
+//! [`IncidentPlane`] draws those *shared* incidents from seeded episode
+//! processes keyed by the incident's scope (cluster, region pair, or
+//! region) and materialises them as deterministic per-entity answers the
+//! driver composes with [`crate::faults::FaultPlane`] queries.
+//!
+//! Precedence when both planes speak (tested in `composition` below and
+//! exercised end-to-end by the driver):
+//!
+//! - **Reachability**: a blackout from either plane wins over any
+//!   brownout; when both planes brown the same path out, the larger
+//!   excess applies.
+//! - **Drains**: a cluster is drained when either plane drains it.
+//! - **Overload**: surge sources never stack multiplicatively — the
+//!   *strongest* factor among the per-site surge, the regional front,
+//!   and the neighbour surge applies (each is already an absolute
+//!   utilization multiplier, so stacking would double-count the load).
+//!
+//! The same determinism contract as the fault plane holds: eligibility
+//! gates and trajectories derive from `(master seed, scope key)` via
+//! labelled streams, never consume caller draws, and are independent of
+//! query order — so every shard reconstructs identical incident
+//! timelines and `--faults none` runs draw nothing at all.
+
+use crate::faults::{lazy_episode, EpisodeSpec, OverloadSpec, PartitionSpec, PartitionState};
+use rpclens_cluster::faults::EpisodeProcess;
+use rpclens_simcore::time::{SimDuration, SimTime};
+use std::collections::{BTreeSet, HashMap};
+
+/// Generator domains for the incident plane, disjoint from the fault
+/// plane's `0xFA17_xxxx` family (and every other consumer of the master
+/// seed). The shared gate label is XORed with each domain, mirroring
+/// `crate::faults`.
+const INCIDENT_DRAIN_LABEL: u64 = 0x1AC1_0001;
+const INCIDENT_CUT_LABEL: u64 = 0x1AC1_0002;
+const INCIDENT_FRONT_LABEL: u64 = 0x1AC1_0003;
+
+/// Shared cross-entity incident sources. Scopes are structural — the
+/// cluster's region membership decides who a drain displaces load onto
+/// and which cluster pairs one WAN cut severs — so a single episode draw
+/// fans out over many entities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IncidentSpec {
+    /// Whole-cluster drain incidents. While a cluster drains, its
+    /// same-region placement neighbours absorb the displaced traffic as
+    /// a utilization surge.
+    pub drain: Option<EpisodeSpec>,
+    /// Utilization multiplier on the same-region neighbours of a
+    /// draining cluster (the displaced load landing on them).
+    pub surge_factor: f64,
+    /// Region-pair WAN cuts: one episode degrades *every* cluster pair
+    /// spanning the two regions at once. Episodes alternate
+    /// blackout/brownout on their ordinal, like per-pair partitions.
+    pub wan_cut: Option<PartitionSpec>,
+    /// Regional overload fronts: one episode surges every deployment
+    /// site in the region, with load shedding past the spec's wait
+    /// threshold.
+    pub front: Option<OverloadSpec>,
+}
+
+impl IncidentSpec {
+    /// Whether any incident source is active.
+    pub fn strikes(&self) -> bool {
+        self.drain.is_some() || self.wan_cut.is_some() || self.front.is_some()
+    }
+}
+
+/// Boundary-sampled activity of one incident kind over a run, reported
+/// in the manifest's robustness section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IncidentSummaryRow {
+    /// Incident kind (`cluster-drain`, `wan-cut`, `overload-front`).
+    pub kind: &'static str,
+    /// Scope entities (clusters, region pairs, or regions) struck by at
+    /// least one episode observed at a window boundary.
+    pub entities_struck: u64,
+    /// Distinct episodes observed across all entities at window
+    /// boundaries (episodes shorter than a window can slip between
+    /// samples).
+    pub episodes: u64,
+}
+
+/// The per-shard materialisation of an [`IncidentSpec`].
+///
+/// Built from the master seed plus the topology's cluster→region map;
+/// every query is a pure function of `(seed, scope key, now)`, so two
+/// planes over the same spec answer identically regardless of query
+/// order — the property `plane_answers_are_independent_of_query_order`
+/// pins for the fault plane and `incident_answers_are_order_independent`
+/// pins here.
+#[derive(Debug)]
+pub struct IncidentPlane {
+    spec: IncidentSpec,
+    seed: u64,
+    /// Region of each cluster, indexed by cluster id.
+    region_of: Vec<u16>,
+    /// Clusters of each region (ascending), indexed by region id.
+    members: Vec<Vec<u16>>,
+    drain: HashMap<u16, Option<EpisodeProcess>>,
+    cut: HashMap<u32, Option<EpisodeProcess>>,
+    front: HashMap<u16, Option<EpisodeProcess>>,
+}
+
+impl IncidentPlane {
+    /// Materialises a spec against the master seed and the cluster→region
+    /// map (`region_of[c]` is the region of cluster `c`). Returns `None`
+    /// when no incident source is active, so the driver's hot path gates
+    /// on plane presence alone.
+    pub fn new(spec: &IncidentSpec, seed: u64, region_of: Vec<u16>) -> Option<Self> {
+        spec.strikes().then(|| {
+            let regions = region_of
+                .iter()
+                .copied()
+                .max()
+                .map_or(0, |r| r as usize + 1);
+            let mut members = vec![Vec::new(); regions];
+            for (cluster, &region) in region_of.iter().enumerate() {
+                members[region as usize].push(cluster as u16);
+            }
+            IncidentPlane {
+                spec: *spec,
+                seed,
+                region_of,
+                members,
+                drain: HashMap::new(),
+                cut: HashMap::new(),
+                front: HashMap::new(),
+            }
+        })
+    }
+
+    /// The spec this plane materialises.
+    pub fn spec(&self) -> &IncidentSpec {
+        &self.spec
+    }
+
+    /// Whether `cluster` is inside a drain incident at `now`.
+    pub fn cluster_drained(&mut self, cluster: u16, now: SimTime) -> bool {
+        let Some(spec) = self.spec.drain else {
+            return false;
+        };
+        match lazy_episode(
+            &mut self.drain,
+            cluster,
+            cluster as u64,
+            INCIDENT_DRAIN_LABEL,
+            self.seed,
+            &spec,
+        ) {
+            Some(p) => p.active_at(now),
+            None => false,
+        }
+    }
+
+    /// Connectivity of the cluster pair `a`–`b` at `now` under region-pair
+    /// WAN cuts. `wan` is the caller-computed path classification;
+    /// non-WAN and same-region pairs never cut. Episodes alternate
+    /// blackout/brownout on their ordinal.
+    pub fn partition_state(&mut self, a: u16, b: u16, wan: bool, now: SimTime) -> PartitionState {
+        let Some(spec) = self.spec.wan_cut else {
+            return PartitionState::Connected;
+        };
+        let (ra, rb) = match (
+            self.region_of.get(a as usize),
+            self.region_of.get(b as usize),
+        ) {
+            (Some(&ra), Some(&rb)) => (ra, rb),
+            _ => return PartitionState::Connected,
+        };
+        if !wan || ra == rb {
+            return PartitionState::Connected;
+        }
+        let (lo, hi) = if ra <= rb { (ra, rb) } else { (rb, ra) };
+        let key = ((lo as u32) << 16) | hi as u32;
+        match lazy_episode(
+            &mut self.cut,
+            key,
+            key as u64,
+            INCIDENT_CUT_LABEL,
+            self.seed,
+            &spec.episodes,
+        ) {
+            Some(p) => match p.active_episode(now) {
+                Some(episode) if episode % 2 == 0 => PartitionState::Blackout,
+                Some(_) => PartitionState::Brownout,
+                None => PartitionState::Connected,
+            },
+            None => PartitionState::Connected,
+        }
+    }
+
+    /// Excess one-way latency a region-pair brownout adds per crossing.
+    pub fn brownout_excess(&self) -> SimDuration {
+        self.spec
+            .wan_cut
+            .map_or(SimDuration::ZERO, |s| s.brownout_excess)
+    }
+
+    /// The utilization surge multiplier on `cluster` at `now`, or `None`
+    /// outside any incident: the strongest of the regional overload front
+    /// and the neighbour surge from a same-region cluster drain (sources
+    /// do not stack — see the module-level precedence rules).
+    pub fn overload_factor(&mut self, cluster: u16, now: SimTime) -> Option<f64> {
+        let mut factor: Option<f64> = None;
+        if let Some(front) = self.spec.front {
+            if let Some(&region) = self.region_of.get(cluster as usize) {
+                let active = match lazy_episode(
+                    &mut self.front,
+                    region,
+                    region as u64,
+                    INCIDENT_FRONT_LABEL,
+                    self.seed,
+                    &front.episodes,
+                ) {
+                    Some(p) => p.active_at(now),
+                    None => false,
+                };
+                if active {
+                    factor = Some(front.util_factor);
+                }
+            }
+        }
+        if self.spec.drain.is_some() && self.neighbour_draining(cluster, now) {
+            let surge = self.spec.surge_factor;
+            factor = Some(factor.map_or(surge, |f| f.max(surge)));
+        }
+        factor
+    }
+
+    /// The shed-wait threshold of the regional front, if one is
+    /// configured (neighbour surges shed at the same threshold).
+    pub fn shed_wait(&self) -> Option<SimDuration> {
+        self.spec.front.map(|f| f.shed_wait)
+    }
+
+    /// Whether any *other* cluster in `cluster`'s region is draining at
+    /// `now` (its displaced load is what surges this cluster).
+    fn neighbour_draining(&mut self, cluster: u16, now: SimTime) -> bool {
+        let Some(&region) = self.region_of.get(cluster as usize) else {
+            return false;
+        };
+        // The member list is tiny (clusters per region), cloned to avoid
+        // aliasing the lazily-built process map during the scan.
+        let peers = self.members[region as usize].clone();
+        peers
+            .into_iter()
+            .filter(|&peer| peer != cluster)
+            .any(|peer| self.cluster_drained(peer, now))
+    }
+
+    /// Boundary-sampled incident activity over `[0, duration)`: one row
+    /// per configured incident kind, sampled at every `window` boundary.
+    /// Episode counts are lower bounds — episodes shorter than a window
+    /// can fall between samples.
+    pub fn summary(
+        &mut self,
+        duration: SimDuration,
+        window: SimDuration,
+    ) -> Vec<IncidentSummaryRow> {
+        let boundaries: Vec<SimTime> = (0..=duration.as_nanos() / window.as_nanos().max(1))
+            .map(|w| SimTime::from_nanos(w * window.as_nanos()))
+            .collect();
+        let n_clusters = self.region_of.len() as u16;
+        let n_regions = self.members.len() as u16;
+        let mut rows = Vec::new();
+        if self.spec.drain.is_some() {
+            let mut struck = 0u64;
+            let mut episodes = 0u64;
+            for c in 0..n_clusters {
+                let mut seen = BTreeSet::new();
+                for &t in &boundaries {
+                    if self.cluster_drained(c, t) {
+                        if let Some(p) = self.drain.get_mut(&c).and_then(|p| p.as_mut()) {
+                            if let Some(e) = p.active_episode(t) {
+                                seen.insert(e);
+                            }
+                        }
+                    }
+                }
+                struck += u64::from(!seen.is_empty());
+                episodes += seen.len() as u64;
+            }
+            rows.push(IncidentSummaryRow {
+                kind: "cluster-drain",
+                entities_struck: struck,
+                episodes,
+            });
+        }
+        if self.spec.wan_cut.is_some() {
+            let mut struck = 0u64;
+            let mut episodes = 0u64;
+            for ra in 0..n_regions {
+                for rb in ra + 1..n_regions {
+                    // Representative clusters of each region; the cut is
+                    // keyed per region pair, so any member pair sees it.
+                    let (Some(&a), Some(&b)) = (
+                        self.members[ra as usize].first(),
+                        self.members[rb as usize].first(),
+                    ) else {
+                        continue;
+                    };
+                    let mut seen = BTreeSet::new();
+                    for &t in &boundaries {
+                        if self.partition_state(a, b, true, t) != PartitionState::Connected {
+                            let key = ((ra as u32) << 16) | rb as u32;
+                            if let Some(p) = self.cut.get_mut(&key).and_then(|p| p.as_mut()) {
+                                if let Some(e) = p.active_episode(t) {
+                                    seen.insert(e);
+                                }
+                            }
+                        }
+                    }
+                    struck += u64::from(!seen.is_empty());
+                    episodes += seen.len() as u64;
+                }
+            }
+            rows.push(IncidentSummaryRow {
+                kind: "wan-cut",
+                entities_struck: struck,
+                episodes,
+            });
+        }
+        if self.spec.front.is_some() {
+            let mut struck = 0u64;
+            let mut episodes = 0u64;
+            for r in 0..n_regions {
+                let Some(&c) = self.members[r as usize].first() else {
+                    continue;
+                };
+                let mut seen = BTreeSet::new();
+                for &t in &boundaries {
+                    // Query through the public surface so lazy gating
+                    // matches the driver's; then read the ordinal.
+                    let _ = self.overload_factor(c, t);
+                    if let Some(p) = self.front.get_mut(&r).and_then(|p| p.as_mut()) {
+                        if let Some(e) = p.active_episode(t) {
+                            seen.insert(e);
+                        }
+                    }
+                }
+                struck += u64::from(!seen.is_empty());
+                episodes += seen.len() as u64;
+            }
+            rows.push(IncidentSummaryRow {
+                kind: "overload-front",
+                entities_struck: struck,
+                episodes,
+            });
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultScenario;
+    use rpclens_cluster::faults::EpisodeParams;
+
+    /// Two regions of three clusters each.
+    fn region_map() -> Vec<u16> {
+        vec![0, 0, 0, 1, 1, 1]
+    }
+
+    fn spec() -> IncidentSpec {
+        IncidentSpec {
+            drain: Some(EpisodeSpec {
+                eligible: 1.0,
+                params: EpisodeParams {
+                    up_mean: SimDuration::from_hours(4),
+                    down_mean: SimDuration::from_secs(2_400),
+                },
+            }),
+            surge_factor: 1.8,
+            wan_cut: Some(PartitionSpec {
+                episodes: EpisodeSpec {
+                    eligible: 1.0,
+                    params: EpisodeParams {
+                        up_mean: SimDuration::from_hours(5),
+                        down_mean: SimDuration::from_secs(1_800),
+                    },
+                },
+                brownout_excess: SimDuration::from_millis(25),
+            }),
+            front: Some(OverloadSpec {
+                episodes: EpisodeSpec {
+                    eligible: 1.0,
+                    params: EpisodeParams {
+                        up_mean: SimDuration::from_hours(5),
+                        down_mean: SimDuration::from_hours(2),
+                    },
+                },
+                util_factor: 2.0,
+                shed_wait: SimDuration::from_millis(15),
+            }),
+        }
+    }
+
+    fn instants() -> Vec<SimTime> {
+        (0..2_000u64)
+            .map(|i| SimTime::from_nanos(i * 43_000_000_000))
+            .collect()
+    }
+
+    #[test]
+    fn empty_spec_yields_no_plane() {
+        let none = IncidentSpec {
+            drain: None,
+            surge_factor: 1.0,
+            wan_cut: None,
+            front: None,
+        };
+        assert!(!none.strikes());
+        assert!(IncidentPlane::new(&none, 7, region_map()).is_none());
+    }
+
+    #[test]
+    fn drains_surge_same_region_neighbours() {
+        let spec = spec();
+        let mut plane = IncidentPlane::new(&spec, 7, region_map()).unwrap();
+        let mut surged_neighbour = false;
+        for t in instants() {
+            for c in 0..6u16 {
+                if plane.cluster_drained(c, t) {
+                    let region = region_map()[c as usize];
+                    for peer in 0..6u16 {
+                        if peer == c || region_map()[peer as usize] != region {
+                            continue;
+                        }
+                        let f = plane.overload_factor(peer, t);
+                        assert!(
+                            f.is_some_and(|f| f >= spec.surge_factor),
+                            "neighbour {peer} of draining {c} not surged at {t}: {f:?}"
+                        );
+                        surged_neighbour = true;
+                    }
+                }
+            }
+        }
+        assert!(surged_neighbour, "no drain incident observed at all");
+    }
+
+    #[test]
+    fn wan_cuts_strike_every_pair_across_the_region_pair() {
+        let mut plane = IncidentPlane::new(&spec(), 7, region_map()).unwrap();
+        let mut cut_seen = false;
+        for t in instants() {
+            // The region-pair key means every cluster pair spanning the
+            // two regions reports the *same* state at the same instant.
+            let states: Vec<PartitionState> = [(0u16, 3u16), (1, 4), (2, 5), (0, 5), (2, 3)]
+                .iter()
+                .map(|&(a, b)| plane.partition_state(a, b, true, t))
+                .collect();
+            assert!(
+                states.windows(2).all(|w| w[0] == w[1]),
+                "pairs disagree at {t}: {states:?}"
+            );
+            cut_seen |= states[0] != PartitionState::Connected;
+        }
+        assert!(cut_seen, "no wan cut observed");
+    }
+
+    #[test]
+    fn same_region_and_non_wan_pairs_never_cut() {
+        let mut plane = IncidentPlane::new(&spec(), 7, region_map()).unwrap();
+        for t in instants() {
+            assert_eq!(
+                plane.partition_state(0, 1, true, t),
+                PartitionState::Connected
+            );
+            assert_eq!(
+                plane.partition_state(0, 3, false, t),
+                PartitionState::Connected
+            );
+        }
+    }
+
+    #[test]
+    fn fronts_sweep_whole_regions() {
+        let spec = spec();
+        let mut plane = IncidentPlane::new(&spec, 7, region_map()).unwrap();
+        let mut front_seen = false;
+        for t in instants() {
+            for region in 0..2u16 {
+                let members: Vec<u16> = region_map()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &r)| r == region)
+                    .map(|(c, _)| c as u16)
+                    .collect();
+                let factors: Vec<Option<f64>> = members
+                    .iter()
+                    .map(|&c| plane.overload_factor(c, t))
+                    .collect();
+                // When the front is up, every member is at least at the
+                // front's factor (a concurrent neighbour drain may push
+                // an individual member higher, never lower).
+                let front_up = factors.iter().any(|f| {
+                    f.is_some_and(|f| (f - spec.front.unwrap().util_factor).abs() < 1e-12)
+                });
+                if front_up {
+                    front_seen = true;
+                }
+            }
+        }
+        assert!(front_seen, "no overload front observed");
+    }
+
+    #[test]
+    fn incident_answers_are_order_independent() {
+        let spec = spec();
+        let mut forward = IncidentPlane::new(&spec, 7, region_map()).unwrap();
+        let mut backward = IncidentPlane::new(&spec, 7, region_map()).unwrap();
+        let instants = instants();
+        let mut recorded = Vec::new();
+        for &t in &instants {
+            for c in 0..6u16 {
+                recorded.push((
+                    forward.cluster_drained(c, t),
+                    forward.partition_state(c, 5 - c, true, t),
+                    forward.overload_factor(c, t),
+                ));
+            }
+        }
+        let mut idx = recorded.len();
+        for &t in instants.iter().rev() {
+            for c in (0..6u16).rev() {
+                idx -= 1;
+                let expect = recorded[idx];
+                assert_eq!(backward.overload_factor(c, t), expect.2, "overload at {t}");
+                assert_eq!(
+                    backward.partition_state(5 - c, c, true, t),
+                    expect.1,
+                    "cut at {t} (reversed pair)"
+                );
+                assert_eq!(backward.cluster_drained(c, t), expect.0, "drain at {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn composition_precedence_with_the_fault_plane() {
+        // The driver composes the two planes with max-wins overload and
+        // blackout-beats-brownout reachability; verify the building
+        // blocks give the composed answer the documented precedence.
+        let spec = spec();
+        let mut plane = IncidentPlane::new(&spec, 7, region_map()).unwrap();
+        let scenario = FaultScenario::chaos_smoke();
+        let mut faults = crate::faults::FaultPlane::new(&scenario, 7).unwrap();
+        for t in instants() {
+            for c in 0..6u16 {
+                let fault_f = faults.overload_factor(0, c, t);
+                let incident_f = plane.overload_factor(c, t);
+                let composed = match (fault_f, incident_f) {
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                    (a, b) => a.or(b),
+                };
+                // Strongest-source-wins: the composed factor equals at
+                // least each contributing factor and never their product.
+                if let (Some(cf), Some(a), Some(b)) = (composed, fault_f, incident_f) {
+                    assert!(cf >= a && cf >= b && cf < a * b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn summary_reports_struck_entities_and_episodes() {
+        let mut plane = IncidentPlane::new(&spec(), 7, region_map()).unwrap();
+        let rows = plane.summary(SimDuration::from_hours(24), SimDuration::from_secs(1_800));
+        assert_eq!(rows.len(), 3);
+        let drain = rows.iter().find(|r| r.kind == "cluster-drain").unwrap();
+        let cut = rows.iter().find(|r| r.kind == "wan-cut").unwrap();
+        let front = rows.iter().find(|r| r.kind == "overload-front").unwrap();
+        assert!(drain.entities_struck > 0 && drain.episodes >= drain.entities_struck);
+        // Two regions: exactly one region pair can be struck.
+        assert!(cut.entities_struck <= 1);
+        assert!(front.entities_struck <= 2);
+        assert!(
+            cut.episodes + front.episodes > 0,
+            "no shared incidents at all"
+        );
+    }
+}

@@ -27,6 +27,14 @@
 //!   (machine churn, drains, WAN partitions, overload surges) plus the
 //!   client resilience configuration (deadlines, budgeted retries) the
 //!   driver executes against them.
+//! - [`incident`]: the correlated-incident layer above [`faults`] —
+//!   shared cross-entity incidents (a drain surging its placement
+//!   neighbours, one WAN cut partitioning a whole region pair, an
+//!   overload front sweeping a region) materialized as deterministic
+//!   per-entity trajectories the fault plane composes with.
+//! - [`control`]: the closed-loop control plane — a deterministic
+//!   autoscaler, load-balancer weight shifts, and bounded admission
+//!   queues evaluated on window boundaries, identical on every shard.
 //! - [`telemetry`]: adapters from a completed run to the `rpclens-obs`
 //!   observability plane — run manifests, per-window detector inputs,
 //!   and the end-of-run SLO report.
@@ -39,9 +47,11 @@
 
 pub mod baselines;
 pub mod catalog;
+pub mod control;
 pub mod driver;
 pub mod faults;
 pub mod growth;
+pub mod incident;
 pub mod pool;
 pub mod servable;
 pub mod streamagg;
@@ -52,9 +62,11 @@ pub mod workload;
 pub mod fleet_prelude {
     pub use crate::{
         catalog::{Catalog, CatalogConfig, MethodSpec, ServiceCategory, ServiceSpec},
+        control::{ControlPlane, ControlSpec},
         driver::{run_fleet, FleetConfig, FleetRun, SimScale},
         faults::{FaultPlane, FaultScenario, PartitionState},
         growth::{GrowthConfig, GrowthModel},
+        incident::{IncidentPlane, IncidentSpec},
         telemetry::{manifest_for_run, slo_findings, window_samples},
         workload::Workload,
     };

@@ -68,6 +68,10 @@ pub struct ClosedWindow {
     pub congested: u64,
     /// Retry delta (keyed by root window).
     pub retries: u64,
+    /// Admission-queue shed delta (keyed by root window).
+    pub admission_shed: u64,
+    /// Admission-queue abandon delta (keyed by root window).
+    pub admission_abandoned: u64,
     /// Total calls in the window (the sum over `calls`); always positive
     /// for a closed window, since every root expands to at least one
     /// span.
@@ -106,6 +110,8 @@ impl ClosedWindow {
         self.errors += other.errors;
         self.congested += other.congested;
         self.retries += other.retries;
+        self.admission_shed += other.admission_shed;
+        self.admission_abandoned += other.admission_abandoned;
         self.rpcs += other.rpcs;
     }
 }
@@ -125,6 +131,8 @@ pub struct WindowAgg {
     errors: u64,
     congested: u64,
     retries: u64,
+    admission_shed: u64,
+    admission_abandoned: u64,
     rpcs: u64,
 }
 
@@ -139,6 +147,8 @@ impl WindowAgg {
             errors: 0,
             congested: 0,
             retries: 0,
+            admission_shed: 0,
+            admission_abandoned: 0,
             rpcs: 0,
         }
     }
@@ -181,10 +191,19 @@ impl WindowAgg {
     }
 
     /// Adds one root's scalar deltas to the open window.
-    pub fn add_scalars(&mut self, errors: u64, congested: u64, retries: u64) {
+    pub fn add_scalars(
+        &mut self,
+        errors: u64,
+        congested: u64,
+        retries: u64,
+        admission_shed: u64,
+        admission_abandoned: u64,
+    ) {
         self.errors += errors;
         self.congested += congested;
         self.retries += retries;
+        self.admission_shed += admission_shed;
+        self.admission_abandoned += admission_abandoned;
     }
 
     /// Closes the open window (if any non-empty one exists), compacting
@@ -221,6 +240,8 @@ impl WindowAgg {
             errors: std::mem::take(&mut self.errors),
             congested: std::mem::take(&mut self.congested),
             retries: std::mem::take(&mut self.retries),
+            admission_shed: std::mem::take(&mut self.admission_shed),
+            admission_abandoned: std::mem::take(&mut self.admission_abandoned),
             rpcs: std::mem::take(&mut self.rpcs),
         };
         Some(closed)
@@ -283,8 +304,9 @@ struct SinkState {
     /// One lane per service (`rpc/server/count{service=...}`).
     services: Vec<Lane>,
     /// The aligned driver self-telemetry lanes, in registration order:
-    /// rpcs, errors, congested wire, retries.
-    driver: [Lane; 4],
+    /// rpcs, errors, congested wire, retries, admission sheds, admission
+    /// abandons.
+    driver: [Lane; 6],
     period_ns: u64,
     /// Last pushed window; pushes must be strictly ascending.
     last_w: Option<usize>,
@@ -322,14 +344,16 @@ impl WindowSink {
         for &(svc, calls) in &cw.calls {
             s.services[svc as usize].push(at, calls);
         }
-        // The four driver streams stay aligned on the same window set:
-        // every closed window has `rpcs > 0`, and zero deltas for the
-        // other three still emit a point (exactly the old aligned scan).
-        let [rpcs, errors, congested, retries] = &mut s.driver;
+        // The driver streams stay aligned on the same window set: every
+        // closed window has `rpcs > 0`, and zero deltas for the other
+        // lanes still emit a point (exactly the old aligned scan).
+        let [rpcs, errors, congested, retries, adm_shed, adm_abandoned] = &mut s.driver;
         rpcs.push(at, cw.rpcs);
         errors.push(at, cw.errors);
         congested.push(at, cw.congested);
         retries.push(at, cw.retries);
+        adm_shed.push(at, cw.admission_shed);
+        adm_abandoned.push(at, cw.admission_abandoned);
     }
 
     /// Installs every finished series into the database and consumes the
@@ -338,7 +362,9 @@ impl WindowSink {
     ///
     /// The metrics (`rpc/server/count`, `driver/rpcs/count`,
     /// `driver/errors/count`, `driver/wire/congested`,
-    /// `driver/retries/count`) must already be registered as counters.
+    /// `driver/retries/count`, `driver/admission/shed`,
+    /// `driver/admission/abandoned`) must already be registered as
+    /// counters.
     ///
     /// # Errors
     ///
@@ -362,6 +388,8 @@ impl WindowSink {
             "driver/errors/count",
             "driver/wire/congested",
             "driver/retries/count",
+            "driver/admission/shed",
+            "driver/admission/abandoned",
         ];
         for (name, lane) in names.into_iter().zip(s.driver) {
             if lane.points.is_empty() {
@@ -394,11 +422,13 @@ mod tests {
         tsdb
     }
 
-    const METRICS: [(&str, usize); 4] = [
+    const METRICS: [(&str, usize); 6] = [
         ("driver/rpcs/count", 0),
         ("driver/errors/count", 1),
         ("driver/wire/congested", 2),
         ("driver/retries/count", 3),
+        ("driver/admission/shed", 4),
+        ("driver/admission/abandoned", 5),
     ];
 
     /// One synthetic root: window, service of each span, scalar deltas.
@@ -409,6 +439,8 @@ mod tests {
         errors: u64,
         congested: u64,
         retries: u64,
+        adm_shed: u64,
+        adm_abandoned: u64,
     }
 
     const N_SERVICES: usize = 7;
@@ -422,7 +454,7 @@ mod tests {
                 proptest::collection::vec(0u16..(N_SERVICES as u16), 1..6),
                 0u64..3,
                 0u64..3,
-                0u64..3,
+                (0u64..3, 0u64..3, 0u64..3),
             ),
             1..60,
         )
@@ -430,14 +462,17 @@ mod tests {
             let mut w = 0usize;
             steps
                 .into_iter()
-                .map(|(dw, spans, errors, congested, retries)| {
+                .map(|(dw, spans, errors, congested, scalars)| {
                     w += dw;
+                    let (retries, adm_shed, adm_abandoned) = scalars;
                     Root {
                         w,
                         spans,
                         errors,
                         congested,
                         retries,
+                        adm_shed,
+                        adm_abandoned,
                     }
                 })
                 .collect()
@@ -453,6 +488,8 @@ mod tests {
         let mut errors = vec![0u64; n_windows];
         let mut congested = vec![0u64; n_windows];
         let mut retries = vec![0u64; n_windows];
+        let mut adm_shed = vec![0u64; n_windows];
+        let mut adm_abandoned = vec![0u64; n_windows];
         for r in roots {
             for &svc in &r.spans {
                 calls[svc as usize * n_windows + r.w] += 1;
@@ -460,6 +497,8 @@ mod tests {
             errors[r.w] += r.errors;
             congested[r.w] += r.congested;
             retries[r.w] += r.retries;
+            adm_shed[r.w] += r.adm_shed;
+            adm_abandoned[r.w] += r.adm_abandoned;
         }
         let mut tsdb = fresh_tsdb();
         for svc in 0..N_SERVICES {
@@ -490,6 +529,8 @@ mod tests {
             ("driver/errors/count", &errors),
             ("driver/wire/congested", &congested),
             ("driver/retries/count", &retries),
+            ("driver/admission/shed", &adm_shed),
+            ("driver/admission/abandoned", &adm_abandoned),
         ] {
             tsdb.write_cumulative(
                 name,
@@ -525,7 +566,13 @@ mod tests {
                 for &svc in &r.spans {
                     agg.add_call(svc);
                 }
-                agg.add_scalars(r.errors, r.congested, r.retries);
+                agg.add_scalars(
+                    r.errors,
+                    r.congested,
+                    r.retries,
+                    r.adm_shed,
+                    r.adm_abandoned,
+                );
             }
             if let Some(cw) = agg.finish() {
                 closed.push(cw);
@@ -586,12 +633,13 @@ mod tests {
         agg.add_call(2);
         agg.add_call(2);
         agg.add_call(0);
-        agg.add_scalars(1, 0, 5);
+        agg.add_scalars(1, 0, 5, 2, 1);
         assert!(agg.advance(3).is_none()); // same window
         let cw = agg.advance(7).expect("window 3 closes");
         assert_eq!(cw.w, 3);
         assert_eq!(cw.calls, vec![(0, 1), (2, 2)]);
         assert_eq!((cw.errors, cw.congested, cw.retries, cw.rpcs), (1, 0, 5, 3));
+        assert_eq!((cw.admission_shed, cw.admission_abandoned), (2, 1));
         // Window 7 saw nothing: closing it emits no row.
         assert!(agg.finish().is_none());
     }
@@ -604,6 +652,8 @@ mod tests {
             errors: 1,
             congested: 0,
             retries: 2,
+            admission_shed: 1,
+            admission_abandoned: 0,
             rpcs: 3,
         }];
         absorb_closed(
@@ -615,6 +665,8 @@ mod tests {
                     errors: 0,
                     congested: 1,
                     retries: 0,
+                    admission_shed: 2,
+                    admission_abandoned: 3,
                     rpcs: 6,
                 },
                 ClosedWindow {
@@ -623,6 +675,8 @@ mod tests {
                     errors: 0,
                     congested: 0,
                     retries: 0,
+                    admission_shed: 0,
+                    admission_abandoned: 0,
                     rpcs: 1,
                 },
             ],
@@ -630,6 +684,7 @@ mod tests {
         assert_eq!(acc.len(), 2);
         assert_eq!(acc[0].calls, vec![(0, 4), (1, 2), (3, 3)]);
         assert_eq!((acc[0].errors, acc[0].congested, acc[0].retries), (1, 1, 2));
+        assert_eq!((acc[0].admission_shed, acc[0].admission_abandoned), (3, 3));
         assert_eq!(acc[0].rpcs, 9);
         assert_eq!(acc[1].w, 6);
     }

@@ -12,7 +12,9 @@
 //! fields), and window samples are reconstructed from cumulative
 //! counters the driver wrote in sorted window order.
 
+use crate::control::ControlPlane;
 use crate::driver::FleetRun;
+use crate::incident::IncidentPlane;
 use rpclens_obs::{
     error_budget_burn, metastable_overload, retry_storm, tail_regression, Finding,
     OverloadDetectorConfig, RetryStormConfig, RobustnessSection, RunManifest, SloConfig,
@@ -109,9 +111,72 @@ pub fn manifest_for_run(run: &FleetRun) -> RunManifest {
                     )
                 })
                 .collect(),
+            incidents: incident_rows(run),
+            controllers: controller_rows(run),
         });
     }
     manifest
+}
+
+/// Region map of a run's topology, cluster-id indexed — the key the
+/// incident and control planes correlate on.
+fn region_map(run: &FleetRun) -> Vec<u16> {
+    run.topology.clusters().map(|c| c.region.0).collect()
+}
+
+/// Incident blast-radius rows for the manifest: entities struck and
+/// distinct episodes per incident kind. Reconstructed from the seed —
+/// incident trajectories are pure functions of `(seed, spec)`, so no
+/// per-shard counter carries them (a counter would multiply by the
+/// shard count and break shard invariance).
+fn incident_rows(run: &FleetRun) -> Vec<(String, u64, u64)> {
+    let Some(spec) = run.config.faults.incidents else {
+        return Vec::new();
+    };
+    let Some(mut plane) = IncidentPlane::new(&spec, run.config.scale.seed, region_map(run)) else {
+        return Vec::new();
+    };
+    plane
+        .summary(
+            run.config.scale.duration,
+            rpclens_tsdb::DEFAULT_SAMPLE_PERIOD,
+        )
+        .into_iter()
+        .map(|row| (row.kind.to_string(), row.entities_struck, row.episodes))
+        .collect()
+}
+
+/// Controller activity rows for the manifest: the autoscaler timeline
+/// reconstructed from the seed (shard-invariant by construction) plus
+/// the per-call admission and load-balancer event counters.
+fn controller_rows(run: &FleetRun) -> Vec<(String, u64)> {
+    let Some(spec) = run.config.faults.control else {
+        return Vec::new();
+    };
+    let mut cp = ControlPlane::from_parts(
+        spec,
+        run.config.faults.incidents.as_ref(),
+        run.config.scale.seed,
+        region_map(run),
+        rpclens_tsdb::DEFAULT_SAMPLE_PERIOD,
+    );
+    let (scaled_windows, peak_permille) = cp.autoscaler_activity(
+        run.topology.num_clusters() as u16,
+        run.config.scale.duration,
+    );
+    let c = &run.telemetry.counters.control;
+    vec![
+        ("autoscaler_scaled_windows".to_string(), scaled_windows),
+        (
+            "autoscaler_peak_capacity_permille".to_string(),
+            peak_permille,
+        ),
+        ("lb_shifts".to_string(), c.lb_shifts),
+        ("admission_offered".to_string(), c.admission_offered),
+        ("admission_admitted".to_string(), c.admitted()),
+        ("admission_shed".to_string(), c.admission_shed),
+        ("admission_abandoned".to_string(), c.admission_abandoned),
+    ]
 }
 
 /// Reconstructs per-window [`WindowSample`] rows from the driver's
@@ -233,6 +298,58 @@ mod tests {
         // Manifest round-trips through its own JSON.
         let back = RunManifest::parse(&m.to_json_string()).expect("roundtrip");
         assert_eq!(back.deterministic, m.deterministic);
+    }
+
+    #[test]
+    fn incident_manifest_reports_incidents_and_controllers() {
+        let scale = SimScale {
+            name: "test",
+            total_methods: 320,
+            roots: 4_000,
+            duration: SimDuration::from_hours(24),
+            trace_sample_rate: 1,
+            profiler_sample_cap: 10_000,
+            seed: 19,
+        };
+        let mut config = FleetConfig::at_scale(scale);
+        config.faults = crate::faults::FaultScenario::incident_smoke();
+        let run = run_fleet(config);
+        let m = manifest_for_run(&run);
+        let rob = m.robustness.as_ref().expect("robustness section");
+        // All three incident kinds have trajectories at this eligibility.
+        let kinds: Vec<&str> = rob.incidents.iter().map(|(k, _, _)| k.as_str()).collect();
+        assert_eq!(kinds, ["cluster-drain", "wan-cut", "overload-front"]);
+        assert!(rob
+            .incidents
+            .iter()
+            .all(|&(_, struck, eps)| struck > 0 && eps > 0));
+        // Controller rows mirror the run's control counters, and the
+        // admission ledger conserves offered calls.
+        let c = &run.telemetry.counters.control;
+        assert_eq!(
+            c.admitted() + c.admission_shed + c.admission_abandoned,
+            c.admission_offered
+        );
+        let row = |name: &str| {
+            rob.controllers
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("missing controller row {name}"))
+                .1
+        };
+        assert_eq!(row("admission_offered"), c.admission_offered);
+        assert_eq!(row("admission_shed"), c.admission_shed);
+        assert_eq!(row("admission_abandoned"), c.admission_abandoned);
+        assert_eq!(row("lb_shifts"), c.lb_shifts);
+        // Incidents push at least one cluster into sustained overload,
+        // so the autoscaler must have scaled at least one window.
+        assert!(row("autoscaler_scaled_windows") > 0);
+        assert!(row("autoscaler_peak_capacity_permille") > 1_000);
+        // The robustness section survives a JSON round-trip.
+        let back = RunManifest::parse(&m.to_json_string()).expect("roundtrip");
+        let back_rob = back.robustness.expect("robustness after roundtrip");
+        assert_eq!(back_rob.incidents, rob.incidents);
+        assert_eq!(back_rob.controllers, rob.controllers);
     }
 
     #[test]

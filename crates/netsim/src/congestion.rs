@@ -64,6 +64,33 @@ impl CongestionParams {
             alpha: 0.9,
         }
     }
+
+    /// Long-run fraction of time the path resides in its busy
+    /// (congested) state: `congested_mean / (calm_mean + congested_mean)`
+    /// — the alternating-renewal duty cycle the empirical
+    /// `congestion_fraction_matches_duty_cycle` test converges to.
+    pub fn congested_duty_cycle(&self) -> f64 {
+        let calm = self.calm_mean.as_secs_f64();
+        let busy = self.congested_mean.as_secs_f64();
+        busy / (calm + busy)
+    }
+
+    /// Mean excess delay while congested, in seconds: the expectation of
+    /// the truncated `Pareto(congested_min, congested_max, alpha)` draw
+    /// [`CongestionProcess::queueing_delay`] samples in the busy state.
+    pub fn congested_mean_excess_secs(&self) -> f64 {
+        let l = self.congested_min.as_secs_f64().max(1e-9);
+        let h = self.congested_max.as_secs_f64();
+        let a = self.alpha;
+        // Normalisation of the truncated tail.
+        let c = 1.0 - (l / h).powf(a);
+        if (a - 1.0).abs() < 1e-9 {
+            // alpha = 1 limit of the closed form below.
+            l * (h / l).ln() / c
+        } else {
+            a * l.powf(a) / c * (h.powf(1.0 - a) - l.powf(1.0 - a)) / (1.0 - a)
+        }
+    }
 }
 
 /// The lazily-evolved congestion process for one path.
@@ -372,6 +399,42 @@ mod tests {
             (frac - expected).abs() < expected,
             "duty cycle {frac}, expected ~{expected}"
         );
+    }
+
+    #[test]
+    fn mean_excess_matches_empirical_sample_mean() {
+        // The analytic truncated-Pareto mean must agree with what the
+        // process actually samples in the busy state — this is the number
+        // the fault plane's derived brownout excess is built on.
+        for (params, seed) in [
+            (CongestionParams::wan(), 8),
+            (CongestionParams::fabric(), 9),
+        ] {
+            let excess = BoundedPareto::new(
+                params.congested_min.as_secs_f64(),
+                params.congested_max.as_secs_f64(),
+                params.alpha,
+            )
+            .unwrap();
+            let mut rng = Prng::seed_from(seed);
+            let n = 400_000;
+            let sum: f64 = (0..n).map(|_| excess.sample(&mut rng)).sum();
+            let empirical = sum / n as f64;
+            let analytic = params.congested_mean_excess_secs();
+            assert!(
+                (empirical - analytic).abs() / analytic < 0.05,
+                "empirical {empirical} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn duty_cycle_accessor_matches_hand_computation() {
+        let p = CongestionParams::fabric();
+        let expected = 0.4 / 30.4;
+        assert!((p.congested_duty_cycle() - expected).abs() < 1e-12);
+        let w = CongestionParams::wan();
+        assert!((w.congested_duty_cycle() - 2.0 / 122.0).abs() < 1e-12);
     }
 
     #[test]

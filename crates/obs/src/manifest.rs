@@ -32,8 +32,10 @@ use crate::telemetry::{QueueTelemetry, RunTelemetry, WireTelemetry};
 /// Current manifest schema version. Bump on any field change.
 ///
 /// History: v1 carried `deterministic` + `runtime`; v2 added the optional
-/// `robustness` section for fault-scenario runs.
-pub const MANIFEST_SCHEMA_VERSION: u32 = 2;
+/// `robustness` section for fault-scenario runs; v3 added the optional
+/// `incidents` and `controllers` tables inside `robustness` for runs
+/// with a correlated-incident layer and closed-loop control plane.
+pub const MANIFEST_SCHEMA_VERSION: u32 = 3;
 
 /// Root-latency summary as integer microsecond quantiles (from the
 /// driver's `LogHistogram`; ~1.6% bucket resolution).
@@ -153,6 +155,16 @@ pub struct RobustnessSection {
     /// Per-error-kind `(kind, count, wasted_cycles)` rows in fixed kind
     /// order — the Fig. 23 error-class/wasted-work breakdown.
     pub errors: Vec<(String, u64, u128)>,
+    /// Correlated-incident rows `(kind, entities_struck, episodes)` in
+    /// fixed kind order (`drain`, `wan-cut`, `front`). Empty for runs
+    /// without an incident layer; omitted from the rendered JSON then
+    /// (schema v3).
+    pub incidents: Vec<(String, u64, u64)>,
+    /// Controller activity rows `(controller, value)` in fixed order —
+    /// autoscaler scaled windows / peak capacity, load-balancer shifts,
+    /// admission-queue verdict counts. Empty for open-loop runs; omitted
+    /// from the rendered JSON then (schema v3).
+    pub controllers: Vec<(String, u64)>,
 }
 
 /// A versioned run manifest; see the module docs for the layout.
@@ -249,9 +261,12 @@ impl RunManifest {
         }
     }
 
-    /// Renders the `robustness` section as a JSON value.
+    /// Renders the `robustness` section as a JSON value. The v3
+    /// `incidents` and `controllers` tables are appended only when
+    /// non-empty, so fault-only (v2-shaped) manifests keep rendering
+    /// byte-identically.
     fn robustness_json(r: &RobustnessSection) -> Json {
-        Json::obj([
+        let mut body = Json::obj([
             ("scenario", Json::Str(r.scenario.clone())),
             ("retries_issued", Json::Uint(u128::from(r.retries_issued))),
             ("retries_denied", Json::Uint(u128::from(r.retries_denied))),
@@ -280,7 +295,44 @@ impl RunManifest {
                         .collect(),
                 ),
             ),
-        ])
+        ]);
+        let Json::Object(pairs) = &mut body else {
+            unreachable!("robustness body is an object");
+        };
+        if !r.incidents.is_empty() {
+            pairs.push((
+                "incidents".to_string(),
+                Json::Array(
+                    r.incidents
+                        .iter()
+                        .map(|(kind, struck, episodes)| {
+                            Json::obj([
+                                ("kind", Json::Str(kind.clone())),
+                                ("entities_struck", Json::Uint(u128::from(*struck))),
+                                ("episodes", Json::Uint(u128::from(*episodes))),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        if !r.controllers.is_empty() {
+            pairs.push((
+                "controllers".to_string(),
+                Json::Array(
+                    r.controllers
+                        .iter()
+                        .map(|(name, value)| {
+                            Json::obj([
+                                ("controller", Json::Str(name.clone())),
+                                ("value", Json::Uint(u128::from(*value))),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        body
     }
 
     /// Renders the `deterministic` section (without the digest field) as
@@ -426,9 +478,10 @@ impl RunManifest {
             .get("schema_version")
             .and_then(Json::as_u64)
             .ok_or("missing schema_version")?;
-        // v1 manifests are a strict subset of v2 (no `robustness`
-        // section), so both parse identically.
-        if version != 1 && version != u64::from(MANIFEST_SCHEMA_VERSION) {
+        // Older versions are strict subsets of newer ones: v1 lacks the
+        // `robustness` section, v2 lacks its `incidents`/`controllers`
+        // tables. All parse identically with the absent parts defaulted.
+        if !(1..=u64::from(MANIFEST_SCHEMA_VERSION)).contains(&version) {
             return Err(format!(
                 "unsupported manifest schema version {version} (expected {MANIFEST_SCHEMA_VERSION})"
             ));
@@ -542,6 +595,33 @@ impl RunManifest {
                     })
                     .collect::<Option<Vec<_>>>()
                     .ok_or("malformed robustness errors row")?,
+                incidents: rb
+                    .get("incidents")
+                    .and_then(Json::as_array)
+                    .unwrap_or(&[])
+                    .iter()
+                    .map(|row| {
+                        Some((
+                            row.get("kind")?.as_str()?.to_string(),
+                            row.get("entities_struck")?.as_u64()?,
+                            row.get("episodes")?.as_u64()?,
+                        ))
+                    })
+                    .collect::<Option<Vec<_>>>()
+                    .ok_or("malformed robustness incidents row")?,
+                controllers: rb
+                    .get("controllers")
+                    .and_then(Json::as_array)
+                    .unwrap_or(&[])
+                    .iter()
+                    .map(|row| {
+                        Some((
+                            row.get("controller")?.as_str()?.to_string(),
+                            row.get("value")?.as_u64()?,
+                        ))
+                    })
+                    .collect::<Option<Vec<_>>>()
+                    .ok_or("malformed robustness controllers row")?,
             }),
             None => None,
         };
@@ -721,7 +801,7 @@ mod tests {
         let m = sample_manifest();
         let text =
             m.to_json_string()
-                .replacen("\"schema_version\": 2", "\"schema_version\": 999", 1);
+                .replacen("\"schema_version\": 3", "\"schema_version\": 999", 1);
         let e = RunManifest::parse(&text).unwrap_err();
         assert!(e.contains("schema version"), "{e}");
     }
@@ -731,10 +811,30 @@ mod tests {
         let m = sample_manifest();
         let text = m
             .to_json_string()
-            .replacen("\"schema_version\": 2", "\"schema_version\": 1", 1);
+            .replacen("\"schema_version\": 3", "\"schema_version\": 1", 1);
         let back = RunManifest::parse(&text).expect("v1 parses");
         assert_eq!(back.deterministic, m.deterministic);
         assert!(back.robustness.is_none());
+    }
+
+    #[test]
+    fn v2_manifests_still_parse() {
+        // A v2 manifest: robustness section present but without the v3
+        // incidents/controllers tables (which v2 writers never emitted).
+        let mut m = sample_manifest();
+        let mut rb = sample_robustness();
+        rb.incidents.clear();
+        rb.controllers.clear();
+        m.robustness = Some(rb);
+        let text = m
+            .to_json_string()
+            .replacen("\"schema_version\": 3", "\"schema_version\": 2", 1);
+        let back = RunManifest::parse(&text).expect("v2 parses");
+        assert_eq!(back.deterministic, m.deterministic);
+        let rb = back.robustness.expect("robustness kept");
+        assert_eq!(rb.scenario, "chaos-smoke");
+        assert!(rb.incidents.is_empty());
+        assert!(rb.controllers.is_empty());
     }
 
     fn sample_robustness() -> RobustnessSection {
@@ -750,6 +850,16 @@ mod tests {
                 ("unavailable".to_string(), 18, 5_000_000u128),
                 ("no_resource".to_string(), 9, 2_000_000u128),
             ],
+            incidents: vec![
+                ("drain".to_string(), 3, 14),
+                ("wan-cut".to_string(), 6, 9),
+                ("front".to_string(), 12, 21),
+            ],
+            controllers: vec![
+                ("autoscaler_scaled_windows".to_string(), 37),
+                ("lb_shifts".to_string(), 120),
+                ("admission_shed".to_string(), 44),
+            ],
         }
     }
 
@@ -761,9 +871,25 @@ mod tests {
         assert_eq!(m.digest(), d0, "robustness must not move the digest");
         let text = m.to_json_string();
         assert!(text.contains("\"robustness\""));
+        assert!(text.contains("\"incidents\""));
+        assert!(text.contains("\"controllers\""));
         let back = RunManifest::parse(&text).expect("parse own output");
         assert_eq!(back.robustness, m.robustness);
         assert_eq!(back.to_json_string(), text);
+    }
+
+    #[test]
+    fn empty_incident_and_controller_tables_are_omitted() {
+        let mut m = sample_manifest();
+        let mut rb = sample_robustness();
+        rb.incidents.clear();
+        rb.controllers.clear();
+        m.robustness = Some(rb);
+        let text = m.to_json_string();
+        assert!(!text.contains("\"incidents\""));
+        assert!(!text.contains("\"controllers\""));
+        let back = RunManifest::parse(&text).expect("parse own output");
+        assert_eq!(back.robustness, m.robustness);
     }
 
     #[test]

@@ -111,6 +111,41 @@ impl ResilienceTelemetry {
     }
 }
 
+/// Control-plane telemetry: what the closed-loop controllers (load
+/// balancer weight shifts and bounded admission queues) did to the
+/// calls that flowed past them. Timeline-level controller state
+/// (autoscaler capacity, avoided paths) is reconstructed post-run from
+/// the seed instead of counted here, so these stay order-insensitive
+/// per-call event counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ControlTelemetry {
+    /// Placements re-picked because the load balancer shifted weight
+    /// away from a degraded path.
+    pub lb_shifts: u64,
+    /// Calls offered to a bounded admission queue.
+    pub admission_offered: u64,
+    /// Offered calls shed at the queue (queue wait over the shed bound).
+    pub admission_shed: u64,
+    /// Offered calls abandoned by the client (wait over the abandon
+    /// bound).
+    pub admission_abandoned: u64,
+}
+
+impl ControlTelemetry {
+    /// Admitted calls: offered minus shed minus abandoned.
+    pub fn admitted(&self) -> u64 {
+        self.admission_offered - self.admission_shed - self.admission_abandoned
+    }
+
+    /// Folds another shard's control telemetry into this one.
+    pub fn absorb(&mut self, other: &ControlTelemetry) {
+        self.lb_shifts += other.lb_shifts;
+        self.admission_offered += other.admission_offered;
+        self.admission_shed += other.admission_shed;
+        self.admission_abandoned += other.admission_abandoned;
+    }
+}
+
 /// Deterministic per-shard counters; a pure function of the master seed.
 #[derive(Debug, Clone, Default)]
 pub struct ShardCounters {
@@ -132,6 +167,8 @@ pub struct ShardCounters {
     pub wire: WireTelemetry,
     /// Executed retry/failover and causal-error telemetry.
     pub resilience: ResilienceTelemetry,
+    /// Closed-loop control-plane event telemetry.
+    pub control: ControlTelemetry,
     /// End-to-end root latency distribution, microseconds.
     pub root_latency_us: LogHistogram,
 }
@@ -156,6 +193,7 @@ impl ShardCounters {
         self.queue.absorb(&other.queue);
         self.wire.absorb(&other.wire);
         self.resilience.absorb(&other.resilience);
+        self.control.absorb(&other.control);
         self.root_latency_us.merge(&other.root_latency_us);
     }
 }
@@ -259,6 +297,19 @@ mod tests {
                 c.resilience.causal_unavailable += 1;
                 c.resilience.deadline_exceeded += 1;
             }
+            if v.is_multiple_of(4) {
+                c.control.admission_offered += 1;
+                if v.is_multiple_of(8) {
+                    c.control.admission_shed += 1;
+                }
+                if v.is_multiple_of(16) {
+                    c.control.admission_abandoned += 1;
+                    c.control.admission_shed -= 1;
+                }
+            }
+            if v.is_multiple_of(23) {
+                c.control.lb_shifts += 1;
+            }
             c.root_latency_us.record(1 + v * 17 % 100_000);
         }
         c
@@ -288,6 +339,8 @@ mod tests {
             assert_eq!(merged.wire.samples, single.wire.samples);
             assert_eq!(merged.wire.congested, single.wire.congested);
             assert_eq!(merged.resilience, single.resilience);
+            assert_eq!(merged.control, single.control);
+            assert_eq!(merged.control.admitted(), single.control.admitted());
             assert_eq!(
                 merged.root_latency_us.count(),
                 single.root_latency_us.count()
